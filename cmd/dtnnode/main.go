@@ -1,0 +1,242 @@
+// Command dtnnode runs a live networked DTN messaging node: a replica served
+// over TCP plus a tiny line-oriented console for sending messages and
+// triggering encounters with peers.
+//
+// Usage:
+//
+//	dtnnode -id alice -addr user:alice -listen 127.0.0.1:7701 \
+//	        -peers 127.0.0.1:7702,127.0.0.1:7703 -policy epidemic \
+//	        -data alice.snap
+//
+// Console commands (stdin):
+//
+//	send <to-address> <text...>   insert a message
+//	sync                          encounter every configured peer once
+//	inbox                         list received messages
+//	stats                         print replication counters
+//	quit
+//
+// With -sync-every set, the node also encounters its peers periodically in
+// the background, making a small always-on gossip mesh. With -data set, the
+// replica state (items, knowledge, routing state) persists across restarts,
+// so a restarted node never re-accepts messages it already received.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"replidtn/internal/discovery"
+	"replidtn/internal/messaging"
+	"replidtn/internal/persist"
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/maxprop"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/routing/spraywait"
+	"replidtn/internal/transport"
+	"replidtn/internal/vclock"
+)
+
+func main() {
+	var (
+		id         = flag.String("id", "", "replica ID (required)")
+		addr       = flag.String("addr", "", "endpoint address homed on this node (required)")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peers      = flag.String("peers", "", "comma-separated peer TCP addresses")
+		policy     = flag.String("policy", "epidemic", "routing policy: none, epidemic, spray, prophet, maxprop")
+		syncEvery  = flag.Duration("sync-every", 0, "background encounter period (0 = manual only)")
+		dataPath   = flag.String("data", "", "snapshot file for durable state (empty = in-memory only)")
+		discListen = flag.String("discover-listen", "", "UDP address for peer discovery beacons (empty = disabled)")
+		discPeers  = flag.String("discover-peers", "", "comma-separated UDP beacon targets")
+	)
+	flag.Parse()
+	if *id == "" || *addr == "" {
+		fmt.Fprintln(os.Stderr, "dtnnode: -id and -addr are required")
+		os.Exit(2)
+	}
+	opts := options{
+		id: *id, addr: *addr, listen: *listen, peers: splitPeers(*peers),
+		policy: *policy, syncEvery: *syncEvery, dataPath: *dataPath,
+		discoverListen: *discListen, discoverPeers: splitPeers(*discPeers),
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "dtnnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func buildPolicy(name, id, addr string) (routing.Policy, error) {
+	now := func() int64 { return time.Now().Unix() }
+	switch name {
+	case "none":
+		return nil, nil
+	case "epidemic":
+		return epidemic.New(0), nil
+	case "spray":
+		return spraywait.New(0), nil
+	case "prophet":
+		return prophet.New(prophet.DefaultParams(), now, addr), nil
+	case "maxprop":
+		return maxprop.New(vclock.ReplicaID(id), 0, now, addr), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// options collects the node's flag values.
+type options struct {
+	id, addr, listen string
+	peers            []string
+	policy           string
+	syncEvery        time.Duration
+	dataPath         string
+	discoverListen   string
+	discoverPeers    []string
+}
+
+func run(opts options) error {
+	id, addr, listen, peers, policyName := opts.id, opts.addr, opts.listen, opts.peers, opts.policy
+	syncEvery, dataPath := opts.syncEvery, opts.dataPath
+	pol, err := buildPolicy(policyName, id, addr)
+	if err != nil {
+		return err
+	}
+	ep := messaging.NewEndpoint(messaging.Config{
+		NodeID:    vclock.ReplicaID(id),
+		Addresses: []string{addr},
+		Policy:    pol,
+		Now:       func() int64 { return time.Now().Unix() },
+		OnReceive: func(r messaging.Received) {
+			fmt.Printf("<< message from %s: %s\n", r.Message.From, r.Message.Body)
+		},
+	})
+	save := func() {}
+	if dataPath != "" {
+		if snap, err := persist.LoadSnapshot(dataPath); err == nil {
+			if err := ep.Replica().RestoreSnapshot(snap); err != nil {
+				return fmt.Errorf("restore %s: %w", dataPath, err)
+			}
+			fmt.Printf("restored state from %s\n", dataPath)
+		} else if !errors.Is(err, persist.ErrNotExist) {
+			return err
+		}
+		save = func() {
+			if err := persist.Save(dataPath, ep.Replica()); err != nil {
+				fmt.Fprintf(os.Stderr, "!! persist: %v\n", err)
+			}
+		}
+		defer save()
+	}
+
+	srv := transport.NewServer(ep.Replica(), 0)
+	srv.OnError = func(err error) { fmt.Fprintf(os.Stderr, "!! %v\n", err) }
+	bound, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("node %s (%s, policy %s) listening on %s\n", id, addr, policyName, bound)
+
+	var disc *discovery.Discoverer
+	if opts.discoverListen != "" {
+		disc = discovery.New(discovery.Config{
+			Self:    vclock.ReplicaID(id),
+			TCPAddr: bound.String(),
+			Listen:  opts.discoverListen,
+			Targets: opts.discoverPeers,
+			OnPeer: func(p discovery.Peer) {
+				fmt.Printf("** discovered %s at %s\n", p.ID, p.Addr)
+				if _, err := transport.Encounter(ep.Replica(), p.Addr, 0, 5*time.Second); err != nil {
+					fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", p.Addr, err)
+				}
+			},
+		})
+		udpAddr, err := disc.Start()
+		if err != nil {
+			return err
+		}
+		defer disc.Stop()
+		fmt.Printf("discovery beacons on %s\n", udpAddr)
+	}
+
+	syncAll := func() {
+		targets := append([]string(nil), peers...)
+		if disc != nil {
+			targets = append(targets, disc.Addrs()...)
+		}
+		for _, peer := range targets {
+			if _, err := transport.Encounter(ep.Replica(), peer, 0, 5*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", peer, err)
+			}
+		}
+		save()
+	}
+	if syncEvery > 0 {
+		ticker := time.NewTicker(syncEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				syncAll()
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "send":
+			if len(fields) < 3 {
+				fmt.Println("usage: send <to-address> <text...>")
+				break
+			}
+			body := strings.Join(fields[2:], " ")
+			if _, err := ep.Send(addr, []string{fields[1]}, []byte(body)); err != nil {
+				fmt.Printf("!! %v\n", err)
+			} else {
+				save()
+				fmt.Println("queued")
+			}
+		case "sync":
+			syncAll()
+			fmt.Println("synced")
+		case "inbox":
+			for i, r := range ep.Inbox() {
+				fmt.Printf("%3d %s -> %s: %s\n", i+1, r.Message.From, r.At, r.Message.Body)
+			}
+		case "stats":
+			fmt.Printf("%+v\n", ep.Replica().Stats())
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Println("commands: send, sync, inbox, stats, quit")
+		}
+		fmt.Print("> ")
+	}
+	return sc.Err()
+}

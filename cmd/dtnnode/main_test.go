@@ -1,0 +1,45 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , , b:2 ", []string{"a:1", "b:2"}},
+	}
+	for _, tc := range cases {
+		got := splitPeers(tc.in)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBuildPolicy(t *testing.T) {
+	for _, name := range []string{"epidemic", "spray", "prophet", "maxprop"} {
+		pol, err := buildPolicy(name, "node1", "addr:1")
+		if err != nil {
+			t.Errorf("buildPolicy(%q): %v", name, err)
+		}
+		if pol == nil {
+			t.Errorf("buildPolicy(%q) returned nil policy", name)
+		}
+	}
+	if pol, err := buildPolicy("none", "n", "a"); err != nil || pol != nil {
+		t.Error("none should yield a nil policy without error")
+	}
+	if _, err := buildPolicy("bogus", "n", "a"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

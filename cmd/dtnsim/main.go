@@ -1,0 +1,174 @@
+// Command dtnsim runs the paper's evaluation experiments and prints the
+// corresponding tables and figures as text.
+//
+// Usage:
+//
+//	dtnsim -experiment all            # every table and figure (default)
+//	dtnsim -experiment fig7a          # one experiment
+//	dtnsim -experiment fig9 -small    # scaled-down trace (fast)
+//	dtnsim -experiment fig5 -seed 7   # different trace seed
+//	dtnsim -experiment fig7a -trace ./traces   # run on an external CSV trace
+//
+// Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9, fig10,
+// all, summary; ablations: ablation-ttl, ablation-copies, ablation-threshold,
+// ablation-bandwidth, ablation-bytes, ablation-storage, ablation-lifetime,
+// ablation-eviction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"replidtn/internal/emu"
+	"replidtn/internal/experiment"
+	"replidtn/internal/metrics"
+	"replidtn/internal/trace"
+)
+
+func main() {
+	var (
+		name     = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, all)")
+		small    = flag.Bool("small", false, "use the scaled-down trace (fast)")
+		seed     = flag.Int64("seed", 1, "trace generator seed")
+		traceDir = flag.String("trace", "", "load the trace from a directory of CSVs instead of generating it")
+	)
+	flag.Parse()
+	if err := run(*name, *small, *seed, *traceDir); err != nil {
+		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, small bool, seed int64, traceDir string) error {
+	tr, err := buildTrace(small, seed, traceDir)
+	if err != nil {
+		return err
+	}
+	params := emu.DefaultParams()
+	out := os.Stdout
+
+	switch name {
+	case "all":
+		suite := &experiment.Suite{Trace: tr, Params: params}
+		return suite.RunAll(out)
+	case "table1":
+		fmt.Fprint(out, experiment.FormatTable1(experiment.Table1()))
+	case "table2":
+		fmt.Fprint(out, experiment.FormatTable2(params))
+	case "fig5", "fig6":
+		fs, err := experiment.RunFilterSweep(tr, nil)
+		if err != nil {
+			return err
+		}
+		if name == "fig5" {
+			fmt.Fprintf(out, "Fig. 5: average message delay (hours) vs addresses in filter\n%s",
+				metrics.FormatTable("k", fs.Fig5()))
+		} else {
+			fmt.Fprintf(out, "Fig. 6: %% delivered within 12 hours vs addresses in filter\n%s",
+				metrics.FormatTable("k", fs.Fig6()))
+		}
+	case "fig7a", "fig7b", "fig8":
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig7a":
+			fmt.Fprintf(out, "Fig. 7(a): delay CDF, first 12 hours (%% delivered)\n%s",
+				metrics.FormatTable("hours", ps.CDFHours(12)))
+		case "fig7b":
+			fmt.Fprintf(out, "Fig. 7(b): delay CDF, 1-10 days (%% delivered)\n%s",
+				metrics.FormatTable("days", ps.CDFDays(10)))
+		case "fig8":
+			fmt.Fprintf(out, "Fig. 8: average stored copies per message\n%s",
+				experiment.FormatFig8(ps.Fig8()))
+		}
+	case "fig9":
+		ps, err := experiment.RunPolicySweep(tr, params, 1, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter)\n%s",
+			metrics.FormatTable("hours", ps.CDFHours(12)))
+	case "fig10":
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Fig. 10: delay CDF under storage constraint (2 relayed msgs/node)\n%s",
+			metrics.FormatTable("hours", ps.CDFHours(12)))
+	case "summary":
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Per-policy overview (unconstrained)\n%s",
+			experiment.FormatSummary(ps.SummaryRows()))
+	case "ablation-ttl":
+		rows, err := experiment.AblationEpidemicTTL(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: epidemic TTL", rows))
+	case "ablation-copies":
+		rows, err := experiment.AblationSprayCopies(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: spray copy allowance", rows))
+	case "ablation-threshold":
+		rows, err := experiment.AblationMaxPropThreshold(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: MaxProp hop threshold (1 msg/encounter)", rows))
+	case "ablation-bandwidth":
+		rows, err := experiment.AblationBandwidth(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter budget (epidemic)", rows))
+	case "ablation-storage":
+		rows, err := experiment.AblationStorage(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay capacity (epidemic)", rows))
+	case "ablation-bytes":
+		rows, err := experiment.AblationByteBudget(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter byte budget (epidemic, 1KiB msgs)", rows))
+	case "ablation-lifetime":
+		rows, err := experiment.AblationLifetime(tr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: bounded message lifetime (epidemic)", rows))
+	case "ablation-eviction":
+		rows, err := experiment.AblationEviction(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay eviction strategy (capacity 2)", rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func buildTrace(small bool, seed int64, traceDir string) (*trace.Trace, error) {
+	if traceDir != "" {
+		return trace.LoadDir(traceDir)
+	}
+	if small {
+		return experiment.SmallTrace(seed)
+	}
+	dn := trace.DefaultDieselNet()
+	dn.Seed = seed
+	wl := trace.DefaultWorkload()
+	wl.Seed = seed + 1
+	return trace.Generate(dn, wl, seed+2)
+}

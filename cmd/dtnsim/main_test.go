@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunKnownExperiments(t *testing.T) {
+	// The cheap experiments run on the scaled-down trace; the full figure
+	// sweeps are covered by the experiment package and the benchmarks.
+	for _, name := range []string{"table1", "table2", "fig8", "ablation-eviction"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := run(name, true, 1, ""); err != nil {
+				t.Fatalf("run(%q): %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", true, 1, ""); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBuildTrace(t *testing.T) {
+	small, err := buildTrace(true, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := buildTrace(false, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Days >= full.Days {
+		t.Errorf("small trace (%d days) should be shorter than full (%d days)",
+			small.Days, full.Days)
+	}
+	if err := full.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"replidtn/internal/trace"
+)
+
+func TestRunWritesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.Open(filepath.Join(dir, "encounters.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	encounters, err := trace.ReadEncounters(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encounters) == 0 {
+		t.Error("no encounters written")
+	}
+	msgs, err := os.Open(filepath.Join(dir, "messages.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msgs.Close()
+	messages, err := trace.ReadMessages(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(messages) == 0 {
+		t.Error("no messages written")
+	}
+	for _, m := range messages {
+		if trace.Day(m.Time) >= 3 {
+			t.Errorf("message %s beyond the 3-day override", m.ID)
+		}
+	}
+	asg, err := os.Open(filepath.Join(dir, "assignments.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asg.Close()
+	assignments, err := trace.ReadAssignments(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assignments) != 3 {
+		t.Errorf("assignments cover %d days, want 3", len(assignments))
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run("/dev/null/nope", 1, 0); err == nil {
+		t.Error("unwritable directory should fail")
+	}
+}

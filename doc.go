@@ -1,0 +1,12 @@
+// Package replidtn reproduces "Peer-to-Peer Data Replication Meets Delay
+// Tolerant Networking" (Gilbert, Ramasubramanian, Stuedi, Terry — ICDCS
+// 2011): a Cimbiosys-style peer-to-peer filtered replication substrate, a
+// DTN messaging application built on it, a pluggable DTN routing-policy
+// extension with Epidemic, Spray and Wait, PROPHET, and MaxProp policies,
+// and the trace-driven evaluation harness that regenerates every table and
+// figure of the paper.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory and experiment index, and the examples/ directory for runnable
+// entry points.
+package replidtn

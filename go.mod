@@ -1,0 +1,3 @@
+module replidtn
+
+go 1.22

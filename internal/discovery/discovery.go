@@ -1,0 +1,225 @@
+// Package discovery provides opportunistic peer discovery for live nodes:
+// each node periodically beacons its identity and TCP encounter address over
+// UDP and listens for other nodes' beacons, maintaining a registry of
+// recently seen peers. This is the "encounter detection" half of a real DTN
+// deployment — the trace-driven emulations schedule encounters explicitly,
+// but live nodes (cmd/dtnnode) must notice each other first.
+//
+// Beacons are tiny gob frames sent to a configured set of targets (unicast
+// peers on loopback or a LAN broadcast address). Peers expire from the
+// registry when their beacons stop arriving, modeling the end of a contact.
+package discovery
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"replidtn/internal/vclock"
+)
+
+// beaconVersion guards the beacon wire format.
+const beaconVersion = 1
+
+// beacon is the announcement frame.
+type beacon struct {
+	Version int
+	ID      vclock.ReplicaID
+	TCPAddr string
+}
+
+// Peer is a recently seen node.
+type Peer struct {
+	ID vclock.ReplicaID
+	// Addr is the peer's TCP encounter address.
+	Addr string
+	// LastSeen is when its latest beacon arrived.
+	LastSeen time.Time
+}
+
+// Config configures a Discoverer.
+type Config struct {
+	// Self is this node's replica ID; its own beacons are ignored.
+	Self vclock.ReplicaID
+	// TCPAddr is the encounter address announced in beacons.
+	TCPAddr string
+	// Listen is the UDP address to receive beacons on (e.g. "127.0.0.1:7700").
+	Listen string
+	// Targets are the UDP addresses beacons are sent to (unicast peers or a
+	// broadcast address).
+	Targets []string
+	// Interval is the beacon period (default 2s).
+	Interval time.Duration
+	// TTL is how long a peer stays in the registry after its last beacon
+	// (default 3 × Interval).
+	TTL time.Duration
+	// OnPeer, when set, fires each time a peer is seen for the first time
+	// (or re-appears after expiring).
+	OnPeer func(Peer)
+}
+
+// Discoverer runs the beacon sender and listener. Create with New, then
+// Start; Stop shuts both down.
+type Discoverer struct {
+	cfg  Config
+	conn net.PacketConn
+
+	mu      sync.Mutex
+	peers   map[vclock.ReplicaID]Peer
+	started bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a Discoverer from cfg, applying defaults.
+func New(cfg Config) *Discoverer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 3 * cfg.Interval
+	}
+	return &Discoverer{
+		cfg:   cfg,
+		peers: make(map[vclock.ReplicaID]Peer),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start binds the UDP socket and launches the beacon sender and listener.
+// It returns the bound UDP address.
+func (d *Discoverer) Start() (net.Addr, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return nil, fmt.Errorf("discovery: already started")
+	}
+	conn, err := net.ListenPacket("udp", d.cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: listen %s: %w", d.cfg.Listen, err)
+	}
+	d.conn = conn
+	d.started = true
+	d.wg.Add(2)
+	go d.sendLoop()
+	go d.recvLoop()
+	return conn.LocalAddr(), nil
+}
+
+// Stop shuts down the sender and listener and waits for them.
+func (d *Discoverer) Stop() {
+	d.mu.Lock()
+	if !d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = false
+	close(d.done)
+	conn := d.conn
+	d.mu.Unlock()
+	conn.Close()
+	d.wg.Wait()
+}
+
+// Peers returns the live (unexpired) registry, sorted by ID.
+func (d *Discoverer) Peers() []Peer {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Peer, 0, len(d.peers))
+	for id, p := range d.peers {
+		if now.Sub(p.LastSeen) > d.cfg.TTL {
+			delete(d.peers, id)
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Addrs returns the live peers' TCP encounter addresses.
+func (d *Discoverer) Addrs() []string {
+	peers := d.Peers()
+	out := make([]string, len(peers))
+	for i, p := range peers {
+		out[i] = p.Addr
+	}
+	return out
+}
+
+// sendLoop beacons to every target until Stop, with an immediate first
+// beacon so discovery does not wait a full interval.
+func (d *Discoverer) sendLoop() {
+	defer d.wg.Done()
+	frame, err := d.encodeBeacon()
+	if err != nil {
+		return
+	}
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		for _, target := range d.cfg.Targets {
+			if addr, err := net.ResolveUDPAddr("udp", target); err == nil {
+				_, _ = d.conn.WriteTo(frame, addr)
+			}
+		}
+		select {
+		case <-d.done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (d *Discoverer) encodeBeacon() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(beacon{
+		Version: beaconVersion,
+		ID:      d.cfg.Self,
+		TCPAddr: d.cfg.TCPAddr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("discovery: encode beacon: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// recvLoop ingests beacons until the socket closes. Malformed frames and
+// our own beacons are ignored.
+func (d *Discoverer) recvLoop() {
+	defer d.wg.Done()
+	buf := make([]byte, 1024)
+	for {
+		n, _, err := d.conn.ReadFrom(buf)
+		if err != nil {
+			return // socket closed by Stop
+		}
+		var b beacon
+		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&b); err != nil {
+			continue
+		}
+		if b.Version != beaconVersion || b.ID == d.cfg.Self || b.TCPAddr == "" {
+			continue
+		}
+		d.observe(b)
+	}
+}
+
+func (d *Discoverer) observe(b beacon) {
+	now := time.Now()
+	d.mu.Lock()
+	prev, known := d.peers[b.ID]
+	fresh := !known || now.Sub(prev.LastSeen) > d.cfg.TTL
+	peer := Peer{ID: b.ID, Addr: b.TCPAddr, LastSeen: now}
+	d.peers[b.ID] = peer
+	cb := d.cfg.OnPeer
+	d.mu.Unlock()
+	if fresh && cb != nil {
+		cb(peer)
+	}
+}

@@ -1,0 +1,80 @@
+package emu
+
+import (
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/maxprop"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/routing/spraywait"
+	"replidtn/internal/routing/twohop"
+	"replidtn/internal/vclock"
+)
+
+// Params collects every routing-protocol parameter of the evaluation — the
+// paper's Table II.
+type Params struct {
+	EpidemicTTL         float64
+	SprayCopies         int
+	Prophet             prophet.Params
+	MaxPropHopThreshold int
+}
+
+// DefaultParams returns the paper's Table II values.
+func DefaultParams() Params {
+	return Params{
+		EpidemicTTL:         epidemic.DefaultTTL,
+		SprayCopies:         spraywait.DefaultCopies,
+		Prophet:             prophet.DefaultParams(),
+		MaxPropHopThreshold: maxprop.DefaultHopThreshold,
+	}
+}
+
+// PolicyName identifies a routing configuration in experiment output.
+type PolicyName string
+
+// The five evaluated configurations (basic substrate plus four policies),
+// and the extra two-hop relay baseline (not part of the paper's figures).
+const (
+	PolicyBasic    PolicyName = "cimbiosys"
+	PolicyEpidemic PolicyName = "epidemic"
+	PolicySpray    PolicyName = "spray"
+	PolicyProphet  PolicyName = "prophet"
+	PolicyMaxProp  PolicyName = "maxprop"
+	PolicyTwoHop   PolicyName = "twohop"
+)
+
+// AllPolicies lists the evaluated configurations in the paper's order.
+var AllPolicies = []PolicyName{
+	PolicyBasic, PolicyProphet, PolicySpray, PolicyEpidemic, PolicyMaxProp,
+}
+
+// Factory returns the PolicyFactory for a named configuration (nil for the
+// basic substrate).
+func Factory(name PolicyName, p Params) PolicyFactory {
+	switch name {
+	case PolicyBasic:
+		return nil
+	case PolicyEpidemic:
+		return func(vclock.ReplicaID, func() int64, []string) routing.Policy {
+			return epidemic.New(int(p.EpidemicTTL))
+		}
+	case PolicySpray:
+		return func(vclock.ReplicaID, func() int64, []string) routing.Policy {
+			return spraywait.New(p.SprayCopies)
+		}
+	case PolicyProphet:
+		return func(_ vclock.ReplicaID, now func() int64, own []string) routing.Policy {
+			return prophet.New(p.Prophet, now, own...)
+		}
+	case PolicyMaxProp:
+		return func(node vclock.ReplicaID, now func() int64, own []string) routing.Policy {
+			return maxprop.New(node, p.MaxPropHopThreshold, now, own...)
+		}
+	case PolicyTwoHop:
+		return func(vclock.ReplicaID, func() int64, []string) routing.Policy {
+			return twohop.New()
+		}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,84 @@
+package emu
+
+import (
+	"math/rand"
+	"sort"
+
+	"replidtn/internal/trace"
+)
+
+// The §VI.B multi-address filter experiments populate each host's filter with
+// the addresses handled by k other hosts. Two strategies are compared:
+// random (k arbitrary other buses) and selected (the k buses this bus
+// encounters most often in the trace).
+
+// RandomExtraBuses assigns each bus k other buses uniformly at random,
+// deterministically from seed.
+func RandomExtraBuses(tr *trace.Trace, k int, seed int64) map[string][]string {
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string][]string, len(tr.Buses))
+	for _, bus := range tr.Buses {
+		others := make([]string, 0, len(tr.Buses)-1)
+		for _, b := range tr.Buses {
+			if b != bus {
+				others = append(others, b)
+			}
+		}
+		rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+		n := k
+		if n > len(others) {
+			n = len(others)
+		}
+		chosen := append([]string(nil), others[:n]...)
+		sort.Strings(chosen)
+		out[bus] = chosen
+	}
+	return out
+}
+
+// SelectedExtraBuses assigns each bus the k other buses it encounters most
+// often across the whole trace (the paper's "selected" strategy), breaking
+// count ties by bus ID for determinism.
+func SelectedExtraBuses(tr *trace.Trace, k int) map[string][]string {
+	if k <= 0 {
+		return nil
+	}
+	counts := make(map[string]map[string]int, len(tr.Buses))
+	bump := func(a, b string) {
+		m := counts[a]
+		if m == nil {
+			m = make(map[string]int)
+			counts[a] = m
+		}
+		m[b]++
+	}
+	for _, e := range tr.Encounters {
+		bump(e.A, e.B)
+		bump(e.B, e.A)
+	}
+	out := make(map[string][]string, len(tr.Buses))
+	for _, bus := range tr.Buses {
+		partners := make([]string, 0, len(counts[bus]))
+		for p := range counts[bus] {
+			partners = append(partners, p)
+		}
+		sort.Slice(partners, func(i, j int) bool {
+			ci, cj := counts[bus][partners[i]], counts[bus][partners[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return partners[i] < partners[j]
+		})
+		n := k
+		if n > len(partners) {
+			n = len(partners)
+		}
+		chosen := append([]string(nil), partners[:n]...)
+		sort.Strings(chosen)
+		out[bus] = chosen
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"replidtn/internal/emu"
+	"replidtn/internal/item"
+	"replidtn/internal/store"
+	"replidtn/internal/trace"
+)
+
+// Ablations probe the design choices behind the paper's fixed Table II
+// parameters and its FIFO eviction choice: how sensitive are the results to
+// the epidemic TTL, the spray copy allowance, the MaxProp hop threshold, the
+// per-encounter bandwidth budget, the relay storage capacity, and the relay
+// eviction strategy?
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	// Setting describes the swept value (e.g. "ttl=4").
+	Setting string
+	// Delivered12h is the fraction of messages delivered within 12 hours.
+	Delivered12h float64
+	// MeanDelayHours is the mean delivery delay.
+	MeanDelayHours float64
+	// CopiesAtEnd is the mean stored copies per message at the end.
+	CopiesAtEnd float64
+	// ItemsTransferred is total sync traffic.
+	ItemsTransferred int
+}
+
+func rowFrom(setting string, res *emu.Result) AblationRow {
+	return AblationRow{
+		Setting:          setting,
+		Delivered12h:     res.Summary.DeliveredWithin(Deadline12h),
+		MeanDelayHours:   res.Summary.MeanDelayHours(),
+		CopiesAtEnd:      res.Summary.MeanCopiesAtEnd(),
+		ItemsTransferred: res.ItemsTransferred,
+	}
+}
+
+// FormatAblation renders ablation rows as an aligned table.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-18s%12s%14s%14s%12s\n", title,
+		"setting", "12h deliv", "mean delay", "end copies", "traffic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s%11.1f%%%13.1fh%14.2f%12d\n",
+			r.Setting, r.Delivered12h*100, r.MeanDelayHours, r.CopiesAtEnd, r.ItemsTransferred)
+	}
+	return b.String()
+}
+
+// AblationEpidemicTTL sweeps the epidemic hop budget.
+func AblationEpidemicTTL(tr *trace.Trace, ttls []int) ([]AblationRow, error) {
+	if len(ttls) == 0 {
+		ttls = []int{1, 2, 4, 10, 20}
+	}
+	rows := make([]AblationRow, 0, len(ttls))
+	for _, ttl := range ttls {
+		params := emu.DefaultParams()
+		params.EpidemicTTL = float64(ttl)
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params)})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation ttl=%d: %w", ttl, err)
+		}
+		rows = append(rows, rowFrom(fmt.Sprintf("ttl=%d", ttl), res))
+	}
+	return rows, nil
+}
+
+// AblationSprayCopies sweeps the spray allowance.
+func AblationSprayCopies(tr *trace.Trace, copies []int) ([]AblationRow, error) {
+	if len(copies) == 0 {
+		copies = []int{2, 4, 8, 16, 32}
+	}
+	rows := make([]AblationRow, 0, len(copies))
+	for _, c := range copies {
+		params := emu.DefaultParams()
+		params.SprayCopies = c
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params)})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation copies=%d: %w", c, err)
+		}
+		rows = append(rows, rowFrom(fmt.Sprintf("copies=%d", c), res))
+	}
+	return rows, nil
+}
+
+// AblationMaxPropThreshold sweeps the hop-count priority threshold under the
+// bandwidth constraint, where transmission order is what distinguishes
+// MaxProp from plain flooding.
+func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int) ([]AblationRow, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{1, 3, 5, 10}
+	}
+	rows := make([]AblationRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		params := emu.DefaultParams()
+		params.MaxPropHopThreshold = th
+		res, err := emu.Run(emu.Config{
+			Trace:                   tr,
+			Policy:                  emu.Factory(emu.PolicyMaxProp, params),
+			MaxMessagesPerEncounter: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation threshold=%d: %w", th, err)
+		}
+		rows = append(rows, rowFrom(fmt.Sprintf("threshold=%d", th), res))
+	}
+	return rows, nil
+}
+
+// AblationBandwidth sweeps the per-encounter message budget for epidemic
+// routing (0 = unlimited), bridging the paper's two extremes (Fig. 7 vs.
+// Fig. 9).
+func AblationBandwidth(tr *trace.Trace, budgets []int) ([]AblationRow, error) {
+	if len(budgets) == 0 {
+		budgets = []int{1, 2, 4, 8, 0}
+	}
+	rows := make([]AblationRow, 0, len(budgets))
+	for _, budget := range budgets {
+		res, err := emu.Run(emu.Config{
+			Trace:                   tr,
+			Policy:                  emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
+			MaxMessagesPerEncounter: budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation budget=%d: %w", budget, err)
+		}
+		setting := fmt.Sprintf("budget=%d", budget)
+		if budget == 0 {
+			setting = "budget=inf"
+		}
+		rows = append(rows, rowFrom(setting, res))
+	}
+	return rows, nil
+}
+
+// AblationStorage sweeps the relay capacity for epidemic routing (0 =
+// unlimited), bridging Fig. 7 and Fig. 10.
+func AblationStorage(tr *trace.Trace, caps []int) ([]AblationRow, error) {
+	if len(caps) == 0 {
+		caps = []int{1, 2, 4, 8, 0}
+	}
+	rows := make([]AblationRow, 0, len(caps))
+	for _, capacity := range caps {
+		res, err := emu.Run(emu.Config{
+			Trace:         tr,
+			Policy:        emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
+			RelayCapacity: capacity,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation capacity=%d: %w", capacity, err)
+		}
+		setting := fmt.Sprintf("capacity=%d", capacity)
+		if capacity == 0 {
+			setting = "capacity=inf"
+		}
+		rows = append(rows, rowFrom(setting, res))
+	}
+	return rows, nil
+}
+
+// AblationByteBudget sweeps a byte-granular per-encounter bandwidth budget
+// for epidemic routing with 1 KiB messages (0 = unlimited) — the
+// finer-grained version of the paper's one-message constraint.
+func AblationByteBudget(tr *trace.Trace, budgets []int64) ([]AblationRow, error) {
+	if len(budgets) == 0 {
+		budgets = []int64{2 << 10, 8 << 10, 32 << 10, 0}
+	}
+	const messageSize = 1 << 10
+	rows := make([]AblationRow, 0, len(budgets))
+	for _, budget := range budgets {
+		res, err := emu.Run(emu.Config{
+			Trace:                tr,
+			Policy:               emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
+			MaxBytesPerEncounter: budget,
+			MessageSize:          messageSize,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation bytes=%d: %w", budget, err)
+		}
+		setting := fmt.Sprintf("bytes=%dKiB", budget>>10)
+		if budget == 0 {
+			setting = "bytes=inf"
+		}
+		rows = append(rows, rowFrom(setting, res))
+	}
+	return rows, nil
+}
+
+// AblationLifetime sweeps bounded message lifetimes for epidemic routing
+// (0 = unlimited): expired messages stop consuming encounter bandwidth, at
+// the price of undelivered deadline misses.
+func AblationLifetime(tr *trace.Trace, lifetimes []int64) ([]AblationRow, error) {
+	if len(lifetimes) == 0 {
+		lifetimes = []int64{6 * 3600, 12 * 3600, 24 * 3600, 0}
+	}
+	rows := make([]AblationRow, 0, len(lifetimes))
+	for _, lt := range lifetimes {
+		res, err := emu.Run(emu.Config{
+			Trace:           tr,
+			Policy:          emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
+			MessageLifetime: lt,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation lifetime=%d: %w", lt, err)
+		}
+		setting := fmt.Sprintf("lifetime=%dh", lt/3600)
+		if lt == 0 {
+			setting = "lifetime=inf"
+		}
+		rows = append(rows, rowFrom(setting, res))
+	}
+	return rows, nil
+}
+
+// AblationEviction compares relay-eviction strategies under the Fig. 10
+// storage constraint: the paper's FIFO versus MaxProp-style drop-highest-
+// hop-count.
+func AblationEviction(tr *trace.Trace) ([]AblationRow, error) {
+	strategies := []store.EvictionStrategy{
+		store.FIFO{},
+		store.EvictByCost{Field: item.FieldHops},
+	}
+	var rows []AblationRow
+	for _, name := range []emu.PolicyName{emu.PolicyEpidemic, emu.PolicyMaxProp} {
+		for _, ev := range strategies {
+			res, err := emu.Run(emu.Config{
+				Trace:         tr,
+				Policy:        emu.Factory(name, emu.DefaultParams()),
+				RelayCapacity: 2,
+				Eviction:      ev,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: ablation eviction %s/%s: %w", name, ev.Name(), err)
+			}
+			rows = append(rows, rowFrom(fmt.Sprintf("%s/%s", name, ev.Name()), res))
+		}
+	}
+	return rows, nil
+}

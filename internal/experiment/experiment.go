@@ -1,0 +1,231 @@
+// Package experiment reproduces the paper's evaluation (§VI): every figure
+// and table has a driver that runs the corresponding emulations and renders
+// the same rows or series the paper plots.
+//
+// The experiment index is:
+//
+//	Table I  — qualitative summary of the four routing policies
+//	Table II — protocol parameters
+//	Fig. 5   — mean delivery delay vs. filter size (random / selected)
+//	Fig. 6   — % delivered within 12 h vs. filter size
+//	Fig. 7   — delay CDFs per policy (a: 0–12 h, b: 1–10 days)
+//	Fig. 8   — stored copies per message (at delivery / at end)
+//	Fig. 9   — delay CDFs under a bandwidth constraint (1 msg/encounter)
+//	Fig. 10  — delay CDFs under a storage constraint (2 relayed msgs/node)
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"replidtn/internal/emu"
+	"replidtn/internal/metrics"
+	"replidtn/internal/trace"
+)
+
+// FilterKs are the filter sizes swept in Figs. 5 and 6 (k = 0 is the basic
+// substrate, labeled "Self" in the paper).
+var FilterKs = []int{0, 1, 2, 4, 8, 16}
+
+// Deadline12h is the bounded-lifetime deadline used throughout (§VI.B picks
+// 12 hours because buses return to the shed about 12 hours after injection).
+const Deadline12h = 12 * 3600
+
+// FilterSweep holds the Fig. 5/6 emulation results: one run per strategy and
+// filter size.
+type FilterSweep struct {
+	Ks       []int
+	Random   map[int]*emu.Result
+	Selected map[int]*emu.Result
+}
+
+// RunFilterSweep executes the multi-address filter experiments on the basic
+// substrate. The k = 0 run is shared between the strategies.
+func RunFilterSweep(tr *trace.Trace, ks []int) (*FilterSweep, error) {
+	if len(ks) == 0 {
+		ks = FilterKs
+	}
+	fs := &FilterSweep{
+		Ks:       ks,
+		Random:   make(map[int]*emu.Result, len(ks)),
+		Selected: make(map[int]*emu.Result, len(ks)),
+	}
+	for _, k := range ks {
+		rnd, err := emu.Run(emu.Config{
+			Trace:      tr,
+			ExtraBuses: emu.RandomExtraBuses(tr, k, 11),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: filters random k=%d: %w", k, err)
+		}
+		fs.Random[k] = rnd
+		if k == 0 {
+			fs.Selected[k] = rnd
+			continue
+		}
+		sel, err := emu.Run(emu.Config{
+			Trace:      tr,
+			ExtraBuses: emu.SelectedExtraBuses(tr, k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: filters selected k=%d: %w", k, err)
+		}
+		fs.Selected[k] = sel
+	}
+	return fs, nil
+}
+
+// Fig5 returns the mean message delay (hours) for each strategy and filter
+// size.
+func (fs *FilterSweep) Fig5() []metrics.Series {
+	xs := make([]float64, len(fs.Ks))
+	random := make([]float64, len(fs.Ks))
+	selected := make([]float64, len(fs.Ks))
+	for i, k := range fs.Ks {
+		xs[i] = float64(k)
+		random[i] = fs.Random[k].Summary.MeanDelayHours()
+		selected[i] = fs.Selected[k].Summary.MeanDelayHours()
+	}
+	return []metrics.Series{
+		{Label: "random", X: xs, Y: random},
+		{Label: "selected", X: xs, Y: selected},
+	}
+}
+
+// Fig6 returns the percentage of messages delivered within 12 hours for each
+// strategy and filter size.
+func (fs *FilterSweep) Fig6() []metrics.Series {
+	xs := make([]float64, len(fs.Ks))
+	random := make([]float64, len(fs.Ks))
+	selected := make([]float64, len(fs.Ks))
+	for i, k := range fs.Ks {
+		xs[i] = float64(k)
+		random[i] = fs.Random[k].Summary.DeliveredWithin(Deadline12h) * 100
+		selected[i] = fs.Selected[k].Summary.DeliveredWithin(Deadline12h) * 100
+	}
+	return []metrics.Series{
+		{Label: "random", X: xs, Y: random},
+		{Label: "selected", X: xs, Y: selected},
+	}
+}
+
+// PolicySweep holds one emulation result per routing configuration under a
+// common constraint setting.
+type PolicySweep struct {
+	// MaxMessagesPerEncounter and RelayCapacity echo the constraints used.
+	MaxMessagesPerEncounter int
+	RelayCapacity           int
+	Results                 map[emu.PolicyName]*emu.Result
+}
+
+// RunPolicySweep executes one emulation per routing configuration. The runs
+// are independent and deterministic, so they execute concurrently.
+func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCapacity int) (*PolicySweep, error) {
+	ps := &PolicySweep{
+		MaxMessagesPerEncounter: maxPerEncounter,
+		RelayCapacity:           relayCapacity,
+		Results:                 make(map[emu.PolicyName]*emu.Result, len(emu.AllPolicies)),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, name := range emu.AllPolicies {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := emu.Run(emu.Config{
+				Trace:                   tr,
+				Policy:                  emu.Factory(name, params),
+				MaxMessagesPerEncounter: maxPerEncounter,
+				RelayCapacity:           relayCapacity,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiment: policy %s: %w", name, err)
+				}
+				return
+			}
+			ps.Results[name] = res
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ps, nil
+}
+
+// CDFHours returns per-policy delay CDFs over hourly bounds 1..hours — the
+// Fig. 7(a), Fig. 9, and Fig. 10 series.
+func (ps *PolicySweep) CDFHours(hours int) []metrics.Series {
+	bounds := metrics.HourBounds(hours)
+	xs := make([]float64, len(bounds))
+	for i, b := range bounds {
+		xs[i] = float64(b) / 3600
+	}
+	out := make([]metrics.Series, 0, len(emu.AllPolicies))
+	for _, name := range emu.AllPolicies {
+		out = append(out, metrics.Series{
+			Label: string(name),
+			X:     xs,
+			Y:     ps.Results[name].Summary.CDF(bounds),
+		})
+	}
+	return out
+}
+
+// CDFDays returns per-policy delay CDFs over daily bounds 1..days — the
+// Fig. 7(b) series.
+func (ps *PolicySweep) CDFDays(days int) []metrics.Series {
+	bounds := metrics.DayBounds(days)
+	xs := make([]float64, len(bounds))
+	for i, b := range bounds {
+		xs[i] = float64(b) / (24 * 3600)
+	}
+	out := make([]metrics.Series, 0, len(emu.AllPolicies))
+	for _, name := range emu.AllPolicies {
+		out = append(out, metrics.Series{
+			Label: string(name),
+			X:     xs,
+			Y:     ps.Results[name].Summary.CDF(bounds),
+		})
+	}
+	return out
+}
+
+// Fig8Row is one policy's stored-copy accounting.
+type Fig8Row struct {
+	Policy           emu.PolicyName
+	CopiesAtDelivery float64
+	CopiesAtEnd      float64
+}
+
+// Fig8 returns the average stored copies per message for every policy.
+func (ps *PolicySweep) Fig8() []Fig8Row {
+	out := make([]Fig8Row, 0, len(emu.AllPolicies))
+	for _, name := range emu.AllPolicies {
+		s := ps.Results[name].Summary
+		out = append(out, Fig8Row{
+			Policy:           name,
+			CopiesAtDelivery: s.MeanCopiesAtDelivery(),
+			CopiesAtEnd:      s.MeanCopiesAtEnd(),
+		})
+	}
+	return out
+}
+
+// FormatFig8 renders the Fig. 8 rows.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s%22s%18s\n", "policy", "copies at delivery", "copies at end")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s%22.2f%18.2f\n", r.Policy, r.CopiesAtDelivery, r.CopiesAtEnd)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"replidtn/internal/emu"
+)
+
+// Table1Row summarizes one routing policy qualitatively — the paper's
+// Table I.
+type Table1Row struct {
+	Protocol     string
+	RoutingState string
+	SyncRequest  string
+	Forwarding   string
+}
+
+// Table1 returns the paper's Table I.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			Protocol:     "Epidemic",
+			RoutingState: "TTL per message (transient)",
+			SyncRequest:  "—",
+			Forwarding:   "when TTL > 0",
+		},
+		{
+			Protocol:     "Spray&Wait",
+			RoutingState: "# copies per message (transient)",
+			SyncRequest:  "—",
+			Forwarding:   "when # copies >= 2",
+		},
+		{
+			Protocol:     "PROPHET",
+			RoutingState: "vector of delivery predictabilities P[d]",
+			SyncRequest:  "target's P vector",
+			Forwarding:   "messages to d when target's P[d] > source's",
+		},
+		{
+			Protocol:     "MaxProp",
+			RoutingState: "estimated meeting probabilities for all pairs",
+			SyncRequest:  "target's meeting probabilities",
+			Forwarding:   "all messages, ordered by priority (modified Dijkstra)",
+		},
+	}
+}
+
+// FormatTable1 renders Table I.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s%-47s%-34s%s\n", "protocol", "routing state", "added to sync request", "source forwarding policy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s%-47s%-34s%s\n", r.Protocol, r.RoutingState, r.SyncRequest, r.Forwarding)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the paper's Table II (protocol parameters) from the
+// live parameter set.
+func FormatTable2(p emu.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Epidemic     TTL = %d\n", int(p.EpidemicTTL))
+	fmt.Fprintf(&b, "Spray&Wait   copies per message = %d\n", p.SprayCopies)
+	fmt.Fprintf(&b, "PROPHET      P_init = %g, beta = %g, gamma = %g (aging unit %ds)\n",
+		p.Prophet.PInit, p.Prophet.Beta, p.Prophet.Gamma, p.Prophet.AgingUnit)
+	fmt.Fprintf(&b, "MaxProp      hopcount priority threshold = %d\n", p.MaxPropHopThreshold)
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package filter
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"replidtn/internal/item"
+)
+
+func msgTo(dests ...string) *item.Item {
+	return &item.Item{Meta: item.Metadata{Kind: "message", Destinations: dests}}
+}
+
+func TestAllMatchesEverything(t *testing.T) {
+	if !(All{}).Match(msgTo()) || !(All{}).Match(msgTo("x")) {
+		t.Error("All must match every item")
+	}
+}
+
+func TestNoneMatchesNothing(t *testing.T) {
+	if (None{}).Match(msgTo("x")) {
+		t.Error("None must match nothing")
+	}
+}
+
+func TestAddressesMatch(t *testing.T) {
+	f := NewAddresses("user:1", "user:2")
+	if !f.Match(msgTo("user:2")) {
+		t.Error("expected match on listed address")
+	}
+	if !f.Match(msgTo("user:9", "user:1")) {
+		t.Error("expected match when any destination is listed")
+	}
+	if f.Match(msgTo("user:9")) {
+		t.Error("unexpected match on unlisted address")
+	}
+	if f.Match(msgTo()) {
+		t.Error("unexpected match on item with no destinations")
+	}
+}
+
+func TestAddressesAddContainsList(t *testing.T) {
+	f := NewAddresses("b")
+	f.Add("a")
+	if !f.Contains("a") || !f.Contains("b") || f.Contains("c") {
+		t.Error("Contains mismatch after Add")
+	}
+	got := f.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List() = %v, want sorted [a b]", got)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len() = %d", f.Len())
+	}
+}
+
+func TestAddressesZeroValueAdd(t *testing.T) {
+	var f Addresses
+	f.Add("x")
+	if !f.Contains("x") {
+		t.Error("zero-value Addresses should accept Add")
+	}
+}
+
+func TestCoversRelations(t *testing.T) {
+	a := NewAddresses("u1")
+	ab := NewAddresses("u1", "u2")
+	cases := []struct {
+		name  string
+		f, g  Filter
+		wants bool
+	}{
+		{"all covers addresses", All{}, ab, true},
+		{"all covers none", All{}, None{}, true},
+		{"addresses do not cover all", ab, All{}, false},
+		{"superset covers subset", ab, a, true},
+		{"subset does not cover superset", a, ab, false},
+		{"addresses cover none", a, None{}, true},
+		{"none covers none", None{}, None{}, true},
+		{"none does not cover addresses", None{}, a, false},
+		{"kind covers same kind", Kind{Name: "m"}, Kind{Name: "m"}, true},
+		{"kind does not cover other kind", Kind{Name: "m"}, Kind{Name: "n"}, false},
+		{"or covers member", NewOr(a, Kind{Name: "m"}), a, true},
+		{"or covers or of covered", NewOr(ab), NewOr(a), true},
+		{"or does not cover uncovered", NewOr(a), ab, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Covers(tc.g); got != tc.wants {
+			t.Errorf("%s: Covers = %v, want %v", tc.name, got, tc.wants)
+		}
+	}
+}
+
+func TestOrMatch(t *testing.T) {
+	f := NewOr(NewAddresses("u1"), Kind{Name: "news"})
+	if !f.Match(msgTo("u1")) {
+		t.Error("or should match via address member")
+	}
+	news := &item.Item{Meta: item.Metadata{Kind: "news"}}
+	if !f.Match(news) {
+		t.Error("or should match via kind member")
+	}
+	if f.Match(msgTo("u2")) {
+		t.Error("or should not match unrelated item")
+	}
+}
+
+func TestKindMatch(t *testing.T) {
+	f := Kind{Name: "message"}
+	if !f.Match(msgTo("x")) {
+		t.Error("kind filter should match message items")
+	}
+	if f.Match(&item.Item{Meta: item.Metadata{Kind: "photo"}}) {
+		t.Error("kind filter should not match other kinds")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		want string
+	}{
+		{All{}, "all"},
+		{None{}, "none"},
+		{NewAddresses("b", "a"), "addr(a,b)"},
+		{Kind{Name: "m"}, "kind(m)"},
+		{NewOr(None{}, All{}), "or(none,all)"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestPropCoversImpliesMatchContainment checks the soundness contract of
+// Covers on random address filters: if f.Covers(g) then every item g matches
+// must also match f.
+func TestPropCoversImpliesMatchContainment(t *testing.T) {
+	addrs := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pick := func() *Addresses {
+			f := NewAddresses()
+			for _, a := range addrs {
+				if rng.Intn(2) == 0 {
+					f.Add(a)
+				}
+			}
+			return f
+		}
+		fa, fb := pick(), pick()
+		if !fa.Covers(fb) {
+			return true // vacuously fine
+		}
+		for _, a := range addrs {
+			it := msgTo(a)
+			if fb.Match(it) && !fa.Match(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressesGobRoundTrip(t *testing.T) {
+	in := NewAddresses("user:b", "user:a")
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out Addresses
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.List(), out.List()) {
+		t.Errorf("round trip = %v, want %v", out.List(), in.List())
+	}
+	if !out.Match(msgTo("user:a")) {
+		t.Error("decoded filter does not match")
+	}
+}
+
+func TestAddressesGobDecodeGarbage(t *testing.T) {
+	var f Addresses
+	if err := f.GobDecode([]byte{0x01, 0x02}); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}
+
+func TestFilterInterfaceViaGob(t *testing.T) {
+	gob.Register(&Addresses{})
+	gob.Register(All{})
+	var buf bytes.Buffer
+	var in Filter = NewAddresses("x")
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out Filter
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Match(msgTo("x")) {
+		t.Error("interface-encoded filter lost behavior")
+	}
+}

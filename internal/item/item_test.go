@@ -1,0 +1,120 @@
+package item
+
+import (
+	"testing"
+
+	"replidtn/internal/vclock"
+)
+
+func TestIDString(t *testing.T) {
+	id := ID{Creator: "bus07", Num: 12}
+	if got := id.String(); got != "bus07/12" {
+		t.Errorf("String() = %q", got)
+	}
+	if id.IsZero() {
+		t.Error("non-zero ID reported zero")
+	}
+	if !(ID{}).IsZero() {
+		t.Error("zero ID not reported zero")
+	}
+}
+
+func TestMetadataHasDestination(t *testing.T) {
+	m := Metadata{Destinations: []string{"user:1", "user:2"}}
+	if !m.HasDestination("user:2") {
+		t.Error("expected destination match")
+	}
+	if m.HasDestination("user:3") {
+		t.Error("unexpected destination match")
+	}
+}
+
+func TestItemClone(t *testing.T) {
+	it := &Item{
+		ID:      ID{Creator: "a", Num: 1},
+		Version: vclock.Version{Replica: "a", Seq: 1},
+		Prior:   []vclock.Version{{Replica: "a", Seq: 0}},
+		Meta: Metadata{
+			Source:       "user:1",
+			Destinations: []string{"user:2"},
+			Attrs:        map[string]string{"k": "v"},
+		},
+		Payload: []byte("hello"),
+	}
+	cp := it.Clone()
+	cp.Meta.Destinations[0] = "user:9"
+	cp.Meta.Attrs["k"] = "w"
+	cp.Payload[0] = 'H'
+	cp.Prior[0].Seq = 99
+	if it.Meta.Destinations[0] != "user:2" {
+		t.Error("clone shares Destinations slice")
+	}
+	if it.Meta.Attrs["k"] != "v" {
+		t.Error("clone shares Attrs map")
+	}
+	if it.Payload[0] != 'h' {
+		t.Error("clone shares Payload")
+	}
+	if it.Prior[0].Seq != 0 {
+		t.Error("clone shares Prior slice")
+	}
+}
+
+func TestItemSupersedes(t *testing.T) {
+	id := ID{Creator: "a", Num: 1}
+	v1 := &Item{ID: id, Version: vclock.Version{Replica: "a", Seq: 1}}
+	v2 := &Item{ID: id, Version: vclock.Version{Replica: "b", Seq: 2}}
+	if !v2.Supersedes(v1) {
+		t.Error("v2 should supersede v1")
+	}
+	if v1.Supersedes(v2) {
+		t.Error("v1 should not supersede v2")
+	}
+	other := &Item{ID: ID{Creator: "b", Num: 1}, Version: vclock.Version{Replica: "b", Seq: 9}}
+	if other.Supersedes(v1) {
+		t.Error("different logical items never supersede each other")
+	}
+}
+
+func TestItemAllVersions(t *testing.T) {
+	it := &Item{
+		Version: vclock.Version{Replica: "b", Seq: 2},
+		Prior:   []vclock.Version{{Replica: "a", Seq: 1}},
+	}
+	vs := it.AllVersions()
+	if len(vs) != 2 || vs[0] != it.Version || vs[1] != it.Prior[0] {
+		t.Errorf("AllVersions() = %v", vs)
+	}
+}
+
+func TestTransientSetGet(t *testing.T) {
+	var tr Transient
+	if _, ok := tr.Get(FieldTTL); ok {
+		t.Error("nil transient should have no fields")
+	}
+	tr = tr.Set(FieldTTL, 10)
+	if v, ok := tr.Get(FieldTTL); !ok || v != 10 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if tr.GetInt(FieldTTL) != 10 {
+		t.Error("GetInt mismatch")
+	}
+	if !tr.Has(FieldTTL) {
+		t.Error("Has should report the set field")
+	}
+	if tr.GetInt(FieldCopies) != 0 {
+		t.Error("absent int field should read 0")
+	}
+}
+
+func TestTransientClone(t *testing.T) {
+	if Transient(nil).Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+	tr := Transient{}.Set(FieldCopies, 8)
+	cp := tr.Clone()
+	cp.Set(FieldCopies, 4)
+	if tr.GetInt(FieldCopies) != 8 {
+		t.Error("clone shares storage with original")
+	}
+}

@@ -1,0 +1,60 @@
+package item
+
+// Transient is host-specific, never-replicated per-copy metadata attached to
+// a stored item. Routing policies use it for fields like a hop-count-limiting
+// TTL (Epidemic routing) or a remaining-copies allowance (Spray and Wait).
+// Mutating transient fields does not create a new item version, mirroring the
+// internal replication-platform interface the paper describes for adjusting
+// the spray "copies" field without triggering re-synchronization.
+//
+// A nil Transient is a valid empty value for reads; use Set (which
+// allocates) or Clone before writing.
+type Transient map[string]float64
+
+// Well-known transient field names used by the bundled routing policies.
+const (
+	// FieldTTL is the remaining hop budget used by Epidemic routing.
+	FieldTTL = "ttl"
+	// FieldCopies is the remaining copy allowance used by Spray and Wait.
+	FieldCopies = "copies"
+	// FieldHops counts the hops this copy has traversed from its source;
+	// the receiving replica increments it on arrival. Used by MaxProp.
+	FieldHops = "hops"
+)
+
+// Get returns the value of a transient field and whether it is present.
+func (t Transient) Get(field string) (float64, bool) {
+	v, ok := t[field]
+	return v, ok
+}
+
+// GetInt returns a transient field as an int (0 when absent).
+func (t Transient) GetInt(field string) int { return int(t[field]) }
+
+// Has reports whether the field is present.
+func (t Transient) Has(field string) bool {
+	_, ok := t[field]
+	return ok
+}
+
+// Set stores a transient field, allocating the map if needed, and returns the
+// (possibly new) map so callers can write `tr = tr.Set(...)`.
+func (t Transient) Set(field string, v float64) Transient {
+	if t == nil {
+		t = make(Transient, 2)
+	}
+	t[field] = v
+	return t
+}
+
+// Clone deep-copies the transient map; nil stays nil.
+func (t Transient) Clone() Transient {
+	if t == nil {
+		return nil
+	}
+	out := make(Transient, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

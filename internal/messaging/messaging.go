@@ -1,0 +1,224 @@
+// Package messaging implements the paper's DTN messaging application on top
+// of the replication substrate — "one of the simplest applications one could
+// imagine building on such a replication platform" (§IV.A).
+//
+// A message is a replicated item carrying a destination-address metadata
+// attribute; a host's filter selects the messages addressed to it. Sending a
+// message is inserting an item into the sender's replica; eventual filter
+// consistency then guarantees delivery to every host whose filter matches,
+// and knowledge exchange guarantees each host receives it at most once. A
+// recipient may delete a processed message, and the tombstone's propagation
+// discards the copies held by forwarding nodes without any special
+// acknowledgement machinery.
+package messaging
+
+import (
+	"fmt"
+	"sync"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// KindMessage is the item kind used for DTN messages.
+const KindMessage = "dtn/message"
+
+// Message is the application-level view of a delivered or sent message.
+type Message struct {
+	// ID is the replicated item's ID, unique network-wide.
+	ID item.ID
+	// From is the sender's endpoint address.
+	From string
+	// To lists the recipient endpoint addresses.
+	To []string
+	// SentAt is the send time in seconds (simulation or Unix time).
+	SentAt int64
+	// Body is the message payload.
+	Body []byte
+}
+
+// Received pairs a delivered message with its receiving endpoint address.
+type Received struct {
+	Message Message
+	// At is the local address the message was delivered to.
+	At string
+}
+
+// Endpoint is a messaging endpoint bound to one replica (one device). It
+// tracks the endpoint addresses homed on the device, translates messages to
+// and from replicated items, and deduplicates deliveries so the application
+// sees each message exactly once even across address reassignment.
+type Endpoint struct {
+	mu        sync.Mutex
+	replica   *replica.Replica
+	addresses []string
+	inbox     []Received
+	seen      map[item.ID]struct{}
+	onReceive func(Received)
+	now       func() int64
+}
+
+// Config configures a messaging endpoint.
+type Config struct {
+	// NodeID is the replica/device identifier.
+	NodeID vclock.ReplicaID
+	// Addresses are the endpoint addresses initially homed on this device.
+	Addresses []string
+	// ExtraFilterAddresses are additional addresses the device volunteers to
+	// carry messages for (the paper's §IV.B multi-address filters).
+	ExtraFilterAddresses []string
+	// Policy is the optional DTN routing policy.
+	Policy routing.Policy
+	// RelayCapacity bounds relayed messages (<= 0 unlimited).
+	RelayCapacity int
+	// Eviction orders relayed messages for eviction under storage pressure;
+	// nil selects FIFO.
+	Eviction store.EvictionStrategy
+	// OnReceive, when set, is called for every first-time delivery.
+	OnReceive func(Received)
+	// Now supplies time in seconds; defaults to a zero clock (useful only
+	// for tests — emulations always supply the simulation clock).
+	Now func() int64
+}
+
+// NewEndpoint creates a messaging endpoint and its backing replica.
+func NewEndpoint(cfg Config) *Endpoint {
+	ep := &Endpoint{
+		addresses: append([]string(nil), cfg.Addresses...),
+		seen:      make(map[item.ID]struct{}),
+		onReceive: cfg.OnReceive,
+		now:       cfg.Now,
+	}
+	if ep.now == nil {
+		ep.now = func() int64 { return 0 }
+	}
+	filterAddrs := append(append([]string(nil), cfg.Addresses...), cfg.ExtraFilterAddresses...)
+	ep.replica = replica.New(replica.Config{
+		ID:            cfg.NodeID,
+		OwnAddresses:  cfg.Addresses,
+		Filter:        filter.NewAddresses(filterAddrs...),
+		RelayCapacity: cfg.RelayCapacity,
+		Eviction:      cfg.Eviction,
+		Policy:        cfg.Policy,
+		OnDeliver:     ep.deliver,
+		Now:           ep.now,
+	})
+	return ep
+}
+
+// Replica exposes the endpoint's backing replica for synchronization.
+func (ep *Endpoint) Replica() *replica.Replica { return ep.replica }
+
+// Addresses returns the endpoint addresses currently homed on this device.
+func (ep *Endpoint) Addresses() []string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return append([]string(nil), ep.addresses...)
+}
+
+// Send creates and injects a message from the given local address.
+func (ep *Endpoint) Send(from string, to []string, body []byte) (Message, error) {
+	return ep.send(from, to, body, 0)
+}
+
+// SendExpiring creates a message with a bounded lifetime: after lifetime
+// seconds the message stops being forwarded or delivered and relays purge it.
+func (ep *Endpoint) SendExpiring(from string, to []string, body []byte, lifetime int64) (Message, error) {
+	if lifetime <= 0 {
+		return Message{}, fmt.Errorf("messaging: lifetime must be positive")
+	}
+	return ep.send(from, to, body, ep.now()+lifetime)
+}
+
+func (ep *Endpoint) send(from string, to []string, body []byte, expires int64) (Message, error) {
+	if len(to) == 0 {
+		return Message{}, fmt.Errorf("messaging: message needs at least one recipient")
+	}
+	meta := item.Metadata{
+		Source:       from,
+		Destinations: append([]string(nil), to...),
+		Kind:         KindMessage,
+		Created:      ep.now(),
+		Expires:      expires,
+	}
+	it := ep.replica.CreateItem(meta, body)
+	return toMessage(it), nil
+}
+
+// PurgeExpired drops expired relayed messages from the local store.
+func (ep *Endpoint) PurgeExpired() int { return ep.replica.PurgeExpired() }
+
+// Rehome changes the endpoint addresses homed on this device (e.g. users
+// boarding a different bus) and rebuilds the filter as own ∪ extra addresses.
+// Messages already held for a newly homed address are delivered immediately.
+func (ep *Endpoint) Rehome(addresses, extraFilterAddresses []string) {
+	ep.mu.Lock()
+	ep.addresses = append(ep.addresses[:0], addresses...)
+	ep.mu.Unlock()
+	filterAddrs := append(append([]string(nil), addresses...), extraFilterAddresses...)
+	// SetIdentity triggers delivery callbacks for newly matching items.
+	ep.replica.SetIdentity(addresses, filter.NewAddresses(filterAddrs...))
+	type addressed interface{ SetOwnAddresses(...string) }
+	if p, ok := ep.replica.Policy().(addressed); ok {
+		p.SetOwnAddresses(addresses...)
+	}
+}
+
+// Inbox returns the messages delivered so far, in delivery order.
+func (ep *Endpoint) Inbox() []Received {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return append([]Received(nil), ep.inbox...)
+}
+
+// Ack deletes a received message from the local replica; the tombstone
+// replicates outward and clears forwarders' copies.
+func (ep *Endpoint) Ack(id item.ID) error {
+	_, err := ep.replica.DeleteItem(id)
+	return err
+}
+
+// deliver is the replica's delivery callback. The replica guarantees it fires
+// at most once per (item, address-epoch); the seen set collapses repeats
+// across epochs so the application sees each message exactly once.
+func (ep *Endpoint) deliver(it *item.Item) {
+	ep.mu.Lock()
+	if _, dup := ep.seen[it.ID]; dup {
+		ep.mu.Unlock()
+		return
+	}
+	ep.seen[it.ID] = struct{}{}
+	at := ""
+	for _, d := range it.Meta.Destinations {
+		for _, a := range ep.addresses {
+			if d == a {
+				at = a
+				break
+			}
+		}
+		if at != "" {
+			break
+		}
+	}
+	rcv := Received{Message: toMessage(it), At: at}
+	ep.inbox = append(ep.inbox, rcv)
+	cb := ep.onReceive
+	ep.mu.Unlock()
+	if cb != nil {
+		cb(rcv)
+	}
+}
+
+func toMessage(it *item.Item) Message {
+	return Message{
+		ID:     it.ID,
+		From:   it.Meta.Source,
+		To:     append([]string(nil), it.Meta.Destinations...),
+		SentAt: it.Meta.Created,
+		Body:   append([]byte(nil), it.Payload...),
+	}
+}

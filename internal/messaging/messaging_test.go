@@ -1,0 +1,217 @@
+package messaging
+
+import (
+	"testing"
+
+	"replidtn/internal/replica"
+	"replidtn/internal/routing/epidemic"
+)
+
+func TestSendAndDirectDelivery(t *testing.T) {
+	var got []Received
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	b := NewEndpoint(Config{
+		NodeID:    "b",
+		Addresses: []string{"user:bob"},
+		OnReceive: func(r Received) { got = append(got, r) },
+	})
+	msg, err := a.Send("user:alice", []string{"user:bob"}, []byte("hi bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), b.Replica(), 0)
+	if len(got) != 1 {
+		t.Fatalf("OnReceive fired %d times, want 1", len(got))
+	}
+	if got[0].At != "user:bob" || string(got[0].Message.Body) != "hi bob" {
+		t.Errorf("received %+v", got[0])
+	}
+	if got[0].Message.ID != msg.ID || got[0].Message.From != "user:alice" {
+		t.Errorf("message identity mismatch: %+v", got[0].Message)
+	}
+	if inbox := b.Inbox(); len(inbox) != 1 {
+		t.Errorf("inbox size %d, want 1", len(inbox))
+	}
+}
+
+func TestSendRequiresRecipient(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	if _, err := a.Send("user:alice", nil, nil); err == nil {
+		t.Error("empty recipient list should fail")
+	}
+}
+
+func TestExactlyOnceAcrossRepeatEncounters(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}})
+	if _, err := a.Send("user:alice", []string{"user:bob"}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		replica.Encounter(a.Replica(), b.Replica(), 0)
+	}
+	if got := len(b.Inbox()); got != 1 {
+		t.Errorf("inbox size %d, want exactly 1", got)
+	}
+}
+
+func TestMultiAddressFilterRelaying(t *testing.T) {
+	// §IV.B: relay volunteers for user:bob's messages via its filter.
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	rel := NewEndpoint(Config{
+		NodeID:               "r",
+		Addresses:            []string{"user:relay"},
+		ExtraFilterAddresses: []string{"user:bob"},
+	})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}})
+	if _, err := a.Send("user:alice", []string{"user:bob"}, []byte("via relay")); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), rel.Replica(), 0)
+	if len(rel.Inbox()) != 0 {
+		t.Error("relay must not deliver messages it only carries")
+	}
+	replica.Encounter(rel.Replica(), b.Replica(), 0)
+	if len(b.Inbox()) != 1 {
+		t.Fatal("relayed message not delivered")
+	}
+}
+
+func TestPolicyRouting(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}, Policy: epidemic.New(10)})
+	rel := NewEndpoint(Config{NodeID: "r", Addresses: []string{"user:relay"}, Policy: epidemic.New(10)})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}, Policy: epidemic.New(10)})
+	if _, err := a.Send("user:alice", []string{"user:bob"}, []byte("flooded")); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), rel.Replica(), 0)
+	replica.Encounter(rel.Replica(), b.Replica(), 0)
+	if len(b.Inbox()) != 1 {
+		t.Fatal("epidemic relay failed")
+	}
+}
+
+func TestRehomeDeliversHeldMessages(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}, Policy: epidemic.New(10)})
+	bus := NewEndpoint(Config{NodeID: "bus", Addresses: []string{"user:carol"}, Policy: epidemic.New(10)})
+	if _, err := a.Send("user:alice", []string{"user:bob"}, []byte("hold this")); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), bus.Replica(), 0) // bus carries it as relay
+	if len(bus.Inbox()) != 0 {
+		t.Fatal("premature delivery")
+	}
+	bus.Rehome([]string{"user:bob"}, nil) // bob boards the bus
+	if len(bus.Inbox()) != 1 {
+		t.Fatal("held message not delivered on rehome")
+	}
+	if got := bus.Addresses(); len(got) != 1 || got[0] != "user:bob" {
+		t.Errorf("Addresses() = %v", got)
+	}
+	// Rehoming away and back must not re-deliver.
+	bus.Rehome([]string{"user:carol"}, nil)
+	bus.Rehome([]string{"user:bob"}, nil)
+	if got := len(bus.Inbox()); got != 1 {
+		t.Errorf("inbox size %d after rehome cycle, want 1", got)
+	}
+}
+
+func TestAckClearsForwarders(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}, Policy: epidemic.New(10)})
+	rel := NewEndpoint(Config{NodeID: "r", Addresses: []string{"user:relay"}, Policy: epidemic.New(10)})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}, Policy: epidemic.New(10)})
+	msg, err := a.Send("user:alice", []string{"user:bob"}, []byte("ack me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), rel.Replica(), 0)
+	replica.Encounter(rel.Replica(), b.Replica(), 0)
+	if err := b.Ack(msg.ID); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(b.Replica(), rel.Replica(), 0)
+	if rel.Replica().HasItem(msg.ID) {
+		t.Error("forwarder should discard acked message")
+	}
+	replica.Encounter(rel.Replica(), a.Replica(), 0)
+	if a.Replica().HasItem(msg.ID) {
+		t.Error("sender should discard acked message")
+	}
+}
+
+func TestAckUnknownMessage(t *testing.T) {
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}})
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	msg, _ := a.Send("user:alice", []string{"user:x"}, nil)
+	if err := b.Ack(msg.ID); err == nil {
+		t.Error("acking an unheld message should fail")
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}})
+	c := NewEndpoint(Config{NodeID: "c", Addresses: []string{"user:carol"}})
+	if _, err := a.Send("user:alice", []string{"user:bob", "user:carol"}, []byte("both")); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), b.Replica(), 0)
+	replica.Encounter(a.Replica(), c.Replica(), 0)
+	if len(b.Inbox()) != 1 || len(c.Inbox()) != 1 {
+		t.Error("multicast should reach every recipient")
+	}
+}
+
+func TestSendExpiring(t *testing.T) {
+	var now int64
+	clock := func() int64 { return now }
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}, Now: clock})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}, Now: clock})
+	if _, err := a.SendExpiring("user:alice", []string{"user:bob"}, []byte("x"), 0); err == nil {
+		t.Error("non-positive lifetime should fail")
+	}
+	msg, err := a.SendExpiring("user:alice", []string{"user:bob"}, []byte("x"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 100
+	replica.Encounter(a.Replica(), b.Replica(), 0)
+	if len(b.Inbox()) != 0 {
+		t.Error("expired message delivered")
+	}
+	if b.Replica().HasItem(msg.ID) {
+		t.Error("expired message stored")
+	}
+}
+
+func TestSendExpiringDeliversWhileAlive(t *testing.T) {
+	var now int64
+	clock := func() int64 { return now }
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"}, Now: clock})
+	b := NewEndpoint(Config{NodeID: "b", Addresses: []string{"user:bob"}, Now: clock})
+	if _, err := a.SendExpiring("user:alice", []string{"user:bob"}, []byte("x"), 100); err != nil {
+		t.Fatal(err)
+	}
+	now = 99
+	replica.Encounter(a.Replica(), b.Replica(), 0)
+	if len(b.Inbox()) != 1 {
+		t.Error("live message not delivered")
+	}
+}
+
+func TestEndpointPurgeExpired(t *testing.T) {
+	var now int64
+	clock := func() int64 { return now }
+	a := NewEndpoint(Config{NodeID: "a", Addresses: []string{"user:alice"},
+		Policy: epidemic.New(10), Now: clock})
+	rel := NewEndpoint(Config{NodeID: "r", Addresses: []string{"user:relay"},
+		Policy: epidemic.New(10), Now: clock})
+	if _, err := a.SendExpiring("user:alice", []string{"user:bob"}, []byte("x"), 50); err != nil {
+		t.Fatal(err)
+	}
+	replica.Encounter(a.Replica(), rel.Replica(), 0)
+	now = 60
+	if n := rel.PurgeExpired(); n != 1 {
+		t.Errorf("purged %d, want 1", n)
+	}
+}

@@ -1,0 +1,243 @@
+// Package metrics computes the evaluation quantities the paper reports:
+// message delivery delays and their cumulative distributions, delivery rates
+// within deadlines, and stored-copy accounting at delivery time and at the
+// end of an experiment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Delivery records one message's fate.
+type Delivery struct {
+	// MsgID is the application message identifier.
+	MsgID string
+	// SentAt is the injection time in seconds.
+	SentAt int64
+	// DeliveredAt is the delivery time in seconds; < 0 when undelivered.
+	DeliveredAt int64
+	// CopiesAtDelivery counts replicas holding the message when delivered.
+	CopiesAtDelivery int
+	// CopiesAtEnd counts replicas holding the message at experiment end.
+	CopiesAtEnd int
+}
+
+// Delivered reports whether the message reached its destination.
+func (d Delivery) Delivered() bool { return d.DeliveredAt >= 0 }
+
+// Delay returns the delivery delay in seconds (undefined when undelivered).
+func (d Delivery) Delay() int64 { return d.DeliveredAt - d.SentAt }
+
+// Summary aggregates deliveries for one experiment configuration.
+type Summary struct {
+	deliveries []Delivery
+}
+
+// NewSummary wraps a delivery set.
+func NewSummary(deliveries []Delivery) *Summary {
+	return &Summary{deliveries: deliveries}
+}
+
+// Total returns the number of messages.
+func (s *Summary) Total() int { return len(s.deliveries) }
+
+// DeliveredCount returns how many messages were delivered.
+func (s *Summary) DeliveredCount() int {
+	n := 0
+	for _, d := range s.deliveries {
+		if d.Delivered() {
+			n++
+		}
+	}
+	return n
+}
+
+// DeliveryRate returns the delivered fraction in [0, 1].
+func (s *Summary) DeliveryRate() float64 {
+	if len(s.deliveries) == 0 {
+		return 0
+	}
+	return float64(s.DeliveredCount()) / float64(len(s.deliveries))
+}
+
+// MeanDelayHours returns the mean delivery delay of delivered messages in
+// hours — the Fig. 5 quantity ("counting the delivery time of all
+// messages"; in the unconstrained experiments every message is eventually
+// delivered, so delivered-only and all-message means coincide).
+func (s *Summary) MeanDelayHours() float64 {
+	total, n := 0.0, 0
+	for _, d := range s.deliveries {
+		if d.Delivered() {
+			total += float64(d.Delay())
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return total / float64(n) / 3600
+}
+
+// DeliveredWithin returns the fraction of all messages delivered within the
+// given number of seconds — the Fig. 6 quantity (12-hour deadline).
+func (s *Summary) DeliveredWithin(seconds int64) float64 {
+	if len(s.deliveries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range s.deliveries {
+		if d.Delivered() && d.Delay() <= seconds {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.deliveries))
+}
+
+// MaxDelayHours returns the worst delivered delay in hours (the Fig. 7(b)
+// "worst case delay"), or NaN when nothing was delivered.
+func (s *Summary) MaxDelayHours() float64 {
+	max := int64(-1)
+	for _, d := range s.deliveries {
+		if d.Delivered() && d.Delay() > max {
+			max = d.Delay()
+		}
+	}
+	if max < 0 {
+		return math.NaN()
+	}
+	return float64(max) / 3600
+}
+
+// CDF returns, for each delay bound in bounds (seconds, ascending), the
+// percentage of all messages delivered within it — the Figs. 7, 9, 10
+// series.
+func (s *Summary) CDF(bounds []int64) []float64 {
+	out := make([]float64, len(bounds))
+	for i, b := range bounds {
+		out[i] = s.DeliveredWithin(b) * 100
+	}
+	return out
+}
+
+// MeanCopiesAtDelivery returns the average number of stored copies per
+// delivered message at the moment of its delivery — the Fig. 8 "at message
+// delivery" bar.
+func (s *Summary) MeanCopiesAtDelivery() float64 {
+	total, n := 0.0, 0
+	for _, d := range s.deliveries {
+		if d.Delivered() {
+			total += float64(d.CopiesAtDelivery)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return total / float64(n)
+}
+
+// MeanCopiesAtEnd returns the average number of stored copies per message at
+// the end of the experiment — the Fig. 8 "at the end of experiment" bar.
+func (s *Summary) MeanCopiesAtEnd() float64 {
+	if len(s.deliveries) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, d := range s.deliveries {
+		total += float64(d.CopiesAtEnd)
+	}
+	return total / float64(len(s.deliveries))
+}
+
+// Deliveries returns the underlying records.
+func (s *Summary) Deliveries() []Delivery { return s.deliveries }
+
+// HourBounds returns bounds at every hour from 1..n, in seconds.
+func HourBounds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i+1) * 3600
+	}
+	return out
+}
+
+// DayBounds returns bounds at every day from 1..n, in seconds.
+func DayBounds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i+1) * 24 * 3600
+	}
+	return out
+}
+
+// Series is a labeled sequence of (x, y) points used to render the paper's
+// figures as text.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// FormatTable renders aligned columns: the first column is x, then one column
+// per series, matching the rows a plot digitizer would extract from the
+// paper's figures.
+func FormatTable(xHeader string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", xHeader)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%14s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%14.3f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedDelaysHours returns the delivered delays in hours, ascending
+// (useful for percentile reporting and tests).
+func (s *Summary) SortedDelaysHours() []float64 {
+	var out []float64
+	for _, d := range s.deliveries {
+		if d.Delivered() {
+			out = append(out, float64(d.Delay())/3600)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// PercentileDelayHours returns the p-th percentile (0 < p <= 100) of the
+// delivered delays in hours, using nearest-rank; NaN when nothing was
+// delivered or p is out of range.
+func (s *Summary) PercentileDelayHours(p float64) float64 {
+	if p <= 0 || p > 100 {
+		return math.NaN()
+	}
+	delays := s.SortedDelaysHours()
+	if len(delays) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(delays))))
+	if rank < 1 {
+		rank = 1
+	}
+	return delays[rank-1]
+}
+
+// MedianDelayHours returns the median delivered delay in hours.
+func (s *Summary) MedianDelayHours() float64 { return s.PercentileDelayHours(50) }

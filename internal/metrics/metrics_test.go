@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Summary {
+	return NewSummary([]Delivery{
+		{MsgID: "m1", SentAt: 0, DeliveredAt: 3600, CopiesAtDelivery: 2, CopiesAtEnd: 4},
+		{MsgID: "m2", SentAt: 0, DeliveredAt: 7200, CopiesAtDelivery: 4, CopiesAtEnd: 6},
+		{MsgID: "m3", SentAt: 100, DeliveredAt: -1, CopiesAtEnd: 2},
+		{MsgID: "m4", SentAt: 0, DeliveredAt: 24 * 3600, CopiesAtDelivery: 6, CopiesAtEnd: 8},
+	})
+}
+
+func TestCounts(t *testing.T) {
+	s := sample()
+	if s.Total() != 4 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if s.DeliveredCount() != 3 {
+		t.Errorf("DeliveredCount = %d", s.DeliveredCount())
+	}
+	if got := s.DeliveryRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("DeliveryRate = %v", got)
+	}
+}
+
+func TestMeanDelayHours(t *testing.T) {
+	s := sample()
+	want := (1.0 + 2.0 + 24.0) / 3
+	if got := s.MeanDelayHours(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanDelayHours = %v, want %v", got, want)
+	}
+}
+
+func TestDeliveredWithin(t *testing.T) {
+	s := sample()
+	if got := s.DeliveredWithin(3600); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("within 1h = %v, want 0.25", got)
+	}
+	if got := s.DeliveredWithin(12 * 3600); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("within 12h = %v, want 0.5", got)
+	}
+	if got := s.DeliveredWithin(48 * 3600); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("within 48h = %v, want 0.75 (undelivered never counts)", got)
+	}
+}
+
+func TestMaxDelayHours(t *testing.T) {
+	if got := sample().MaxDelayHours(); math.Abs(got-24) > 1e-12 {
+		t.Errorf("MaxDelayHours = %v", got)
+	}
+	empty := NewSummary([]Delivery{{MsgID: "x", DeliveredAt: -1}})
+	if !math.IsNaN(empty.MaxDelayHours()) {
+		t.Error("no deliveries should yield NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := sample()
+	got := s.CDF([]int64{3600, 7200, 86400})
+	want := []float64{25, 50, 75}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCopies(t *testing.T) {
+	s := sample()
+	if got := s.MeanCopiesAtDelivery(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("MeanCopiesAtDelivery = %v, want 4", got)
+	}
+	if got := s.MeanCopiesAtEnd(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MeanCopiesAtEnd = %v, want 5", got)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewSummary(nil)
+	if s.DeliveryRate() != 0 || s.DeliveredWithin(10) != 0 {
+		t.Error("empty summary rates should be 0")
+	}
+	if !math.IsNaN(s.MeanDelayHours()) || !math.IsNaN(s.MeanCopiesAtEnd()) {
+		t.Error("empty summary means should be NaN")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	h := HourBounds(3)
+	if len(h) != 3 || h[0] != 3600 || h[2] != 3*3600 {
+		t.Errorf("HourBounds = %v", h)
+	}
+	d := DayBounds(2)
+	if len(d) != 2 || d[1] != 2*86400 {
+		t.Errorf("DayBounds = %v", d)
+	}
+}
+
+func TestSortedDelaysHours(t *testing.T) {
+	got := sample().SortedDelaysHours()
+	if len(got) != 3 || got[0] != 1 || got[2] != 24 {
+		t.Errorf("SortedDelaysHours = %v", got)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable("hours", []Series{
+		{Label: "epidemic", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Label: "prophet", X: []float64{1, 2}, Y: []float64{5}},
+	})
+	if !strings.Contains(out, "epidemic") || !strings.Contains(out, "prophet") {
+		t.Error("missing series labels")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Error("short series should render a dash")
+	}
+	if FormatTable("x", nil) == "" {
+		t.Error("empty table should still render header")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := sample()
+	// Delivered delays: 1h, 2h, 24h.
+	if got := s.MedianDelayHours(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	if got := s.PercentileDelayHours(100); math.Abs(got-24) > 1e-12 {
+		t.Errorf("p100 = %v, want 24", got)
+	}
+	if got := s.PercentileDelayHours(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p1 = %v, want 1", got)
+	}
+	if !math.IsNaN(s.PercentileDelayHours(0)) || !math.IsNaN(s.PercentileDelayHours(101)) {
+		t.Error("out-of-range percentile should be NaN")
+	}
+	empty := NewSummary(nil)
+	if !math.IsNaN(empty.MedianDelayHours()) {
+		t.Error("empty summary median should be NaN")
+	}
+}

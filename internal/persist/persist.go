@@ -1,0 +1,119 @@
+// Package persist stores replica state durably on disk, fulfilling the
+// paper's requirement that replicas and their routing policies keep
+// "persistent data structures which are serialized to disk and retrieved
+// whenever a synchronization operation is invoked" (§V.A).
+//
+// Persisting the knowledge is what extends the substrate's at-most-once
+// delivery guarantee across process restarts: a restarted node never
+// re-accepts versions it had already learned.
+//
+// Files are written atomically (temp file + rename) and carry a magic header
+// and format version, so a torn write or a foreign file is detected rather
+// than silently mis-restored.
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"replidtn/internal/replica"
+)
+
+// magic identifies replidtn snapshot files.
+const magic = "replidtn-snap"
+
+// formatVersion guards the snapshot encoding.
+const formatVersion = 1
+
+// ErrNotExist is reported by Load when no snapshot file exists yet.
+var ErrNotExist = errors.New("persist: snapshot does not exist")
+
+// envelope is the on-disk structure.
+type envelope struct {
+	Magic    string
+	Version  int
+	Snapshot *replica.Snapshot
+}
+
+// Save atomically writes the replica's durable state to path.
+func Save(path string, r *replica.Replica) error {
+	snap, err := r.Snapshot()
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	var buf bytes.Buffer
+	env := envelope{Magic: magic, Version: formatVersion, Snapshot: snap}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("persist: encode %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and validates a snapshot file without building a
+// replica, for callers (like the messaging layer) that own replica
+// construction. It returns ErrNotExist when the file is missing, so first
+// boots are distinguishable from corruption.
+func LoadSnapshot(path string) (*replica.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotExist
+		}
+		return nil, fmt.Errorf("persist: read %s: %w", path, err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("persist: decode %s: %w", path, err)
+	}
+	if env.Magic != magic {
+		return nil, fmt.Errorf("persist: %s is not a replidtn snapshot", path)
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("persist: %s has format version %d, want %d", path, env.Version, formatVersion)
+	}
+	if env.Snapshot == nil {
+		return nil, fmt.Errorf("persist: %s contains no snapshot", path)
+	}
+	return env.Snapshot, nil
+}
+
+// Load reads a snapshot from path and restores it into a replica built from
+// cfg (which supplies the non-durable configuration: policy instance, relay
+// capacity, delivery callback).
+func Load(path string, cfg replica.Config) (*replica.Replica, error) {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	r := replica.New(cfg)
+	if err := r.RestoreSnapshot(snap); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,272 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/vclock"
+)
+
+func mkMsg(r *replica.Replica, from, to string) *item.Item {
+	return r.CreateItem(item.Metadata{
+		Source: from, Destinations: []string{to}, Kind: "message",
+	}, []byte("persisted"))
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	cfg := replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}}
+	a := replica.New(cfg)
+	msg := mkMsg(a, "addr:a", "addr:b")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.HasItem(msg.ID) {
+		t.Error("restored replica missing item")
+	}
+	if !restored.Knowledge().Contains(msg.Version) {
+		t.Error("restored replica missing knowledge")
+	}
+	// The version counter must continue, not restart: a new item must not
+	// collide with the persisted one.
+	next := mkMsg(restored, "addr:a", "addr:c")
+	if next.ID == msg.ID {
+		t.Error("version counter restarted after restore")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.snap"), replica.Config{ID: "a"})
+	if !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.snap")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, replica.Config{ID: "a"}); err == nil {
+		t.Error("garbage file should fail to load")
+	}
+	// Truncated real snapshot.
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	mkMsg(a, "addr:a", "addr:b")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, replica.Config{ID: "a"}); err == nil {
+		t.Error("truncated snapshot should fail to load")
+	}
+}
+
+func TestLoadRejectsWrongReplica(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, replica.Config{ID: "b"}); err == nil {
+		t.Error("snapshot for another replica should be rejected")
+	}
+}
+
+func TestAtMostOncePersistsAcrossRestart(t *testing.T) {
+	// b receives a's message, persists, "crashes", restarts from disk, and
+	// meets a again: the message must not be re-accepted.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.snap")
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	cfgB := replica.Config{ID: "b", OwnAddresses: []string{"addr:b"}}
+	b := replica.New(cfgB)
+	mkMsg(a, "addr:a", "addr:b")
+	replica.Sync(a, b, 0)
+	if b.Stats().Delivered != 1 {
+		t.Fatal("setup: delivery failed")
+	}
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Load(path, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replica.Sync(a, b2, 0)
+	if res.Sent != 0 {
+		t.Errorf("restarted replica re-received %d items", res.Sent)
+	}
+	if b2.Stats().Delivered != 0 {
+		t.Error("restored item must not re-deliver")
+	}
+}
+
+func TestTransientStateSurvivesRestart(t *testing.T) {
+	// Epidemic TTLs are per-copy transients; they must survive restarts or
+	// restarted nodes would re-flood with a fresh hop budget.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.snap")
+	a := replica.New(replica.Config{
+		ID: "a", OwnAddresses: []string{"addr:a"}, Policy: epidemic.New(3),
+	})
+	cfgR := replica.Config{
+		ID: "r", OwnAddresses: []string{"addr:r"}, Policy: epidemic.New(3),
+	}
+	rel := replica.New(cfgR)
+	msg := mkMsg(a, "addr:a", "addr:z")
+	replica.Sync(a, rel, 0)
+	wantTTL := rel.Entry(msg.ID).Transient.GetInt(item.FieldTTL)
+	if err := Save(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := Load(path, cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel2.Entry(msg.ID).Transient.GetInt(item.FieldTTL); got != wantTTL {
+		t.Errorf("TTL after restart = %d, want %d", got, wantTTL)
+	}
+}
+
+func TestProphetStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.snap")
+	var now int64
+	clock := func() int64 { return now }
+	mk := func(id, addr string) (*replica.Replica, replica.Config) {
+		cfg := replica.Config{
+			ID:           vclock.ReplicaID(id),
+			OwnAddresses: []string{addr},
+			Policy:       prophet.New(prophet.DefaultParams(), clock, addr),
+		}
+		return replica.New(cfg), cfg
+	}
+	a, _ := mk("a", "addr:a")
+	b, _ := mk("b", "addr:b")
+	replica.Encounter(a, b, 0) // a's policy learns about addr:b
+	pol := a.Policy().(*prophet.Policy)
+	want := pol.Predictability("addr:b")
+	if want <= 0 {
+		t.Fatal("setup: no predictability learned")
+	}
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with a fresh policy instance; restore must repopulate it.
+	freshPolicy := prophet.New(prophet.DefaultParams(), clock, "addr:a")
+	a2, err := Load(path, replica.Config{
+		ID: "a", OwnAddresses: []string{"addr:a"}, Policy: freshPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := freshPolicy.Predictability("addr:b"); got != want {
+		t.Errorf("predictability after restart = %v, want %v", got, want)
+	}
+	_ = a2
+}
+
+func TestSnapshotPolicyStateWithoutPersistentPolicy(t *testing.T) {
+	// Loading a snapshot that carries policy state into a config without a
+	// persistent policy must fail loudly rather than drop routing state.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.snap")
+	var now int64
+	clock := func() int64 { return now }
+	cfg := replica.Config{
+		ID:           "a",
+		OwnAddresses: []string{"addr:a"},
+		Policy:       prophet.New(prophet.DefaultParams(), clock, "addr:a"),
+	}
+	a := replica.New(cfg)
+	b := replica.New(replica.Config{
+		ID: "b", OwnAddresses: []string{"addr:b"},
+		Policy: prophet.New(prophet.DefaultParams(), clock, "addr:b"),
+	})
+	replica.Encounter(a, b, 0)
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}}); err == nil {
+		t.Error("expected failure when dropping persistent policy state")
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	cfg := replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}}
+	a := replica.New(cfg)
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	mkMsg(a, "addr:a", "addr:b")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, _, _ := restored.StoreLen(); total != 1 {
+		t.Errorf("restored store has %d entries, want 1", total)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d files, want 1", len(entries))
+	}
+}
+
+func TestSaveToUnwritableDirectory(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	if err := Save("/dev/null/nope/a.snap", a); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestLoadWrongMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.snap")
+	// A valid gob envelope with the wrong magic.
+	write := func(env envelope) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(envelope{Magic: "other", Version: formatVersion})
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Error("wrong magic should fail")
+	}
+	write(envelope{Magic: magic, Version: formatVersion + 1})
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Error("wrong version should fail")
+	}
+	write(envelope{Magic: magic, Version: formatVersion})
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Error("missing snapshot payload should fail")
+	}
+}

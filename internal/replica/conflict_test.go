@@ -1,0 +1,99 @@
+package replica
+
+import (
+	"testing"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/vclock"
+)
+
+// fullNode is an All-filter replica used by the conflict tests, so updates
+// replicate everywhere.
+func fullNode(id string) *Replica {
+	return New(Config{
+		ID:           vclock.ReplicaID(id),
+		OwnAddresses: []string{"addr:" + id},
+		Filter:       filter.All{},
+	})
+}
+
+func TestConcurrentUpdatesConvergeDeterministically(t *testing.T) {
+	a := fullNode("a")
+	b := fullNode("b")
+	c := fullNode("c")
+	msg := send(a, "addr:a", "addr:c")
+	Sync(a, b, 0)
+	Sync(a, c, 0)
+
+	// a and b update concurrently (no sync in between).
+	if _, err := a.UpdateItem(msg.ID, []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UpdateItem(msg.ID, []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Propagate both versions everywhere, in different orders per node.
+	Sync(a, c, 0)
+	Sync(b, c, 0)
+	Sync(b, a, 0)
+	Sync(a, b, 0)
+	Sync(c, a, 0)
+	Sync(c, b, 0)
+
+	pa := string(a.Entry(msg.ID).Item.Payload)
+	pb := string(b.Entry(msg.ID).Item.Payload)
+	pc := string(c.Entry(msg.ID).Item.Payload)
+	if pa != pb || pb != pc {
+		t.Fatalf("replicas diverged: a=%q b=%q c=%q", pa, pb, pc)
+	}
+	// The deterministic winner is the higher (seq, replica) version: a's
+	// update is its second local version (a:2) while b's is its first (b:1),
+	// so a's wins on sequence number at every replica.
+	if pa != "from-a" {
+		t.Errorf("winner = %q, want from-a (deterministic order)", pa)
+	}
+	// Both versions are known everywhere; no further transfers happen.
+	for _, nd := range []*Replica{a, b, c} {
+		for _, other := range []*Replica{a, b, c} {
+			if nd == other {
+				continue
+			}
+			if res := Sync(nd, other, 0); res.Sent != 0 {
+				t.Errorf("post-convergence sync moved %d items", res.Sent)
+			}
+		}
+	}
+}
+
+func TestConcurrentUpdateAndDelete(t *testing.T) {
+	a := fullNode("a")
+	b := fullNode("b")
+	msg := send(a, "addr:a", "addr:x")
+	Sync(a, b, 0)
+
+	// a updates (version a:2), b deletes (version b:1), concurrently. The
+	// update wins on sequence number; both replicas must agree.
+	if _, err := a.UpdateItem(msg.ID, []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.DeleteItem(msg.ID); err != nil {
+		t.Fatal(err)
+	}
+	Sync(a, b, 0)
+	Sync(b, a, 0)
+
+	ea, eb := a.Entry(msg.ID), b.Entry(msg.ID)
+	if ea == nil || eb == nil {
+		t.Fatal("entries must remain on both replicas")
+	}
+	if ea.Item.Deleted != eb.Item.Deleted {
+		t.Fatalf("divergent tombstone state: a=%v b=%v", ea.Item.Deleted, eb.Item.Deleted)
+	}
+	if ea.Item.Deleted {
+		t.Error("the higher-sequence update should prevail over the delete")
+	}
+	if string(ea.Item.Payload) != "updated" || string(eb.Item.Payload) != "updated" {
+		t.Errorf("payloads: a=%q b=%q", ea.Item.Payload, eb.Item.Payload)
+	}
+}

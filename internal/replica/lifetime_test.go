@@ -1,0 +1,130 @@
+package replica
+
+import (
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/vclock"
+)
+
+// tick is a settable test clock.
+type tick struct{ t int64 }
+
+func (c *tick) now() int64 { return c.t }
+
+func expiringNode(id, addr string, clk *tick) *Replica {
+	return New(Config{
+		ID:           vclock.ReplicaID("n-" + id),
+		OwnAddresses: []string{addr},
+		Policy:       floodPolicy{},
+		Now:          clk.now,
+	})
+}
+
+func sendExpiring(r *Replica, from, to string, created, expires int64) *item.Item {
+	return r.CreateItem(item.Metadata{
+		Source:       from,
+		Destinations: []string{to},
+		Kind:         "message",
+		Created:      created,
+		Expires:      expires,
+	}, nil)
+}
+
+func TestExpiredItemsNotTransmitted(t *testing.T) {
+	clk := &tick{}
+	a := expiringNode("a", "addr:a", clk)
+	b := expiringNode("b", "addr:b", clk)
+	sendExpiring(a, "addr:a", "addr:b", 0, 100)
+	clk.t = 100 // lifetime passed
+	res := Sync(a, b, 0)
+	if res.Sent != 0 {
+		t.Errorf("expired message transmitted: %+v", res)
+	}
+}
+
+func TestExpiredItemsNotDeliveredOnArrival(t *testing.T) {
+	clk := &tick{}
+	a := expiringNode("a", "addr:a", clk)
+	b := expiringNode("b", "addr:b", clk)
+	msg := sendExpiring(a, "addr:a", "addr:b", 0, 100)
+	// The batch is assembled while alive, but expiry hits before it applies
+	// (e.g. a long transfer): the receiver must drop it.
+	req := b.MakeSyncRequest(0)
+	resp := a.HandleSyncRequest(req)
+	if len(resp.Items) != 1 {
+		t.Fatalf("setup: expected 1 item, got %d", len(resp.Items))
+	}
+	clk.t = 100
+	st := b.ApplyBatch(resp)
+	if st.Expired != 1 || st.Delivered != 0 {
+		t.Errorf("apply stats: %+v", st)
+	}
+	if b.HasItem(msg.ID) {
+		t.Error("expired item stored")
+	}
+	// The version is known: a later re-offer is impossible.
+	if !b.Knowledge().Contains(msg.Version) {
+		t.Error("expired version must still enter knowledge")
+	}
+}
+
+func TestLiveItemsDeliverBeforeExpiry(t *testing.T) {
+	clk := &tick{}
+	a := expiringNode("a", "addr:a", clk)
+	b := expiringNode("b", "addr:b", clk)
+	sendExpiring(a, "addr:a", "addr:b", 0, 100)
+	clk.t = 99
+	res := Sync(a, b, 0)
+	if res.Apply.Delivered != 1 {
+		t.Errorf("live message should deliver: %+v", res)
+	}
+}
+
+func TestPurgeExpired(t *testing.T) {
+	clk := &tick{}
+	a := expiringNode("a", "addr:a", clk)
+	rel := expiringNode("r", "addr:r", clk)
+	own := sendExpiring(a, "addr:a", "addr:z", 0, 100)
+	Sync(a, rel, 0) // relay holds a copy
+	clk.t = 200
+	if n := rel.PurgeExpired(); n != 1 {
+		t.Errorf("purged %d, want 1", n)
+	}
+	if rel.HasItem(own.ID) {
+		t.Error("expired relay copy survived purge")
+	}
+	// The sender keeps its own record.
+	if n := a.PurgeExpired(); n != 0 {
+		t.Errorf("sender purged %d of its own items", n)
+	}
+	if !a.HasItem(own.ID) {
+		t.Error("sender's local copy must survive purge")
+	}
+}
+
+func TestNoClockMeansNoExpiry(t *testing.T) {
+	a := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	b := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}})
+	a.CreateItem(item.Metadata{
+		Source: "addr:a", Destinations: []string{"addr:b"},
+		Kind: "message", Expires: 1,
+	}, nil)
+	res := Sync(a, b, 0)
+	if res.Apply.Delivered != 1 {
+		t.Error("without a clock, expiry must be disabled")
+	}
+	if a.PurgeExpired() != 0 {
+		t.Error("purge without a clock must be a no-op")
+	}
+}
+
+func TestZeroExpiresNeverExpires(t *testing.T) {
+	clk := &tick{t: 1 << 40}
+	a := expiringNode("a", "addr:a", clk)
+	b := expiringNode("b", "addr:b", clk)
+	sendExpiring(a, "addr:a", "addr:b", 0, 0)
+	if res := Sync(a, b, 0); res.Apply.Delivered != 1 {
+		t.Error("Expires=0 must mean no lifetime bound")
+	}
+}

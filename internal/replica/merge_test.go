@@ -1,0 +1,143 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/vclock"
+)
+
+// fullReplica builds an All-filter replica (sees everything) with merging
+// enabled.
+func fullReplica(id string) *Replica {
+	return New(Config{
+		ID:             vclock.ReplicaID(id),
+		OwnAddresses:   []string{"addr:" + id},
+		Filter:         filter.All{},
+		MergeKnowledge: true,
+	})
+}
+
+func TestKnowledgeMergeCompactsExceptions(t *testing.T) {
+	// Many creators insert items; hub (a full replica) syncs with each, then
+	// a fresh full replica syncs once with the hub: wholesale merge should
+	// leave it with zero knowledge exceptions.
+	hub := fullReplica("hub")
+	for i := 0; i < 8; i++ {
+		src := fullReplica(fmt.Sprintf("c%d", i))
+		for j := 0; j < 5; j++ {
+			send(src, fmt.Sprintf("addr:c%d", i), "addr:nobody")
+		}
+		Sync(src, hub, 0)
+	}
+	late := fullReplica("late")
+	res := Sync(hub, late, 0)
+	if !res.Apply.KnowledgeMerged {
+		t.Fatal("covering source should trigger a wholesale merge")
+	}
+	if got := late.Knowledge().ExceptionCount(); got != 0 {
+		t.Errorf("knowledge has %d exceptions after merge, want 0", got)
+	}
+	if !late.Knowledge().Equal(hub.Knowledge()) {
+		t.Error("merged knowledge should equal the source's")
+	}
+}
+
+func TestKnowledgeMergeRequiresCoveringFilter(t *testing.T) {
+	narrow := New(Config{
+		ID: "n", OwnAddresses: []string{"addr:n"}, MergeKnowledge: true,
+	})
+	wide := fullReplica("w")
+	send(wide, "addr:w", "addr:n")
+	// wide covers narrow: merge fires.
+	if res := Sync(wide, narrow, 0); !res.Apply.KnowledgeMerged {
+		t.Error("covering filter should offer knowledge")
+	}
+	// narrow does not cover wide: no merge.
+	send(narrow, "addr:n", "addr:w")
+	if res := Sync(narrow, wide, 0); res.Apply.KnowledgeMerged {
+		t.Error("non-covering filter must not offer knowledge")
+	}
+}
+
+func TestKnowledgeMergeDisabledByDefault(t *testing.T) {
+	a := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}, Filter: filter.All{}})
+	b := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}, Filter: filter.All{}})
+	send(a, "addr:a", "addr:b")
+	if res := Sync(a, b, 0); res.Apply.KnowledgeMerged {
+		t.Error("merge must be opt-in")
+	}
+}
+
+func TestKnowledgeMergeSkippedWhenTruncated(t *testing.T) {
+	a := fullReplica("a")
+	b := fullReplica("b")
+	for i := 0; i < 5; i++ {
+		send(a, "addr:a", fmt.Sprintf("addr:x%d", i))
+	}
+	req := b.MakeSyncRequest(2) // forces truncation
+	resp := a.HandleSyncRequest(req)
+	if !resp.Truncated {
+		t.Fatal("setup: batch not truncated")
+	}
+	if resp.LearnedKnowledge != nil {
+		t.Error("truncated batches must not offer knowledge")
+	}
+	st := b.ApplyBatch(resp)
+	if st.KnowledgeMerged {
+		t.Error("truncated batch merged knowledge")
+	}
+	// The remaining items must still arrive on the next sync.
+	Sync(a, b, 0)
+	if _, live, _ := b.StoreLen(); live != 5 {
+		t.Errorf("b holds %d items, want 5", live)
+	}
+}
+
+// TestPropMergeNeverLosesDeliveries runs random gossip among full replicas
+// with merging enabled and verifies eventual consistency still holds — the
+// merge fast path must never mark undelivered versions as known.
+func TestPropMergeNeverLosesDeliveries(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 6
+		nodes := make([]*Replica, n)
+		for i := range nodes {
+			nodes[i] = fullReplica(fmt.Sprintf("n%d", i))
+		}
+		items := 0
+		for i, nd := range nodes {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				send(nd, fmt.Sprintf("addr:n%d", i), fmt.Sprintf("addr:n%d", rng.Intn(n)))
+				items++
+			}
+		}
+		for k := 0; k < 8*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				// Mix bandwidth-limited (merge-suppressed) and unlimited syncs.
+				max := 0
+				if rng.Intn(3) == 0 {
+					max = 1 + rng.Intn(2)
+				}
+				Sync(nodes[i], nodes[j], max)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			for i := range nodes {
+				Sync(nodes[i], nodes[(i+1)%n], 0)
+				Sync(nodes[(i+1)%n], nodes[i], 0)
+			}
+		}
+		for i, nd := range nodes {
+			if _, live, _ := nd.StoreLen(); live != items {
+				t.Fatalf("seed %d: node %d holds %d items, want %d", seed, i, live, items)
+			}
+			if nd.Stats().Duplicates != 0 {
+				t.Fatalf("seed %d: duplicates at node %d", seed, i)
+			}
+		}
+	}
+}

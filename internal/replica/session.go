@@ -1,0 +1,91 @@
+package replica
+
+// Budget bounds one synchronization or encounter: a maximum item count
+// and/or a maximum payload volume (zero fields mean unlimited).
+type Budget struct {
+	Items int
+	Bytes int64
+}
+
+// unlimited reports whether the budget imposes no bound at all.
+func (b Budget) unlimited() bool { return b.Items <= 0 && b.Bytes <= 0 }
+
+// SyncResult summarizes one directed synchronization.
+type SyncResult struct {
+	Sent      int
+	SentBytes int64
+	Truncated bool
+	Apply     ApplyStats
+}
+
+// Sync performs one in-process synchronization in which target pulls from
+// source: the target issues a request, the source assembles the batch, and
+// the target applies it. maxItems bounds the batch (0 = unlimited).
+func Sync(source, target *Replica, maxItems int) SyncResult {
+	return SyncBudget(source, target, Budget{Items: maxItems})
+}
+
+// SyncBudget is Sync with a full bandwidth budget (items and/or bytes).
+func SyncBudget(source, target *Replica, budget Budget) SyncResult {
+	return syncBudget(source, target, budget, false)
+}
+
+func syncBudget(source, target *Replica, budget Budget, strictBytes bool) SyncResult {
+	req := target.MakeSyncRequest(budget.Items)
+	req.MaxBytes = budget.Bytes
+	req.StrictBytes = strictBytes
+	resp := source.HandleSyncRequest(req)
+	apply := target.ApplyBatch(resp)
+	return SyncResult{
+		Sent:      len(resp.Items),
+		SentBytes: BatchBytes(resp),
+		Truncated: resp.Truncated,
+		Apply:     apply,
+	}
+}
+
+// EncounterResult summarizes one encounter (two syncs with alternating
+// roles).
+type EncounterResult struct {
+	AtoB SyncResult // b pulls from a
+	BtoA SyncResult // a pulls from b
+}
+
+// Encounter models a contact between two replicas as the paper's emulation
+// does: two synchronizations with the source and target roles alternating.
+// maxItems, when positive, is a shared per-encounter transfer budget: items
+// sent in the first sync count against what the second may send.
+func Encounter(a, b *Replica, maxItems int) EncounterResult {
+	return EncounterBudget(a, b, Budget{Items: maxItems})
+}
+
+// EncounterBudget is Encounter with a full bandwidth budget shared across
+// both syncs: items and bytes consumed by the first leg reduce what the
+// second may use.
+func EncounterBudget(a, b *Replica, budget Budget) EncounterResult {
+	var res EncounterResult
+	res.AtoB = SyncBudget(a, b, budget)
+	if budget.unlimited() {
+		res.BtoA = SyncBudget(b, a, budget)
+		return res
+	}
+	second := budget
+	if budget.Items > 0 {
+		second.Items = budget.Items - res.AtoB.Sent
+		if second.Items <= 0 {
+			return res
+		}
+	}
+	strict := false
+	if budget.Bytes > 0 {
+		second.Bytes = budget.Bytes - res.AtoB.SentBytes
+		if second.Bytes <= 0 {
+			return res
+		}
+		// The remainder is a hard cap: the at-least-one exception applied to
+		// the encounter budget already, on the first leg.
+		strict = true
+	}
+	res.BtoA = syncBudget(b, a, second, strict)
+	return res
+}

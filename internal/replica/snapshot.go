@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// Snapshot is the durable state of a replica: everything needed to resume
+// synchronization after a restart with the substrate's guarantees intact —
+// in particular the knowledge, whose persistence is what preserves
+// at-most-once delivery across crashes.
+type Snapshot struct {
+	// ID is the replica identifier; Restore rejects mismatches.
+	ID vclock.ReplicaID
+	// Seq is the local version counter.
+	Seq uint64
+	// OwnAddresses are the delivery addresses at snapshot time.
+	OwnAddresses []string
+	// FilterAddresses rebuilds an address filter on restore; nil keeps the
+	// configured filter (for replicas using non-address filters).
+	FilterAddresses []string
+	// Knowledge is the binary-marshaled learned-version set.
+	Knowledge []byte
+	// Entries are the stored items with their host-local state.
+	Entries []store.EntrySnapshot
+	// NextArrival is the store's arrival counter (drives FIFO eviction).
+	NextArrival uint64
+	// PolicyState is the routing policy's serialized durable state (nil when
+	// the policy is stateless or absent).
+	PolicyState []byte
+}
+
+// Snapshot captures the replica's durable state. Policies implementing
+// routing.Persistent contribute their routing state.
+func (r *Replica) Snapshot() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	know, err := r.know.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("replica %s: snapshot knowledge: %w", r.id, err)
+	}
+	entries, next := r.store.Snapshot()
+	snap := &Snapshot{
+		ID:          r.id,
+		Seq:         r.seq,
+		Knowledge:   know,
+		Entries:     entries,
+		NextArrival: next,
+	}
+	for a := range r.own {
+		snap.OwnAddresses = append(snap.OwnAddresses, a)
+	}
+	sort.Strings(snap.OwnAddresses)
+	if af, ok := r.filter.(*filter.Addresses); ok {
+		snap.FilterAddresses = af.List()
+	}
+	if p, ok := r.policy.(routing.Persistent); ok {
+		state, err := p.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("replica %s: snapshot policy: %w", r.id, err)
+		}
+		snap.PolicyState = state
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot replaces the replica's durable state from a snapshot taken
+// on the same replica ID. Configuration (policy, relay capacity, callbacks)
+// comes from New; the snapshot restores data. No delivery callbacks fire for
+// restored items — they were delivered before the snapshot.
+func (r *Replica) RestoreSnapshot(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("replica: nil snapshot")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if snap.ID != r.id {
+		return fmt.Errorf("replica %s: snapshot belongs to %s", r.id, snap.ID)
+	}
+	know := vclock.NewKnowledge()
+	if err := know.UnmarshalBinary(snap.Knowledge); err != nil {
+		return fmt.Errorf("replica %s: restore knowledge: %w", r.id, err)
+	}
+	if err := r.store.Restore(snap.Entries, snap.NextArrival); err != nil {
+		return fmt.Errorf("replica %s: restore store: %w", r.id, err)
+	}
+	r.know = know
+	r.seq = snap.Seq
+	r.own = make(map[string]struct{}, len(snap.OwnAddresses))
+	for _, a := range snap.OwnAddresses {
+		r.own[a] = struct{}{}
+	}
+	if snap.FilterAddresses != nil {
+		r.filter = filter.NewAddresses(snap.FilterAddresses...)
+	}
+	if len(snap.PolicyState) > 0 {
+		p, ok := r.policy.(routing.Persistent)
+		if !ok {
+			return fmt.Errorf("replica %s: snapshot has policy state but policy %T is not persistent", r.id, r.policy)
+		}
+		if err := p.RestoreState(snap.PolicyState); err != nil {
+			return fmt.Errorf("replica %s: restore policy: %w", r.id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package replica
+
+import (
+	"sort"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// SyncRequest is the target→source half of the sync protocol: the target's
+// knowledge, filter, and policy routing state (paper Fig. 4).
+type SyncRequest struct {
+	// TargetID identifies the requesting replica.
+	TargetID vclock.ReplicaID
+	// Knowledge is the target's learned-version set; the source sends only
+	// versions outside it, which yields at-most-once delivery.
+	Knowledge *vclock.Knowledge
+	// Filter is the target's content-based filter; matching items are always
+	// included and transmitted first.
+	Filter filter.Filter
+	// Routing carries policy-specific state (e.g. a PROPHET predictability
+	// vector) produced by the target's policy GenerateReq.
+	Routing routing.Request
+	// MaxItems bounds the batch size (0 = unlimited), modeling constrained
+	// encounter bandwidth.
+	MaxItems int
+	// MaxBytes bounds the batch payload volume (0 = unlimited): items are
+	// taken in priority order until the next would exceed the budget. Unless
+	// StrictBytes is set, at least one item is always sent when anything is
+	// eligible, so a large message cannot deadlock a small-budget contact.
+	MaxBytes int64
+	// StrictBytes disables the at-least-one exception; used for the second
+	// leg of an encounter, whose budget is the remainder of a shared one.
+	StrictBytes bool
+}
+
+// BatchItem is one transmitted item copy: the replicated item plus the
+// transient (host-specific) metadata the source chose to attach, and the
+// priority it was assigned.
+type BatchItem struct {
+	Item      *item.Item
+	Transient item.Transient
+	Priority  routing.Priority
+}
+
+// SyncResponse is the source→target half: the prioritized batch, plus —
+// when the source can prove it is a superset replica for the target — its
+// full knowledge, which the target may adopt wholesale to keep its own
+// knowledge compact (the Cimbiosys knowledge-merge optimization).
+type SyncResponse struct {
+	SourceID  vclock.ReplicaID
+	Items     []BatchItem
+	Truncated bool
+	// LearnedKnowledge, when non-nil, is the source's knowledge offered for
+	// wholesale merging. It is only set when the source's filter covers the
+	// target's and the batch was not truncated, so every version it covers
+	// that the target's filter selects either travels in this batch or is
+	// already stored at the target.
+	LearnedKnowledge *vclock.Knowledge
+}
+
+// ApplyStats summarizes one ApplyBatch call.
+type ApplyStats struct {
+	// Stored counts newly stored in-filter items.
+	Stored int
+	// Relayed counts newly stored out-of-filter (relay) items.
+	Relayed int
+	// Delivered counts items handed to the application.
+	Delivered int
+	// Duplicates counts already-known versions (must be zero under the
+	// substrate's guarantee).
+	Duplicates int
+	// Superseded counts received versions older than the stored one.
+	Superseded int
+	// Tombstones counts deletion records applied.
+	Tombstones int
+	// Evicted counts relay entries expelled by storage pressure.
+	Evicted int
+	// Expired counts received items already past their lifetime (dropped).
+	Expired int
+	// KnowledgeMerged reports that the source's knowledge was adopted
+	// wholesale (the compact-metadata fast path).
+	KnowledgeMerged bool
+}
+
+// MakeSyncRequest builds the request this replica sends when initiating a
+// synchronization (acting as target). maxItems bounds the returned batch
+// (0 = unlimited).
+func (r *Replica) MakeSyncRequest(maxItems int) *SyncRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SyncsInitiated++
+	req := &SyncRequest{
+		TargetID:  r.id,
+		Knowledge: r.know.Clone(),
+		Filter:    r.filter,
+		MaxItems:  maxItems,
+	}
+	if r.policy != nil {
+		req.Routing = r.policy.GenerateReq()
+	}
+	return req
+}
+
+// HandleSyncRequest serves a synchronization request (acting as source):
+// process the request's routing state, assemble the batch of versions unknown
+// to the target that match its filter or are selected by the local policy,
+// order it by priority, and apply the bandwidth bound.
+func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SyncsServed++
+	if r.policy != nil && req.Routing != nil {
+		r.policy.ProcessReq(req.TargetID, req.Routing)
+	}
+	target := routing.Target{ID: req.TargetID, Filter: req.Filter}
+
+	var batch []BatchItem
+	for _, e := range r.store.Entries() {
+		if req.Knowledge.Contains(e.Item.Version) {
+			continue
+		}
+		if !e.Item.Deleted && r.expiredLocked(&e.Item.Meta) {
+			// Dead messages are not worth encounter bandwidth.
+			continue
+		}
+		switch {
+		case e.Item.Deleted:
+			// Tombstones always travel: they clear forwarders' copies and
+			// immunize the target against stale live versions.
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, nil),
+				Priority:  routing.Priority{Class: routing.ClassFilter},
+			})
+		case req.Filter != nil && req.Filter.Match(e.Item):
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, nil),
+				Priority:  routing.Priority{Class: routing.ClassFilter},
+			})
+		case r.policy != nil:
+			pr, tr := r.policy.ToSend(e, target)
+			if pr.Class == routing.ClassSkip {
+				continue
+			}
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, tr),
+				Priority:  pr,
+			})
+		}
+	}
+
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].Priority != batch[j].Priority {
+			return batch[i].Priority.Before(batch[j].Priority)
+		}
+		return lessID(batch[i].Item.ID, batch[j].Item.ID)
+	})
+
+	resp := &SyncResponse{SourceID: r.id, Items: batch}
+	if req.MaxItems > 0 && len(batch) > req.MaxItems {
+		resp.Items = batch[:req.MaxItems]
+		resp.Truncated = true
+	}
+	if req.MaxBytes > 0 {
+		var used int64
+		cut := len(resp.Items)
+		for i, bi := range resp.Items {
+			size := itemWireBytes(bi.Item)
+			if used+size > req.MaxBytes && (i > 0 || req.StrictBytes) {
+				cut = i
+				break
+			}
+			used += size
+		}
+		if cut < len(resp.Items) {
+			resp.Items = resp.Items[:cut]
+			resp.Truncated = true
+		}
+	}
+	// Offer wholesale knowledge when this replica provably sees everything
+	// the target's filter selects: the target can then compact its knowledge
+	// to a plain vector instead of accumulating per-item exceptions. Safe
+	// because in-filter items are never evicted, so every version in our
+	// knowledge that matches our filter is either stored here (and in this
+	// batch if unknown to the target) or superseded.
+	if !resp.Truncated && req.Filter != nil && r.filter.Covers(req.Filter) {
+		resp.LearnedKnowledge = r.know.Clone()
+	}
+	r.stats.ItemsSent += len(resp.Items)
+	return resp
+}
+
+// transmitTransient builds the host-specific metadata accompanying a
+// transmitted copy. Per-copy fields accompany the copy they describe (the
+// paper's epidemic policy forwards copies carrying a decremented TTL, and its
+// spray policy halves the allowance "for both the locally stored item and the
+// item in the synchronization batch"); only *updates* to them stay local and
+// never replicate as new versions. A policy may substitute its own transient
+// for the in-flight copy; filter-matched transfers carry the stored one
+// unchanged. The copy's hop count always travels and is incremented by the
+// receiver.
+func transmitTransient(e *store.Entry, policySet item.Transient) item.Transient {
+	if policySet == nil {
+		return e.Transient.Clone()
+	}
+	if hops, ok := e.Transient.Get(item.FieldHops); ok && !policySet.Has(item.FieldHops) {
+		policySet = policySet.Set(item.FieldHops, hops)
+	}
+	return policySet
+}
+
+// ApplyBatch ingests a synchronization response (acting as target): fold
+// every carried version into knowledge, store new items in the appropriate
+// partition, apply tombstones, and deliver items addressed to this replica.
+func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st ApplyStats
+	for _, bi := range resp.Items {
+		incoming := bi.Item
+		if r.know.Contains(incoming.Version) {
+			st.Duplicates++
+			r.stats.Duplicates++
+			continue
+		}
+		for _, v := range incoming.AllVersions() {
+			r.know.Add(v)
+		}
+		r.stats.ItemsReceived++
+
+		existing := r.store.Get(incoming.ID)
+		if existing != nil && !incoming.Supersedes(existing.Item) {
+			st.Superseded++
+			continue
+		}
+		if !incoming.Deleted && r.expiredLocked(&incoming.Meta) {
+			// The version is recorded in knowledge (never re-accepted) but
+			// an expired message is neither stored nor delivered.
+			st.Expired++
+			continue
+		}
+
+		// The copy's hop count is host-specific: it grows by one on arrival.
+		tr := bi.Transient.Clone()
+		tr = tr.Set(item.FieldHops, float64(tr.GetInt(item.FieldHops)+1))
+
+		stored := incoming.Clone()
+		relay := !r.filter.Match(stored)
+		local := existing != nil && existing.Local
+		evicted := r.store.Put(stored, tr, relay, local)
+		st.Evicted += len(evicted)
+		r.stats.Evicted += len(evicted)
+
+		switch {
+		case stored.Deleted:
+			st.Tombstones++
+		case relay:
+			st.Relayed++
+		default:
+			st.Stored++
+		}
+		if !stored.Deleted && r.addressedLocally(stored) && r.store.Get(stored.ID) != nil {
+			wasAddressed := existing != nil && !existing.Item.Deleted && r.addressedLocally(existing.Item)
+			if !wasAddressed {
+				st.Delivered++
+				r.deliverLocked(stored)
+			}
+		}
+	}
+	// Merge after items apply so every batch version is stored first.
+	if resp.LearnedKnowledge != nil && r.mergeKnowledge {
+		r.know.Merge(resp.LearnedKnowledge)
+		st.KnowledgeMerged = true
+	}
+	return st
+}
+
+// itemWireBytes estimates an item's transfer cost: its payload plus a fixed
+// per-item metadata overhead.
+func itemWireBytes(it *item.Item) int64 {
+	const metadataOverhead = 64
+	return int64(len(it.Payload)) + metadataOverhead
+}
+
+// BatchBytes sums the estimated wire size of a response's items.
+func BatchBytes(resp *SyncResponse) int64 {
+	var total int64
+	for _, bi := range resp.Items {
+		total += itemWireBytes(bi.Item)
+	}
+	return total
+}
+
+// lessID orders item IDs deterministically.
+func lessID(a, b item.ID) bool {
+	if a.Creator != b.Creator {
+		return a.Creator < b.Creator
+	}
+	return a.Num < b.Num
+}

@@ -1,0 +1,60 @@
+// Package epidemic implements Epidemic routing (Vahdat & Becker, 2000) as a
+// replication routing policy: TTL-limited flooding.
+//
+// Every stored item is forwarded during every synchronization until its hop
+// budget (TTL) is exhausted. The original protocol's summary-vector exchange
+// for duplicate suppression is unnecessary here — the replication substrate's
+// knowledge already guarantees each item is delivered at most once to each
+// host, exactly as the paper observes.
+package epidemic
+
+import (
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// DefaultTTL is the paper's Table II hop budget.
+const DefaultTTL = 10
+
+// Policy is the Epidemic routing policy. Create one per replica with New.
+type Policy struct {
+	initialTTL int
+}
+
+// New returns an Epidemic policy with the given initial TTL; ttl <= 0 selects
+// DefaultTTL.
+func New(ttl int) *Policy {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Policy{initialTTL: ttl}
+}
+
+// Name implements routing.Policy.
+func (*Policy) Name() string { return "epidemic" }
+
+// GenerateReq implements routing.Policy; Epidemic piggybacks nothing.
+func (*Policy) GenerateReq() routing.Request { return nil }
+
+// ProcessReq implements routing.Policy; Epidemic keeps no routing state.
+func (*Policy) ProcessReq(vclock.ReplicaID, routing.Request) {}
+
+// ToSend implements routing.Policy: select every item whose TTL is positive,
+// transmitting a copy whose TTL is decremented by one. New locally created
+// items without a TTL field are stamped with the initial hop budget first.
+// Only the in-flight copy's TTL drops; the stored copy keeps its value, as
+// §V.C.1 of the paper specifies.
+func (p *Policy) ToSend(e *store.Entry, _ routing.Target) (routing.Priority, item.Transient) {
+	if !e.Transient.Has(item.FieldTTL) {
+		e.Transient = e.Transient.Set(item.FieldTTL, float64(p.initialTTL))
+	}
+	ttl := e.Transient.GetInt(item.FieldTTL)
+	if ttl <= 0 {
+		return routing.Skip, nil
+	}
+	out := e.Transient.Clone()
+	out = out.Set(item.FieldTTL, float64(ttl-1))
+	return routing.Priority{Class: routing.ClassNormal}, out
+}

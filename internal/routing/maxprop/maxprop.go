@@ -1,0 +1,263 @@
+// Package maxprop implements MaxProp (Burgess et al., INFOCOM 2006) as a
+// replication routing policy.
+//
+// Each node maintains a probability distribution over which node it will
+// encounter next, built from incremental meeting counts. Nodes exchange these
+// distributions (their own row, plus the freshest rows they have learned for
+// other nodes) during encounters. For every message a node might forward, it
+// scores the lowest-cost path to the message's destination with a modified
+// Dijkstra search where the cost of traversing the link (x, y) is the
+// probability that the encounter does not occur, 1 − f_x(y); the path score
+// is the sum of those costs.
+//
+// Transmission order during an encounter follows the protocol: messages
+// addressed to the neighbor first (the substrate's filter class covers this),
+// then messages whose copies have traversed fewer hops than a threshold,
+// ordered by hop count, and finally the remaining messages ordered by
+// ascending path cost. MaxProp's hoplist duplicate suppression and flooded
+// delivery acknowledgements are unnecessary on this substrate: knowledge
+// provides exact at-most-once transfer, and deletion tombstones clear
+// forwarder buffers.
+package maxprop
+
+import (
+	"container/heap"
+	"math"
+
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// DefaultHopThreshold is the paper's Table II priority threshold: copies with
+// fewer traversed hops are "new" and jump the path-cost queue.
+const DefaultHopThreshold = 3
+
+// Row is one node's next-encounter probability distribution together with the
+// time it was produced, used for freshest-wins merging.
+type Row struct {
+	Probabilities map[vclock.ReplicaID]float64
+	Updated       int64
+}
+
+// Home records where an endpoint address was last known to be homed.
+type Home struct {
+	Node    vclock.ReplicaID
+	Updated int64
+}
+
+// Request is the routing state piggybacked on sync requests: the requester's
+// identity and homed addresses, its meeting-probability table (its own row
+// plus learned rows), and its address-home beliefs.
+type Request struct {
+	From         vclock.ReplicaID
+	OwnAddresses []string
+	Table        map[vclock.ReplicaID]Row
+	Homes        map[string]Home
+}
+
+// Policy is the MaxProp policy attached to one replica.
+type Policy struct {
+	self         vclock.ReplicaID
+	hopThreshold int
+	now          func() int64
+	ownAddresses []string
+
+	// weights are this node's raw meeting counts; the probability row is
+	// weights normalized to sum to 1.
+	weights map[vclock.ReplicaID]float64
+	// table holds the freshest known probability row per node (including our
+	// own, refreshed on demand).
+	table map[vclock.ReplicaID]Row
+	// homes maps endpoint address → freshest known homing node.
+	homes map[string]Home
+}
+
+// New creates a MaxProp policy for the given replica. hopThreshold <= 0
+// selects DefaultHopThreshold; now supplies seconds (simulation or wall
+// clock); ownAddresses are the endpoint addresses homed on this node.
+func New(self vclock.ReplicaID, hopThreshold int, now func() int64, ownAddresses ...string) *Policy {
+	if hopThreshold <= 0 {
+		hopThreshold = DefaultHopThreshold
+	}
+	return &Policy{
+		self:         self,
+		hopThreshold: hopThreshold,
+		now:          now,
+		ownAddresses: append([]string(nil), ownAddresses...),
+		weights:      make(map[vclock.ReplicaID]float64),
+		table:        make(map[vclock.ReplicaID]Row),
+		homes:        make(map[string]Home),
+	}
+}
+
+// Name implements routing.Policy.
+func (*Policy) Name() string { return "maxprop" }
+
+// SetOwnAddresses updates the endpoint addresses homed on this node.
+func (p *Policy) SetOwnAddresses(addrs ...string) {
+	p.ownAddresses = append(p.ownAddresses[:0], addrs...)
+}
+
+// OwnRow returns this node's normalized next-encounter distribution.
+func (p *Policy) OwnRow() map[vclock.ReplicaID]float64 {
+	total := 0.0
+	for _, w := range p.weights {
+		total += w
+	}
+	out := make(map[vclock.ReplicaID]float64, len(p.weights))
+	if total == 0 {
+		return out
+	}
+	for id, w := range p.weights {
+		out[id] = w / total
+	}
+	return out
+}
+
+// GenerateReq implements routing.Policy: ship identity, homed addresses, the
+// full freshest-rows table, and address homes.
+func (p *Policy) GenerateReq() routing.Request {
+	p.refreshOwn()
+	table := make(map[vclock.ReplicaID]Row, len(p.table))
+	for id, row := range p.table {
+		cp := make(map[vclock.ReplicaID]float64, len(row.Probabilities))
+		for k, v := range row.Probabilities {
+			cp[k] = v
+		}
+		table[id] = Row{Probabilities: cp, Updated: row.Updated}
+	}
+	homes := make(map[string]Home, len(p.homes)+len(p.ownAddresses))
+	for a, h := range p.homes {
+		homes[a] = h
+	}
+	now := p.now()
+	for _, a := range p.ownAddresses {
+		homes[a] = Home{Node: p.self, Updated: now}
+	}
+	return &Request{
+		From:         p.self,
+		OwnAddresses: append([]string(nil), p.ownAddresses...),
+		Table:        table,
+		Homes:        homes,
+	}
+}
+
+// ProcessReq implements routing.Policy: count the encounter (incrementing the
+// partner's meeting weight and re-normalizing, per the protocol), then merge
+// the partner's table rows and address homes freshest-first. Fires once per
+// encounter per node because each encounter syncs once in each direction.
+func (p *Policy) ProcessReq(from vclock.ReplicaID, req routing.Request) {
+	r, ok := req.(*Request)
+	if !ok || r == nil {
+		return
+	}
+	p.weights[from]++
+	p.refreshOwn()
+	for id, row := range r.Table {
+		if id == p.self {
+			continue // nobody else's view of us beats our own
+		}
+		cur, exists := p.table[id]
+		if !exists || row.Updated > cur.Updated {
+			cp := make(map[vclock.ReplicaID]float64, len(row.Probabilities))
+			for k, v := range row.Probabilities {
+				cp[k] = v
+			}
+			p.table[id] = Row{Probabilities: cp, Updated: row.Updated}
+		}
+	}
+	for addr, h := range r.Homes {
+		if cur, exists := p.homes[addr]; !exists || h.Updated > cur.Updated {
+			p.homes[addr] = h
+		}
+	}
+	now := p.now()
+	for _, addr := range r.OwnAddresses {
+		p.homes[addr] = Home{Node: from, Updated: now}
+	}
+}
+
+// refreshOwn rewrites our own row in the table from current weights.
+func (p *Policy) refreshOwn() {
+	p.table[p.self] = Row{Probabilities: p.OwnRow(), Updated: p.now()}
+}
+
+// ToSend implements routing.Policy: MaxProp floods — every item is eligible —
+// but the priority encodes the protocol's transmission order. Copies under
+// the hop threshold form a high class ordered by hop count; the rest are
+// ordered by ascending lowest path cost to the destination.
+func (p *Policy) ToSend(e *store.Entry, _ routing.Target) (routing.Priority, item.Transient) {
+	hops := e.Transient.GetInt(item.FieldHops)
+	if hops < p.hopThreshold {
+		return routing.Priority{Class: routing.ClassHigh, Cost: float64(hops)}, nil
+	}
+	cost := math.Inf(1)
+	for _, dest := range e.Item.Meta.Destinations {
+		if c := p.PathCost(dest); c < cost {
+			cost = c
+		}
+	}
+	return routing.Priority{Class: routing.ClassNormal, Cost: cost}, nil
+}
+
+// PathCost returns the lowest-cost path score from this node to the node
+// currently homing the destination address: the modified Dijkstra search with
+// edge cost 1 − f_x(y). It returns +Inf when the destination's home is
+// unknown or unreachable through the learned table.
+func (p *Policy) PathCost(destAddr string) float64 {
+	home, ok := p.homes[destAddr]
+	if !ok {
+		return math.Inf(1)
+	}
+	if home.Node == p.self {
+		return 0
+	}
+	p.refreshOwn()
+	return dijkstra(p.table, p.self, home.Node)
+}
+
+// dijkstra computes the minimum sum of (1 − f_x(y)) over paths from src to
+// dst in the learned probability table.
+func dijkstra(table map[vclock.ReplicaID]Row, src, dst vclock.ReplicaID) float64 {
+	dist := map[vclock.ReplicaID]float64{src: 0}
+	pq := &costHeap{{node: src, cost: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(costEntry)
+		if cur.node == dst {
+			return cur.cost
+		}
+		if cur.cost > dist[cur.node] {
+			continue
+		}
+		row, ok := table[cur.node]
+		if !ok {
+			continue
+		}
+		for next, prob := range row.Probabilities {
+			if prob <= 0 {
+				continue
+			}
+			nc := cur.cost + (1 - prob)
+			if d, seen := dist[next]; !seen || nc < d {
+				dist[next] = nc
+				heap.Push(pq, costEntry{node: next, cost: nc})
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+type costEntry struct {
+	node vclock.ReplicaID
+	cost float64
+}
+
+type costHeap []costEntry
+
+func (h costHeap) Len() int           { return len(h) }
+func (h costHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x any)        { *h = append(*h, x.(costEntry)) }
+func (h *costHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

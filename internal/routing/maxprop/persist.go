@@ -1,0 +1,66 @@
+package maxprop
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"replidtn/internal/vclock"
+)
+
+// stateDoc is the serializable form of the policy's durable routing state:
+// the raw meeting weights, the learned probability table, and the
+// address-home beliefs.
+type stateDoc struct {
+	Weights map[vclock.ReplicaID]float64
+	Table   map[vclock.ReplicaID]Row
+	Homes   map[string]Home
+}
+
+// SnapshotState implements routing.Persistent.
+func (p *Policy) SnapshotState() ([]byte, error) {
+	doc := stateDoc{
+		Weights: make(map[vclock.ReplicaID]float64, len(p.weights)),
+		Table:   make(map[vclock.ReplicaID]Row, len(p.table)),
+		Homes:   make(map[string]Home, len(p.homes)),
+	}
+	for id, w := range p.weights {
+		doc.Weights[id] = w
+	}
+	for id, row := range p.table {
+		cp := make(map[vclock.ReplicaID]float64, len(row.Probabilities))
+		for k, v := range row.Probabilities {
+			cp[k] = v
+		}
+		doc.Table[id] = Row{Probabilities: cp, Updated: row.Updated}
+	}
+	for a, h := range p.homes {
+		doc.Homes[a] = h
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(doc); err != nil {
+		return nil, fmt.Errorf("maxprop: snapshot state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements routing.Persistent.
+func (p *Policy) RestoreState(data []byte) error {
+	var doc stateDoc
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&doc); err != nil {
+		return fmt.Errorf("maxprop: restore state: %w", err)
+	}
+	p.weights = doc.Weights
+	if p.weights == nil {
+		p.weights = make(map[vclock.ReplicaID]float64)
+	}
+	p.table = doc.Table
+	if p.table == nil {
+		p.table = make(map[vclock.ReplicaID]Row)
+	}
+	p.homes = doc.Homes
+	if p.homes == nil {
+		p.homes = make(map[string]Home)
+	}
+	return nil
+}

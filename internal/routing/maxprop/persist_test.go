@@ -1,0 +1,67 @@
+package maxprop
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	clk := &simClock{}
+	a := New("a", 3, clk.now, "addr:a")
+	b := New("b", 3, clk.now, "addr:b")
+	c := New("c", 3, clk.now, "addr:c")
+	b.ProcessReq("c", reqFrom(c))
+	a.ProcessReq("b", reqFrom(b))
+	a.ProcessReq("b", reqFrom(b))
+	data, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New("a", 3, clk.now, "addr:a")
+	if err := restored.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.OwnRow(), restored.OwnRow()) {
+		t.Errorf("row mismatch: %v vs %v", a.OwnRow(), restored.OwnRow())
+	}
+	if !reflect.DeepEqual(a.homes, restored.homes) {
+		t.Errorf("homes mismatch: %v vs %v", a.homes, restored.homes)
+	}
+	// Path costs computed from restored state match the original.
+	want := a.PathCost("addr:c")
+	got := restored.PathCost("addr:c")
+	if math.IsInf(want, 1) != math.IsInf(got, 1) ||
+		(!math.IsInf(want, 1) && math.Abs(want-got) > 1e-12) {
+		t.Errorf("path cost after restore = %v, want %v", got, want)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	clk := &simClock{}
+	p := New("a", 3, clk.now)
+	if err := p.RestoreState([]byte{0x01, 0x02}); err == nil {
+		t.Error("garbage state should fail to restore")
+	}
+}
+
+func TestRestoreEmptyState(t *testing.T) {
+	clk := &simClock{}
+	a := New("a", 3, clk.now)
+	data, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New("a", 3, clk.now)
+	if err := restored.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.OwnRow()) != 0 || len(restored.homes) != 0 {
+		t.Error("empty snapshot should restore to empty state")
+	}
+	// Maps must be usable (non-nil) after restoring an empty snapshot.
+	restored.ProcessReq("b", reqFrom(New("b", 3, clk.now, "addr:b")))
+	if len(restored.OwnRow()) != 1 {
+		t.Error("restored policy unusable after empty snapshot")
+	}
+}

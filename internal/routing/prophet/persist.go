@@ -1,0 +1,62 @@
+package prophet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"replidtn/internal/vclock"
+)
+
+// stateDoc is the serializable form of the policy's durable routing state:
+// the delivery-predictability vector, its aging watermark, and the cached
+// partner vectors.
+type stateDoc struct {
+	Predictability map[string]float64
+	LastAged       int64
+	Partners       map[vclock.ReplicaID]map[string]float64
+}
+
+// SnapshotState implements routing.Persistent.
+func (p *Policy) SnapshotState() ([]byte, error) {
+	p.age()
+	doc := stateDoc{
+		Predictability: make(map[string]float64, len(p.p)),
+		LastAged:       p.lastAged,
+		Partners:       make(map[vclock.ReplicaID]map[string]float64, len(p.partners.vectors)),
+	}
+	for d, v := range p.p {
+		doc.Predictability[d] = v
+	}
+	for id, vec := range p.partners.vectors {
+		cp := make(map[string]float64, len(vec))
+		for d, v := range vec {
+			cp[d] = v
+		}
+		doc.Partners[id] = cp
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(doc); err != nil {
+		return nil, fmt.Errorf("prophet: snapshot state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements routing.Persistent.
+func (p *Policy) RestoreState(data []byte) error {
+	var doc stateDoc
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&doc); err != nil {
+		return fmt.Errorf("prophet: restore state: %w", err)
+	}
+	p.p = doc.Predictability
+	if p.p == nil {
+		p.p = make(map[string]float64)
+	}
+	p.lastAged = doc.LastAged
+	// A snapshot taken long ago must age forward, not backward.
+	if now := p.now(); p.lastAged > now {
+		p.lastAged = now
+	}
+	p.partners = partnerCache{vectors: doc.Partners}
+	return nil
+}

@@ -1,0 +1,104 @@
+package prophet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	clk := &simClock{}
+	a := newPolicy(clk, "addr:a")
+	b := newPolicy(clk, "addr:b")
+	c := newPolicy(clk, "addr:c")
+	b.ProcessReq("c", reqFrom(c))
+	a.ProcessReq("b", reqFrom(b))
+	data, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newPolicy(clk, "addr:a")
+	if err := restored.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Vector(), restored.Vector()) {
+		t.Errorf("vector mismatch: %v vs %v", a.Vector(), restored.Vector())
+	}
+	// The cached partner vectors must survive too: ToSend works right away.
+	if got := restored.partners.get("b"); got == nil {
+		t.Error("partner cache lost through snapshot")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	clk := &simClock{}
+	p := newPolicy(clk, "addr:a")
+	if err := p.RestoreState([]byte("not gob")); err == nil {
+		t.Error("garbage state should fail to restore")
+	}
+}
+
+func TestRestoreClampsFutureWatermark(t *testing.T) {
+	clk := &simClock{t: 1000}
+	a := newPolicy(clk, "addr:a")
+	b := newPolicy(clk, "addr:b")
+	a.ProcessReq("b", reqFrom(b))
+	data, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a policy whose clock is behind the snapshot's watermark;
+	// aging must not run backwards (negative elapsed time).
+	past := &simClock{t: 0}
+	restored := New(DefaultParams(), past.now, "addr:a")
+	if err := restored.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.lastAged > 0 {
+		t.Errorf("watermark %d not clamped to current time", restored.lastAged)
+	}
+	// Aging forward afterwards still works.
+	past.t = 10 * DefaultParams().AgingUnit
+	if v := restored.Predictability("addr:b"); v <= 0 || v >= 0.75 {
+		t.Errorf("aged predictability = %v, want in (0, 0.75)", v)
+	}
+}
+
+func TestRestoreEmptyState(t *testing.T) {
+	clk := &simClock{}
+	a := newPolicy(clk, "addr:a")
+	data, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newPolicy(clk, "addr:x")
+	if err := restored.RestoreState(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Vector()) != 0 {
+		t.Error("empty snapshot should restore to empty state")
+	}
+}
+
+func TestNameAndDestinationsKnown(t *testing.T) {
+	clk := &simClock{}
+	p := newPolicy(clk, "addr:a")
+	if p.Name() != "prophet" {
+		t.Error("wrong name")
+	}
+	b := newPolicy(clk, "addr:b")
+	c := newPolicy(clk, "addr:c")
+	p.ProcessReq("c", reqFrom(c))
+	p.ProcessReq("b", reqFrom(b))
+	got := p.DestinationsKnown()
+	if len(got) < 2 || got[0] > got[1] {
+		t.Errorf("DestinationsKnown = %v, want sorted destinations", got)
+	}
+}
+
+func TestNewDefaultsAgingUnit(t *testing.T) {
+	clk := &simClock{}
+	p := New(Params{PInit: 0.5, Beta: 0.2, Gamma: 0.9}, clk.now)
+	if p.params.AgingUnit != DefaultParams().AgingUnit {
+		t.Errorf("AgingUnit = %d, want default", p.params.AgingUnit)
+	}
+}

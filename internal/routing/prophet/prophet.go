@@ -1,0 +1,294 @@
+// Package prophet implements PROPHET (Lindgren, Doria, Schelén — Probabilistic
+// Routing in Intermittently Connected Networks) as a replication routing
+// policy.
+//
+// Each node maintains a delivery predictability P(self, d) ∈ [0, 1] for every
+// destination d it has heard of. Predictabilities increase on direct
+// encounters, age down exponentially while nodes stay apart, and propagate
+// transitively: meeting a node that meets d often raises our own
+// predictability for d. A message is forwarded to a synchronization partner
+// only when the partner's predictability for the message's destination
+// exceeds our own.
+//
+// The partner's predictability vector arrives as routing state on the sync
+// request (GenerateReq/ProcessReq), exactly as the paper's §V.C.3 describes;
+// duplicate suppression comes for free from the substrate's knowledge.
+package prophet
+
+import (
+	"math"
+	"sort"
+
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// Strategy selects the forwarding/queueing variant from the PROPHET
+// Internet-Draft. All variants share the GRTR predicate — forward only when
+// the partner's delivery predictability exceeds ours — and differ in how
+// eligible messages are ordered when bandwidth is scarce.
+type Strategy int
+
+const (
+	// GRTRSort orders eligible messages by the predictability margin
+	// P(B,D) − P(A,D), largest first (the default).
+	GRTRSort Strategy = iota
+	// GRTR uses no predictability ordering (stable store order).
+	GRTR
+	// GRTRMax orders eligible messages by the partner's absolute
+	// predictability P(B,D), largest first.
+	GRTRMax
+)
+
+// String renders the strategy name.
+func (st Strategy) String() string {
+	switch st {
+	case GRTR:
+		return "GRTR"
+	case GRTRMax:
+		return "GRTRMax"
+	default:
+		return "GRTRSort"
+	}
+}
+
+// Params are the PROPHET protocol constants. The defaults are the paper's
+// Table II values.
+type Params struct {
+	// PInit is the predictability boost applied on a direct encounter.
+	PInit float64
+	// Beta scales transitive predictability propagation.
+	Beta float64
+	// Gamma is the per-time-unit aging factor.
+	Gamma float64
+	// AgingUnit is the length of one aging time unit in seconds.
+	AgingUnit int64
+	// Strategy selects the queueing variant (default GRTRSort).
+	Strategy Strategy
+}
+
+// DefaultParams returns the paper's Table II parameters (P_init = 0.75,
+// β = 0.25, γ = 0.98) with a 30-second aging unit. The aging granularity is
+// fixed by neither paper; 30 seconds makes predictability decay within hours
+// of an encounter, which reproduces the selective (non-flooding) forwarding
+// the paper observes for PROPHET on DieselNet.
+func DefaultParams() Params {
+	return Params{PInit: 0.75, Beta: 0.25, Gamma: 0.98, AgingUnit: 30}
+}
+
+// Request is the routing state piggybacked on sync requests: the target's
+// delivery-predictability vector, keyed by destination address, plus the
+// addresses the target identifies as (the endpoints homed on it).
+type Request struct {
+	// From is the requesting node.
+	From vclock.ReplicaID
+	// OwnAddresses are the endpoint addresses homed on the requester; the
+	// receiver boosts its direct predictability for them.
+	OwnAddresses []string
+	// Predictability maps destination address → P(requester, destination).
+	Predictability map[string]float64
+}
+
+// Policy is the PROPHET policy attached to one replica. The owning replica
+// serializes calls; the emulator advances the clock between encounters.
+type Policy struct {
+	params Params
+	now    func() int64
+	// ownAddresses are the endpoint addresses homed on this node (kept
+	// current by the application as endpoints move).
+	ownAddresses []string
+	// p maps destination address → delivery predictability.
+	p map[string]float64
+	// lastAged is the time of the most recent aging pass.
+	lastAged int64
+	// partners caches the latest vector received from each sync partner.
+	partners partnerCache
+}
+
+// New creates a PROPHET policy. now supplies the current time in seconds
+// (simulation or wall clock); ownAddresses are the endpoint addresses homed
+// on this node.
+func New(params Params, now func() int64, ownAddresses ...string) *Policy {
+	if params.AgingUnit <= 0 {
+		params.AgingUnit = DefaultParams().AgingUnit
+	}
+	return &Policy{
+		params:       params,
+		now:          now,
+		ownAddresses: append([]string(nil), ownAddresses...),
+		p:            make(map[string]float64),
+		lastAged:     now(),
+	}
+}
+
+// Name implements routing.Policy.
+func (*Policy) Name() string { return "prophet" }
+
+// SetOwnAddresses updates the endpoint addresses homed on this node.
+func (p *Policy) SetOwnAddresses(addrs ...string) {
+	p.ownAddresses = append(p.ownAddresses[:0], addrs...)
+}
+
+// Predictability returns P(self, dest) after aging.
+func (p *Policy) Predictability(dest string) float64 {
+	p.age()
+	return p.p[dest]
+}
+
+// Vector returns a copy of the aged predictability vector.
+func (p *Policy) Vector() map[string]float64 {
+	p.age()
+	out := make(map[string]float64, len(p.p))
+	for d, v := range p.p {
+		out[d] = v
+	}
+	return out
+}
+
+// GenerateReq implements routing.Policy: ship the aged predictability vector
+// and our homed addresses.
+func (p *Policy) GenerateReq() routing.Request {
+	return &Request{
+		OwnAddresses:   append([]string(nil), p.ownAddresses...),
+		Predictability: p.Vector(),
+	}
+}
+
+// ProcessReq implements routing.Policy: store the partner's vector for use by
+// ToSend and update our own predictabilities — the direct boost for the
+// addresses homed on the partner and the transitive update through the
+// partner's vector. Because each encounter runs one sync in each direction,
+// this fires exactly once per encounter per node.
+func (p *Policy) ProcessReq(from vclock.ReplicaID, req routing.Request) {
+	r, ok := req.(*Request)
+	if !ok || r == nil {
+		return
+	}
+	p.age()
+	// Direct encounter boost: P(a,b) += (1 - P(a,b)) * P_init for every
+	// address homed on the encountered node.
+	for _, addr := range r.OwnAddresses {
+		old := p.p[addr]
+		p.p[addr] = old + (1-old)*p.params.PInit
+	}
+	// Transitivity: P(a,c) = max(P(a,c), P(a,b) * P(b,c) * beta), where b is
+	// the encountered node. P(a,b) is the maximum over b's homed addresses.
+	pab := 0.0
+	for _, addr := range r.OwnAddresses {
+		if v := p.p[addr]; v > pab {
+			pab = v
+		}
+	}
+	for dest, pbc := range r.Predictability {
+		if p.ownAddress(dest) {
+			continue
+		}
+		if v := pab * pbc * p.params.Beta; v > p.p[dest] {
+			p.p[dest] = v
+		}
+	}
+	p.partners.store(from, r.Predictability)
+}
+
+func (p *Policy) ownAddress(addr string) bool {
+	for _, a := range p.ownAddresses {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// partners caches the most recent predictability vector seen from each
+// encounter partner, consulted by ToSend.
+type partnerCache struct {
+	vectors map[vclock.ReplicaID]map[string]float64
+}
+
+func (c *partnerCache) store(id vclock.ReplicaID, vec map[string]float64) {
+	if c.vectors == nil {
+		c.vectors = make(map[vclock.ReplicaID]map[string]float64)
+	}
+	cp := make(map[string]float64, len(vec))
+	for d, v := range vec {
+		cp[d] = v
+	}
+	c.vectors[id] = cp
+}
+
+func (c *partnerCache) get(id vclock.ReplicaID) map[string]float64 {
+	return c.vectors[id]
+}
+
+// ToSend implements routing.Policy: forward a message when the target's
+// delivery predictability for any of the message's destinations exceeds ours
+// (the GRTR predicate), with queue order given by the configured strategy —
+// the cost is negated so stronger candidates transmit earlier in the class.
+func (p *Policy) ToSend(e *store.Entry, target routing.Target) (routing.Priority, item.Transient) {
+	vec := p.partners.get(target.ID)
+	if vec == nil {
+		return routing.Skip, nil
+	}
+	p.age()
+	bestMargin := math.Inf(-1)
+	bestTheirs := math.Inf(-1)
+	send := false
+	for _, dest := range e.Item.Meta.Destinations {
+		theirs, ours := vec[dest], p.p[dest]
+		if theirs > ours {
+			send = true
+			if margin := theirs - ours; margin > bestMargin {
+				bestMargin = margin
+			}
+			if theirs > bestTheirs {
+				bestTheirs = theirs
+			}
+		}
+	}
+	if !send {
+		return routing.Skip, nil
+	}
+	switch p.params.Strategy {
+	case GRTR:
+		return routing.Priority{Class: routing.ClassNormal}, nil
+	case GRTRMax:
+		return routing.Priority{Class: routing.ClassNormal, Cost: -bestTheirs}, nil
+	default: // GRTRSort
+		return routing.Priority{Class: routing.ClassNormal, Cost: -bestMargin}, nil
+	}
+}
+
+// age applies exponential decay for the elapsed whole aging units:
+// P = P * gamma^k.
+func (p *Policy) age() {
+	now := p.now()
+	elapsed := now - p.lastAged
+	if elapsed < p.params.AgingUnit {
+		return
+	}
+	k := elapsed / p.params.AgingUnit
+	factor := math.Pow(p.params.Gamma, float64(k))
+	for d, v := range p.p {
+		nv := v * factor
+		if nv < 1e-9 {
+			delete(p.p, d)
+			continue
+		}
+		p.p[d] = nv
+	}
+	p.lastAged += k * p.params.AgingUnit
+}
+
+// DestinationsKnown returns the aged vector's destinations in sorted order
+// (primarily for tests and debugging output).
+func (p *Policy) DestinationsKnown() []string {
+	p.age()
+	out := make([]string, 0, len(p.p))
+	for d := range p.p {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,140 @@
+// Package routing defines the pluggable DTN routing-policy interface that
+// extends the replication substrate with multi-hop forwarding, following the
+// paper's IDTNPolicy design (Fig. 3): a policy contributes routing state to
+// outgoing synchronization requests (GenerateReq), digests the state carried
+// by incoming requests (ProcessReq), and decides — per stored item — whether
+// and with what priority to forward items that do not match the
+// synchronization target's filter (ToSend).
+package routing
+
+import (
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// Class is the coarse priority band of a batch item. Higher classes are
+// transmitted earlier. ClassFilter is reserved for items that match the
+// target's filter — messages addressed directly to the sync partner always
+// go first.
+type Class int
+
+// Priority classes, lowest to highest.
+const (
+	ClassSkip Class = iota // do not send
+	ClassLowest
+	ClassLow
+	ClassNormal
+	ClassHigh
+	ClassHighest
+	ClassFilter // matches the target's filter; reserved for the substrate
+)
+
+var classNames = map[Class]string{
+	ClassSkip:    "skip",
+	ClassLowest:  "lowest",
+	ClassLow:     "low",
+	ClassNormal:  "normal",
+	ClassHigh:    "high",
+	ClassHighest: "highest",
+	ClassFilter:  "filter",
+}
+
+// String renders the class name.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Priority orders items within a synchronization batch: by Class, highest
+// first, then by Cost, lowest first, as the paper's priority model specifies
+// ("a class value ranging from lowest to highest, and a real-valued cost to
+// break ties inside a class").
+type Priority struct {
+	Class Class
+	Cost  float64
+}
+
+// Skip is the priority returned by ToSend to exclude an item from the batch.
+var Skip = Priority{Class: ClassSkip}
+
+// Before reports whether p should be transmitted before q.
+func (p Priority) Before(q Priority) bool {
+	if p.Class != q.Class {
+		return p.Class > q.Class
+	}
+	return p.Cost < q.Cost
+}
+
+// Target describes the synchronization target (the replica that issued the
+// request) to a forwarding decision.
+type Target struct {
+	ID     vclock.ReplicaID
+	Filter filter.Filter
+}
+
+// Request is opaque, policy-specific routing state piggybacked on a
+// synchronization request — e.g. PROPHET's delivery-predictability vector or
+// MaxProp's meeting-probability table. A nil Request is valid and means the
+// policy has nothing to say.
+type Request any
+
+// Policy is a pluggable DTN forwarding policy attached to one replica. The
+// substrate invokes it at the three points of the extended sync protocol
+// (paper Fig. 4). Implementations may keep per-replica persistent state; the
+// owning replica serializes calls, so implementations need no internal
+// locking unless shared across replicas.
+type Policy interface {
+	// Name identifies the policy (e.g. "epidemic").
+	Name() string
+	// GenerateReq is called when this replica initiates a synchronization
+	// (acts as target); its return value travels in the request.
+	GenerateReq() Request
+	// ProcessReq is called when this replica receives a synchronization
+	// request (acts as source), with the requesting replica's ID and the
+	// routing state it sent. Policies typically fold the state into their
+	// local tables here; since each encounter performs one sync in each
+	// direction, ProcessReq fires exactly once per replica per encounter.
+	ProcessReq(from vclock.ReplicaID, req Request)
+	// ToSend decides whether to forward a stored item that does NOT match
+	// the target's filter, returning its transmission priority (Skip to
+	// withhold) and the transient metadata to attach to the transmitted
+	// copy; returning a nil Transient transmits a clone of the stored one.
+	// ToSend may mutate the entry's stored transient state (e.g. halve a
+	// copy allowance) — such mutations never create new item versions.
+	ToSend(e *store.Entry, target Target) (Priority, item.Transient)
+}
+
+// Persistent is implemented by policies that keep durable routing state —
+// the paper's requirement that "DTN routing policies can define persistent
+// data structures which are serialized to disk and retrieved whenever a
+// synchronization operation is invoked". Stateless policies (Epidemic, Spray
+// and Wait — whose state lives in per-item transients) need not implement
+// it.
+type Persistent interface {
+	// SnapshotState serializes the policy's routing state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the policy's routing state from a snapshot.
+	RestoreState(data []byte) error
+}
+
+// Nop is the no-op policy: it forwards nothing, reducing the substrate to
+// basic filtered replication (messages travel only sender→destination).
+type Nop struct{}
+
+// Name implements Policy.
+func (Nop) Name() string { return "none" }
+
+// GenerateReq implements Policy.
+func (Nop) GenerateReq() Request { return nil }
+
+// ProcessReq implements Policy.
+func (Nop) ProcessReq(vclock.ReplicaID, Request) {}
+
+// ToSend implements Policy.
+func (Nop) ToSend(*store.Entry, Target) (Priority, item.Transient) {
+	return Skip, nil
+}

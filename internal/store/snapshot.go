@@ -1,0 +1,67 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"replidtn/internal/item"
+)
+
+// EntrySnapshot is the serializable form of one stored entry, including the
+// arrival order that drives FIFO eviction.
+type EntrySnapshot struct {
+	Item      *item.Item
+	Transient item.Transient
+	Relay     bool
+	Local     bool
+	Arrival   uint64
+}
+
+// Snapshot captures every entry in deterministic order together with the
+// arrival counter, for durable persistence.
+func (s *Store) Snapshot() ([]EntrySnapshot, uint64) {
+	out := make([]EntrySnapshot, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, EntrySnapshot{
+			Item:      e.Item.Clone(),
+			Transient: e.Transient.Clone(),
+			Relay:     e.Relay,
+			Local:     e.Local,
+			Arrival:   e.arrival,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].Item.ID, out[j].Item.ID) })
+	return out, s.nextArrival
+}
+
+// Restore replaces the store's contents from a snapshot. It fails if the
+// snapshot violates the arrival counter or duplicates an item ID; on failure
+// the store is left unchanged.
+func (s *Store) Restore(entries []EntrySnapshot, nextArrival uint64) error {
+	fresh := make(map[item.ID]*Entry, len(entries))
+	for _, es := range entries {
+		if es.Item == nil {
+			return fmt.Errorf("store: snapshot entry without item")
+		}
+		if _, dup := fresh[es.Item.ID]; dup {
+			return fmt.Errorf("store: duplicate snapshot entry %s", es.Item.ID)
+		}
+		if es.Arrival > nextArrival {
+			return fmt.Errorf("store: snapshot arrival %d beyond counter %d", es.Arrival, nextArrival)
+		}
+		relay := es.Relay
+		if es.Local {
+			relay = false
+		}
+		fresh[es.Item.ID] = &Entry{
+			Item:      es.Item.Clone(),
+			Transient: es.Transient.Clone(),
+			Relay:     relay,
+			Local:     es.Local,
+			arrival:   es.Arrival,
+		}
+	}
+	s.entries = fresh
+	s.nextArrival = nextArrival
+	return nil
+}

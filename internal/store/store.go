@@ -1,0 +1,233 @@
+// Package store implements a replica's local item store: the latest version
+// of every logical item the replica holds, including tombstones for deleted
+// items, together with per-copy transient routing metadata.
+//
+// Entries divide into two partitions. In-filter entries match the replica's
+// own filter (for the messaging application: messages addressed to it).
+// Relay entries do not match the filter and are held only to be forwarded on
+// behalf of others — the generalization of the Cimbiosys push-out store that
+// the paper's DTN extension relies on. Storage limits and FIFO eviction apply
+// exclusively to relay entries, matching the paper's storage-constrained
+// experiments, which exempt messages for which the node is the sender or a
+// destination.
+package store
+
+import (
+	"sort"
+
+	"replidtn/internal/item"
+)
+
+// Entry is one stored copy of an item plus its host-local state.
+type Entry struct {
+	// Item is the latest known version of the logical item.
+	Item *item.Item
+	// Transient is host-specific routing metadata for this copy; it never
+	// replicates and mutating it never changes the item's version.
+	Transient item.Transient
+	// Relay marks entries held only for forwarding (they do not match the
+	// replica's filter). Relay entries are subject to capacity eviction.
+	Relay bool
+	// Local marks entries created by this replica. Local entries are never
+	// relay entries: a sender keeps its own messages regardless of filter
+	// and storage pressure, matching the paper's storage-constraint rule.
+	Local bool
+	// arrival is the store-local arrival sequence used for FIFO eviction.
+	arrival uint64
+}
+
+// Arrival returns the entry's arrival order within the store (earlier is
+// smaller).
+func (e *Entry) Arrival() uint64 { return e.arrival }
+
+// EvictionStrategy orders relay entries for eviction when the store exceeds
+// its relay capacity. Less reports whether a should be evicted before b.
+type EvictionStrategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Less reports whether entry a should be evicted before entry b.
+	Less(a, b *Entry) bool
+}
+
+// FIFO evicts the oldest relay entry first — the strategy the paper's
+// storage-constrained experiments use.
+type FIFO struct{}
+
+// Name implements EvictionStrategy.
+func (FIFO) Name() string { return "fifo" }
+
+// Less implements EvictionStrategy.
+func (FIFO) Less(a, b *Entry) bool { return a.arrival < b.arrival }
+
+// EvictByCost evicts the relay entry with the highest transient cost field
+// first (ties broken FIFO). MaxProp's buffer management uses this shape:
+// messages least likely to be delivered (highest path cost) are dropped
+// first.
+type EvictByCost struct {
+	// Field is the transient field holding the cost (higher = evict first).
+	Field string
+}
+
+// Name implements EvictionStrategy.
+func (e EvictByCost) Name() string { return "cost(" + e.Field + ")" }
+
+// Less implements EvictionStrategy.
+func (e EvictByCost) Less(a, b *Entry) bool {
+	ca, okA := a.Transient.Get(e.Field)
+	cb, okB := b.Transient.Get(e.Field)
+	switch {
+	case okA && okB && ca != cb:
+		return ca > cb
+	case okA != okB:
+		// Entries without a cost stay longest: nothing is known against them.
+		return okA
+	default:
+		return a.arrival < b.arrival
+	}
+}
+
+// Store holds a replica's entries. The zero value is not usable; call New.
+// Store is not safe for concurrent use; the owning replica serializes access.
+type Store struct {
+	entries map[item.ID]*Entry
+	// relayCapacity bounds the number of live (non-tombstone) relay entries;
+	// <= 0 means unlimited.
+	relayCapacity int
+	eviction      EvictionStrategy
+	nextArrival   uint64
+}
+
+// New creates an empty store. relayCapacity bounds the number of live relay
+// entries (<= 0 for unlimited); when the bound is exceeded the oldest relay
+// entry is evicted first (FIFO). Use NewWithEviction for other strategies.
+func New(relayCapacity int) *Store {
+	return NewWithEviction(relayCapacity, FIFO{})
+}
+
+// NewWithEviction creates an empty store with an explicit eviction strategy.
+func NewWithEviction(relayCapacity int, eviction EvictionStrategy) *Store {
+	if eviction == nil {
+		eviction = FIFO{}
+	}
+	return &Store{
+		entries:       make(map[item.ID]*Entry),
+		relayCapacity: relayCapacity,
+		eviction:      eviction,
+	}
+}
+
+// RelayCapacity returns the configured relay bound (<= 0 means unlimited).
+func (s *Store) RelayCapacity() int { return s.relayCapacity }
+
+// Get returns the entry for the given item ID, or nil.
+func (s *Store) Get(id item.ID) *Entry { return s.entries[id] }
+
+// Len returns the total number of entries, including tombstones.
+func (s *Store) Len() int { return len(s.entries) }
+
+// LiveLen returns the number of non-tombstone entries.
+func (s *Store) LiveLen() int {
+	n := 0
+	for _, e := range s.entries {
+		if !e.Item.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// RelayLen returns the number of live relay entries (the population the
+// capacity bound applies to).
+func (s *Store) RelayLen() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.Relay && !e.Item.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Put inserts or replaces the entry for it.ID and returns the entries evicted
+// to respect the relay capacity (possibly including the one just inserted,
+// though FIFO order makes that unlikely in practice). The item is stored as
+// given; callers pass clones when they need isolation. Local entries are
+// never treated as relay entries.
+func (s *Store) Put(it *item.Item, transient item.Transient, relay, local bool) []*Entry {
+	prev := s.entries[it.ID]
+	if local {
+		relay = false
+	}
+	e := &Entry{Item: it, Transient: transient, Relay: relay, Local: local}
+	if prev != nil {
+		// Replacing a known item keeps its arrival slot: an updated relay
+		// entry does not move to the back of the FIFO queue.
+		e.arrival = prev.arrival
+	} else {
+		s.nextArrival++
+		e.arrival = s.nextArrival
+	}
+	s.entries[it.ID] = e
+	return s.evictOverflow()
+}
+
+// Remove deletes the entry outright (used when applying tombstones where no
+// forwarding obligation remains). It returns the removed entry, or nil.
+func (s *Store) Remove(id item.ID) *Entry {
+	e := s.entries[id]
+	if e != nil {
+		delete(s.entries, id)
+	}
+	return e
+}
+
+// evictOverflow enforces the relay capacity, evicting oldest-first.
+func (s *Store) evictOverflow() []*Entry {
+	if s.relayCapacity <= 0 {
+		return nil
+	}
+	over := s.RelayLen() - s.relayCapacity
+	if over <= 0 {
+		return nil
+	}
+	relays := make([]*Entry, 0, s.RelayLen())
+	for _, e := range s.entries {
+		if e.Relay && !e.Item.Deleted {
+			relays = append(relays, e)
+		}
+	}
+	sort.Slice(relays, func(i, j int) bool { return s.eviction.Less(relays[i], relays[j]) })
+	evicted := relays[:over]
+	for _, e := range evicted {
+		delete(s.entries, e.Item.ID)
+	}
+	return evicted
+}
+
+// Entries returns all entries in deterministic (item ID) order. The slice is
+// freshly allocated; entries are shared.
+func (s *Store) Entries() []*Entry {
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].Item.ID, out[j].Item.ID) })
+	return out
+}
+
+// Range calls fn for every entry in deterministic order until fn returns
+// false.
+func (s *Store) Range(fn func(*Entry) bool) {
+	for _, e := range s.Entries() {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+func lessID(a, b item.ID) bool {
+	if a.Creator != b.Creator {
+		return a.Creator < b.Creator
+	}
+	return a.Num < b.Num
+}

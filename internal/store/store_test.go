@@ -1,0 +1,242 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/vclock"
+)
+
+func mkItem(creator string, num uint64) *item.Item {
+	return &item.Item{
+		ID:      item.ID{Creator: vclock.ReplicaID(creator), Num: num},
+		Version: vclock.Version{Replica: vclock.ReplicaID(creator), Seq: num},
+		Meta:    item.Metadata{Kind: "message"},
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New(0)
+	it := mkItem("a", 1)
+	if ev := s.Put(it, nil, false, false); len(ev) != 0 {
+		t.Fatalf("unexpected eviction: %v", ev)
+	}
+	e := s.Get(it.ID)
+	if e == nil || e.Item != it {
+		t.Fatal("Get should return the stored entry")
+	}
+	if s.Len() != 1 || s.LiveLen() != 1 || s.RelayLen() != 0 {
+		t.Errorf("counts = %d/%d/%d", s.Len(), s.LiveLen(), s.RelayLen())
+	}
+}
+
+func TestPutReplaceKeepsArrival(t *testing.T) {
+	s := New(0)
+	s.Put(mkItem("a", 1), nil, true, false)
+	first := s.Get(item.ID{Creator: "a", Num: 1}).Arrival()
+	s.Put(mkItem("b", 1), nil, true, false)
+	s.Put(mkItem("a", 1), nil, true, false) // replace
+	if got := s.Get(item.ID{Creator: "a", Num: 1}).Arrival(); got != first {
+		t.Errorf("replacement moved arrival %d -> %d", first, got)
+	}
+}
+
+func TestRelayFIFOEviction(t *testing.T) {
+	s := New(2)
+	e1, e2, e3 := mkItem("a", 1), mkItem("a", 2), mkItem("a", 3)
+	s.Put(e1, nil, true, false)
+	s.Put(e2, nil, true, false)
+	evicted := s.Put(e3, nil, true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != e1.ID {
+		t.Fatalf("expected FIFO eviction of oldest relay, got %v", evicted)
+	}
+	if s.Get(e1.ID) != nil {
+		t.Error("evicted entry still present")
+	}
+	if s.RelayLen() != 2 {
+		t.Errorf("RelayLen = %d, want 2", s.RelayLen())
+	}
+}
+
+func TestEvictionSparesInFilterEntries(t *testing.T) {
+	s := New(1)
+	own := mkItem("me", 1)
+	s.Put(own, nil, false, false) // in-filter: sender/destination copy
+	r1, r2 := mkItem("a", 1), mkItem("a", 2)
+	s.Put(r1, nil, true, false)
+	evicted := s.Put(r2, nil, true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != r1.ID {
+		t.Fatalf("expected relay r1 evicted, got %v", evicted)
+	}
+	if s.Get(own.ID) == nil {
+		t.Error("in-filter entry must never be evicted")
+	}
+}
+
+func TestEvictionIgnoresTombstones(t *testing.T) {
+	s := New(1)
+	dead := mkItem("a", 1)
+	dead.Deleted = true
+	s.Put(dead, nil, true, false)
+	live := mkItem("a", 2)
+	if ev := s.Put(live, nil, true, false); len(ev) != 0 {
+		t.Fatalf("tombstones must not count toward capacity, evicted %v", ev)
+	}
+	if s.RelayLen() != 1 {
+		t.Errorf("RelayLen = %d, want 1 (tombstone excluded)", s.RelayLen())
+	}
+	if s.LiveLen() != 1 {
+		t.Errorf("LiveLen = %d, want 1", s.LiveLen())
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	s := New(0)
+	for i := uint64(1); i <= 100; i++ {
+		if ev := s.Put(mkItem("a", i), nil, true, false); len(ev) != 0 {
+			t.Fatal("unlimited store must never evict")
+		}
+	}
+	if s.RelayLen() != 100 {
+		t.Errorf("RelayLen = %d", s.RelayLen())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New(0)
+	it := mkItem("a", 1)
+	s.Put(it, nil, false, false)
+	if e := s.Remove(it.ID); e == nil || e.Item != it {
+		t.Error("Remove should return the removed entry")
+	}
+	if s.Remove(it.ID) != nil {
+		t.Error("second Remove should return nil")
+	}
+	if s.Len() != 0 {
+		t.Error("store should be empty after Remove")
+	}
+}
+
+func TestEntriesDeterministicOrder(t *testing.T) {
+	s := New(0)
+	s.Put(mkItem("b", 1), nil, false, false)
+	s.Put(mkItem("a", 2), nil, false, false)
+	s.Put(mkItem("a", 1), nil, false, false)
+	got := s.Entries()
+	want := []string{"a/1", "a/2", "b/1"}
+	for i, e := range got {
+		if e.Item.ID.String() != want[i] {
+			t.Errorf("Entries()[%d] = %s, want %s", i, e.Item.ID, want[i])
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := New(0)
+	for i := uint64(1); i <= 5; i++ {
+		s.Put(mkItem("a", i), nil, false, false)
+	}
+	n := 0
+	s.Range(func(*Entry) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Range visited %d entries, want 3", n)
+	}
+}
+
+func TestEvictionEnforcedOnEveryPut(t *testing.T) {
+	// Flipping in-filter entries to relay raises the relay population; each
+	// Put must restore the invariant immediately, oldest relay first.
+	s := New(1)
+	a, b, c := mkItem("a", 1), mkItem("a", 2), mkItem("a", 3)
+	s.Put(a, nil, true, false)
+	s.Put(b, nil, false, false)
+	s.Put(c, nil, false, false)
+	if ev := s.Put(b, nil, true, false); len(ev) != 1 || ev[0].Item.ID != a.ID {
+		t.Fatalf("expected eviction of a, got %v", ev)
+	}
+	if ev := s.Put(c, nil, true, false); len(ev) != 1 || ev[0].Item.ID != b.ID {
+		t.Fatalf("expected eviction of b, got %v", ev)
+	}
+	if s.RelayLen() != 1 {
+		t.Errorf("RelayLen = %d, want 1", s.RelayLen())
+	}
+}
+
+func TestEvictByCostPrefersHighestCost(t *testing.T) {
+	s := NewWithEviction(2, EvictByCost{Field: item.FieldHops})
+	cheap := mkItem("a", 1)
+	costly := mkItem("a", 2)
+	s.Put(cheap, item.Transient{}.Set(item.FieldHops, 1), true, false)
+	s.Put(costly, item.Transient{}.Set(item.FieldHops, 9), true, false)
+	third := mkItem("a", 3)
+	evicted := s.Put(third, item.Transient{}.Set(item.FieldHops, 2), true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != costly.ID {
+		t.Fatalf("expected highest-cost eviction, got %v", evicted)
+	}
+	if s.Get(cheap.ID) == nil || s.Get(third.ID) == nil {
+		t.Error("low-cost entries should survive")
+	}
+}
+
+func TestEvictByCostMissingFieldStaysLongest(t *testing.T) {
+	s := NewWithEviction(1, EvictByCost{Field: item.FieldHops})
+	unknown := mkItem("a", 1)
+	s.Put(unknown, nil, true, false)
+	known := mkItem("a", 2)
+	evicted := s.Put(known, item.Transient{}.Set(item.FieldHops, 1), true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != known.ID {
+		t.Fatalf("costed entry should go before uncosted, got %v", evicted)
+	}
+}
+
+func TestEvictByCostTieBreaksFIFO(t *testing.T) {
+	s := NewWithEviction(1, EvictByCost{Field: item.FieldHops})
+	first := mkItem("a", 1)
+	second := mkItem("a", 2)
+	s.Put(first, item.Transient{}.Set(item.FieldHops, 3), true, false)
+	evicted := s.Put(second, item.Transient{}.Set(item.FieldHops, 3), true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != first.ID {
+		t.Fatalf("equal cost should evict FIFO, got %v", evicted)
+	}
+}
+
+func TestEvictionStrategyNames(t *testing.T) {
+	if (FIFO{}).Name() != "fifo" {
+		t.Error("FIFO name")
+	}
+	if (EvictByCost{Field: "hops"}).Name() != "cost(hops)" {
+		t.Error("EvictByCost name")
+	}
+}
+
+func TestNewWithNilEvictionDefaultsFIFO(t *testing.T) {
+	s := NewWithEviction(1, nil)
+	a, b := mkItem("a", 1), mkItem("a", 2)
+	s.Put(a, nil, true, false)
+	evicted := s.Put(b, nil, true, false)
+	if len(evicted) != 1 || evicted[0].Item.ID != a.ID {
+		t.Fatalf("nil strategy should behave as FIFO, got %v", evicted)
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	s := New(0)
+	for i := 0; i < b.N; i++ {
+		s.Put(mkItem("a", uint64(i+1)), nil, i%2 == 0, false)
+	}
+}
+
+func BenchmarkStoreEntries(b *testing.B) {
+	s := New(0)
+	for i := uint64(1); i <= 500; i++ {
+		s.Put(mkItem(fmt.Sprintf("r%d", i%7), i), nil, false, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Entries()
+	}
+}

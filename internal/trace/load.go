@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Standard file names inside a trace directory (the format cmd/tracegen
+// writes and real converted traces should follow).
+const (
+	EncountersFile  = "encounters.csv"
+	MessagesFile    = "messages.csv"
+	AssignmentsFile = "assignments.csv"
+)
+
+// LoadDir reads a complete trace from a directory containing encounters.csv,
+// messages.csv, and assignments.csv, deriving the fleet, user list, day
+// count, and daily rosters from the data. This is the drop-in path for real
+// traces (e.g. a converted CRAWDAD DieselNet contact log).
+func LoadDir(dir string) (*Trace, error) {
+	encounters, err := loadEncounters(filepath.Join(dir, EncountersFile))
+	if err != nil {
+		return nil, err
+	}
+	messages, err := loadMessages(filepath.Join(dir, MessagesFile))
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := loadAssignments(filepath.Join(dir, AssignmentsFile))
+	if err != nil {
+		return nil, err
+	}
+
+	days := len(assignment)
+	for _, e := range encounters {
+		if d := Day(e.Time) + 1; d > days {
+			days = d
+		}
+	}
+	for _, m := range messages {
+		if d := Day(m.Time) + 1; d > days {
+			days = d
+		}
+	}
+	if days == 0 {
+		return nil, fmt.Errorf("trace: %s contains no events", dir)
+	}
+
+	busSet := make(map[string]struct{})
+	userSet := make(map[string]struct{})
+	// Rosters: a bus is active on a day if it encounters someone or hosts a
+	// user that day.
+	rosterSets := make([]map[string]struct{}, days)
+	for d := range rosterSets {
+		rosterSets[d] = make(map[string]struct{})
+	}
+	for _, e := range encounters {
+		busSet[e.A] = struct{}{}
+		busSet[e.B] = struct{}{}
+		d := Day(e.Time)
+		rosterSets[d][e.A] = struct{}{}
+		rosterSets[d][e.B] = struct{}{}
+	}
+	fullAssignment := make([]map[string]string, days)
+	for d := range fullAssignment {
+		if d < len(assignment) {
+			fullAssignment[d] = assignment[d]
+		} else {
+			fullAssignment[d] = map[string]string{}
+		}
+		for u, b := range fullAssignment[d] {
+			userSet[u] = struct{}{}
+			busSet[b] = struct{}{}
+			rosterSets[d][b] = struct{}{}
+		}
+	}
+	for _, m := range messages {
+		userSet[m.From] = struct{}{}
+		userSet[m.To] = struct{}{}
+	}
+
+	tr := &Trace{
+		Days:       days,
+		Buses:      sortedKeys(busSet),
+		Users:      sortedKeys(userSet),
+		Encounters: encounters,
+		Messages:   messages,
+		Roster:     make([][]string, days),
+		Assignment: fullAssignment,
+	}
+	for d, set := range rosterSets {
+		tr.Roster[d] = sortedKeys(set)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", dir, err)
+	}
+	return tr, nil
+}
+
+func loadEncounters(path string) ([]Encounter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadEncounters(f)
+}
+
+func loadMessages(path string) ([]Message, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadMessages(f)
+}
+
+func loadAssignments(path string) ([]map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadAssignments(f)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

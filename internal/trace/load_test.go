@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTraceDir exports a trace to a temp directory like cmd/tracegen does.
+func writeTraceDir(t *testing.T, tr *Trace) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, fn func(*os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(EncountersFile, func(f *os.File) error { return WriteEncounters(f, tr.Encounters) })
+	write(MessagesFile, func(f *os.File) error { return WriteMessages(f, tr.Messages) })
+	write(AssignmentsFile, func(f *os.File) error { return WriteAssignments(f, tr.Assignment) })
+	return dir
+}
+
+func TestLoadDirRoundTrip(t *testing.T) {
+	dn := DefaultDieselNet()
+	dn.Days = 3
+	dn.FleetSize = 8
+	dn.ActivePerDay = 6
+	dn.EncountersPerDay = 60
+	wl := DefaultWorkload()
+	wl.Users = 10
+	wl.Messages = 20
+	wl.InjectDays = 2
+	orig, err := Generate(dn, wl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := writeTraceDir(t, orig)
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Days != orig.Days {
+		t.Errorf("days = %d, want %d", loaded.Days, orig.Days)
+	}
+	if !reflect.DeepEqual(loaded.Encounters, orig.Encounters) {
+		t.Error("encounters diverged through the CSV round trip")
+	}
+	if !reflect.DeepEqual(loaded.Messages, orig.Messages) {
+		t.Error("messages diverged through the CSV round trip")
+	}
+	if !reflect.DeepEqual(loaded.Assignment, orig.Assignment) {
+		t.Error("assignments diverged through the CSV round trip")
+	}
+	// The derived rosters must cover every assigned bus; derived users must
+	// cover every message endpoint.
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Users) != len(orig.Users) {
+		t.Errorf("users = %d, want %d", len(loaded.Users), len(orig.Users))
+	}
+}
+
+func TestLoadDirMissingFiles(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory should fail")
+	}
+}
+
+func TestLoadDirEmptyTrace(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{EncountersFile, MessagesFile, AssignmentsFile} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("trace with no events should fail")
+	}
+}
+
+func TestLoadDirDerivesRosterFromEncounters(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		EncountersFile:  "3600,busA,busB\n90000,busB,busC\n",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busC\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Days != 2 {
+		t.Errorf("days = %d, want 2", tr.Days)
+	}
+	if got := tr.Roster[0]; !reflect.DeepEqual(got, []string{"busA", "busB", "busC"}) {
+		t.Errorf("day-0 roster = %v", got)
+	}
+	if got := tr.Roster[1]; !reflect.DeepEqual(got, []string{"busB", "busC"}) {
+		t.Errorf("day-1 roster = %v", got)
+	}
+	if !reflect.DeepEqual(tr.Users, []string{"u1", "u2"}) {
+		t.Errorf("users = %v", tr.Users)
+	}
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDieselNetStatistics(t *testing.T) {
+	cfg := DefaultDieselNet()
+	encounters, roster, buses, err := GenerateDieselNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buses) != cfg.FleetSize {
+		t.Errorf("fleet = %d, want %d", len(buses), cfg.FleetSize)
+	}
+	if len(roster) != cfg.Days {
+		t.Fatalf("roster covers %d days, want %d", len(roster), cfg.Days)
+	}
+	for d, r := range roster {
+		if len(r) != cfg.ActivePerDay {
+			t.Errorf("day %d roster = %d buses, want %d", d, len(r), cfg.ActivePerDay)
+		}
+	}
+	// The Poisson components make the daily volume stochastic; the total
+	// should land within a few percent of the target.
+	want := float64(cfg.Days * cfg.EncountersPerDay)
+	if got := float64(len(encounters)); math.Abs(got-want)/want > 0.10 {
+		t.Errorf("encounters = %d, want ≈%.0f", len(encounters), want)
+	}
+	// All encounters inside the daily window and between that day's roster.
+	for _, e := range encounters {
+		d := Day(e.Time)
+		off := e.Time - int64(d)*SecondsPerDay
+		if off < cfg.DayStart || off >= cfg.DayEnd {
+			t.Fatalf("encounter at offset %d outside window", off)
+		}
+		if !contains(roster[d], e.A) || !contains(roster[d], e.B) {
+			t.Fatalf("day %d encounter between unrostered buses %s,%s", d, e.A, e.B)
+		}
+	}
+}
+
+func TestGenerateDieselNetDeterministic(t *testing.T) {
+	cfg := DefaultDieselNet()
+	e1, r1, _, err := GenerateDieselNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, r2, _, err := GenerateDieselNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1, e2) || !reflect.DeepEqual(r1, r2) {
+		t.Error("same seed must generate identical traces")
+	}
+	cfg.Seed++
+	e3, _, _, err := GenerateDieselNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(e1, e3) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateDieselNetInvalidConfig(t *testing.T) {
+	bad := DefaultDieselNet()
+	bad.ActivePerDay = bad.FleetSize + 1
+	if _, _, _, err := GenerateDieselNet(bad); err == nil {
+		t.Error("oversubscribed roster should fail")
+	}
+	bad = DefaultDieselNet()
+	bad.DayEnd = bad.DayStart
+	if _, _, _, err := GenerateDieselNet(bad); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	cfg := DefaultWorkload()
+	users, msgs, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != cfg.Users {
+		t.Errorf("users = %d, want %d", len(users), cfg.Users)
+	}
+	if len(msgs) != cfg.Messages {
+		t.Errorf("messages = %d, want %d", len(msgs), cfg.Messages)
+	}
+	for _, m := range msgs {
+		if m.From == m.To {
+			t.Fatalf("self-addressed message %s", m.ID)
+		}
+		if Day(m.Time) >= cfg.InjectDays {
+			t.Fatalf("message %s injected on day %d, after injection stops", m.ID, Day(m.Time))
+		}
+	}
+	// Sender activity must be skewed: the busiest sender should send several
+	// times the mean.
+	bySender := map[string]int{}
+	for _, m := range msgs {
+		bySender[m.From]++
+	}
+	max := 0
+	for _, c := range bySender {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(msgs)) / float64(len(bySender))
+	if float64(max) < 2*mean {
+		t.Errorf("workload not skewed: max sender %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestGenerateAssignmentsCoverage(t *testing.T) {
+	users := []string{"u1", "u2", "u3"}
+	roster := [][]string{{"bus1", "bus2"}, {"bus3"}}
+	asg := GenerateAssignments(users, roster, 1)
+	if len(asg) != 2 {
+		t.Fatalf("assignments cover %d days", len(asg))
+	}
+	for d, dayAsg := range asg {
+		if len(dayAsg) != len(users) {
+			t.Errorf("day %d assigns %d users, want %d", d, len(dayAsg), len(users))
+		}
+		for u, b := range dayAsg {
+			if !contains(roster[d], b) {
+				t.Errorf("day %d: %s on unrostered %s", d, u, b)
+			}
+		}
+	}
+}
+
+func TestDefaultTraceValidates(t *testing.T) {
+	tr, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if st.Days != 17 {
+		t.Errorf("days = %d", st.Days)
+	}
+	if math.Abs(st.AvgActiveBuses-23) > 0.01 {
+		t.Errorf("avg active buses = %v, want 23", st.AvgActiveBuses)
+	}
+	if st.TotalEncounters < 15000 || st.TotalEncounters > 17000 {
+		t.Errorf("total encounters = %d, want ≈16000", st.TotalEncounters)
+	}
+	if st.TotalMessages != 490 {
+		t.Errorf("messages = %d, want 490", st.TotalMessages)
+	}
+	if st.DistinctPairs < 100 {
+		t.Errorf("only %d distinct pairs ever meet", st.DistinctPairs)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsorted encounters.
+	broken := *tr
+	broken.Encounters = append([]Encounter(nil), tr.Encounters...)
+	broken.Encounters[0], broken.Encounters[1] = broken.Encounters[1], broken.Encounters[0]
+	if broken.Encounters[0].Time != broken.Encounters[1].Time {
+		if err := broken.Validate(); err == nil {
+			t.Error("unsorted encounters should fail validation")
+		}
+	}
+	// Unknown user in assignment.
+	broken2 := *tr
+	broken2.Assignment = append([]map[string]string(nil), tr.Assignment...)
+	bad := map[string]string{"ghost": tr.Roster[0][0]}
+	broken2.Assignment[0] = bad
+	if err := broken2.Validate(); err == nil {
+		t.Error("unknown assigned user should fail validation")
+	}
+	// Self-encounter.
+	broken3 := *tr
+	broken3.Encounters = append([]Encounter{{Time: 0, A: "x", B: "x"}}, tr.Encounters...)
+	if err := broken3.Validate(); err == nil {
+		t.Error("self-encounter should fail validation")
+	}
+}
+
+func TestEncounterCSVRoundTrip(t *testing.T) {
+	in := []Encounter{
+		{Time: 100, A: "bus01", B: "bus02"},
+		{Time: 50, A: "bus03", B: "bus04"},
+	}
+	var buf bytes.Buffer
+	if err := WriteEncounters(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEncounters(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Time != 50 || out[1].A != "bus01" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestMessageCSVRoundTrip(t *testing.T) {
+	in := []Message{{ID: "m1", Time: 10, From: "u1", To: "u2"}}
+	var buf bytes.Buffer
+	if err := WriteMessages(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestAssignmentCSVRoundTrip(t *testing.T) {
+	in := []map[string]string{
+		{"u1": "bus1", "u2": "bus2"},
+		{"u1": "bus3"},
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignments(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAssignments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadEncountersErrors(t *testing.T) {
+	if _, err := ReadEncounters(bytes.NewBufferString("notatime,a,b\n")); err == nil {
+		t.Error("bad time should fail")
+	}
+	if _, err := ReadEncounters(bytes.NewBufferString("1,a\n")); err == nil {
+		t.Error("wrong field count should fail")
+	}
+}
+
+func TestReadAssignmentsErrors(t *testing.T) {
+	if _, err := ReadAssignments(bytes.NewBufferString("x,u,b\n")); err == nil {
+		t.Error("bad day should fail")
+	}
+	if _, err := ReadAssignments(bytes.NewBufferString("-1,u,b\n")); err == nil {
+		t.Error("negative day should fail")
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// WorkloadConfig parameterizes the synthetic e-mail workload. The defaults
+// reproduce the paper's Enron-driven setup: 490 messages injected at
+// two-minute intervals during a two-hour morning window on each of the first
+// eight days, with Zipf-skewed sender activity and per-sender contact lists
+// so that, as in the Enron corpus, a few pairs exchange most of the mail.
+type WorkloadConfig struct {
+	// Users is the number of e-mail endpoints.
+	Users int
+	// Messages is the total number of messages injected.
+	Messages int
+	// InjectDays is the number of days over which injection runs.
+	InjectDays int
+	// WindowStart is the injection window start, seconds from midnight.
+	WindowStart int64
+	// Interval is the spacing between injections in seconds.
+	Interval int64
+	// ZipfS is the Zipf skew for sender activity and contact preference.
+	ZipfS float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultWorkload returns the paper-calibrated configuration.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Users:       60,
+		Messages:    490,
+		InjectDays:  8,
+		WindowStart: 8 * 3600,
+		Interval:    120,
+		ZipfS:       1.4,
+		Seed:        2,
+	}
+}
+
+// GenerateWorkload produces the user list and the injection schedule.
+func GenerateWorkload(cfg WorkloadConfig) (users []string, messages []Message, err error) {
+	if cfg.Users < 2 || cfg.Messages <= 0 || cfg.InjectDays <= 0 ||
+		cfg.Interval <= 0 || cfg.ZipfS <= 1 {
+		return nil, nil, fmt.Errorf("trace: invalid workload config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users = make([]string, cfg.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+	}
+
+	// Sender activity: Zipf over a random permutation of users, so heavy
+	// mailers are arbitrary identities, not always user000.
+	senderRank := rng.Perm(cfg.Users)
+	senderZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Users-1))
+
+	// Per-sender contact list: a random permutation of the other users; the
+	// recipient is drawn Zipf-first from it, so each sender has a few heavy
+	// correspondents and a long tail.
+	contacts := make(map[int][]int, cfg.Users)
+	contactZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Users-2))
+	for u := 0; u < cfg.Users; u++ {
+		list := make([]int, 0, cfg.Users-1)
+		for _, v := range rng.Perm(cfg.Users) {
+			if v != u {
+				list = append(list, v)
+			}
+		}
+		contacts[u] = list
+	}
+
+	perDay := cfg.Messages / cfg.InjectDays
+	extra := cfg.Messages % cfg.InjectDays
+	id := 0
+	for d := 0; d < cfg.InjectDays; d++ {
+		count := perDay
+		if d < extra {
+			count++
+		}
+		for k := 0; k < count; k++ {
+			from := senderRank[int(senderZipf.Uint64())]
+			to := contacts[from][int(contactZipf.Uint64())]
+			t := int64(d)*SecondsPerDay + cfg.WindowStart + int64(k)*cfg.Interval
+			messages = append(messages, Message{
+				ID:   fmt.Sprintf("msg%04d", id),
+				Time: t,
+				From: users[from],
+				To:   users[to],
+			})
+			id++
+		}
+	}
+	sort.Slice(messages, func(i, j int) bool { return messages[i].Time < messages[j].Time })
+	return users, messages, nil
+}
+
+// GenerateAssignments distributes users uniformly over each day's active
+// buses, re-drawn every day as the paper's experimental setup describes.
+func GenerateAssignments(users []string, roster [][]string, seed int64) []map[string]string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]map[string]string, len(roster))
+	for d, active := range roster {
+		asg := make(map[string]string, len(users))
+		for _, u := range users {
+			asg[u] = active[rng.Intn(len(active))]
+		}
+		out[d] = asg
+	}
+	return out
+}
+
+// Generate builds a complete experiment trace from the two generator
+// configurations plus an assignment seed.
+func Generate(dn DieselNetConfig, wl WorkloadConfig, assignSeed int64) (*Trace, error) {
+	encounters, roster, buses, err := GenerateDieselNet(dn)
+	if err != nil {
+		return nil, err
+	}
+	users, messages, err := GenerateWorkload(wl)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Days:       dn.Days,
+		Buses:      buses,
+		Users:      users,
+		Encounters: encounters,
+		Messages:   messages,
+		Roster:     roster,
+		Assignment: GenerateAssignments(users, roster, assignSeed),
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Default generates the paper-calibrated trace used by the experiments.
+func Default() (*Trace, error) {
+	return Generate(DefaultDieselNet(), DefaultWorkload(), 3)
+}

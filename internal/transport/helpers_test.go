@@ -1,0 +1,29 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// netDial opens a raw TCP connection for protocol-abuse tests.
+func netDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}
+
+// encodeHello writes a hello frame on a raw connection.
+func encodeHello(conn net.Conn, h hello) error {
+	return gob.NewEncoder(conn).Encode(h)
+}
+
+// expectClosed verifies the peer closes the connection without sending a
+// valid reply.
+func expectClosed(conn net.Conn) error {
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var h hello
+	if err := gob.NewDecoder(conn).Decode(&h); err == nil {
+		return fmt.Errorf("expected connection close, got hello %+v", h)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/maxprop"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/routing/spraywait"
+	"replidtn/internal/trace"
+	"replidtn/internal/vclock"
+)
+
+// TestTraceDrivenOverTCPMatchesInProcess replays the same generated
+// encounter schedule twice — once through the in-process sync engine and
+// once over real TCP loopback connections — and checks that deliveries,
+// duplicates, and store contents come out identical. This pins the wire
+// protocol to the reference semantics.
+func TestTraceDrivenOverTCPMatchesInProcess(t *testing.T) {
+	dn := trace.DefaultDieselNet()
+	dn.Days = 2
+	dn.FleetSize = 6
+	dn.ActivePerDay = 5
+	dn.Routes = 2
+	dn.EncountersPerDay = 40
+	encounters, _, buses, err := trace.GenerateDieselNet(dn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policyName := range []string{"epidemic", "spray", "prophet", "maxprop"} {
+		policyName := policyName
+		t.Run(policyName, func(t *testing.T) {
+			local := runSchedule(t, buses, encounters, policyName, false)
+			networked := runSchedule(t, buses, encounters, policyName, true)
+			for _, bus := range buses {
+				ls, ns := local[bus].Stats(), networked[bus].Stats()
+				if ls.Delivered != ns.Delivered {
+					t.Errorf("%s: delivered %d locally vs %d over TCP", bus, ls.Delivered, ns.Delivered)
+				}
+				if ns.Duplicates != 0 {
+					t.Errorf("%s: %d duplicates over TCP", bus, ns.Duplicates)
+				}
+				lt, ll, _ := local[bus].StoreLen()
+				nt, nl, _ := networked[bus].StoreLen()
+				if lt != nt || ll != nl {
+					t.Errorf("%s: store %d/%d locally vs %d/%d over TCP", bus, lt, ll, nt, nl)
+				}
+				if !local[bus].Knowledge().Equal(networked[bus].Knowledge()) {
+					t.Errorf("%s: knowledge diverged between local and TCP runs", bus)
+				}
+			}
+		})
+	}
+}
+
+// runSchedule replays the encounter schedule with each bus sending one
+// message to the next bus, either in-process or over TCP.
+func runSchedule(t *testing.T, buses []string, encounters []trace.Encounter, policyName string, overTCP bool) map[string]*replica.Replica {
+	t.Helper()
+	var now int64
+	clock := func() int64 { return now }
+	nodes := make(map[string]*replica.Replica, len(buses))
+	servers := make(map[string]*Server, len(buses))
+	addrs := make(map[string]string, len(buses))
+	for _, bus := range buses {
+		var pol routing.Policy
+		switch policyName {
+		case "epidemic":
+			pol = epidemic.New(10)
+		case "spray":
+			pol = spraywait.New(8)
+		case "prophet":
+			pol = prophet.New(prophet.DefaultParams(), clock, bus)
+		case "maxprop":
+			pol = maxprop.New(vclock.ReplicaID(bus), 3, clock, bus)
+		default:
+			t.Fatalf("unknown policy %q", policyName)
+		}
+		nodes[bus] = replica.New(replica.Config{
+			ID:           vclock.ReplicaID(bus),
+			OwnAddresses: []string{bus},
+			Policy:       pol,
+		})
+		if overTCP {
+			srv := NewServer(nodes[bus], 0)
+			srv.OnError = func(err error) { t.Errorf("server %s: %v", bus, err) }
+			bound, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			servers[bus] = srv
+			addrs[bus] = bound.String()
+		}
+	}
+	if overTCP {
+		t.Cleanup(func() {
+			for _, srv := range servers {
+				srv.Close()
+			}
+		})
+	}
+	for i, bus := range buses {
+		dest := buses[(i+1)%len(buses)]
+		nodes[bus].CreateItem(item.Metadata{
+			Source:       bus,
+			Destinations: []string{dest},
+			Kind:         "message",
+		}, []byte(fmt.Sprintf("m-%s", bus)))
+	}
+	for _, e := range encounters {
+		now = e.Time
+		if overTCP {
+			if _, err := Encounter(nodes[e.B], addrs[e.A], 0, 5*time.Second); err != nil {
+				t.Fatalf("encounter %s-%s: %v", e.A, e.B, err)
+			}
+		} else {
+			replica.Encounter(nodes[e.A], nodes[e.B], 0)
+		}
+	}
+	return nodes
+}

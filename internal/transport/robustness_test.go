@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/vclock"
+)
+
+// TestServerSurvivesGarbageConnections fires random bytes, empty
+// connections, and abrupt disconnects at a server and verifies it keeps
+// serving well-formed encounters afterwards with unchanged state.
+func TestServerSurvivesGarbageConnections(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	a.CreateItem(item.Metadata{
+		Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
+	}, []byte("survives"))
+	srv := NewServer(a, 0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			conn, err := net.DialTimeout("tcp", addr.String(), time.Second)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			switch i % 3 {
+			case 0: // random garbage
+				buf := make([]byte, 64+rng.Intn(512))
+				rng.Read(buf)
+				conn.Write(buf)
+			case 1: // immediate disconnect
+			case 2: // valid hello then garbage
+				encodeHello(conn, hello{Version: protocolVersion, ID: "x"})
+				conn.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The server must still complete a well-formed encounter.
+	b := replica.New(replica.Config{ID: "b", OwnAddresses: []string{"addr:b"}})
+	res, err := Encounter(b, addr.String(), 0, 5*time.Second)
+	if err != nil {
+		t.Fatalf("encounter after abuse: %v", err)
+	}
+	if res.BtoA.Apply.Delivered != 1 {
+		t.Errorf("delivery after abuse failed: %+v", res)
+	}
+	// Garbage must not have perturbed the replica.
+	if total, live, _ := a.StoreLen(); total != 1 || live != 1 {
+		t.Errorf("server replica store corrupted: %d/%d", total, live)
+	}
+	if a.Stats().Duplicates != 0 {
+		t.Error("duplicates after abuse")
+	}
+}
+
+// TestGarbageNeverPanics decodes adversarial inputs directly through the
+// server handler path via raw connections and just asserts the process
+// survives (the handler returns errors instead of panicking).
+func TestGarbageNeverPanics(t *testing.T) {
+	a := replica.New(replica.Config{ID: vclock.ReplicaID("a"), OwnAddresses: []string{"addr:a"}})
+	srv := NewServer(a, 0)
+	var gotErr int
+	var mu sync.Mutex
+	srv.OnError = func(error) { mu.Lock(); gotErr++; mu.Unlock() }
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		conn, err := net.DialTimeout("tcp", addr.String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		conn.Write(buf)
+		conn.Close()
+	}
+	// Give handlers a moment to observe the closed connections.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := gotErr
+		mu.Unlock()
+		if n >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotErr == 0 {
+		t.Error("expected at least one surfaced protocol error")
+	}
+}

@@ -1,0 +1,245 @@
+// Package transport runs the replication sync protocol over real TCP
+// connections, so the same replica code that powers the trace-driven
+// emulations also operates as an actual distributed system.
+//
+// One connection carries one encounter, mirroring the emulated protocol: a
+// hello exchange, then two synchronizations with alternating source/target
+// roles. Messages are gob-encoded; gob's self-describing framing makes the
+// stream safe without explicit length prefixes.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/maxprop"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/vclock"
+)
+
+// protocolVersion guards against wire incompatibilities.
+const protocolVersion = 1
+
+// registerOnce installs the concrete filter and routing-request types that
+// travel inside interface-typed sync request fields.
+var registerOnce sync.Once
+
+func registerWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(filter.All{})
+		gob.Register(filter.None{})
+		gob.Register(&filter.Addresses{})
+		gob.Register(&filter.Or{})
+		gob.Register(filter.Kind{})
+		gob.Register(&prophet.Request{})
+		gob.Register(&maxprop.Request{})
+	})
+}
+
+// RegisterRequestType makes an additional routing-policy request type
+// encodable on the wire; custom policies call this once at startup.
+func RegisterRequestType(req routing.Request) {
+	registerWireTypes()
+	gob.Register(req)
+}
+
+// hello opens each connection in both directions.
+type hello struct {
+	Version int
+	ID      vclock.ReplicaID
+}
+
+// done closes an encounter: the listener acknowledges that it applied the
+// reverse batch, making the exchange synchronous for the dialer.
+type done struct {
+	Applied int
+}
+
+// Server accepts encounters for one replica. The zero value is not usable;
+// call NewServer.
+type Server struct {
+	replica  *replica.Replica
+	maxItems int
+	// OnError, when set before Listen, observes per-connection protocol
+	// errors (primarily for logging and tests).
+	OnError func(error)
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a replica. maxItems bounds each served synchronization
+// batch (0 = unlimited).
+func NewServer(r *replica.Replica, maxItems int) *Server {
+	registerWireTypes()
+	return &Server{replica: r, maxItems: maxItems}
+}
+
+// Listen starts accepting encounters on addr (e.g. "127.0.0.1:0") and returns
+// the bound address. It serves connections on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("transport: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			// Errors are per-connection: a misbehaving peer must not take
+			// down the server.
+			if err := s.serveConn(conn); err != nil && s.OnError != nil {
+				s.OnError(err)
+			}
+		}()
+	}
+}
+
+// serveConn handles one encounter from the accepting side.
+func (s *Server) serveConn(conn net.Conn) error {
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	var peer hello
+	if err := dec.Decode(&peer); err != nil {
+		return fmt.Errorf("transport: read hello: %w", err)
+	}
+	if peer.Version != protocolVersion {
+		return fmt.Errorf("transport: protocol version %d, want %d", peer.Version, protocolVersion)
+	}
+	if err := enc.Encode(hello{Version: protocolVersion, ID: s.replica.ID()}); err != nil {
+		return fmt.Errorf("transport: write hello: %w", err)
+	}
+
+	// Leg 1: we are the source; the dialer pulls from us.
+	var req replica.SyncRequest
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("transport: read sync request: %w", err)
+	}
+	if s.maxItems > 0 && (req.MaxItems == 0 || req.MaxItems > s.maxItems) {
+		req.MaxItems = s.maxItems
+	}
+	resp := s.replica.HandleSyncRequest(&req)
+	if err := enc.Encode(resp); err != nil {
+		return fmt.Errorf("transport: write sync response: %w", err)
+	}
+
+	// Leg 2: roles alternate; we pull from the dialer.
+	ourReq := s.replica.MakeSyncRequest(s.maxItems)
+	if err := enc.Encode(ourReq); err != nil {
+		return fmt.Errorf("transport: write reverse request: %w", err)
+	}
+	var theirResp replica.SyncResponse
+	if err := dec.Decode(&theirResp); err != nil {
+		return fmt.Errorf("transport: read reverse response: %w", err)
+	}
+	apply := s.replica.ApplyBatch(&theirResp)
+	if err := enc.Encode(done{Applied: apply.Stored + apply.Relayed + apply.Tombstones}); err != nil {
+		return fmt.Errorf("transport: write done: %w", err)
+	}
+	return nil
+}
+
+// Close stops accepting and waits for in-flight encounters.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Encounter dials addr and performs a full encounter (two syncs with
+// alternating roles) on behalf of r. maxItems bounds each pulled batch
+// (0 = unlimited). timeout bounds the whole exchange.
+func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Duration) (replica.EncounterResult, error) {
+	registerWireTypes()
+	var out replica.EncounterResult
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return out, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(hello{Version: protocolVersion, ID: r.ID()}); err != nil {
+		return out, fmt.Errorf("transport: write hello: %w", err)
+	}
+	var peer hello
+	if err := dec.Decode(&peer); err != nil {
+		return out, fmt.Errorf("transport: read hello: %w", err)
+	}
+	if peer.Version != protocolVersion {
+		return out, fmt.Errorf("transport: protocol version %d, want %d", peer.Version, protocolVersion)
+	}
+
+	// Leg 1: we are the target and pull from the listener.
+	req := r.MakeSyncRequest(maxItems)
+	if err := enc.Encode(req); err != nil {
+		return out, fmt.Errorf("transport: write sync request: %w", err)
+	}
+	var resp replica.SyncResponse
+	if err := dec.Decode(&resp); err != nil {
+		return out, fmt.Errorf("transport: read sync response: %w", err)
+	}
+	out.BtoA.Sent = len(resp.Items)
+	out.BtoA.Truncated = resp.Truncated
+	out.BtoA.Apply = r.ApplyBatch(&resp)
+
+	// Leg 2: serve the listener's pull.
+	var theirReq replica.SyncRequest
+	if err := dec.Decode(&theirReq); err != nil {
+		return out, fmt.Errorf("transport: read reverse request: %w", err)
+	}
+	ourResp := r.HandleSyncRequest(&theirReq)
+	if err := enc.Encode(ourResp); err != nil {
+		return out, fmt.Errorf("transport: write reverse response: %w", err)
+	}
+	out.AtoB.Sent = len(ourResp.Items)
+	out.AtoB.Truncated = ourResp.Truncated
+	var fin done
+	if err := dec.Decode(&fin); err != nil {
+		return out, fmt.Errorf("transport: read done: %w", err)
+	}
+	return out, nil
+}

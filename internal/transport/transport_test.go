@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/maxprop"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/vclock"
+)
+
+const testTimeout = 5 * time.Second
+
+func node(t *testing.T, id, addr string) *replica.Replica {
+	t.Helper()
+	return replica.New(replica.Config{
+		ID:           vclock.ReplicaID(id),
+		OwnAddresses: []string{addr},
+	})
+}
+
+func sendMsg(r *replica.Replica, from, to string) *item.Item {
+	return r.CreateItem(item.Metadata{
+		Source: from, Destinations: []string{to}, Kind: "message",
+	}, []byte("over tcp"))
+}
+
+func serve(t *testing.T, r *replica.Replica, maxItems int) (string, *Server) {
+	t.Helper()
+	srv := NewServer(r, maxItems)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), srv
+}
+
+func TestEncounterDeliversBothDirections(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	b := node(t, "b", "addr:b")
+	ma := sendMsg(a, "addr:a", "addr:b")
+	mb := sendMsg(b, "addr:b", "addr:a")
+
+	addr, _ := serve(t, a, 0)
+	res, err := Encounter(b, addr, 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BtoA.Sent != 1 || res.BtoA.Apply.Delivered != 1 {
+		t.Errorf("pull leg: %+v", res.BtoA)
+	}
+	if res.AtoB.Sent != 1 {
+		t.Errorf("push leg: %+v", res.AtoB)
+	}
+	if !b.HasItem(ma.ID) {
+		t.Error("b missing a's message")
+	}
+	if !a.HasItem(mb.ID) {
+		t.Error("a missing b's message")
+	}
+	if a.Stats().Delivered != 1 || b.Stats().Delivered != 1 {
+		t.Error("both sides should deliver exactly once")
+	}
+}
+
+func TestRepeatEncountersSendNothingNew(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	b := node(t, "b", "addr:b")
+	sendMsg(a, "addr:a", "addr:b")
+	addr, _ := serve(t, a, 0)
+	if _, err := Encounter(b, addr, 0, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Encounter(b, addr, 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BtoA.Sent != 0 || res.AtoB.Sent != 0 {
+		t.Errorf("second encounter moved items: %+v", res)
+	}
+	if b.Stats().Duplicates != 0 {
+		t.Error("duplicate receipt over TCP")
+	}
+}
+
+func TestServerSideBandwidthCap(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	b := node(t, "b", "addr:b")
+	for i := 0; i < 5; i++ {
+		sendMsg(a, "addr:a", "addr:b")
+	}
+	addr, _ := serve(t, a, 2)
+	res, err := Encounter(b, addr, 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BtoA.Sent != 2 || !res.BtoA.Truncated {
+		t.Errorf("server cap not applied: %+v", res.BtoA)
+	}
+}
+
+func TestPolicyRequestsTravelOnTheWire(t *testing.T) {
+	now := func() int64 { return 0 }
+	mk := func(id, addr string) *replica.Replica {
+		return replica.New(replica.Config{
+			ID:           vclock.ReplicaID(id),
+			OwnAddresses: []string{addr},
+			Policy:       prophet.New(prophet.DefaultParams(), now, addr),
+		})
+	}
+	a := mk("a", "addr:a")
+	b := mk("b", "addr:b")
+	c := mk("c", "addr:c")
+	msg := sendMsg(a, "addr:a", "addr:c")
+
+	// b meets c so b's predictability for addr:c rises, then a meets b and
+	// should hand over the message — all over TCP.
+	addrC, _ := serve(t, c, 0)
+	if _, err := Encounter(b, addrC, 0, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	addrB, _ := serve(t, b, 0)
+	if _, err := Encounter(a, addrB, 0, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasItem(msg.ID) {
+		t.Fatal("PROPHET did not forward over TCP")
+	}
+	if _, err := Encounter(b, addrC, 0, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Delivered != 1 {
+		t.Error("message not delivered via TCP relay chain")
+	}
+}
+
+func TestMaxPropRequestsTravel(t *testing.T) {
+	now := func() int64 { return 0 }
+	mk := func(id, addr string) *replica.Replica {
+		return replica.New(replica.Config{
+			ID:           vclock.ReplicaID(id),
+			OwnAddresses: []string{addr},
+			Policy:       maxprop.New(vclock.ReplicaID(id), 3, now, addr),
+		})
+	}
+	a := mk("a", "addr:a")
+	b := mk("b", "addr:b")
+	msg := sendMsg(a, "addr:a", "addr:z")
+	addr, _ := serve(t, a, 0)
+	if _, err := Encounter(b, addr, 0, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasItem(msg.ID) {
+		t.Error("MaxProp flooding failed over TCP")
+	}
+}
+
+func TestConcurrentEncounters(t *testing.T) {
+	hub := replica.New(replica.Config{
+		ID:           "hub",
+		OwnAddresses: []string{"addr:hub"},
+		Policy:       epidemic.New(10),
+	})
+	addr, _ := serve(t, hub, 0)
+
+	const n = 8
+	nodes := make([]*replica.Replica, n)
+	for i := range nodes {
+		nodes[i] = replica.New(replica.Config{
+			ID:           vclock.ReplicaID(fmt.Sprintf("n%d", i)),
+			OwnAddresses: []string{fmt.Sprintf("addr:%d", i)},
+			Policy:       epidemic.New(10),
+		})
+		sendMsg(nodes[i], fmt.Sprintf("addr:%d", i), "addr:hub")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, nd := range nodes {
+		nd := nd
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Encounter(nd, addr, 0, testTimeout); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := hub.Stats().Delivered; got != n {
+		t.Errorf("hub delivered %d messages, want %d", got, n)
+	}
+	if hub.Stats().Duplicates != 0 {
+		t.Error("duplicates under concurrency")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	addr, _ := serve(t, a, 0)
+	conn, err := netDial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := encodeHello(conn, hello{Version: 99, ID: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection without a hello reply; reading the
+	// reply should fail quickly.
+	if err := expectClosed(conn); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloseIsIdempotentAndBlocksListen(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	srv := NewServer(a, 0)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("listen after close should fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	if _, err := Encounter(a, "127.0.0.1:1", 0, 200*time.Millisecond); err == nil {
+		t.Error("dialing a dead port should fail")
+	}
+}

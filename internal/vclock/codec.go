@@ -1,0 +1,123 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The knowledge wire format is a compact, deterministic varint encoding:
+//
+//	uvarint nBase    { uvarint len(id), id bytes, uvarint seq } * nBase
+//	uvarint nExtra   { uvarint len(id), id bytes, uvarint nSeqs, uvarint seq* } * nExtra
+//
+// Entries are sorted by replica ID so equal knowledge always encodes to equal
+// bytes, which keeps wire-level tests and caching deterministic.
+
+var errTruncated = errors.New("vclock: truncated knowledge encoding")
+
+func encodeDoc(doc knowledgeDoc) ([]byte, error) {
+	var buf []byte
+	baseIDs := sortedIDs(len(doc.Base))
+	for r := range doc.Base {
+		baseIDs = append(baseIDs, string(r))
+	}
+	sort.Strings(baseIDs)
+	buf = binary.AppendUvarint(buf, uint64(len(baseIDs)))
+	for _, id := range baseIDs {
+		buf = appendString(buf, id)
+		buf = binary.AppendUvarint(buf, doc.Base[ReplicaID(id)])
+	}
+	extraIDs := sortedIDs(len(doc.Extra))
+	for r := range doc.Extra {
+		extraIDs = append(extraIDs, string(r))
+	}
+	sort.Strings(extraIDs)
+	buf = binary.AppendUvarint(buf, uint64(len(extraIDs)))
+	for _, id := range extraIDs {
+		buf = appendString(buf, id)
+		seqs := doc.Extra[ReplicaID(id)]
+		buf = binary.AppendUvarint(buf, uint64(len(seqs)))
+		for _, s := range seqs {
+			buf = binary.AppendUvarint(buf, s)
+		}
+	}
+	return buf, nil
+}
+
+func decodeDoc(data []byte) (knowledgeDoc, error) {
+	doc := knowledgeDoc{Base: NewVector(), Extra: make(map[ReplicaID][]uint64)}
+	pos := 0
+	nBase, err := readUvarint(data, &pos)
+	if err != nil {
+		return doc, err
+	}
+	for i := uint64(0); i < nBase; i++ {
+		id, err := readString(data, &pos)
+		if err != nil {
+			return doc, err
+		}
+		seq, err := readUvarint(data, &pos)
+		if err != nil {
+			return doc, err
+		}
+		doc.Base[ReplicaID(id)] = seq
+	}
+	nExtra, err := readUvarint(data, &pos)
+	if err != nil {
+		return doc, err
+	}
+	for i := uint64(0); i < nExtra; i++ {
+		id, err := readString(data, &pos)
+		if err != nil {
+			return doc, err
+		}
+		nSeqs, err := readUvarint(data, &pos)
+		if err != nil {
+			return doc, err
+		}
+		seqs := make([]uint64, 0, nSeqs)
+		for j := uint64(0); j < nSeqs; j++ {
+			s, err := readUvarint(data, &pos)
+			if err != nil {
+				return doc, err
+			}
+			seqs = append(seqs, s)
+		}
+		doc.Extra[ReplicaID(id)] = seqs
+	}
+	if pos != len(data) {
+		return doc, fmt.Errorf("vclock: %d trailing bytes in knowledge encoding", len(data)-pos)
+	}
+	return doc, nil
+}
+
+func sortedIDs(capacity int) []string { return make([]string, 0, capacity) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(data []byte, pos *int) (uint64, error) {
+	v, n := binary.Uvarint(data[*pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	*pos += n
+	return v, nil
+}
+
+func readString(data []byte, pos *int) (string, error) {
+	n, err := readUvarint(data, pos)
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(data)-*pos) < n {
+		return "", errTruncated
+	}
+	s := string(data[*pos : *pos+int(n)])
+	*pos += int(n)
+	return s, nil
+}

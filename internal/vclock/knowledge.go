@@ -1,0 +1,256 @@
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Knowledge is the set of versions a replica has learned about, represented
+// compactly as a base version vector (a contiguous prefix per creator) plus a
+// sparse set of exception versions beyond the base. Exceptions are compacted
+// into the base automatically as gaps fill in, keeping the structure
+// proportional to the number of replicas in steady state.
+//
+// Knowledge is exchanged during synchronization so the source can determine
+// exactly which of its stored versions the target has not yet seen; this is
+// what gives the substrate at-most-once delivery without per-message
+// acknowledgement lists.
+//
+// The zero value is not usable; call NewKnowledge.
+type Knowledge struct {
+	base  Vector
+	extra map[ReplicaID]map[uint64]struct{}
+}
+
+// NewKnowledge returns empty knowledge.
+func NewKnowledge() *Knowledge {
+	return &Knowledge{
+		base:  NewVector(),
+		extra: make(map[ReplicaID]map[uint64]struct{}),
+	}
+}
+
+// Contains reports whether version v has been learned.
+func (k *Knowledge) Contains(v Version) bool {
+	if v.Seq == 0 {
+		return false
+	}
+	if k.base[v.Replica] >= v.Seq {
+		return true
+	}
+	_, ok := k.extra[v.Replica][v.Seq]
+	return ok
+}
+
+// Add records version v as learned and compacts exceptions that have become
+// contiguous with the base. It returns true if v was newly learned.
+func (k *Knowledge) Add(v Version) bool {
+	if v.Seq == 0 || k.Contains(v) {
+		return false
+	}
+	if k.base[v.Replica]+1 == v.Seq {
+		k.base[v.Replica] = v.Seq
+		k.compact(v.Replica)
+		return true
+	}
+	ex := k.extra[v.Replica]
+	if ex == nil {
+		ex = make(map[uint64]struct{})
+		k.extra[v.Replica] = ex
+	}
+	ex[v.Seq] = struct{}{}
+	return true
+}
+
+// compact folds exceptions for replica r that are contiguous with the base
+// into the base vector.
+func (k *Knowledge) compact(r ReplicaID) {
+	ex := k.extra[r]
+	if ex == nil {
+		return
+	}
+	for {
+		next := k.base[r] + 1
+		if _, ok := ex[next]; !ok {
+			break
+		}
+		delete(ex, next)
+		k.base[r] = next
+	}
+	if len(ex) == 0 {
+		delete(k.extra, r)
+	}
+}
+
+// Merge folds all versions known to other into k.
+func (k *Knowledge) Merge(other *Knowledge) {
+	if other == nil {
+		return
+	}
+	for r, s := range other.base {
+		// Everything up to other's base is known; anything in k.extra at or
+		// below that base becomes redundant after raising k.base.
+		if k.base[r] < s {
+			k.base[r] = s
+		}
+	}
+	for r, seqs := range other.extra {
+		for s := range seqs {
+			if k.base[r] < s {
+				ex := k.extra[r]
+				if ex == nil {
+					ex = make(map[uint64]struct{})
+					k.extra[r] = ex
+				}
+				ex[s] = struct{}{}
+			}
+		}
+	}
+	for r, ex := range k.extra {
+		for s := range ex {
+			if s <= k.base[r] {
+				delete(ex, s)
+			}
+		}
+		k.compact(r)
+	}
+}
+
+// Base returns a copy of the contiguous base vector.
+func (k *Knowledge) Base() Vector { return k.base.Clone() }
+
+// ExceptionCount returns the number of versions held outside the base vector.
+// It is a direct measure of metadata compactness.
+func (k *Knowledge) ExceptionCount() int {
+	n := 0
+	for _, ex := range k.extra {
+		n += len(ex)
+	}
+	return n
+}
+
+// Size returns the total number of tracked entries: one per replica in the
+// base plus one per exception.
+func (k *Knowledge) Size() int {
+	return len(k.base) + k.ExceptionCount()
+}
+
+// Count returns the total number of versions the knowledge contains.
+func (k *Knowledge) Count() uint64 {
+	var n uint64
+	for _, s := range k.base {
+		n += s
+	}
+	return n + uint64(k.ExceptionCount())
+}
+
+// Clone returns a deep copy.
+func (k *Knowledge) Clone() *Knowledge {
+	out := NewKnowledge()
+	out.base = k.base.Clone()
+	for r, ex := range k.extra {
+		m := make(map[uint64]struct{}, len(ex))
+		for s := range ex {
+			m[s] = struct{}{}
+		}
+		out.extra[r] = m
+	}
+	return out
+}
+
+// Equal reports whether two knowledge values contain the same version set.
+func (k *Knowledge) Equal(other *Knowledge) bool {
+	if other == nil {
+		return false
+	}
+	if !k.base.Equal(other.base) {
+		return false
+	}
+	if len(k.extra) != len(other.extra) {
+		return false
+	}
+	for r, ex := range k.extra {
+		oex := other.extra[r]
+		if len(ex) != len(oex) {
+			return false
+		}
+		for s := range ex {
+			if _, ok := oex[s]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders knowledge deterministically, e.g. "{a:3 b:7}+[b:9 b:12]".
+func (k *Knowledge) String() string {
+	var b strings.Builder
+	b.WriteString(k.base.String())
+	if k.ExceptionCount() > 0 {
+		versions := make([]Version, 0, k.ExceptionCount())
+		for r, ex := range k.extra {
+			for s := range ex {
+				versions = append(versions, Version{Replica: r, Seq: s})
+			}
+		}
+		sort.Slice(versions, func(i, j int) bool {
+			if versions[i].Replica != versions[j].Replica {
+				return versions[i].Replica < versions[j].Replica
+			}
+			return versions[i].Seq < versions[j].Seq
+		})
+		b.WriteString("+[")
+		for i, v := range versions {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// knowledgeDoc is the wire representation used for gob encoding.
+type knowledgeDoc struct {
+	Base  Vector
+	Extra map[ReplicaID][]uint64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler via a deterministic
+// document form so Knowledge can travel inside gob-encoded sync requests.
+func (k *Knowledge) MarshalBinary() ([]byte, error) {
+	doc := knowledgeDoc{Base: k.base, Extra: make(map[ReplicaID][]uint64, len(k.extra))}
+	for r, ex := range k.extra {
+		seqs := make([]uint64, 0, len(ex))
+		for s := range ex {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		doc.Extra[r] = seqs
+	}
+	return encodeDoc(doc)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (k *Knowledge) UnmarshalBinary(data []byte) error {
+	doc, err := decodeDoc(data)
+	if err != nil {
+		return fmt.Errorf("vclock: decode knowledge: %w", err)
+	}
+	k.base = doc.Base
+	if k.base == nil {
+		k.base = NewVector()
+	}
+	k.extra = make(map[ReplicaID]map[uint64]struct{}, len(doc.Extra))
+	for r, seqs := range doc.Extra {
+		ex := make(map[uint64]struct{}, len(seqs))
+		for _, s := range seqs {
+			ex[s] = struct{}{}
+		}
+		k.extra[r] = ex
+	}
+	return nil
+}
