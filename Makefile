@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test bench
+
+## check is the tier-1 verification gate: every PR must leave it green.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+## bench runs the hot-path microbenchmarks (store mutation and sync batch
+## assembly) with allocation stats, for before/after comparisons.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkStorePut' -benchmem ./internal/store/
+	$(GO) test -run xxx -bench 'BenchmarkHandleSyncRequest|BenchmarkMakeSyncRequest' -benchmem ./internal/replica/

@@ -198,6 +198,36 @@ func BenchmarkSyncPair(b *testing.B) {
 	}
 }
 
+// BenchmarkSyncPairConstrained measures the bandwidth-constrained encounter
+// hot path (Fig. 9's 1-message budget) against a large source store: the
+// source must pick the single best item out of thousands of candidates,
+// which exercises the streaming top-K batch selector rather than a full
+// sort.
+func BenchmarkSyncPairConstrained(b *testing.B) {
+	src := replica.New(replica.Config{
+		ID: "src", OwnAddresses: []string{"addr:src"}, Policy: epidemic.New(10),
+	})
+	for i := 0; i < 5000; i++ {
+		src.CreateItem(item.Metadata{
+			Source:       "addr:src",
+			Destinations: []string{fmt.Sprintf("addr:%d", i%20)},
+			Kind:         "message",
+		}, nil)
+	}
+	dst := replica.New(replica.Config{
+		ID: "dst", OwnAddresses: []string{"addr:none"}, Policy: epidemic.New(10),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := dst.MakeSyncRequest(1)
+		resp := src.HandleSyncRequest(req)
+		if len(resp.Items) != 1 {
+			b.Fatalf("want 1 item, got %d", len(resp.Items))
+		}
+	}
+}
+
 // BenchmarkEmulationDay measures one emulated day of the full evaluation
 // pipeline under Epidemic routing.
 func BenchmarkEmulationDay(b *testing.B) {

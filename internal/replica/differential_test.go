@@ -1,0 +1,323 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/routing/spraywait"
+	"replidtn/internal/vclock"
+)
+
+// handleSyncRequestReference is the pre-refactor batch assembly, kept
+// verbatim as the specification the streaming selector must match: snapshot
+// and sort the whole store, score every candidate, sort the full batch, and
+// only then truncate to the budgets. Any divergence between this and
+// HandleSyncRequest on the same inputs is a bug in the streaming path.
+func (r *Replica) handleSyncRequestReference(req *SyncRequest) *SyncResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.policy != nil && req.Routing != nil {
+		r.policy.ProcessReq(req.TargetID, req.Routing)
+	}
+	target := routing.Target{ID: req.TargetID, Filter: req.Filter}
+
+	var batch []BatchItem
+	for _, e := range r.store.Entries() {
+		if req.Knowledge.Contains(e.Item.Version) {
+			continue
+		}
+		if !e.Item.Deleted && r.expiredLocked(&e.Item.Meta) {
+			continue
+		}
+		switch {
+		case e.Item.Deleted:
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, nil),
+				Priority:  routing.Priority{Class: routing.ClassFilter},
+			})
+		case req.Filter != nil && req.Filter.Match(e.Item):
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, nil),
+				Priority:  routing.Priority{Class: routing.ClassFilter},
+			})
+		case r.policy != nil:
+			pr, tr := r.policy.ToSend(e, target)
+			if pr.Class == routing.ClassSkip {
+				continue
+			}
+			batch = append(batch, BatchItem{
+				Item:      e.Item,
+				Transient: transmitTransient(e, tr),
+				Priority:  pr,
+			})
+		}
+	}
+
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].Priority != batch[j].Priority {
+			return batch[i].Priority.Before(batch[j].Priority)
+		}
+		return lessID(batch[i].Item.ID, batch[j].Item.ID)
+	})
+
+	resp := &SyncResponse{SourceID: r.id, Items: batch}
+	if req.MaxItems > 0 && len(batch) > req.MaxItems {
+		resp.Items = batch[:req.MaxItems]
+		resp.Truncated = true
+	}
+	if req.MaxBytes > 0 {
+		var used int64
+		cut := len(resp.Items)
+		for i, bi := range resp.Items {
+			size := itemWireBytes(bi.Item)
+			if used+size > req.MaxBytes && (i > 0 || req.StrictBytes) {
+				cut = i
+				break
+			}
+			used += size
+		}
+		if cut < len(resp.Items) {
+			resp.Items = resp.Items[:cut]
+			resp.Truncated = true
+		}
+	}
+	if !resp.Truncated && req.Filter != nil && r.filter.Covers(req.Filter) {
+		resp.LearnedKnowledge = r.know.Clone()
+	}
+	return resp
+}
+
+// diffScenario is one randomized store + request configuration.
+type diffScenario struct {
+	seed        int64
+	policy      int // 0 none, 1 epidemic, 2 spray, 3 prophet
+	items       int
+	maxItems    int
+	maxBytes    int64
+	strictBytes bool
+	knownFrac   int // percent of versions pre-learned by the target
+	tombFrac    int // percent of items deleted
+	expireFrac  int // percent of items already expired
+	wideFilter  bool
+}
+
+// buildSource constructs a source replica populated per the scenario; called
+// twice with the same scenario it produces identical replicas, so policy
+// side effects (spray halving, TTL decrements) apply equally to both paths.
+func buildSource(sc diffScenario) (*Replica, *SyncRequest) {
+	rng := rand.New(rand.NewSource(sc.seed))
+	var now int64 = 1000
+	var pol routing.Policy
+	switch sc.policy {
+	case 1:
+		pol = epidemic.New(8)
+	case 2:
+		pol = spraywait.New(8)
+	case 3:
+		pol = prophet.New(prophet.DefaultParams(), func() int64 { return now }, "addr:src")
+	}
+	src := New(Config{
+		ID:           "src",
+		OwnAddresses: []string{"addr:src"},
+		Policy:       pol,
+		Now:          func() int64 { return now },
+	})
+	targetKnow := vclock.NewKnowledge()
+	for i := 0; i < sc.items; i++ {
+		dst := fmt.Sprintf("addr:%d", rng.Intn(6))
+		expires := int64(0)
+		if rng.Intn(100) < sc.expireFrac {
+			expires = now - 1 // already past
+		}
+		payload := make([]byte, rng.Intn(200))
+		it := src.CreateItem(item.Metadata{
+			Source:       "addr:src",
+			Destinations: []string{dst},
+			Kind:         "message",
+			Expires:      expires,
+		}, payload)
+		if rng.Intn(100) < sc.tombFrac {
+			if _, err := src.DeleteItem(it.ID); err != nil {
+				panic(err)
+			}
+		}
+		if rng.Intn(100) < sc.knownFrac {
+			targetKnow.Add(it.Version)
+		}
+	}
+	var f filter.Filter = filter.NewAddresses("addr:0", "addr:1")
+	if sc.wideFilter {
+		f = filter.All{}
+	}
+	req := &SyncRequest{
+		TargetID:    "tgt",
+		Knowledge:   targetKnow,
+		Filter:      f,
+		MaxItems:    sc.maxItems,
+		MaxBytes:    sc.maxBytes,
+		StrictBytes: sc.strictBytes,
+	}
+	return src, req
+}
+
+// reqClone gives each path its own request: ProcessReq and knowledge reads
+// must not couple the two runs.
+func reqClone(req *SyncRequest) *SyncRequest {
+	c := *req
+	c.Knowledge = req.Knowledge.Clone()
+	return &c
+}
+
+func sameResponse(a, b *SyncResponse) error {
+	if a.Truncated != b.Truncated {
+		return fmt.Errorf("Truncated %v vs %v", a.Truncated, b.Truncated)
+	}
+	if (a.LearnedKnowledge == nil) != (b.LearnedKnowledge == nil) {
+		return fmt.Errorf("LearnedKnowledge presence %v vs %v",
+			a.LearnedKnowledge != nil, b.LearnedKnowledge != nil)
+	}
+	if a.LearnedKnowledge != nil && !a.LearnedKnowledge.Equal(b.LearnedKnowledge) {
+		return fmt.Errorf("LearnedKnowledge %s vs %s", a.LearnedKnowledge, b.LearnedKnowledge)
+	}
+	if len(a.Items) != len(b.Items) {
+		return fmt.Errorf("batch length %d vs %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		x, y := a.Items[i], b.Items[i]
+		if x.Item.ID != y.Item.ID {
+			return fmt.Errorf("item %d: ID %s vs %s", i, x.Item.ID, y.Item.ID)
+		}
+		if x.Item.Version != y.Item.Version {
+			return fmt.Errorf("item %d: version %s vs %s", i, x.Item.Version, y.Item.Version)
+		}
+		if x.Priority != y.Priority {
+			return fmt.Errorf("item %d: priority %+v vs %+v", i, x.Priority, y.Priority)
+		}
+		if fmt.Sprint(x.Transient) != fmt.Sprint(y.Transient) {
+			return fmt.Errorf("item %d: transient %v vs %v", i, x.Transient, y.Transient)
+		}
+	}
+	return nil
+}
+
+// TestHandleSyncRequestDifferential is the property test pinning the
+// streaming selector to the old sort-everything path: across random stores,
+// policies, filters, and MaxItems/MaxBytes combinations, both paths must
+// emit byte-identical batches (same items, same order, same priorities, same
+// truncation and knowledge-merge flags).
+func TestHandleSyncRequestDifferential(t *testing.T) {
+	check := func(seed int64, policy, items, maxItems uint8, maxBytes uint16, strict, wide bool, knownFrac, tombFrac, expireFrac uint8) bool {
+		sc := diffScenario{
+			seed:        seed,
+			policy:      int(policy % 4),
+			items:       int(items%120) + 1,
+			maxItems:    int(maxItems % 12), // 0 = unlimited, often tiny
+			maxBytes:    int64(maxBytes % 2048),
+			strictBytes: strict,
+			knownFrac:   int(knownFrac % 101),
+			tombFrac:    int(tombFrac % 40),
+			expireFrac:  int(expireFrac % 30),
+			wideFilter:  wide,
+		}
+		// Two identical sources: side-effecting policies (spray) mutate
+		// stored transients during assembly, so each path gets its own.
+		oldSrc, oldReq := buildSource(sc)
+		newSrc, newReq := buildSource(sc)
+		oldResp := oldSrc.handleSyncRequestReference(reqClone(oldReq))
+		newResp := newSrc.HandleSyncRequest(reqClone(newReq))
+		if err := sameResponse(oldResp, newResp); err != nil {
+			t.Logf("scenario %+v: %v", sc, err)
+			return false
+		}
+		// The side effects must also agree: stores identical after assembly.
+		oldEntries, newEntries := oldSrc.store.Entries(), newSrc.store.Entries()
+		if len(oldEntries) != len(newEntries) {
+			t.Logf("scenario %+v: store length diverged", sc)
+			return false
+		}
+		for i := range oldEntries {
+			if oldEntries[i].Item.ID != newEntries[i].Item.ID ||
+				fmt.Sprint(oldEntries[i].Transient) != fmt.Sprint(newEntries[i].Transient) {
+				t.Logf("scenario %+v: store entry %d diverged", sc, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandleSyncRequestDifferentialEdgeBudgets hits the budget boundaries
+// quick.Check may miss: MaxItems=1 (the paper's Fig. 9 constraint), a byte
+// budget below one item, and both budgets binding at once.
+func TestHandleSyncRequestDifferentialEdgeBudgets(t *testing.T) {
+	cases := []diffScenario{
+		{seed: 1, policy: 1, items: 50, maxItems: 1},
+		{seed: 2, policy: 1, items: 50, maxBytes: 1},
+		{seed: 3, policy: 1, items: 50, maxBytes: 1, strictBytes: true},
+		{seed: 4, policy: 2, items: 80, maxItems: 1, maxBytes: 64},
+		{seed: 5, policy: 3, items: 80, maxItems: 3, maxBytes: 200, tombFrac: 20},
+		{seed: 6, policy: 0, items: 40, maxItems: 1, wideFilter: true},
+		{seed: 7, policy: 1, items: 60, maxBytes: 63, strictBytes: true},
+		{seed: 8, policy: 2, items: 100, maxItems: 100},
+		{seed: 9, policy: 1, items: 30, maxItems: 30, wideFilter: true, knownFrac: 50},
+		{seed: 10, policy: 1, items: 1, maxItems: 1, maxBytes: 64},
+	}
+	for _, sc := range cases {
+		oldSrc, oldReq := buildSource(sc)
+		newSrc, newReq := buildSource(sc)
+		oldResp := oldSrc.handleSyncRequestReference(reqClone(oldReq))
+		newResp := newSrc.HandleSyncRequest(reqClone(newReq))
+		if err := sameResponse(oldResp, newResp); err != nil {
+			t.Errorf("scenario %+v: %v", sc, err)
+		}
+	}
+}
+
+// TestHandleSyncRequestAllocsSublinear is the regression guard for the
+// MaxItems=1 hot path: allocation count must not grow with store size (the
+// old path allocated a slice element per store entry just to throw almost
+// all of them away).
+func TestHandleSyncRequestAllocsSublinear(t *testing.T) {
+	measure := func(n int) float64 {
+		src := New(Config{
+			ID:           "src",
+			OwnAddresses: []string{"addr:src"},
+			Policy:       epidemic.New(64),
+		})
+		for i := 0; i < n; i++ {
+			src.CreateItem(item.Metadata{
+				Source:       "addr:src",
+				Destinations: []string{fmt.Sprintf("addr:%d", i%4)},
+				Kind:         "message",
+			}, nil)
+		}
+		tgt := New(Config{ID: "tgt", OwnAddresses: []string{"addr:0"}, Policy: epidemic.New(64)})
+		req := tgt.MakeSyncRequest(1)
+		req.Knowledge = vclock.NewKnowledge()
+		return testing.AllocsPerRun(20, func() {
+			src.HandleSyncRequest(req)
+		})
+	}
+	small, large := measure(500), measure(5000)
+	if small == 0 {
+		t.Fatalf("suspicious zero-alloc measurement")
+	}
+	// A 10x store must not cost anywhere near 10x the allocations; allow 2x
+	// for noise.
+	if large > 2*small {
+		t.Errorf("allocations grew with store size: %v at 500 entries, %v at 5000", small, large)
+	}
+}

@@ -255,6 +255,8 @@ func (r *Replica) SetIdentity(ownAddresses []string, f filter.Filter) []*item.It
 		r.own[a] = struct{}{}
 	}
 	var delivered []*item.Item
+	// Entries (a snapshot) rather than Range: reclassification mutates the
+	// store mid-loop.
 	for _, e := range r.store.Entries() {
 		if r.store.Get(e.Item.ID) == nil {
 			continue // evicted by an earlier reclassification in this loop
@@ -307,14 +309,19 @@ func (r *Replica) PurgeExpired() int {
 	if r.now == nil {
 		return 0
 	}
-	n := 0
-	for _, e := range r.store.Entries() {
+	// Collect first, remove second: Range walks the live index, which must
+	// not be mutated mid-iteration.
+	var expired []item.ID
+	r.store.Range(func(e *store.Entry) bool {
 		if !e.Item.Deleted && !e.Local && r.expiredLocked(&e.Item.Meta) {
-			r.store.Remove(e.Item.ID)
-			n++
+			expired = append(expired, e.Item.ID)
 		}
+		return true
+	})
+	for _, id := range expired {
+		r.store.Remove(id)
 	}
-	return n
+	return len(expired)
 }
 
 func (r *Replica) deliverLocked(it *item.Item) {

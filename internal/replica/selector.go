@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"sort"
+
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+)
+
+// syncCandidate is one store entry admitted to batch selection, before its
+// wire transient is materialized. Keeping candidates this small — and
+// deferring transient construction until after truncation — is what makes
+// batch assembly allocation-free per scanned entry.
+type syncCandidate struct {
+	entry    *store.Entry
+	priority routing.Priority
+	// transient is the policy-built transient for eager ToSend policies; nil
+	// for substrate-class candidates (which transmit a clone of the stored
+	// transient) and for split policies.
+	transient item.Transient
+	// materialize marks a candidate admitted via routing.SplitSender.Decide,
+	// whose transient is produced by Materialize only if it survives
+	// truncation.
+	materialize bool
+}
+
+// batchSelector assembles a synchronization batch as a stream: candidates
+// are offered one at a time and only the top-K worth transmitting are
+// retained, in a bounded max-heap whose root is the worst retained candidate
+// (the first to displace). This turns batch assembly from
+// O(candidates · log candidates) with a full materialized sort into
+// O(candidates · log K) with O(K) memory — the difference between sorting a
+// 100k-entry store and keeping one item when the encounter budget is one
+// message.
+//
+// When limit <= 0 the batch is unbounded: candidates are collected and fully
+// sorted at finish, preserving the exact ordering of the unbounded path.
+//
+// The retained set is always the first min(total, limit) items of the full
+// priority ordering, so any truncation rule that takes a prefix of that
+// ordering (MaxItems, the MaxBytes scan) computes identical results on the
+// selector's output — the property the differential test pins down.
+type batchSelector struct {
+	limit int
+	cands []syncCandidate
+	total int
+}
+
+// candLess reports whether a transmits before b: priority order (class
+// descending, cost ascending), ties broken by item ID. Within one batch the
+// order is total because item IDs are unique.
+func candLess(a, b *syncCandidate) bool {
+	if a.priority != b.priority {
+		return a.priority.Before(b.priority)
+	}
+	return lessID(a.entry.Item.ID, b.entry.Item.ID)
+}
+
+// offer considers one candidate for the batch.
+func (sel *batchSelector) offer(c syncCandidate) {
+	sel.total++
+	if sel.limit <= 0 {
+		sel.cands = append(sel.cands, c)
+		return
+	}
+	if len(sel.cands) < sel.limit {
+		sel.cands = append(sel.cands, c)
+		sel.siftUp(len(sel.cands) - 1)
+		return
+	}
+	if !candLess(&c, &sel.cands[0]) {
+		return // not better than the worst retained candidate
+	}
+	sel.cands[0] = c
+	sel.siftDown(0, len(sel.cands))
+}
+
+// finish returns the retained candidates in transmission order. The selector
+// must not be used afterwards.
+func (sel *batchSelector) finish() []syncCandidate {
+	if sel.limit <= 0 {
+		sort.Slice(sel.cands, func(i, j int) bool {
+			return candLess(&sel.cands[i], &sel.cands[j])
+		})
+		return sel.cands
+	}
+	// Heapsort in place: repeatedly move the heap's worst element to the
+	// end, leaving the slice in ascending transmission order.
+	for end := len(sel.cands) - 1; end > 0; end-- {
+		sel.cands[0], sel.cands[end] = sel.cands[end], sel.cands[0]
+		sel.siftDown(0, end)
+	}
+	return sel.cands
+}
+
+// siftUp restores the heap property ("worst at root") after an append.
+func (sel *batchSelector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candLess(&sel.cands[parent], &sel.cands[i]) {
+			return
+		}
+		sel.cands[i], sel.cands[parent] = sel.cands[parent], sel.cands[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property below i within cands[:n].
+func (sel *batchSelector) siftDown(i, n int) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		worst := i
+		if left < n && candLess(&sel.cands[worst], &sel.cands[left]) {
+			worst = left
+		}
+		if right < n && candLess(&sel.cands[worst], &sel.cands[right]) {
+			worst = right
+		}
+		if worst == i {
+			return
+		}
+		sel.cands[i], sel.cands[worst] = sel.cands[worst], sel.cands[i]
+		i = worst
+	}
+}

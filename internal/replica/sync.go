@@ -1,8 +1,6 @@
 package replica
 
 import (
-	"sort"
-
 	"replidtn/internal/filter"
 	"replidtn/internal/item"
 	"replidtn/internal/routing"
@@ -88,7 +86,9 @@ type ApplyStats struct {
 
 // MakeSyncRequest builds the request this replica sends when initiating a
 // synchronization (acting as target). maxItems bounds the returned batch
-// (0 = unlimited).
+// (0 = unlimited). The attached knowledge is a copy-on-write clone — taking
+// it is O(1), and it stays consistent even as this replica keeps learning
+// versions while the source reads it.
 func (r *Replica) MakeSyncRequest(maxItems int) *SyncRequest {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -105,10 +105,34 @@ func (r *Replica) MakeSyncRequest(maxItems int) *SyncRequest {
 	return req
 }
 
-// HandleSyncRequest serves a synchronization request (acting as source):
-// process the request's routing state, assemble the batch of versions unknown
-// to the target that match its filter or are selected by the local policy,
-// order it by priority, and apply the bandwidth bound.
+// selectorLimit derives the number of candidates worth retaining from the
+// request's budgets: the item bound directly, and the byte bound via the
+// fixed per-item metadata overhead (every batch item costs at least
+// metadataOverhead wire bytes, so a byte budget implies an item budget). The
+// slack of 2 keeps the at-least-one exception and the cut boundary safely
+// inside the retained prefix. 0 means unbounded.
+func selectorLimit(req *SyncRequest) int {
+	limit := 0
+	if req.MaxItems > 0 {
+		limit = req.MaxItems
+	}
+	if req.MaxBytes > 0 {
+		byteLimit := int(req.MaxBytes/metadataOverhead) + 2
+		if limit == 0 || byteLimit < limit {
+			limit = byteLimit
+		}
+	}
+	return limit
+}
+
+// HandleSyncRequest serves a synchronization request (acting as source): it
+// processes the request's routing state, then streams store entries off the
+// maintained index — skipping known and expired versions inline — and keeps
+// only the top-K batch under the request's budgets in a bounded priority
+// heap. Tombstones and filter-matched items keep their priority-class
+// ordering; the full batch is materialized and sorted only when the request
+// carries no budget at all. The emitted batch is identical, item for item,
+// to sorting every candidate and truncating afterwards.
 func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -117,70 +141,93 @@ func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
 		r.policy.ProcessReq(req.TargetID, req.Routing)
 	}
 	target := routing.Target{ID: req.TargetID, Filter: req.Filter}
+	split, _ := r.policy.(routing.SplitSender)
 
-	var batch []BatchItem
-	for _, e := range r.store.Entries() {
+	sel := batchSelector{limit: selectorLimit(req)}
+	r.store.Range(func(e *store.Entry) bool {
 		if req.Knowledge.Contains(e.Item.Version) {
-			continue
+			return true
 		}
 		if !e.Item.Deleted && r.expiredLocked(&e.Item.Meta) {
 			// Dead messages are not worth encounter bandwidth.
-			continue
+			return true
 		}
 		switch {
 		case e.Item.Deleted:
 			// Tombstones always travel: they clear forwarders' copies and
 			// immunize the target against stale live versions.
-			batch = append(batch, BatchItem{
-				Item:      e.Item,
-				Transient: transmitTransient(e, nil),
-				Priority:  routing.Priority{Class: routing.ClassFilter},
+			sel.offer(syncCandidate{
+				entry:    e,
+				priority: routing.Priority{Class: routing.ClassFilter},
 			})
 		case req.Filter != nil && req.Filter.Match(e.Item):
-			batch = append(batch, BatchItem{
-				Item:      e.Item,
-				Transient: transmitTransient(e, nil),
-				Priority:  routing.Priority{Class: routing.ClassFilter},
+			sel.offer(syncCandidate{
+				entry:    e,
+				priority: routing.Priority{Class: routing.ClassFilter},
 			})
+		case split != nil:
+			pr := split.Decide(e, target)
+			if pr.Class == routing.ClassSkip {
+				return true
+			}
+			sel.offer(syncCandidate{entry: e, priority: pr, materialize: true})
 		case r.policy != nil:
 			pr, tr := r.policy.ToSend(e, target)
 			if pr.Class == routing.ClassSkip {
-				continue
+				return true
 			}
-			batch = append(batch, BatchItem{
-				Item:      e.Item,
-				Transient: transmitTransient(e, tr),
-				Priority:  pr,
-			})
+			sel.offer(syncCandidate{entry: e, priority: pr, transient: tr})
 		}
-	}
-
-	sort.SliceStable(batch, func(i, j int) bool {
-		if batch[i].Priority != batch[j].Priority {
-			return batch[i].Priority.Before(batch[j].Priority)
-		}
-		return lessID(batch[i].Item.ID, batch[j].Item.ID)
+		return true
 	})
+	cands := sel.finish()
 
-	resp := &SyncResponse{SourceID: r.id, Items: batch}
-	if req.MaxItems > 0 && len(batch) > req.MaxItems {
-		resp.Items = batch[:req.MaxItems]
-		resp.Truncated = true
+	truncated := false
+	if req.MaxItems > 0 && sel.total > req.MaxItems {
+		n := req.MaxItems
+		if n > len(cands) {
+			// The byte budget bounded retention below MaxItems; the byte scan
+			// below always cuts inside the retained prefix.
+			n = len(cands)
+		}
+		cands = cands[:n]
+		truncated = true
 	}
 	if req.MaxBytes > 0 {
 		var used int64
-		cut := len(resp.Items)
-		for i, bi := range resp.Items {
-			size := itemWireBytes(bi.Item)
+		cut := len(cands)
+		for i := range cands {
+			size := itemWireBytes(cands[i].entry.Item)
 			if used+size > req.MaxBytes && (i > 0 || req.StrictBytes) {
 				cut = i
 				break
 			}
 			used += size
 		}
-		if cut < len(resp.Items) {
-			resp.Items = resp.Items[:cut]
-			resp.Truncated = true
+		if cut < len(cands) {
+			cands = cands[:cut]
+			truncated = true
+		}
+	}
+
+	// Materialize batch items only now, for the candidates that survived
+	// truncation: building a wire transient clones a map, and doing it per
+	// transmitted item instead of per scanned candidate is what keeps served
+	// syncs O(batch) in allocations rather than O(store).
+	resp := &SyncResponse{SourceID: r.id, Truncated: truncated}
+	if len(cands) > 0 {
+		resp.Items = make([]BatchItem, len(cands))
+		for i := range cands {
+			c := &cands[i]
+			tr := c.transient
+			if c.materialize {
+				tr = split.Materialize(c.entry, target)
+			}
+			resp.Items[i] = BatchItem{
+				Item:      c.entry.Item,
+				Transient: transmitTransient(c.entry, tr),
+				Priority:  c.priority,
+			}
 		}
 	}
 	// Offer wholesale knowledge when this replica provably sees everything
@@ -281,10 +328,16 @@ func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
 	return st
 }
 
+// metadataOverhead is the fixed per-item wire cost added to the payload
+// size. Because every batch item costs at least this much, a MaxBytes budget
+// implies an item budget of MaxBytes/metadataOverhead (+1 for the
+// at-least-one exception) — the bound selectorLimit uses to keep streaming
+// batch assembly O(candidates · log K).
+const metadataOverhead = 64
+
 // itemWireBytes estimates an item's transfer cost: its payload plus a fixed
 // per-item metadata overhead.
 func itemWireBytes(it *item.Item) int64 {
-	const metadataOverhead = 64
 	return int64(len(it.Payload)) + metadataOverhead
 }
 

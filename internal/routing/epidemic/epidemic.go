@@ -46,15 +46,30 @@ func (*Policy) ProcessReq(vclock.ReplicaID, routing.Request) {}
 // items without a TTL field are stamped with the initial hop budget first.
 // Only the in-flight copy's TTL drops; the stored copy keeps its value, as
 // §V.C.1 of the paper specifies.
-func (p *Policy) ToSend(e *store.Entry, _ routing.Target) (routing.Priority, item.Transient) {
+func (p *Policy) ToSend(e *store.Entry, target routing.Target) (routing.Priority, item.Transient) {
+	pr := p.Decide(e, target)
+	if pr.Class == routing.ClassSkip {
+		return pr, nil
+	}
+	return pr, p.Materialize(e, target)
+}
+
+// Decide implements routing.SplitSender: the forwarding decision half of
+// ToSend, including its TTL-stamping side effect.
+func (p *Policy) Decide(e *store.Entry, _ routing.Target) routing.Priority {
 	if !e.Transient.Has(item.FieldTTL) {
 		e.Transient = e.Transient.Set(item.FieldTTL, float64(p.initialTTL))
 	}
-	ttl := e.Transient.GetInt(item.FieldTTL)
-	if ttl <= 0 {
-		return routing.Skip, nil
+	if e.Transient.GetInt(item.FieldTTL) <= 0 {
+		return routing.Skip
 	}
+	return routing.Priority{Class: routing.ClassNormal}
+}
+
+// Materialize implements routing.SplitSender: build the in-flight copy's
+// transient — the stored transient with a decremented TTL. Pure; called only
+// for items that made the batch.
+func (p *Policy) Materialize(e *store.Entry, _ routing.Target) item.Transient {
 	out := e.Transient.Clone()
-	out = out.Set(item.FieldTTL, float64(ttl-1))
-	return routing.Priority{Class: routing.ClassNormal}, out
+	return out.Set(item.FieldTTL, float64(e.Transient.GetInt(item.FieldTTL)-1))
 }

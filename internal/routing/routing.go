@@ -108,6 +108,25 @@ type Policy interface {
 	ToSend(e *store.Entry, target Target) (Priority, item.Transient)
 }
 
+// SplitSender is optionally implemented by policies that can separate the
+// forwarding decision from building the transmitted transient. When a policy
+// implements it, the substrate calls Decide while scanning candidates and
+// Materialize only for the entries that survive batch truncation — so a
+// policy that would allocate a fresh transient per candidate (e.g. Epidemic's
+// decremented-TTL copy) allocates only per transmitted item, keeping batch
+// assembly allocation-free per scanned entry.
+//
+// The contract mirrors ToSend split in two: Decide carries exactly the
+// stored-state side effects ToSend would have (e.g. stamping an initial TTL)
+// and returns the same priority. Materialize must be pure — no stored-state
+// mutation — and return exactly the transient ToSend would have returned
+// alongside that priority. It is called at most once per Decide, only for
+// transmitted entries, after every Decide of the batch has run.
+type SplitSender interface {
+	Decide(e *store.Entry, target Target) Priority
+	Materialize(e *store.Entry, target Target) item.Transient
+}
+
 // Persistent is implemented by policies that keep durable routing state —
 // the paper's requirement that "DTN routing policies can define persistent
 // data structures which are serialized to disk and retrieved whenever a

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"sort"
+
+	"replidtn/internal/item"
+)
+
+// entryIndex is an in-memory B-tree over store entries keyed by item ID. It
+// is maintained incrementally on every store mutation so that in-order
+// iteration needs no per-call allocation or sorting — the sync hot path
+// iterates candidates straight off the index. DTN7 keeps its bundle store
+// behind maintained indexes for the same reason.
+//
+// The tree follows the classic structure: every node holds between
+// indexMinItems and indexMaxItems entries (the root may hold fewer), inserts
+// split full nodes on the way down, and deletes grow underfull nodes by
+// stealing from or merging with a sibling on the way down.
+type entryIndex struct {
+	root *indexNode
+	size int
+}
+
+const (
+	// indexMinItems is the minimum entries per non-root node (t-1 for B-tree
+	// minimum degree t=16).
+	indexMinItems = 15
+	// indexMaxItems is the maximum entries per node (2t-1).
+	indexMaxItems = 2*indexMinItems + 1
+)
+
+type indexNode struct {
+	entries  []*Entry
+	children []*indexNode
+}
+
+// find returns the position of id in n.entries, or the child index to
+// descend into when absent.
+func (n *indexNode) find(id item.ID) (int, bool) {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return !lessID(n.entries[i].Item.ID, id)
+	})
+	if i < len(n.entries) && n.entries[i].Item.ID == id {
+		return i, true
+	}
+	return i, false
+}
+
+// len returns the number of indexed entries.
+func (ix *entryIndex) len() int { return ix.size }
+
+// get returns the entry for id, or nil.
+func (ix *entryIndex) get(id item.ID) *Entry {
+	n := ix.root
+	for n != nil {
+		i, found := n.find(id)
+		if found {
+			return n.entries[i]
+		}
+		if len(n.children) == 0 {
+			return nil
+		}
+		n = n.children[i]
+	}
+	return nil
+}
+
+// replaceOrInsert adds e to the index, returning the entry it replaced (nil
+// when the ID is new).
+func (ix *entryIndex) replaceOrInsert(e *Entry) *Entry {
+	if ix.root == nil {
+		ix.root = &indexNode{entries: []*Entry{e}}
+		ix.size = 1
+		return nil
+	}
+	if len(ix.root.entries) >= indexMaxItems {
+		mid, right := ix.root.split(indexMaxItems / 2)
+		ix.root = &indexNode{
+			entries:  []*Entry{mid},
+			children: []*indexNode{ix.root, right},
+		}
+	}
+	prev := ix.root.insert(e)
+	if prev == nil {
+		ix.size++
+	}
+	return prev
+}
+
+// split divides n at index i, returning the promoted entry and the new right
+// sibling.
+func (n *indexNode) split(i int) (*Entry, *indexNode) {
+	mid := n.entries[i]
+	right := &indexNode{}
+	right.entries = append(right.entries, n.entries[i+1:]...)
+	n.entries = n.entries[:i]
+	if len(n.children) > 0 {
+		right.children = append(right.children, n.children[i+1:]...)
+		n.children = n.children[:i+1]
+	}
+	return mid, right
+}
+
+// maybeSplitChild splits child i when full, reporting whether it did.
+func (n *indexNode) maybeSplitChild(i int) bool {
+	if len(n.children[i].entries) < indexMaxItems {
+		return false
+	}
+	child := n.children[i]
+	mid, right := child.split(indexMaxItems / 2)
+	n.entries = append(n.entries, nil)
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	return true
+}
+
+func (n *indexNode) insert(e *Entry) *Entry {
+	i, found := n.find(e.Item.ID)
+	if found {
+		prev := n.entries[i]
+		n.entries[i] = e
+		return prev
+	}
+	if len(n.children) == 0 {
+		n.entries = append(n.entries, nil)
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return nil
+	}
+	if n.maybeSplitChild(i) {
+		// The promoted separator may be the key itself or may shift the
+		// descent one child to the right.
+		switch {
+		case n.entries[i].Item.ID == e.Item.ID:
+			prev := n.entries[i]
+			n.entries[i] = e
+			return prev
+		case lessID(n.entries[i].Item.ID, e.Item.ID):
+			i++
+		}
+	}
+	return n.children[i].insert(e)
+}
+
+// removeKind selects what (*indexNode).remove removes.
+type removeKind int
+
+const (
+	removeID  removeKind = iota // the entry with a given ID
+	removeMax                   // the subtree's maximum entry
+)
+
+// delete removes and returns the entry for id (nil when absent).
+func (ix *entryIndex) delete(id item.ID) *Entry {
+	if ix.root == nil || len(ix.root.entries) == 0 {
+		return nil
+	}
+	out := ix.root.remove(id, removeID)
+	if len(ix.root.entries) == 0 && len(ix.root.children) > 0 {
+		ix.root = ix.root.children[0]
+	}
+	if out != nil {
+		ix.size--
+	}
+	return out
+}
+
+func (n *indexNode) remove(id item.ID, kind removeKind) *Entry {
+	var i int
+	var found bool
+	switch kind {
+	case removeMax:
+		if len(n.children) == 0 {
+			out := n.entries[len(n.entries)-1]
+			n.entries = n.entries[:len(n.entries)-1]
+			return out
+		}
+		i = len(n.entries)
+	case removeID:
+		i, found = n.find(id)
+		if len(n.children) == 0 {
+			if !found {
+				return nil
+			}
+			out := n.entries[i]
+			copy(n.entries[i:], n.entries[i+1:])
+			n.entries = n.entries[:len(n.entries)-1]
+			return out
+		}
+	}
+	if len(n.children[i].entries) <= indexMinItems {
+		return n.growChildAndRemove(i, id, kind)
+	}
+	if found {
+		// Replace the separator with its in-order predecessor, pulled from
+		// the (sufficiently full) left subtree.
+		out := n.entries[i]
+		n.entries[i] = n.children[i].remove(item.ID{}, removeMax)
+		return out
+	}
+	return n.children[i].remove(id, kind)
+}
+
+// growChildAndRemove brings child i above the minimum occupancy — stealing
+// from a sibling or merging with one — then retries the removal from n.
+func (n *indexNode) growChildAndRemove(i int, id item.ID, kind removeKind) *Entry {
+	switch {
+	case i > 0 && len(n.children[i-1].entries) > indexMinItems:
+		// Steal the left sibling's last entry through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.entries = append(child.entries, nil)
+		copy(child.entries[1:], child.entries)
+		child.entries[0] = n.entries[i-1]
+		n.entries[i-1] = left.entries[len(left.entries)-1]
+		left.entries = left.entries[:len(left.entries)-1]
+		if len(left.children) > 0 {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.entries) && len(n.children[i+1].entries) > indexMinItems:
+		// Steal the right sibling's first entry through the separator.
+		child, right := n.children[i], n.children[i+1]
+		child.entries = append(child.entries, n.entries[i])
+		n.entries[i] = right.entries[0]
+		copy(right.entries, right.entries[1:])
+		right.entries = right.entries[:len(right.entries)-1]
+		if len(right.children) > 0 {
+			child.children = append(child.children, right.children[0])
+			copy(right.children, right.children[1:])
+			right.children = right.children[:len(right.children)-1]
+		}
+	default:
+		// Merge child i with its right sibling (or left, at the end).
+		if i >= len(n.entries) {
+			i--
+		}
+		child, right := n.children[i], n.children[i+1]
+		child.entries = append(child.entries, n.entries[i])
+		child.entries = append(child.entries, right.entries...)
+		child.children = append(child.children, right.children...)
+		copy(n.entries[i:], n.entries[i+1:])
+		n.entries = n.entries[:len(n.entries)-1]
+		copy(n.children[i+1:], n.children[i+2:])
+		n.children = n.children[:len(n.children)-1]
+	}
+	return n.remove(id, kind)
+}
+
+// ascend calls fn for every entry in ascending ID order until fn returns
+// false, reporting whether the walk ran to completion.
+func (ix *entryIndex) ascend(fn func(*Entry) bool) bool {
+	if ix.root == nil {
+		return true
+	}
+	return ix.root.ascend(fn)
+}
+
+func (n *indexNode) ascend(fn func(*Entry) bool) bool {
+	internal := len(n.children) > 0
+	for i, e := range n.entries {
+		if internal && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(e) {
+			return false
+		}
+	}
+	if internal {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// reset empties the index.
+func (ix *entryIndex) reset() {
+	ix.root = nil
+	ix.size = 0
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/vclock"
+)
+
+// checkIndexInvariants walks the tree verifying B-tree structure: key order,
+// node occupancy, and uniform leaf depth.
+func checkIndexInvariants(t *testing.T, ix *entryIndex) {
+	t.Helper()
+	if ix.root == nil {
+		if ix.size != 0 {
+			t.Fatalf("nil root with size %d", ix.size)
+		}
+		return
+	}
+	var prev *item.ID
+	counted := 0
+	leafDepth := -1
+	var walk func(n *indexNode, depth int)
+	walk = func(n *indexNode, depth int) {
+		if n != ix.root && len(n.entries) < indexMinItems {
+			t.Fatalf("underfull node: %d entries at depth %d", len(n.entries), depth)
+		}
+		if len(n.entries) > indexMaxItems {
+			t.Fatalf("overfull node: %d entries", len(n.entries))
+		}
+		internal := len(n.children) > 0
+		if internal && len(n.children) != len(n.entries)+1 {
+			t.Fatalf("node has %d entries but %d children", len(n.entries), len(n.children))
+		}
+		if !internal {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf depth %d != %d", depth, leafDepth)
+			}
+		}
+		for i, e := range n.entries {
+			if internal {
+				walk(n.children[i], depth+1)
+			}
+			if prev != nil && !lessID(*prev, e.Item.ID) {
+				t.Fatalf("order violation: %s !< %s", *prev, e.Item.ID)
+			}
+			id := e.Item.ID
+			prev = &id
+			counted++
+		}
+		if internal {
+			walk(n.children[len(n.children)-1], depth+1)
+		}
+	}
+	walk(ix.root, 0)
+	if counted != ix.size {
+		t.Fatalf("walk found %d entries, size says %d", counted, ix.size)
+	}
+}
+
+// TestIndexDifferential drives the B-tree and a map-based reference with the
+// same random operation stream and demands identical contents throughout.
+func TestIndexDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ix entryIndex
+	ref := make(map[item.ID]*Entry)
+
+	randomID := func() item.ID {
+		return item.ID{
+			Creator: vclock.ReplicaID(fmt.Sprintf("r%d", rng.Intn(20))),
+			Num:     uint64(rng.Intn(200) + 1),
+		}
+	}
+	for op := 0; op < 20000; op++ {
+		id := randomID()
+		switch rng.Intn(3) {
+		case 0, 1: // insert or replace
+			e := &Entry{Item: &item.Item{ID: id}}
+			prev := ix.replaceOrInsert(e)
+			if prev != ref[id] {
+				t.Fatalf("op %d: replaceOrInsert(%s) returned %v, ref had %v", op, id, prev, ref[id])
+			}
+			ref[id] = e
+		case 2: // delete
+			got := ix.delete(id)
+			if got != ref[id] {
+				t.Fatalf("op %d: delete(%s) returned %v, ref had %v", op, id, got, ref[id])
+			}
+			delete(ref, id)
+		}
+		if ix.len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", op, ix.len(), len(ref))
+		}
+		if e := ix.get(id); e != ref[id] {
+			t.Fatalf("op %d: get(%s) = %v, ref %v", op, id, e, ref[id])
+		}
+		if op%500 == 0 {
+			checkIndexInvariants(t, &ix)
+			assertSameOrder(t, &ix, ref)
+		}
+	}
+	checkIndexInvariants(t, &ix)
+	assertSameOrder(t, &ix, ref)
+
+	// Drain completely to exercise every delete rebalancing path.
+	ids := make([]item.ID, 0, len(ref))
+	for id := range ref {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if ix.delete(id) == nil {
+			t.Fatalf("drain: delete(%s) found nothing", id)
+		}
+		delete(ref, id)
+	}
+	if ix.len() != 0 {
+		t.Fatalf("drained index has %d entries", ix.len())
+	}
+	checkIndexInvariants(t, &ix)
+}
+
+// assertSameOrder checks that ascend yields exactly the reference contents in
+// ascending ID order.
+func assertSameOrder(t *testing.T, ix *entryIndex, ref map[item.ID]*Entry) {
+	t.Helper()
+	want := make([]item.ID, 0, len(ref))
+	for id := range ref {
+		want = append(want, id)
+	}
+	sort.Slice(want, func(i, j int) bool { return lessID(want[i], want[j]) })
+	i := 0
+	ix.ascend(func(e *Entry) bool {
+		if i >= len(want) {
+			t.Fatalf("ascend yielded extra entry %s", e.Item.ID)
+		}
+		if e.Item.ID != want[i] {
+			t.Fatalf("ascend[%d] = %s, want %s", i, e.Item.ID, want[i])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("ascend yielded %d entries, want %d", i, len(want))
+	}
+}
+
+// TestIndexAscendEarlyStop verifies the walk halts when fn returns false.
+func TestIndexAscendEarlyStop(t *testing.T) {
+	var ix entryIndex
+	for i := 1; i <= 100; i++ {
+		ix.replaceOrInsert(&Entry{Item: mkItem("a", uint64(i))})
+	}
+	n := 0
+	ix.ascend(func(*Entry) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d entries, want 7", n)
+	}
+}
+
+// TestIndexReset verifies reset empties the tree.
+func TestIndexReset(t *testing.T) {
+	var ix entryIndex
+	ix.replaceOrInsert(&Entry{Item: mkItem("a", 1)})
+	ix.reset()
+	if ix.len() != 0 || ix.get(item.ID{Creator: "a", Num: 1}) != nil {
+		t.Fatal("reset left entries behind")
+	}
+}

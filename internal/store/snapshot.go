@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"sort"
 
 	"replidtn/internal/item"
 )
@@ -18,10 +17,11 @@ type EntrySnapshot struct {
 }
 
 // Snapshot captures every entry in deterministic order together with the
-// arrival counter, for durable persistence.
+// arrival counter, for durable persistence. The ordered index supplies the
+// order; no sorting happens here.
 func (s *Store) Snapshot() ([]EntrySnapshot, uint64) {
 	out := make([]EntrySnapshot, 0, len(s.entries))
-	for _, e := range s.entries {
+	s.index.ascend(func(e *Entry) bool {
 		out = append(out, EntrySnapshot{
 			Item:      e.Item.Clone(),
 			Transient: e.Transient.Clone(),
@@ -29,8 +29,8 @@ func (s *Store) Snapshot() ([]EntrySnapshot, uint64) {
 			Local:     e.Local,
 			Arrival:   e.arrival,
 		})
-	}
-	sort.Slice(out, func(i, j int) bool { return lessID(out[i].Item.ID, out[j].Item.ID) })
+		return true
+	})
 	return out, s.nextArrival
 }
 
@@ -63,5 +63,6 @@ func (s *Store) Restore(entries []EntrySnapshot, nextArrival uint64) error {
 	}
 	s.entries = fresh
 	s.nextArrival = nextArrival
+	s.rebuildIndexes()
 	return nil
 }

@@ -10,6 +10,13 @@
 // exclusively to relay entries, matching the paper's storage-constrained
 // experiments, which exempt messages for which the node is the sender or a
 // destination.
+//
+// The store keeps three incremental indexes so its read paths are cheap on
+// the synchronization hot path: an ordered B-tree over entries (iteration in
+// ID order without per-call allocation or sorting), live/relay counters
+// (LiveLen and RelayLen are O(1)), and — for arrival-ordered eviction
+// strategies — a lazy min-heap over relay entries so enforcing the relay
+// capacity never rescans the store.
 package store
 
 import (
@@ -40,6 +47,9 @@ type Entry struct {
 // smaller).
 func (e *Entry) Arrival() uint64 { return e.arrival }
 
+// relayLive reports whether the entry counts toward the relay capacity.
+func (e *Entry) relayLive() bool { return e.Relay && !e.Item.Deleted }
+
 // EvictionStrategy orders relay entries for eviction when the store exceeds
 // its relay capacity. Less reports whether a should be evicted before b.
 type EvictionStrategy interface {
@@ -47,6 +57,16 @@ type EvictionStrategy interface {
 	Name() string
 	// Less reports whether entry a should be evicted before entry b.
 	Less(a, b *Entry) bool
+}
+
+// ArrivalOrdered marks eviction strategies whose order depends only on the
+// entry's immutable arrival sequence. For such strategies the store maintains
+// an incremental eviction heap; strategies whose order reads mutable state
+// (e.g. transient cost fields a routing policy rewrites in place) cannot be
+// indexed and fall back to scanning the relay partition when — and only
+// when — an eviction is actually due.
+type ArrivalOrdered interface {
+	ArrivalOrdered() bool
 }
 
 // FIFO evicts the oldest relay entry first — the strategy the paper's
@@ -58,6 +78,9 @@ func (FIFO) Name() string { return "fifo" }
 
 // Less implements EvictionStrategy.
 func (FIFO) Less(a, b *Entry) bool { return a.arrival < b.arrival }
+
+// ArrivalOrdered implements ArrivalOrdered: FIFO order is fixed at insert.
+func (FIFO) ArrivalOrdered() bool { return true }
 
 // EvictByCost evicts the relay entry with the highest transient cost field
 // first (ties broken FIFO). MaxProp's buffer management uses this shape:
@@ -90,11 +113,26 @@ func (e EvictByCost) Less(a, b *Entry) bool {
 // Store is not safe for concurrent use; the owning replica serializes access.
 type Store struct {
 	entries map[item.ID]*Entry
+	// index orders entries by item ID, maintained on every mutation.
+	index entryIndex
 	// relayCapacity bounds the number of live (non-tombstone) relay entries;
 	// <= 0 means unlimited.
 	relayCapacity int
 	eviction      EvictionStrategy
 	nextArrival   uint64
+
+	// liveCount counts non-tombstone entries; relayCount counts live relay
+	// entries (the population the capacity bound applies to). Both are
+	// maintained on every mutation so LiveLen/RelayLen are O(1).
+	liveCount  int
+	relayCount int
+
+	// evictHeap is a min-heap over relay-live entries keyed by the eviction
+	// strategy's (arrival-only) order, with lazy invalidation: superseded or
+	// reclassified entries stay in the heap and are skipped on pop. Nil when
+	// the strategy is not ArrivalOrdered or the capacity is unlimited.
+	evictHeap []*Entry
+	useHeap   bool
 }
 
 // New creates an empty store. relayCapacity bounds the number of live relay
@@ -109,10 +147,12 @@ func NewWithEviction(relayCapacity int, eviction EvictionStrategy) *Store {
 	if eviction == nil {
 		eviction = FIFO{}
 	}
+	ao, ok := eviction.(ArrivalOrdered)
 	return &Store{
 		entries:       make(map[item.ID]*Entry),
 		relayCapacity: relayCapacity,
 		eviction:      eviction,
+		useHeap:       relayCapacity > 0 && ok && ao.ArrivalOrdered(),
 	}
 }
 
@@ -125,28 +165,15 @@ func (s *Store) Get(id item.ID) *Entry { return s.entries[id] }
 // Len returns the total number of entries, including tombstones.
 func (s *Store) Len() int { return len(s.entries) }
 
-// LiveLen returns the number of non-tombstone entries.
-func (s *Store) LiveLen() int {
-	n := 0
-	for _, e := range s.entries {
-		if !e.Item.Deleted {
-			n++
-		}
-	}
-	return n
-}
+// LiveLen returns the number of non-tombstone entries in O(1).
+func (s *Store) LiveLen() int { return s.liveCount }
 
 // RelayLen returns the number of live relay entries (the population the
-// capacity bound applies to).
-func (s *Store) RelayLen() int {
-	n := 0
-	for _, e := range s.entries {
-		if e.Relay && !e.Item.Deleted {
-			n++
-		}
-	}
-	return n
-}
+// capacity bound applies to) in O(1).
+func (s *Store) RelayLen() int { return s.relayCount }
+
+// TombstoneLen returns the number of tombstone entries in O(1).
+func (s *Store) TombstoneLen() int { return len(s.entries) - s.liveCount }
 
 // Put inserts or replaces the entry for it.ID and returns the entries evicted
 // to respect the relay capacity (possibly including the one just inserted,
@@ -163,11 +190,14 @@ func (s *Store) Put(it *item.Item, transient item.Transient, relay, local bool) 
 		// Replacing a known item keeps its arrival slot: an updated relay
 		// entry does not move to the back of the FIFO queue.
 		e.arrival = prev.arrival
+		s.uncount(prev)
 	} else {
 		s.nextArrival++
 		e.arrival = s.nextArrival
 	}
 	s.entries[it.ID] = e
+	s.index.replaceOrInsert(e)
+	s.count(e)
 	return s.evictOverflow()
 }
 
@@ -177,52 +207,180 @@ func (s *Store) Remove(id item.ID) *Entry {
 	e := s.entries[id]
 	if e != nil {
 		delete(s.entries, id)
+		s.index.delete(id)
+		s.uncount(e)
 	}
 	return e
 }
 
-// evictOverflow enforces the relay capacity, evicting oldest-first.
+// count folds a newly current entry into the maintained counters and, when
+// relay-live, the eviction heap.
+func (s *Store) count(e *Entry) {
+	if !e.Item.Deleted {
+		s.liveCount++
+	}
+	if e.relayLive() {
+		s.relayCount++
+		if s.useHeap {
+			s.heapPush(e)
+		}
+	}
+}
+
+// uncount removes a no-longer-current entry from the counters. A stale heap
+// element is left behind and skipped lazily on pop.
+func (s *Store) uncount(e *Entry) {
+	if !e.Item.Deleted {
+		s.liveCount--
+	}
+	if e.relayLive() {
+		s.relayCount--
+	}
+}
+
+// evictOverflow enforces the relay capacity. The counter makes the common
+// under-capacity case O(1); when evictions are due, arrival-ordered
+// strategies pop the maintained heap and others scan the relay partition.
 func (s *Store) evictOverflow() []*Entry {
 	if s.relayCapacity <= 0 {
 		return nil
 	}
-	over := s.RelayLen() - s.relayCapacity
+	over := s.relayCount - s.relayCapacity
 	if over <= 0 {
 		return nil
 	}
-	relays := make([]*Entry, 0, s.RelayLen())
+	evicted := make([]*Entry, 0, over)
+	if s.useHeap {
+		for len(evicted) < over {
+			e := s.heapPop()
+			delete(s.entries, e.Item.ID)
+			s.index.delete(e.Item.ID)
+			s.uncount(e)
+			evicted = append(evicted, e)
+		}
+		return evicted
+	}
+	relays := make([]*Entry, 0, s.relayCount)
 	for _, e := range s.entries {
-		if e.Relay && !e.Item.Deleted {
+		if e.relayLive() {
 			relays = append(relays, e)
 		}
 	}
 	sort.Slice(relays, func(i, j int) bool { return s.eviction.Less(relays[i], relays[j]) })
-	evicted := relays[:over]
-	for _, e := range evicted {
+	for _, e := range relays[:over] {
 		delete(s.entries, e.Item.ID)
+		s.index.delete(e.Item.ID)
+		s.uncount(e)
+		evicted = append(evicted, e)
 	}
 	return evicted
 }
 
+// heapPush adds a relay-live entry to the eviction heap, pruning accumulated
+// stale elements when they dominate the heap.
+func (s *Store) heapPush(e *Entry) {
+	if len(s.evictHeap) > 4*s.relayCount+16 {
+		s.heapRebuild()
+	}
+	s.evictHeap = append(s.evictHeap, e)
+	i := len(s.evictHeap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.eviction.Less(s.evictHeap[i], s.evictHeap[parent]) {
+			break
+		}
+		s.evictHeap[i], s.evictHeap[parent] = s.evictHeap[parent], s.evictHeap[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the first-to-evict valid relay entry, skipping
+// lazily invalidated elements (replaced, removed, or reclassified entries).
+// The caller guarantees at least one valid element exists (relayCount > 0).
+func (s *Store) heapPop() *Entry {
+	for {
+		e := s.evictHeap[0]
+		last := len(s.evictHeap) - 1
+		s.evictHeap[0] = s.evictHeap[last]
+		s.evictHeap[last] = nil
+		s.evictHeap = s.evictHeap[:last]
+		if last > 0 {
+			s.heapSiftDown(0)
+		}
+		// Valid iff still the current entry for its ID and still relay-live:
+		// Put always allocates a fresh Entry, so pointer identity suffices.
+		if s.entries[e.Item.ID] == e && e.relayLive() {
+			return e
+		}
+	}
+}
+
+func (s *Store) heapSiftDown(i int) {
+	n := len(s.evictHeap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && s.eviction.Less(s.evictHeap[left], s.evictHeap[least]) {
+			least = left
+		}
+		if right < n && s.eviction.Less(s.evictHeap[right], s.evictHeap[least]) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		s.evictHeap[i], s.evictHeap[least] = s.evictHeap[least], s.evictHeap[i]
+		i = least
+	}
+}
+
+// heapRebuild drops stale elements and re-heapifies.
+func (s *Store) heapRebuild() {
+	valid := s.evictHeap[:0]
+	for _, e := range s.evictHeap {
+		if s.entries[e.Item.ID] == e && e.relayLive() {
+			valid = append(valid, e)
+		}
+	}
+	for i := len(valid); i < len(s.evictHeap); i++ {
+		s.evictHeap[i] = nil
+	}
+	s.evictHeap = valid
+	for i := len(valid)/2 - 1; i >= 0; i-- {
+		s.heapSiftDown(i)
+	}
+}
+
+// rebuildIndexes reconstructs every maintained index from the entries map;
+// used after wholesale replacement (Restore).
+func (s *Store) rebuildIndexes() {
+	s.index.reset()
+	s.liveCount, s.relayCount = 0, 0
+	s.evictHeap = s.evictHeap[:0]
+	for _, e := range s.entries {
+		s.index.replaceOrInsert(e)
+		s.count(e)
+	}
+}
+
 // Entries returns all entries in deterministic (item ID) order. The slice is
-// freshly allocated; entries are shared.
+// freshly allocated; entries are shared. Prefer Range on read-only paths —
+// Entries exists for callers that mutate the store while iterating.
 func (s *Store) Entries() []*Entry {
 	out := make([]*Entry, 0, len(s.entries))
-	for _, e := range s.entries {
+	s.index.ascend(func(e *Entry) bool {
 		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return lessID(out[i].Item.ID, out[j].Item.ID) })
+		return true
+	})
 	return out
 }
 
-// Range calls fn for every entry in deterministic order until fn returns
-// false.
+// Range calls fn for every entry in deterministic (item ID) order until fn
+// returns false. It walks the maintained index directly — no allocation, no
+// per-call sort. fn must not insert into or remove from the store; use
+// Entries for a snapshot when the loop body mutates membership.
 func (s *Store) Range(fn func(*Entry) bool) {
-	for _, e := range s.Entries() {
-		if !fn(e) {
-			return
-		}
-	}
+	s.index.ascend(fn)
 }
 
 func lessID(a, b item.ID) bool {

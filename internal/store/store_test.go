@@ -223,10 +223,183 @@ func TestNewWithNilEvictionDefaultsFIFO(t *testing.T) {
 	}
 }
 
+// countByScan recomputes the maintained counters the way the pre-index store
+// did, by scanning every entry.
+func countByScan(s *Store) (live, relay int) {
+	for _, e := range s.entries {
+		if !e.Item.Deleted {
+			live++
+		}
+		if e.Relay && !e.Item.Deleted {
+			relay++
+		}
+	}
+	return live, relay
+}
+
+// TestCountersConsistent drives the store through random Put/Remove and
+// live↔tombstone transitions and checks the O(1) counters against a full
+// scan after every operation.
+func TestCountersConsistent(t *testing.T) {
+	for _, cap := range []int{0, 3} {
+		s := New(cap)
+		rng := uint64(1)
+		next := func(n uint64) uint64 { // xorshift, deterministic
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng % n
+		}
+		for op := 0; op < 4000; op++ {
+			id := next(24) + 1
+			it := mkItem("a", id)
+			switch next(6) {
+			case 0:
+				s.Remove(it.ID)
+			case 1: // tombstone
+				it.Deleted = true
+				s.Put(it, nil, next(2) == 0, next(2) == 0)
+			default: // live put: relay, local, or in-filter
+				s.Put(it, nil, next(2) == 0, next(3) == 0)
+			}
+			live, relay := countByScan(s)
+			if s.LiveLen() != live {
+				t.Fatalf("op %d: LiveLen %d, scan %d", op, s.LiveLen(), live)
+			}
+			if s.RelayLen() != relay {
+				t.Fatalf("op %d: RelayLen %d, scan %d", op, s.RelayLen(), relay)
+			}
+			if s.TombstoneLen() != s.Len()-live {
+				t.Fatalf("op %d: TombstoneLen %d, want %d", op, s.TombstoneLen(), s.Len()-live)
+			}
+			if cap > 0 && relay > cap {
+				t.Fatalf("op %d: relay population %d exceeds capacity %d", op, relay, cap)
+			}
+		}
+	}
+}
+
+// TestCountersSurviveRestore verifies indexes and counters are rebuilt from a
+// snapshot.
+func TestCountersSurviveRestore(t *testing.T) {
+	s := New(4)
+	for i := uint64(1); i <= 10; i++ {
+		it := mkItem("a", i)
+		if i%3 == 0 {
+			it.Deleted = true
+		}
+		s.Put(it, nil, i%2 == 0, false)
+	}
+	snap, next := s.Snapshot()
+	restored := New(4)
+	if err := restored.Restore(snap, next); err != nil {
+		t.Fatal(err)
+	}
+	wantLive, wantRelay := countByScan(restored)
+	if restored.LiveLen() != wantLive || restored.RelayLen() != wantRelay {
+		t.Fatalf("restored counters %d/%d, scan %d/%d",
+			restored.LiveLen(), restored.RelayLen(), wantLive, wantRelay)
+	}
+	if got, want := restored.Entries(), s.Entries(); len(got) != len(want) {
+		t.Fatalf("restored %d entries, want %d", len(got), len(want))
+	}
+	// The restored store must keep enforcing capacity with its rebuilt heap.
+	for i := uint64(100); i < 110; i++ {
+		restored.Put(mkItem("b", i), nil, true, false)
+	}
+	if restored.RelayLen() > 4 {
+		t.Fatalf("restored store exceeded capacity: %d", restored.RelayLen())
+	}
+}
+
+// scanFIFO is FIFO without the ArrivalOrdered marker, forcing the scan path.
+type scanFIFO struct{}
+
+func (scanFIFO) Name() string          { return "scan-fifo" }
+func (scanFIFO) Less(a, b *Entry) bool { return a.arrival < b.arrival }
+
+// TestHeapAndScanEvictIdentically mirrors one deterministic workload into a
+// heap-backed store and a scan-backed store and demands identical evictions
+// and identical final contents.
+func TestHeapAndScanEvictIdentically(t *testing.T) {
+	heapStore := New(4)
+	scanStore := NewWithEviction(4, scanFIFO{})
+	rng := uint64(99)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	for op := 0; op < 5000; op++ {
+		id := next(40) + 1
+		kind := next(10)
+		var relay, local bool
+		var deleted bool
+		switch {
+		case kind == 0:
+			heapStore.Remove(item.ID{Creator: "x", Num: id})
+			scanStore.Remove(item.ID{Creator: "x", Num: id})
+			continue
+		case kind == 1:
+			deleted = true
+			relay = next(2) == 0
+		default:
+			relay = next(3) != 0
+			local = next(5) == 0
+		}
+		mk := func() *item.Item {
+			it := mkItem("x", id)
+			it.Deleted = deleted
+			return it
+		}
+		ev1 := heapStore.Put(mk(), nil, relay, local)
+		ev2 := scanStore.Put(mk(), nil, relay, local)
+		if len(ev1) != len(ev2) {
+			t.Fatalf("op %d: heap evicted %d, scan evicted %d", op, len(ev1), len(ev2))
+		}
+		for i := range ev1 {
+			if ev1[i].Item.ID != ev2[i].Item.ID {
+				t.Fatalf("op %d: eviction %d diverges: %s vs %s",
+					op, i, ev1[i].Item.ID, ev2[i].Item.ID)
+			}
+		}
+	}
+	a, b := heapStore.Entries(), scanStore.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("final contents diverge: %d vs %d entries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Item.ID != b[i].Item.ID || a[i].Relay != b[i].Relay {
+			t.Fatalf("entry %d diverges: %s/%v vs %s/%v",
+				i, a[i].Item.ID, a[i].Relay, b[i].Item.ID, b[i].Relay)
+		}
+	}
+}
+
+// BenchmarkStorePut measures Put into a store holding n entries. The bounded
+// variants keep the store at its relay capacity, so every Put evicts — the
+// steady state of the paper's storage-constrained experiments.
 func BenchmarkStorePut(b *testing.B) {
-	s := New(0)
-	for i := 0; i < b.N; i++ {
-		s.Put(mkItem("a", uint64(i+1)), nil, i%2 == 0, false)
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, bounded := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/bounded=%v", n, bounded)
+			b.Run(name, func(b *testing.B) {
+				cap := 0
+				if bounded {
+					cap = n
+				}
+				s := New(cap)
+				for i := 0; i < n; i++ {
+					s.Put(mkItem("seed", uint64(i+1)), nil, true, false)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Put(mkItem("a", uint64(i+1)), nil, true, false)
+				}
+			})
+		}
 	}
 }
 

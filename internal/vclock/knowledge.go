@@ -18,9 +18,19 @@ import (
 // acknowledgement lists.
 //
 // The zero value is not usable; call NewKnowledge.
+//
+// Clone is copy-on-write: clones share storage with their source until either
+// side mutates, so taking a clone is O(1). This is what lets a replica attach
+// its knowledge to every outgoing synchronization request without deep-copying
+// the whole structure per sync. Shared storage is never mutated in place — a
+// mutation first unshares — so a clone remains safe to read concurrently with
+// further mutation of its source (and vice versa).
 type Knowledge struct {
 	base  Vector
 	extra map[ReplicaID]map[uint64]struct{}
+	// shared marks base/extra as possibly referenced by another Knowledge
+	// value; any mutation must unshare first.
+	shared bool
 }
 
 // NewKnowledge returns empty knowledge.
@@ -43,12 +53,31 @@ func (k *Knowledge) Contains(v Version) bool {
 	return ok
 }
 
+// unshare gives k exclusive storage before a mutation. Shared maps are
+// abandoned to their other referents, never written.
+func (k *Knowledge) unshare() {
+	if !k.shared {
+		return
+	}
+	base := k.base.Clone()
+	extra := make(map[ReplicaID]map[uint64]struct{}, len(k.extra))
+	for r, ex := range k.extra {
+		m := make(map[uint64]struct{}, len(ex))
+		for s := range ex {
+			m[s] = struct{}{}
+		}
+		extra[r] = m
+	}
+	k.base, k.extra, k.shared = base, extra, false
+}
+
 // Add records version v as learned and compacts exceptions that have become
 // contiguous with the base. It returns true if v was newly learned.
 func (k *Knowledge) Add(v Version) bool {
 	if v.Seq == 0 || k.Contains(v) {
 		return false
 	}
+	k.unshare()
 	if k.base[v.Replica]+1 == v.Seq {
 		k.base[v.Replica] = v.Seq
 		k.compact(v.Replica)
@@ -88,6 +117,7 @@ func (k *Knowledge) Merge(other *Knowledge) {
 	if other == nil {
 		return
 	}
+	k.unshare()
 	for r, s := range other.base {
 		// Everything up to other's base is known; anything in k.extra at or
 		// below that base becomes redundant after raising k.base.
@@ -145,18 +175,13 @@ func (k *Knowledge) Count() uint64 {
 	return n + uint64(k.ExceptionCount())
 }
 
-// Clone returns a deep copy.
+// Clone returns a logically independent copy in O(1): the copy shares
+// storage with k until either side next mutates (copy-on-write). Reading the
+// clone is safe even while k keeps mutating, because mutation never writes
+// shared maps in place.
 func (k *Knowledge) Clone() *Knowledge {
-	out := NewKnowledge()
-	out.base = k.base.Clone()
-	for r, ex := range k.extra {
-		m := make(map[uint64]struct{}, len(ex))
-		for s := range ex {
-			m[s] = struct{}{}
-		}
-		out.extra[r] = m
-	}
-	return out
+	k.shared = true
+	return &Knowledge{base: k.base, extra: k.extra, shared: true}
 }
 
 // Equal reports whether two knowledge values contain the same version set.
@@ -244,6 +269,8 @@ func (k *Knowledge) UnmarshalBinary(data []byte) error {
 	if k.base == nil {
 		k.base = NewVector()
 	}
+	// The decoded maps are freshly built, so any previous sharing ends here.
+	k.shared = false
 	k.extra = make(map[ReplicaID]map[uint64]struct{}, len(doc.Extra))
 	for r, seqs := range doc.Extra {
 		ex := make(map[uint64]struct{}, len(seqs))

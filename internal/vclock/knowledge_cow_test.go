@@ -1,0 +1,127 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCloneCopyOnWriteIndependence verifies that a clone and its source stay
+// logically independent through mutations on both sides.
+func TestCloneCopyOnWriteIndependence(t *testing.T) {
+	k := NewKnowledge()
+	for s := uint64(1); s <= 5; s++ {
+		k.Add(Version{Replica: "a", Seq: s})
+	}
+	k.Add(Version{Replica: "b", Seq: 7}) // exception
+
+	c := k.Clone()
+	if !c.Equal(k) {
+		t.Fatal("clone must equal source")
+	}
+
+	// Mutating the source must not leak into the clone.
+	k.Add(Version{Replica: "a", Seq: 6})
+	k.Add(Version{Replica: "b", Seq: 9})
+	if c.Contains(Version{Replica: "a", Seq: 6}) || c.Contains(Version{Replica: "b", Seq: 9}) {
+		t.Fatal("source mutation leaked into clone")
+	}
+
+	// Mutating the clone must not leak into the source.
+	c.Add(Version{Replica: "c", Seq: 1})
+	if k.Contains(Version{Replica: "c", Seq: 1}) {
+		t.Fatal("clone mutation leaked into source")
+	}
+
+	// Merge is a mutation too: merging into a clone must not touch the
+	// source's storage.
+	c2 := k.Clone()
+	other := NewKnowledge()
+	other.Add(Version{Replica: "d", Seq: 3})
+	c2.Merge(other)
+	if k.Contains(Version{Replica: "d", Seq: 3}) {
+		t.Fatal("merge into clone leaked into source")
+	}
+}
+
+// TestCloneChainsShareUntilWrite exercises multiple live clones of the same
+// source, each diverging independently.
+func TestCloneChainsShareUntilWrite(t *testing.T) {
+	k := NewKnowledge()
+	k.Add(Version{Replica: "a", Seq: 1})
+	c1 := k.Clone()
+	c2 := k.Clone()
+	c3 := c1.Clone()
+
+	k.Add(Version{Replica: "a", Seq: 2})
+	c1.Add(Version{Replica: "b", Seq: 1})
+	c2.Add(Version{Replica: "c", Seq: 5})
+
+	if c3.Count() != 1 || !c3.Contains(Version{Replica: "a", Seq: 1}) {
+		t.Fatalf("grandclone diverged: %s", c3)
+	}
+	if c1.Contains(Version{Replica: "c", Seq: 5}) || c2.Contains(Version{Replica: "b", Seq: 1}) {
+		t.Fatal("sibling clones leaked into each other")
+	}
+}
+
+// TestCloneConcurrentReadDuringMutation reads a clone from other goroutines
+// while the source keeps mutating — the pattern of a sync request's knowledge
+// view being consulted by the source replica while the target continues to
+// learn versions. Run under -race this proves the copy-on-write handoff is
+// race-free.
+func TestCloneConcurrentReadDuringMutation(t *testing.T) {
+	k := NewKnowledge()
+	for s := uint64(1); s <= 100; s++ {
+		k.Add(Version{Replica: "a", Seq: s})
+	}
+	k.Add(Version{Replica: "b", Seq: 50})
+
+	snap := k.Clone()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if !snap.Contains(Version{Replica: "a", Seq: 1}) {
+					t.Error("clone lost a version")
+					return
+				}
+				snap.Contains(Version{Replica: "b", Seq: uint64(i%60 + 1)})
+				_ = snap.ExceptionCount()
+			}
+		}()
+	}
+	for s := uint64(101); s <= 2000; s++ {
+		k.Add(Version{Replica: "a", Seq: s})
+		if s%10 == 0 {
+			k.Add(Version{Replica: "b", Seq: s})
+		}
+	}
+	wg.Wait()
+	if snap.Contains(Version{Replica: "a", Seq: 101}) {
+		t.Fatal("clone observed post-clone mutation")
+	}
+}
+
+// TestUnmarshalClearsSharing verifies a clone that is overwritten by decoding
+// stops sharing with its source.
+func TestUnmarshalClearsSharing(t *testing.T) {
+	k := NewKnowledge()
+	k.Add(Version{Replica: "a", Seq: 1})
+	c := k.Clone()
+
+	fresh := NewKnowledge()
+	fresh.Add(Version{Replica: "z", Seq: 9})
+	data, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(Version{Replica: "z", Seq: 10})
+	if k.Contains(Version{Replica: "z", Seq: 9}) || k.Contains(Version{Replica: "z", Seq: 10}) {
+		t.Fatal("decoded clone leaked into source")
+	}
+}
