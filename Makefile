@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test test-differential bench
 
 ## check is the tier-1 verification gate: every PR must leave it green.
-check: build vet test
+## test-differential re-runs the engine-equivalence tests on their own so a
+## parallel-engine regression is named explicitly in the failure output.
+check: build vet test test-differential
 
 build:
 	$(GO) build ./...
@@ -14,8 +16,15 @@ vet:
 test:
 	$(GO) test -race ./...
 
-## bench runs the hot-path microbenchmarks (store mutation and sync batch
-## assembly) with allocation stats, for before/after comparisons.
+## test-differential proves the parallel emulation engine is bit-identical to
+## the sequential reference across every policy and constraint mode.
+test-differential:
+	$(GO) test -race -run Differential ./internal/emu/
+
+## bench runs the hot-path microbenchmarks (store mutation, sync batch
+## assembly, and whole emulation runs) with allocation stats, for
+## before/after comparisons.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkStorePut' -benchmem ./internal/store/
 	$(GO) test -run xxx -bench 'BenchmarkHandleSyncRequest|BenchmarkMakeSyncRequest' -benchmem ./internal/replica/
+	$(GO) test -run xxx -bench 'BenchmarkEmuRun' -benchmem ./internal/emu/

@@ -8,6 +8,8 @@
 //	dtnsim -experiment fig9 -small    # scaled-down trace (fast)
 //	dtnsim -experiment fig5 -seed 7   # different trace seed
 //	dtnsim -experiment fig7a -trace ./traces   # run on an external CSV trace
+//	dtnsim -experiment all -workers 8          # parallel engine, identical output
+//	dtnsim -experiment fig7a -cpuprofile cpu.out   # profile the run
 //
 // Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9, fig10,
 // all, summary; ablations: ablation-ttl, ablation-copies, ablation-threshold,
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"replidtn/internal/emu"
 	"replidtn/internal/experiment"
@@ -28,36 +31,53 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, all)")
-		small    = flag.Bool("small", false, "use the scaled-down trace (fast)")
-		seed     = flag.Int64("seed", 1, "trace generator seed")
-		traceDir = flag.String("trace", "", "load the trace from a directory of CSVs instead of generating it")
+		name       = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, all)")
+		small      = flag.Bool("small", false, "use the scaled-down trace (fast)")
+		seed       = flag.Int64("seed", 1, "trace generator seed")
+		traceDir   = flag.String("trace", "", "load the trace from a directory of CSVs instead of generating it")
+		workers    = flag.Int("workers", 0, "emulation worker goroutines (0 = sequential engine; output is identical)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
-	if err := run(*name, *small, *seed, *traceDir); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*name, *small, *seed, *traceDir, *workers); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, small bool, seed int64, traceDir string) error {
+func run(name string, small bool, seed int64, traceDir string, workers int) error {
 	tr, err := buildTrace(small, seed, traceDir)
 	if err != nil {
 		return err
 	}
 	params := emu.DefaultParams()
+	ww := experiment.WithWorkers(workers)
 	out := os.Stdout
 
 	switch name {
 	case "all":
-		suite := &experiment.Suite{Trace: tr, Params: params}
+		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers}
 		return suite.RunAll(out)
 	case "table1":
 		fmt.Fprint(out, experiment.FormatTable1(experiment.Table1()))
 	case "table2":
 		fmt.Fprint(out, experiment.FormatTable2(params))
 	case "fig5", "fig6":
-		fs, err := experiment.RunFilterSweep(tr, nil)
+		fs, err := experiment.RunFilterSweep(tr, nil, ww)
 		if err != nil {
 			return err
 		}
@@ -69,7 +89,7 @@ func run(name string, small bool, seed int64, traceDir string) error {
 				metrics.FormatTable("k", fs.Fig6()))
 		}
 	case "fig7a", "fig7b", "fig8":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww)
 		if err != nil {
 			return err
 		}
@@ -85,70 +105,70 @@ func run(name string, small bool, seed int64, traceDir string) error {
 				experiment.FormatFig8(ps.Fig8()))
 		}
 	case "fig9":
-		ps, err := experiment.RunPolicySweep(tr, params, 1, 0)
+		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "fig10":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 2)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 10: delay CDF under storage constraint (2 relayed msgs/node)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "summary":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Per-policy overview (unconstrained)\n%s",
 			experiment.FormatSummary(ps.SummaryRows()))
 	case "ablation-ttl":
-		rows, err := experiment.AblationEpidemicTTL(tr, nil)
+		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: epidemic TTL", rows))
 	case "ablation-copies":
-		rows, err := experiment.AblationSprayCopies(tr, nil)
+		rows, err := experiment.AblationSprayCopies(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: spray copy allowance", rows))
 	case "ablation-threshold":
-		rows, err := experiment.AblationMaxPropThreshold(tr, nil)
+		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: MaxProp hop threshold (1 msg/encounter)", rows))
 	case "ablation-bandwidth":
-		rows, err := experiment.AblationBandwidth(tr, nil)
+		rows, err := experiment.AblationBandwidth(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter budget (epidemic)", rows))
 	case "ablation-storage":
-		rows, err := experiment.AblationStorage(tr, nil)
+		rows, err := experiment.AblationStorage(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay capacity (epidemic)", rows))
 	case "ablation-bytes":
-		rows, err := experiment.AblationByteBudget(tr, nil)
+		rows, err := experiment.AblationByteBudget(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter byte budget (epidemic, 1KiB msgs)", rows))
 	case "ablation-lifetime":
-		rows, err := experiment.AblationLifetime(tr, nil)
+		rows, err := experiment.AblationLifetime(tr, nil, ww)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: bounded message lifetime (epidemic)", rows))
 	case "ablation-eviction":
-		rows, err := experiment.AblationEviction(tr)
+		rows, err := experiment.AblationEviction(tr, ww)
 		if err != nil {
 			return err
 		}

@@ -5,10 +5,12 @@ import "testing"
 func TestRunKnownExperiments(t *testing.T) {
 	// The cheap experiments run on the scaled-down trace; the full figure
 	// sweeps are covered by the experiment package and the benchmarks.
-	for _, name := range []string{"table1", "table2", "fig8", "ablation-eviction"} {
+	// Alternating worker counts also smoke-tests the parallel engine path.
+	for i, name := range []string{"table1", "table2", "fig8", "ablation-eviction"} {
 		name := name
+		workers := (i % 2) * 4
 		t.Run(name, func(t *testing.T) {
-			if err := run(name, true, 1, ""); err != nil {
+			if err := run(name, true, 1, "", workers); err != nil {
 				t.Fatalf("run(%q): %v", name, err)
 			}
 		})
@@ -16,7 +18,7 @@ func TestRunKnownExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, ""); err == nil {
+	if err := run("fig99", true, 1, "", 0); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }

@@ -1,0 +1,113 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+
+	"replidtn/internal/trace"
+)
+
+// benchTraces caches generated traces across benchmark runs.
+var benchTraces = map[string]*trace.Trace{}
+
+func benchTrace(b *testing.B, full bool) *trace.Trace {
+	b.Helper()
+	key := "small"
+	if full {
+		key = "full"
+	}
+	if tr := benchTraces[key]; tr != nil {
+		return tr
+	}
+	dn := trace.DefaultDieselNet()
+	wl := trace.DefaultWorkload()
+	if !full {
+		dn.Days = 5
+		dn.FleetSize = 12
+		dn.ActivePerDay = 10
+		dn.Routes = 4
+		dn.EncountersPerDay = 220
+		wl.Users = 20
+		wl.Messages = 60
+		wl.InjectDays = 2
+	}
+	tr, err := trace.Generate(dn, wl, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[key] = tr
+	return tr
+}
+
+// BenchmarkEmuRun measures one full emulation run under epidemic routing —
+// the heaviest policy — on the scaled-down and the paper-calibrated trace,
+// comparing the sequential reference engine (workers=0) against the parallel
+// engine at increasing worker counts. Allocation stats expose the O(1) copy
+// accounting: the sequential engine no longer scans every endpoint store per
+// delivery or per message at the end of the run.
+func BenchmarkEmuRun(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		size := "small"
+		if full {
+			size = "full"
+		}
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("trace=%s/workers=%d", size, workers), func(b *testing.B) {
+				tr := benchTrace(b, full)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(Config{
+						Trace:   tr,
+						Policy:  Factory(PolicyEpidemic, DefaultParams()),
+						Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Summary.DeliveredCount() == 0 {
+						b.Fatal("run delivered nothing")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEmuRunConstrained measures the Fig. 9 bandwidth-constrained
+// configuration, whose per-encounter work (top-1 selection over the whole
+// store) differs markedly from the unconstrained run.
+func BenchmarkEmuRunConstrained(b *testing.B) {
+	tr := benchTrace(b, false)
+	for _, workers := range []int{0, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(Config{
+					Trace:                   tr,
+					Policy:                  Factory(PolicyMaxProp, DefaultParams()),
+					MaxMessagesPerEncounter: 1,
+					Workers:                 workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildRounds isolates the scheduler: list scheduling the full
+// paper trace's ~16k events must stay a negligible fraction of a run.
+func BenchmarkBuildRounds(b *testing.B) {
+	tr := benchTrace(b, true)
+	events := buildEvents(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rounds, _ := buildRounds(tr, events)
+		if len(rounds) == 0 {
+			b.Fatal("no rounds")
+		}
+	}
+}

@@ -13,9 +13,20 @@
 // the paper's accounting exactly: the basic substrate keeps two copies per
 // delivered message (sender bus, destination bus), and a message can miss its
 // 12-hour deadline simply because the two buses never meet that day.
+//
+// Two execution engines share one event model. The sequential reference
+// engine replays the time-ordered schedule one event at a time. The parallel
+// engine (Config.Workers >= 1) partitions the same schedule into
+// conflict-free rounds — two events conflict iff they touch a common bus —
+// and executes each round on a worker pool, committing observable effects
+// (copy accounting, metrics, the event log) strictly in schedule order. The
+// two engines are bit-identical: every endpoint observes exactly the
+// sequential event order, so replica state, policy state, and every recorded
+// number match (see DESIGN.md and the differential test).
 package emu
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -64,10 +75,18 @@ type Config struct {
 	// lifetime in seconds: expired messages stop being forwarded or
 	// delivered, modeling deadline-bound DTN workloads.
 	MessageLifetime int64
+	// Workers selects the execution engine. 0 (the default) runs the
+	// sequential reference engine. n >= 1 runs the deterministic parallel
+	// engine with n workers over conflict-free event rounds; its output is
+	// bit-identical to the sequential engine's, so the choice is purely a
+	// wall-clock matter.
+	Workers int
 	// EventLog, when set, receives one CSV line per emulation event
 	// (inject, encounter, deliver) for debugging and external analysis:
 	//
 	//	time,event,field1,field2,field3
+	//
+	// Writes are buffered for the duration of the run and flushed on return.
 	EventLog io.Writer
 }
 
@@ -90,7 +109,10 @@ type Result struct {
 	MeanKnowledgeEntries float64
 }
 
-// clock is the shared simulation clock.
+// clock is one endpoint's view of the simulation time. Each endpoint owns a
+// clock set to the event time just before the endpoint participates in an
+// event, so events on disjoint endpoints may execute concurrently while each
+// replica and policy still reads exactly the sequential engine's timestamps.
 type clock struct{ t int64 }
 
 func (c *clock) now() int64 { return c.t }
@@ -104,6 +126,73 @@ type msgState struct {
 	itemID      item.ID
 }
 
+// copyDelta is one live-copy transition observed at an endpoint store.
+type copyDelta struct {
+	id    item.ID
+	delta int
+}
+
+// eventRec captures everything an event execution produces that must be
+// folded into run-global state. Execution fills it (possibly on a worker
+// goroutine); commit consumes it in schedule order on the coordinator.
+type eventRec struct {
+	err   error
+	moved int   // encounter: items moved across both syncs
+	bytes int64 // encounter: payload volume moved
+
+	st       *msgState // inject: the tracked message
+	from, to string    // inject: source and destination bus
+
+	// deltas are the live-copy transitions the event caused, in occurrence
+	// order; replaying them in schedule order maintains the exact copy count
+	// the sequential engine would observe after each event.
+	deltas []copyDelta
+	// deliveries are first-time message receipts, in occurrence order.
+	deliveries []item.ID
+}
+
+func (rec *eventRec) reset() {
+	rec.err = nil
+	rec.moved, rec.bytes = 0, 0
+	rec.st = nil
+	rec.from, rec.to = "", ""
+	rec.deltas = rec.deltas[:0]
+	rec.deliveries = rec.deliveries[:0]
+}
+
+// epState is one endpoint plus its engine-side execution state.
+type epState struct {
+	ep *messaging.Endpoint
+	// clk is the endpoint's simulation clock (see clock).
+	clk clock
+	// rec points at the recorder of the event currently executing on this
+	// endpoint. Delivery and copy-count callbacks append to it. Only the
+	// worker running that event touches it — conflict-free rounds guarantee
+	// no two concurrent events share an endpoint.
+	rec *eventRec
+}
+
+// runner holds one run's state, shared by both engines.
+type runner struct {
+	cfg    Config
+	tr     *trace.Trace
+	eps    map[string]*epState
+	events []event
+
+	// states holds per-message tracking, indexed like Trace.Messages.
+	states []*msgState
+	// byItem resolves delivered item IDs to message states; written and read
+	// only during commit, which is single-threaded in both engines.
+	byItem map[item.ID]*msgState
+	// copies is the network-wide live-copy count per item, maintained
+	// incrementally from committed copy deltas — the O(1) replacement for
+	// scanning every endpoint store per delivery.
+	copies map[item.ID]int
+
+	log *bufio.Writer // buffered EventLog; nil when unset
+	res *Result
+}
+
 // Run executes the emulation.
 func Run(cfg Config) (*Result, error) {
 	tr := cfg.Trace
@@ -114,154 +203,212 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
 
-	clk := &clock{}
-	byItem := make(map[item.ID]*msgState, len(tr.Messages))
-	states := make([]*msgState, 0, len(tr.Messages))
-	var pendingDeliveries []*msgState
+	r := newRunner(cfg, tr)
+	if cfg.EventLog != nil {
+		r.log = bufio.NewWriterSize(cfg.EventLog, 64<<10)
+	}
+	var err error
+	if cfg.Workers >= 1 {
+		err = r.runParallel(cfg.Workers)
+	} else {
+		err = r.runSequential()
+	}
+	if r.log != nil {
+		r.log.Flush()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finalize(), nil
+}
 
-	// Build one endpoint per fleet bus. Delivery callbacks only note the
-	// event; copy counting happens after the encounter completes, outside
-	// all replica locks.
-	endpoints := make(map[string]*messaging.Endpoint, len(tr.Buses))
+func newRunner(cfg Config, tr *trace.Trace) *runner {
+	r := &runner{
+		cfg:    cfg,
+		tr:     tr,
+		eps:    make(map[string]*epState, len(tr.Buses)),
+		events: buildEvents(tr),
+		states: make([]*msgState, len(tr.Messages)),
+		byItem: make(map[item.ID]*msgState, len(tr.Messages)),
+		copies: make(map[item.ID]int, len(tr.Messages)),
+		res:    &Result{},
+	}
 	for _, bus := range tr.Buses {
+		es := &epState{}
 		node := vclock.ReplicaID(bus)
 		own := []string{bus}
 		var pol routing.Policy
 		if cfg.Policy != nil {
-			pol = cfg.Policy(node, clk.now, own)
+			pol = cfg.Policy(node, es.clk.now, own)
 		}
-		endpoints[bus] = messaging.NewEndpoint(messaging.Config{
+		es.ep = messaging.NewEndpoint(messaging.Config{
 			NodeID:               node,
 			Addresses:            own,
 			ExtraFilterAddresses: cfg.ExtraBuses[bus],
 			Policy:               pol,
 			RelayCapacity:        cfg.RelayCapacity,
 			Eviction:             cfg.Eviction,
-			Now:                  clk.now,
+			Now:                  es.clk.now,
+			// Both callbacks fire with the replica lock held, on the worker
+			// executing this endpoint's current event; they only note what
+			// happened, and commit folds it into run-global state in order.
 			OnReceive: func(rcv messaging.Received) {
-				if st := byItem[rcv.Message.ID]; st != nil && st.deliveredAt < 0 {
-					st.deliveredAt = clk.t
-					pendingDeliveries = append(pendingDeliveries, st)
-				}
+				es.rec.deliveries = append(es.rec.deliveries, rcv.Message.ID)
+			},
+			OnCopies: func(id item.ID, delta int) {
+				es.rec.deltas = append(es.rec.deltas, copyDelta{id: id, delta: delta})
 			},
 		})
+		r.eps[bus] = es
 	}
+	return r
+}
 
-	res := &Result{}
-	events := buildEvents(tr)
-	for _, ev := range events {
-		clk.t = ev.time
-		switch ev.kind {
-		case evInject:
-			m := tr.Messages[ev.index]
-			day := trace.Day(m.Time)
-			fromBus := tr.Assignment[day][m.From]
-			toBus := tr.Assignment[day][m.To]
-			ep := endpoints[fromBus]
-			st := &msgState{traceID: m.ID, sentAt: m.Time, deliveredAt: -1}
-			states = append(states, st)
-			// Register the state before Send: a same-bus message delivers
-			// during CreateItem and must be trackable then.
-			sent, err := injectTracked(ep, byItem, st, fromBus, toBus, m.ID, cfg.MessageLifetime, cfg.MessageSize)
-			if err != nil {
-				return nil, fmt.Errorf("emu: inject %s: %w", m.ID, err)
+// runSequential is the reference engine: execute and commit one event at a
+// time in schedule order, reusing a single recorder.
+func (r *runner) runSequential() error {
+	var rec eventRec
+	for i := range r.events {
+		rec.reset()
+		r.exec(&r.events[i], &rec)
+		if err := r.commit(&r.events[i], &rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exec performs one event against its endpoints, recording every observable
+// effect into rec. It touches only the event's endpoints (plus rec), which is
+// what makes events on disjoint endpoints safe to run concurrently.
+func (r *runner) exec(ev *event, rec *eventRec) {
+	switch ev.kind {
+	case evInject:
+		m := r.tr.Messages[ev.index]
+		day := trace.Day(m.Time)
+		fromBus := r.tr.Assignment[day][m.From]
+		toBus := r.tr.Assignment[day][m.To]
+		es := r.eps[fromBus]
+		es.clk.t = ev.time
+		es.rec = rec
+		st := &msgState{traceID: m.ID, sentAt: m.Time, deliveredAt: -1}
+		r.states[ev.index] = st
+		rec.st, rec.from, rec.to = st, fromBus, toBus
+		sent, err := sendPadded(es.ep, fromBus, toBus, m.ID, r.cfg.MessageLifetime, r.cfg.MessageSize)
+		if err != nil {
+			rec.err = fmt.Errorf("emu: inject %s: %w", m.ID, err)
+			return
+		}
+		st.itemID = sent.ID
+	case evEncounter:
+		e := r.tr.Encounters[ev.index]
+		ea, eb := r.eps[e.A], r.eps[e.B]
+		ea.clk.t, eb.clk.t = ev.time, ev.time
+		ea.rec, eb.rec = rec, rec
+		er := replica.EncounterBudget(ea.ep.Replica(), eb.ep.Replica(), replica.Budget{
+			Items: r.cfg.MaxMessagesPerEncounter,
+			Bytes: r.cfg.MaxBytesPerEncounter,
+		})
+		rec.moved = er.AtoB.Sent + er.BtoA.Sent
+		rec.bytes = er.AtoB.SentBytes + er.BtoA.SentBytes
+	}
+}
+
+// commit folds one executed event into run-global state: the copy-count
+// table, the result counters, message delivery states, and the event log.
+// Both engines call it in schedule order from a single goroutine, which is
+// what keeps copy accounting and the log bit-identical to the sequential
+// engine regardless of execution interleaving.
+func (r *runner) commit(ev *event, rec *eventRec) error {
+	if rec.err != nil {
+		return rec.err
+	}
+	for _, d := range rec.deltas {
+		if n := r.copies[d.id] + d.delta; n == 0 {
+			delete(r.copies, d.id)
+		} else {
+			r.copies[d.id] = n
+		}
+	}
+	switch ev.kind {
+	case evInject:
+		st := rec.st
+		r.byItem[st.itemID] = st
+		// A self-addressed (same bus) message was delivered during Send; it
+		// is recorded as an immediate single-copy delivery, not as a deliver
+		// event.
+		if rec.from == rec.to && st.deliveredAt < 0 {
+			st.deliveredAt = ev.time
+			st.copiesAtDel = 1
+		}
+		if r.log != nil {
+			fmt.Fprintf(r.log, "%d,inject,%s,%s,%s\n", ev.time, st.traceID, rec.from, rec.to)
+		}
+	case evEncounter:
+		r.res.Encounters++
+		r.res.Syncs += 2
+		r.res.ItemsTransferred += rec.moved
+		r.res.BytesTransferred += rec.bytes
+		if r.log != nil && rec.moved > 0 {
+			e := r.tr.Encounters[ev.index]
+			fmt.Fprintf(r.log, "%d,encounter,%s,%s,%d\n", ev.time, e.A, e.B, rec.moved)
+		}
+		for _, id := range rec.deliveries {
+			st := r.byItem[id]
+			if st == nil || st.deliveredAt >= 0 {
+				continue
 			}
-			st.itemID = sent.ID
-			if cfg.EventLog != nil {
-				fmt.Fprintf(cfg.EventLog, "%d,inject,%s,%s,%s\n", ev.time, m.ID, fromBus, toBus)
-			}
-		case evEncounter:
-			e := tr.Encounters[ev.index]
-			a, b := endpoints[e.A], endpoints[e.B]
-			er := replica.EncounterBudget(a.Replica(), b.Replica(), replica.Budget{
-				Items: cfg.MaxMessagesPerEncounter,
-				Bytes: cfg.MaxBytesPerEncounter,
-			})
-			res.Encounters++
-			res.Syncs += 2
-			moved := er.AtoB.Sent + er.BtoA.Sent
-			res.ItemsTransferred += moved
-			res.BytesTransferred += er.AtoB.SentBytes + er.BtoA.SentBytes
-			if cfg.EventLog != nil && moved > 0 {
-				fmt.Fprintf(cfg.EventLog, "%d,encounter,%s,%s,%d\n", ev.time, e.A, e.B, moved)
+			st.deliveredAt = ev.time
+			st.copiesAtDel = r.copies[id]
+			if r.log != nil {
+				fmt.Fprintf(r.log, "%d,deliver,%s,%d,\n", ev.time, st.traceID, st.deliveredAt-st.sentAt)
 			}
 		}
-		// Count copies for deliveries that occurred in this event, after all
-		// replica locks are released.
-		for _, st := range pendingDeliveries {
-			st.copiesAtDel = countCopies(endpoints, st.itemID)
-			if cfg.EventLog != nil {
-				fmt.Fprintf(cfg.EventLog, "%d,deliver,%s,%d,\n", ev.time, st.traceID, st.deliveredAt-st.sentAt)
-			}
-		}
-		pendingDeliveries = pendingDeliveries[:0]
 	}
+	return nil
+}
 
-	deliveries := make([]metrics.Delivery, len(states))
-	for i, st := range states {
+// finalize assembles the Result after every event has committed. CopiesAtEnd
+// reads the maintained copy table — O(1) per message instead of a scan over
+// every endpoint store.
+func (r *runner) finalize() *Result {
+	deliveries := make([]metrics.Delivery, len(r.states))
+	for i, st := range r.states {
 		deliveries[i] = metrics.Delivery{
 			MsgID:            st.traceID,
 			SentAt:           st.sentAt,
 			DeliveredAt:      st.deliveredAt,
 			CopiesAtDelivery: st.copiesAtDel,
-			CopiesAtEnd:      countCopies(endpoints, st.itemID),
+			CopiesAtEnd:      r.copies[st.itemID],
 		}
 	}
-	res.Summary = metrics.NewSummary(deliveries)
+	r.res.Summary = metrics.NewSummary(deliveries)
 
 	totalKnow := 0
-	for _, bus := range tr.Buses {
-		ep := endpoints[bus]
+	for _, bus := range r.tr.Buses {
+		ep := r.eps[bus].ep
 		stats := ep.Replica().Stats()
-		res.Duplicates += stats.Duplicates
+		r.res.Duplicates += stats.Duplicates
 		totalKnow += ep.Replica().Knowledge().Size()
 	}
-	if len(tr.Buses) > 0 {
-		res.MeanKnowledgeEntries = float64(totalKnow) / float64(len(tr.Buses))
+	if len(r.tr.Buses) > 0 {
+		r.res.MeanKnowledgeEntries = float64(totalKnow) / float64(len(r.tr.Buses))
 	}
-	return res, nil
+	return r.res
 }
 
-// injectTracked sends a message and wires its item ID into the tracking map.
-// Same-bus messages deliver synchronously inside Send, so the state must be
-// resolvable by the delivery callback; the callback tolerates the window by
-// matching on the state registered immediately after Send returns.
-func injectTracked(ep *messaging.Endpoint, byItem map[item.ID]*msgState, st *msgState, fromBus, toBus, traceID string, lifetime int64, size int) (messaging.Message, error) {
+// sendPadded sends a message whose payload is the trace ID padded to size.
+func sendPadded(ep *messaging.Endpoint, fromBus, toBus, traceID string, lifetime int64, size int) (messaging.Message, error) {
 	payload := []byte(traceID)
 	if size > len(payload) {
 		padded := make([]byte, size)
 		copy(padded, payload)
 		payload = padded
 	}
-	var sent messaging.Message
-	var err error
 	if lifetime > 0 {
-		sent, err = ep.SendExpiring(fromBus, []string{toBus}, payload, lifetime)
-	} else {
-		sent, err = ep.Send(fromBus, []string{toBus}, payload)
+		return ep.SendExpiring(fromBus, []string{toBus}, payload, lifetime)
 	}
-	if err != nil {
-		return messaging.Message{}, err
-	}
-	byItem[sent.ID] = st
-	// A self-addressed (same bus) message was delivered during Send, before
-	// the map entry existed; record it as an immediate delivery.
-	if fromBus == toBus && st.deliveredAt < 0 {
-		st.deliveredAt = sent.SentAt
-		st.copiesAtDel = 1
-	}
-	return sent, nil
-}
-
-// countCopies counts live replicas of the item across the network.
-func countCopies(endpoints map[string]*messaging.Endpoint, id item.ID) int {
-	n := 0
-	for _, ep := range endpoints {
-		if ep.Replica().HasItem(id) {
-			n++
-		}
-	}
-	return n
+	return ep.Send(fromBus, []string{toBus}, payload)
 }
 
 // event kinds, processed in time order with injections before encounters at

@@ -1,0 +1,127 @@
+package emu
+
+import (
+	"sync"
+
+	"replidtn/internal/trace"
+)
+
+// The parallel engine exploits the trace's natural concurrency: most
+// encounters at nearby times touch disjoint bus pairs, so they can execute
+// simultaneously without any node observing a different event order than the
+// sequential engine's.
+//
+// Scheduling is greedy list scheduling over the conflict graph. Walking the
+// time-ordered schedule, every event is placed into the earliest round after
+// the rounds of all earlier conflicting events — two events conflict iff
+// they touch a common bus (an encounter touches both endpoints, an injection
+// its source bus). Rounds execute under a barrier, in order, so:
+//
+//   - Within a round, events are pairwise conflict-free: no replica, policy,
+//     clock, or recorder is shared, and workers may run them in any order.
+//   - Across rounds, any two conflicting events execute in schedule order,
+//     so every endpoint observes exactly the sequential engine's event
+//     sequence. An event's outcome depends only on its endpoints' states,
+//     which by induction equal the sequential engine's — replica contents,
+//     version vectors, and policy state are bit-identical.
+//
+// Effects that are global rather than per-endpoint (copy accounting,
+// delivery states, result counters, the event log) are captured in
+// per-event recorders during execution and committed by the coordinator in
+// schedule order: after round r completes, every event scheduled in rounds
+// <= r has executed, and the commit frontier advances through them by event
+// index. A delivery always commits after the injection that created the
+// message, because the message travelled over a chain of conflicting events
+// whose rounds — and schedule indexes — strictly increase.
+
+// runParallel executes the schedule on a pool of workers over conflict-free
+// rounds, committing in schedule order.
+func (r *runner) runParallel(workers int) error {
+	rounds, eventRound := buildRounds(r.tr, r.events)
+	maxWidth := 0
+	for _, round := range rounds {
+		if len(round) > maxWidth {
+			maxWidth = len(round)
+		}
+	}
+	if workers > maxWidth {
+		workers = maxWidth
+	}
+
+	recs := make([]eventRec, len(r.events))
+	var wg sync.WaitGroup
+	var jobs chan int
+	if workers > 1 {
+		// The buffer covers the widest round, so dispatching never blocks on
+		// a busy pool.
+		jobs = make(chan int, maxWidth)
+		defer close(jobs)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range jobs {
+					r.exec(&r.events[i], &recs[i])
+					wg.Done()
+				}
+			}()
+		}
+	}
+
+	frontier := 0
+	for ri, round := range rounds {
+		if workers <= 1 || len(round) == 1 {
+			// A single-event round (or a one-worker pool) runs inline:
+			// dispatch overhead would dwarf the work.
+			for _, i := range round {
+				r.exec(&r.events[i], &recs[i])
+			}
+		} else {
+			wg.Add(len(round))
+			for _, i := range round {
+				jobs <- i
+			}
+			wg.Wait()
+		}
+		// Commit every event whose round has completed, in schedule order.
+		for frontier < len(r.events) && eventRound[frontier] <= ri {
+			if err := r.commit(&r.events[frontier], &recs[frontier]); err != nil {
+				return err
+			}
+			frontier++
+		}
+	}
+	return nil
+}
+
+// buildRounds assigns every event the earliest round compatible with its
+// conflicts: one more than the latest round of any earlier event touching
+// one of its buses. It returns the rounds (event indexes, in schedule order)
+// and each event's round number.
+func buildRounds(tr *trace.Trace, events []event) (rounds [][]int, eventRound []int) {
+	eventRound = make([]int, len(events))
+	// next maps a bus to the earliest round its next event may occupy.
+	next := make(map[string]int, len(tr.Buses))
+	for i := range events {
+		ev := &events[i]
+		var a, b string
+		switch ev.kind {
+		case evInject:
+			m := tr.Messages[ev.index]
+			a = tr.Assignment[trace.Day(m.Time)][m.From]
+			b = a
+		case evEncounter:
+			e := tr.Encounters[ev.index]
+			a, b = e.A, e.B
+		}
+		round := next[a]
+		if n := next[b]; n > round {
+			round = n
+		}
+		eventRound[i] = round
+		next[a], next[b] = round+1, round+1
+		if round == len(rounds) {
+			rounds = append(rounds, nil)
+		}
+		rounds[round] = append(rounds[round], i)
+	}
+	return rounds, eventRound
+}

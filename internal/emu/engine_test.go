@@ -1,0 +1,220 @@
+package emu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"replidtn/internal/trace"
+)
+
+// TestDifferentialParallelEngine is the determinism gate for the parallel
+// engine: for every routing policy, under no constraint and under both of
+// the paper's constraint modes (Fig. 9 bandwidth, Fig. 10 storage), the
+// parallel engine at 1, 2, and 8 workers must reproduce the sequential
+// reference engine bit for bit — the full delivery list (delays and copy
+// counts included), every result counter, and the exact event log text.
+// `make check` runs it under -race, which also audits the scheduler for
+// conflicting concurrent access.
+func TestDifferentialParallelEngine(t *testing.T) {
+	tr := miniTrace(t)
+	modes := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"unconstrained", nil},
+		{"bandwidth", func(c *Config) { c.MaxMessagesPerEncounter = 1 }},
+		{"storage", func(c *Config) { c.RelayCapacity = 2 }},
+	}
+	for _, name := range AllPolicies {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/%s", name, mode.name), func(t *testing.T) {
+				var seqLog strings.Builder
+				seq := runPolicy(t, tr, name, func(c *Config) {
+					if mode.mod != nil {
+						mode.mod(c)
+					}
+					c.EventLog = &seqLog
+				})
+				for _, workers := range []int{1, 2, 8} {
+					var parLog strings.Builder
+					par := runPolicy(t, tr, name, func(c *Config) {
+						if mode.mod != nil {
+							mode.mod(c)
+						}
+						c.Workers = workers
+						c.EventLog = &parLog
+					})
+					assertIdenticalResults(t, workers, seq, par)
+					if seqLog.String() != parLog.String() {
+						t.Errorf("workers=%d: event log differs from sequential engine\n%s",
+							workers, firstLogDiff(seqLog.String(), parLog.String()))
+					}
+				}
+			})
+		}
+	}
+}
+
+func assertIdenticalResults(t *testing.T, workers int, seq, par *Result) {
+	t.Helper()
+	if seq.Encounters != par.Encounters || seq.Syncs != par.Syncs ||
+		seq.ItemsTransferred != par.ItemsTransferred ||
+		seq.BytesTransferred != par.BytesTransferred ||
+		seq.Duplicates != par.Duplicates ||
+		seq.MeanKnowledgeEntries != par.MeanKnowledgeEntries {
+		t.Errorf("workers=%d: counters differ: seq=%+v par=%+v", workers, counters(seq), counters(par))
+	}
+	ds, dp := seq.Summary.Deliveries(), par.Summary.Deliveries()
+	if len(ds) != len(dp) {
+		t.Fatalf("workers=%d: %d deliveries vs %d", workers, len(dp), len(ds))
+	}
+	for i := range ds {
+		if ds[i] != dp[i] {
+			t.Errorf("workers=%d: delivery %d differs: seq=%+v par=%+v", workers, i, ds[i], dp[i])
+		}
+	}
+}
+
+func counters(r *Result) [6]int64 {
+	return [6]int64{int64(r.Encounters), int64(r.Syncs), int64(r.ItemsTransferred),
+		r.BytesTransferred, int64(r.Duplicates), int64(r.MeanKnowledgeEntries * 1000)}
+}
+
+// firstLogDiff renders the first differing line of two event logs.
+func firstLogDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  seq: %q\n  par: %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length differs: %d vs %d lines", len(la), len(lb))
+}
+
+// TestDifferentialLifetimeAndBytes covers the remaining config axes the
+// policy/constraint matrix above does not: bounded message lifetimes (expiry
+// interacts with the per-endpoint clocks) and byte-granular budgets with
+// padded payloads.
+func TestDifferentialLifetimeAndBytes(t *testing.T) {
+	tr := miniTrace(t)
+	mods := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"lifetime", func(c *Config) { c.MessageLifetime = 6 * 3600 }},
+		{"bytes", func(c *Config) {
+			c.MaxBytesPerEncounter = 2 << 10
+			c.MessageSize = 1 << 10
+		}},
+		{"filters", func(c *Config) { c.ExtraBuses = SelectedExtraBuses(tr, 4) }},
+	}
+	for _, m := range mods {
+		t.Run(m.name, func(t *testing.T) {
+			var seqLog, parLog strings.Builder
+			seq := runPolicy(t, tr, PolicyEpidemic, func(c *Config) { m.mod(c); c.EventLog = &seqLog })
+			par := runPolicy(t, tr, PolicyEpidemic, func(c *Config) {
+				m.mod(c)
+				c.Workers = 4
+				c.EventLog = &parLog
+			})
+			assertIdenticalResults(t, 4, seq, par)
+			if seqLog.String() != parLog.String() {
+				t.Errorf("event log differs:\n%s", firstLogDiff(seqLog.String(), parLog.String()))
+			}
+		})
+	}
+}
+
+// TestBuildRounds checks the list scheduler's two invariants on a hand-built
+// schedule: events in one round never share a bus, and any two events
+// sharing a bus land in rounds ordered like their schedule positions.
+func TestBuildRounds(t *testing.T) {
+	tr := &trace.Trace{
+		Days:  1,
+		Buses: []string{"a", "b", "c", "d"},
+		Encounters: []trace.Encounter{
+			{Time: 10, A: "a", B: "b"},
+			{Time: 10, A: "c", B: "d"}, // disjoint: same round as the first
+			{Time: 11, A: "a", B: "c"}, // conflicts with both: next round
+			{Time: 12, A: "b", B: "d"}, // conflicts with #0 and #1 only
+			{Time: 13, A: "a", B: "b"}, // conflicts with #2 and #3
+		},
+		Roster:     [][]string{{"a", "b", "c", "d"}},
+		Assignment: []map[string]string{{"u": "a", "v": "c"}},
+		Users:      []string{"u", "v"},
+		Messages: []trace.Message{
+			{ID: "m0", Time: 9, From: "u", To: "v"},  // bus a, before everything
+			{ID: "m1", Time: 10, From: "v", To: "u"}, // bus c, same instant as encounters
+		},
+	}
+	events := buildEvents(tr)
+	rounds, eventRound := buildRounds(tr, events)
+
+	buses := func(ev *event) []string {
+		if ev.kind == evInject {
+			m := tr.Messages[ev.index]
+			return []string{tr.Assignment[trace.Day(m.Time)][m.From]}
+		}
+		e := tr.Encounters[ev.index]
+		return []string{e.A, e.B}
+	}
+	// No round shares a bus.
+	for ri, round := range rounds {
+		seen := map[string]int{}
+		for _, i := range round {
+			for _, bus := range buses(&events[i]) {
+				if prev, dup := seen[bus]; dup {
+					t.Errorf("round %d: events %d and %d both touch %s", ri, prev, i, bus)
+				}
+				seen[bus] = i
+			}
+		}
+	}
+	// Conflicting events are round-ordered like their schedule order, and
+	// every event is scheduled exactly once.
+	scheduled := 0
+	for _, round := range rounds {
+		scheduled += len(round)
+	}
+	if scheduled != len(events) {
+		t.Fatalf("scheduled %d events, want %d", scheduled, len(events))
+	}
+	for i := range events {
+		for j := i + 1; j < len(events); j++ {
+			if !sharesBus(buses(&events[i]), buses(&events[j])) {
+				continue
+			}
+			if eventRound[i] >= eventRound[j] {
+				t.Errorf("conflicting events %d (round %d) and %d (round %d) not ordered",
+					i, eventRound[i], j, eventRound[j])
+			}
+		}
+	}
+	// The injection at t=10 on bus c must be ordered before the c–d
+	// encounter at the same instant (injections sort first).
+	if eventRound[1] >= eventRound[3] {
+		t.Errorf("same-instant injection (round %d) not before conflicting encounter (round %d)",
+			eventRound[1], eventRound[3])
+	}
+}
+
+func sharesBus(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestParallelWorkerClamp exercises worker counts far beyond the schedule's
+// width, which must degrade gracefully to the available parallelism.
+func TestParallelWorkerClamp(t *testing.T) {
+	tr := miniTrace(t)
+	seq := runPolicy(t, tr, PolicyEpidemic, nil)
+	par := runPolicy(t, tr, PolicyEpidemic, func(c *Config) { c.Workers = 512 })
+	assertIdenticalResults(t, 512, seq, par)
+}

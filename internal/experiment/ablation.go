@@ -53,7 +53,8 @@ func FormatAblation(title string, rows []AblationRow) string {
 }
 
 // AblationEpidemicTTL sweeps the epidemic hop budget.
-func AblationEpidemicTTL(tr *trace.Trace, ttls []int) ([]AblationRow, error) {
+func AblationEpidemicTTL(tr *trace.Trace, ttls []int, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(ttls) == 0 {
 		ttls = []int{1, 2, 4, 10, 20}
 	}
@@ -61,7 +62,7 @@ func AblationEpidemicTTL(tr *trace.Trace, ttls []int) ([]AblationRow, error) {
 	for _, ttl := range ttls {
 		params := emu.DefaultParams()
 		params.EpidemicTTL = float64(ttl)
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params)})
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params), Workers: o.workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation ttl=%d: %w", ttl, err)
 		}
@@ -71,7 +72,8 @@ func AblationEpidemicTTL(tr *trace.Trace, ttls []int) ([]AblationRow, error) {
 }
 
 // AblationSprayCopies sweeps the spray allowance.
-func AblationSprayCopies(tr *trace.Trace, copies []int) ([]AblationRow, error) {
+func AblationSprayCopies(tr *trace.Trace, copies []int, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(copies) == 0 {
 		copies = []int{2, 4, 8, 16, 32}
 	}
@@ -79,7 +81,7 @@ func AblationSprayCopies(tr *trace.Trace, copies []int) ([]AblationRow, error) {
 	for _, c := range copies {
 		params := emu.DefaultParams()
 		params.SprayCopies = c
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params)})
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params), Workers: o.workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation copies=%d: %w", c, err)
 		}
@@ -91,7 +93,8 @@ func AblationSprayCopies(tr *trace.Trace, copies []int) ([]AblationRow, error) {
 // AblationMaxPropThreshold sweeps the hop-count priority threshold under the
 // bandwidth constraint, where transmission order is what distinguishes
 // MaxProp from plain flooding.
-func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int) ([]AblationRow, error) {
+func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(thresholds) == 0 {
 		thresholds = []int{1, 3, 5, 10}
 	}
@@ -103,6 +106,7 @@ func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int) ([]AblationRow,
 			Trace:                   tr,
 			Policy:                  emu.Factory(emu.PolicyMaxProp, params),
 			MaxMessagesPerEncounter: 1,
+			Workers:                 o.workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation threshold=%d: %w", th, err)
@@ -115,7 +119,8 @@ func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int) ([]AblationRow,
 // AblationBandwidth sweeps the per-encounter message budget for epidemic
 // routing (0 = unlimited), bridging the paper's two extremes (Fig. 7 vs.
 // Fig. 9).
-func AblationBandwidth(tr *trace.Trace, budgets []int) ([]AblationRow, error) {
+func AblationBandwidth(tr *trace.Trace, budgets []int, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(budgets) == 0 {
 		budgets = []int{1, 2, 4, 8, 0}
 	}
@@ -125,6 +130,7 @@ func AblationBandwidth(tr *trace.Trace, budgets []int) ([]AblationRow, error) {
 			Trace:                   tr,
 			Policy:                  emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MaxMessagesPerEncounter: budget,
+			Workers:                 o.workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation budget=%d: %w", budget, err)
@@ -140,7 +146,8 @@ func AblationBandwidth(tr *trace.Trace, budgets []int) ([]AblationRow, error) {
 
 // AblationStorage sweeps the relay capacity for epidemic routing (0 =
 // unlimited), bridging Fig. 7 and Fig. 10.
-func AblationStorage(tr *trace.Trace, caps []int) ([]AblationRow, error) {
+func AblationStorage(tr *trace.Trace, caps []int, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(caps) == 0 {
 		caps = []int{1, 2, 4, 8, 0}
 	}
@@ -150,6 +157,7 @@ func AblationStorage(tr *trace.Trace, caps []int) ([]AblationRow, error) {
 			Trace:         tr,
 			Policy:        emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			RelayCapacity: capacity,
+			Workers:       o.workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation capacity=%d: %w", capacity, err)
@@ -166,7 +174,8 @@ func AblationStorage(tr *trace.Trace, caps []int) ([]AblationRow, error) {
 // AblationByteBudget sweeps a byte-granular per-encounter bandwidth budget
 // for epidemic routing with 1 KiB messages (0 = unlimited) — the
 // finer-grained version of the paper's one-message constraint.
-func AblationByteBudget(tr *trace.Trace, budgets []int64) ([]AblationRow, error) {
+func AblationByteBudget(tr *trace.Trace, budgets []int64, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(budgets) == 0 {
 		budgets = []int64{2 << 10, 8 << 10, 32 << 10, 0}
 	}
@@ -178,6 +187,7 @@ func AblationByteBudget(tr *trace.Trace, budgets []int64) ([]AblationRow, error)
 			Policy:               emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MaxBytesPerEncounter: budget,
 			MessageSize:          messageSize,
+			Workers:              o.workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation bytes=%d: %w", budget, err)
@@ -194,7 +204,8 @@ func AblationByteBudget(tr *trace.Trace, budgets []int64) ([]AblationRow, error)
 // AblationLifetime sweeps bounded message lifetimes for epidemic routing
 // (0 = unlimited): expired messages stop consuming encounter bandwidth, at
 // the price of undelivered deadline misses.
-func AblationLifetime(tr *trace.Trace, lifetimes []int64) ([]AblationRow, error) {
+func AblationLifetime(tr *trace.Trace, lifetimes []int64, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	if len(lifetimes) == 0 {
 		lifetimes = []int64{6 * 3600, 12 * 3600, 24 * 3600, 0}
 	}
@@ -204,6 +215,7 @@ func AblationLifetime(tr *trace.Trace, lifetimes []int64) ([]AblationRow, error)
 			Trace:           tr,
 			Policy:          emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MessageLifetime: lt,
+			Workers:         o.workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation lifetime=%d: %w", lt, err)
@@ -220,7 +232,8 @@ func AblationLifetime(tr *trace.Trace, lifetimes []int64) ([]AblationRow, error)
 // AblationEviction compares relay-eviction strategies under the Fig. 10
 // storage constraint: the paper's FIFO versus MaxProp-style drop-highest-
 // hop-count.
-func AblationEviction(tr *trace.Trace) ([]AblationRow, error) {
+func AblationEviction(tr *trace.Trace, opts ...Option) ([]AblationRow, error) {
+	o := buildOptions(opts)
 	strategies := []store.EvictionStrategy{
 		store.FIFO{},
 		store.EvictByCost{Field: item.FieldHops},
@@ -233,6 +246,7 @@ func AblationEviction(tr *trace.Trace) ([]AblationRow, error) {
 				Policy:        emu.Factory(name, emu.DefaultParams()),
 				RelayCapacity: 2,
 				Eviction:      ev,
+				Workers:       o.workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiment: ablation eviction %s/%s: %w", name, ev.Name(), err)

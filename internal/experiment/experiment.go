@@ -41,8 +41,10 @@ type FilterSweep struct {
 }
 
 // RunFilterSweep executes the multi-address filter experiments on the basic
-// substrate. The k = 0 run is shared between the strategies.
-func RunFilterSweep(tr *trace.Trace, ks []int) (*FilterSweep, error) {
+// substrate. The per-(strategy, k) runs are independent and deterministic, so
+// they execute concurrently; the k = 0 run is shared between the strategies.
+func RunFilterSweep(tr *trace.Trace, ks []int, opts ...Option) (*FilterSweep, error) {
+	o := buildOptions(opts)
 	if len(ks) == 0 {
 		ks = FilterKs
 	}
@@ -51,27 +53,57 @@ func RunFilterSweep(tr *trace.Trace, ks []int) (*FilterSweep, error) {
 		Random:   make(map[int]*emu.Result, len(ks)),
 		Selected: make(map[int]*emu.Result, len(ks)),
 	}
+	type job struct {
+		strategy string
+		k        int
+	}
+	jobs := make([]job, 0, 2*len(ks))
 	for _, k := range ks {
-		rnd, err := emu.Run(emu.Config{
-			Trace:      tr,
-			ExtraBuses: emu.RandomExtraBuses(tr, k, 11),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: filters random k=%d: %w", k, err)
+		jobs = append(jobs, job{"random", k})
+		if k != 0 {
+			jobs = append(jobs, job{"selected", k})
 		}
-		fs.Random[k] = rnd
-		if k == 0 {
-			fs.Selected[k] = rnd
-			continue
-		}
-		sel, err := emu.Run(emu.Config{
-			Trace:      tr,
-			ExtraBuses: emu.SelectedExtraBuses(tr, k),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: filters selected k=%d: %w", k, err)
-		}
-		fs.Selected[k] = sel
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			extra := emu.SelectedExtraBuses(tr, j.k)
+			if j.strategy == "random" {
+				extra = emu.RandomExtraBuses(tr, j.k, 11)
+			}
+			res, err := emu.Run(emu.Config{
+				Trace:      tr,
+				ExtraBuses: extra,
+				Workers:    o.workers,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiment: filters %s k=%d: %w", j.strategy, j.k, err)
+				}
+				return
+			}
+			if j.strategy == "random" {
+				fs.Random[j.k] = res
+			} else {
+				fs.Selected[j.k] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if res, ok := fs.Random[0]; ok {
+		fs.Selected[0] = res
 	}
 	return fs, nil
 }
@@ -121,7 +153,8 @@ type PolicySweep struct {
 
 // RunPolicySweep executes one emulation per routing configuration. The runs
 // are independent and deterministic, so they execute concurrently.
-func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCapacity int) (*PolicySweep, error) {
+func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCapacity int, opts ...Option) (*PolicySweep, error) {
+	o := buildOptions(opts)
 	ps := &PolicySweep{
 		MaxMessagesPerEncounter: maxPerEncounter,
 		RelayCapacity:           relayCapacity,
@@ -142,6 +175,7 @@ func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCa
 				Policy:                  emu.Factory(name, params),
 				MaxMessagesPerEncounter: maxPerEncounter,
 				RelayCapacity:           relayCapacity,
+				Workers:                 o.workers,
 			})
 			mu.Lock()
 			defer mu.Unlock()

@@ -1,0 +1,30 @@
+package experiment
+
+// Option adjusts how experiment drivers execute their emulation runs without
+// changing what they compute: every driver accepts a trailing ...Option and
+// produces results independent of the options chosen.
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers routes every emulation run in the driver through the parallel
+// engine with n workers (n >= 1). n = 0 (the default) keeps the sequential
+// reference engine. Results are bit-identical either way; only wall-clock
+// changes.
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

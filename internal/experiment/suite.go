@@ -32,6 +32,10 @@ func SmallTrace(seed int64) (*trace.Trace, error) {
 type Suite struct {
 	Trace  *trace.Trace
 	Params emu.Params
+	// Workers, when >= 1, routes every emulation run through the parallel
+	// engine with that many workers; 0 keeps the sequential engine. Output is
+	// bit-identical either way.
+	Workers int
 }
 
 // NewSuite builds a suite over the paper-calibrated default trace and
@@ -50,7 +54,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Table I: DTN routing policies ==\n%s\n", FormatTable1(Table1()))
 	fmt.Fprintf(w, "== Table II: protocol parameters ==\n%s\n", FormatTable2(s.Params))
 
-	fs, err := RunFilterSweep(s.Trace, nil)
+	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers))
 	if err != nil {
 		return err
 	}
@@ -59,7 +63,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 6: %% delivered within 12 hours vs addresses in filter ==\n%s\n",
 		metrics.FormatTable("k", fs.Fig6()))
 
-	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0)
+	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers))
 	if err != nil {
 		return err
 	}
@@ -70,14 +74,14 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 8: average stored copies per message ==\n%s\n",
 		FormatFig8(unconstrained.Fig8()))
 
-	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0)
+	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "== Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter) ==\n%s\n",
 		metrics.FormatTable("hours", bandwidth.CDFHours(12)))
 
-	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2)
+	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers))
 	if err != nil {
 		return err
 	}

@@ -80,6 +80,10 @@ type Config struct {
 	Eviction store.EvictionStrategy
 	// OnReceive, when set, is called for every first-time delivery.
 	OnReceive func(Received)
+	// OnCopies, when set, observes live-copy transitions in the backing
+	// replica's store (see replica.Config.OnCopies). Called with the replica
+	// lock held.
+	OnCopies func(id item.ID, delta int)
 	// Now supplies time in seconds; defaults to a zero clock (useful only
 	// for tests — emulations always supply the simulation clock).
 	Now func() int64
@@ -105,6 +109,7 @@ func NewEndpoint(cfg Config) *Endpoint {
 		Eviction:      cfg.Eviction,
 		Policy:        cfg.Policy,
 		OnDeliver:     ep.deliver,
+		OnCopies:      cfg.OnCopies,
 		Now:           ep.now,
 	})
 	return ep

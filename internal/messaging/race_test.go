@@ -5,10 +5,101 @@ import (
 	"sync"
 	"testing"
 
+	"replidtn/internal/item"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing/epidemic"
 	"replidtn/internal/vclock"
 )
+
+// TestConcurrentOnCopies hammers a hub endpoint whose OnCopies callback
+// tallies live-copy deltas while parallel spokes send and sync against it.
+// Run with -race: the callback fires with the replica lock held, so per-
+// replica calls are serialized, but callbacks from different replicas run
+// concurrently and any shared sink must provide its own synchronization —
+// exactly the contract the emulation engine's per-event recorders rely on.
+func TestConcurrentOnCopies(t *testing.T) {
+	const (
+		senders  = 6
+		perSpoke = 10
+	)
+	var (
+		mu     sync.Mutex
+		copies = map[string]int{}
+	)
+	onCopies := func(node string) func(id item.ID, delta int) {
+		return func(id item.ID, delta int) {
+			mu.Lock()
+			copies[node+"/"+id.String()] += delta
+			mu.Unlock()
+		}
+	}
+	hub := NewEndpoint(Config{
+		NodeID:    "hub",
+		Addresses: []string{"user:hub"},
+		Policy:    epidemic.New(10),
+		OnCopies:  onCopies("hub"),
+	})
+	var wg sync.WaitGroup
+	spokes := make([]*Endpoint, senders)
+	for s := 0; s < senders; s++ {
+		name := fmt.Sprintf("spoke%d", s)
+		spokes[s] = NewEndpoint(Config{
+			NodeID:    vclock.ReplicaID(name),
+			Addresses: []string{fmt.Sprintf("user:%d", s)},
+			Policy:    epidemic.New(10),
+			OnCopies:  onCopies(name),
+		})
+	}
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSpoke; i++ {
+				if _, err := spokes[s].Send(fmt.Sprintf("user:%d", s), []string{"user:hub"}, []byte("m")); err != nil {
+					t.Error(err)
+					return
+				}
+				replica.Encounter(spokes[s].Replica(), hub.Replica(), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	// Every accumulated per-(node,item) delta sum must equal the node's live
+	// possession of the item: 1 if stored live, 0 otherwise.
+	eps := append([]*Endpoint{hub}, spokes...)
+	names := append([]string{"hub"}, func() []string {
+		out := make([]string, senders)
+		for s := range out {
+			out[s] = fmt.Sprintf("spoke%d", s)
+		}
+		return out
+	}()...)
+	mu.Lock()
+	defer mu.Unlock()
+	for key, sum := range copies {
+		if sum != 0 && sum != 1 {
+			t.Errorf("copy delta sum for %s = %d, want 0 or 1", key, sum)
+		}
+	}
+	total := 0
+	for i, ep := range eps {
+		_, live, _ := ep.Replica().StoreLen()
+		held := 0
+		for key, sum := range copies {
+			if len(key) > len(names[i]) && key[:len(names[i])+1] == names[i]+"/" {
+				held += sum
+			}
+		}
+		if held != live {
+			t.Errorf("%s: delta sum %d, live entries %d", names[i], held, live)
+		}
+		total += held
+	}
+	if total == 0 {
+		t.Error("no live copies tallied")
+	}
+}
 
 // TestConcurrentSendsAndEncounters hammers one hub endpoint with parallel
 // sends, encounters, and inbox reads. Run with -race; the invariant checked

@@ -47,6 +47,13 @@ type Config struct {
 	// an item addressed to one of OwnAddresses is first stored locally, and
 	// again if an address added later by SetIdentity matches a stored item.
 	OnDeliver func(*item.Item)
+	// OnCopies, when set, observes live-copy transitions in the local store:
+	// it is invoked (with the replica lock held) as OnCopies(id, +1) when a
+	// live copy of an item appears locally and OnCopies(id, -1) when one
+	// disappears (tombstone, eviction, expiry purge). Summing the deltas per
+	// item across replicas yields the network-wide stored-copy count without
+	// ever scanning a store. Snapshot restore does not notify.
+	OnCopies func(item.ID, int)
 	// Now supplies the current time in seconds for message-lifetime checks;
 	// nil disables expiry (items never expire).
 	Now func() int64
@@ -115,6 +122,9 @@ func New(cfg Config) *Replica {
 	}
 	for _, a := range cfg.OwnAddresses {
 		r.own[a] = struct{}{}
+	}
+	if cfg.OnCopies != nil {
+		r.store.LiveNotify(cfg.OnCopies)
 	}
 	return r
 }

@@ -133,7 +133,20 @@ type Store struct {
 	// the strategy is not ArrivalOrdered or the capacity is unlimited.
 	evictHeap []*Entry
 	useHeap   bool
+
+	// onLive observes live-copy transitions (see LiveNotify).
+	onLive func(item.ID, int)
 }
+
+// LiveNotify registers fn to observe live-copy transitions: fn(id, +1) runs
+// when a live (non-tombstone) entry for id becomes current, fn(id, -1) when
+// the current live entry for id is replaced, removed, or evicted. Replacing a
+// live entry with a newer live version fires -1 then +1 (net zero). The sum
+// of deltas for an id therefore tracks whether this store holds a live copy
+// of it — the per-item copy accounting the emulator aggregates across nodes.
+// Restore rebuilds the store wholesale and does not notify; register before
+// the store sees traffic.
+func (s *Store) LiveNotify(fn func(item.ID, int)) { s.onLive = fn }
 
 // New creates an empty store. relayCapacity bounds the number of live relay
 // entries (<= 0 for unlimited); when the bound is exceeded the oldest relay
@@ -218,6 +231,9 @@ func (s *Store) Remove(id item.ID) *Entry {
 func (s *Store) count(e *Entry) {
 	if !e.Item.Deleted {
 		s.liveCount++
+		if s.onLive != nil {
+			s.onLive(e.Item.ID, 1)
+		}
 	}
 	if e.relayLive() {
 		s.relayCount++
@@ -232,6 +248,9 @@ func (s *Store) count(e *Entry) {
 func (s *Store) uncount(e *Entry) {
 	if !e.Item.Deleted {
 		s.liveCount--
+		if s.onLive != nil {
+			s.onLive(e.Item.ID, -1)
+		}
 	}
 	if e.relayLive() {
 		s.relayCount--
@@ -352,8 +371,13 @@ func (s *Store) heapRebuild() {
 }
 
 // rebuildIndexes reconstructs every maintained index from the entries map;
-// used after wholesale replacement (Restore).
+// used after wholesale replacement (Restore). Wholesale replacement is not
+// an incremental live-copy transition, so the LiveNotify observer is
+// suppressed for its duration.
 func (s *Store) rebuildIndexes() {
+	notify := s.onLive
+	s.onLive = nil
+	defer func() { s.onLive = notify }()
 	s.index.reset()
 	s.liveCount, s.relayCount = 0, 0
 	s.evictHeap = s.evictHeap[:0]

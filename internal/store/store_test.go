@@ -413,3 +413,78 @@ func BenchmarkStoreEntries(b *testing.B) {
 		s.Entries()
 	}
 }
+
+// TestLiveNotify checks the live-copy observer against every transition kind:
+// insert, live→live replace, tombstone, outright removal, capacity eviction,
+// and wholesale Restore (which must stay silent).
+func TestLiveNotify(t *testing.T) {
+	counts := make(map[item.ID]int)
+	var fires int
+	s := New(1)
+	s.LiveNotify(func(id item.ID, delta int) {
+		counts[id] += delta
+		fires++
+	})
+
+	local := mkItem("a", 1)
+	s.Put(local, nil, false, true)
+	if counts[local.ID] != 1 {
+		t.Errorf("after insert: count = %d, want 1", counts[local.ID])
+	}
+
+	// Live→live replacement fires -1 then +1: net zero change.
+	before := fires
+	s.Put(mkItem("a", 1), nil, false, true)
+	if counts[local.ID] != 1 || fires != before+2 {
+		t.Errorf("after replace: count = %d (want 1), fires = %d (want %d)",
+			counts[local.ID], fires, before+2)
+	}
+
+	// Tombstoning a live entry nets -1; inserting a tombstone stays silent.
+	dead := mkItem("a", 1)
+	dead.Deleted = true
+	s.Put(dead, nil, false, true)
+	if counts[local.ID] != 0 {
+		t.Errorf("after tombstone: count = %d, want 0", counts[local.ID])
+	}
+	before = fires
+	ghost := mkItem("g", 1)
+	ghost.Deleted = true
+	s.Put(ghost, nil, false, false)
+	if fires != before {
+		t.Error("inserting a tombstone should not notify")
+	}
+
+	// Relay capacity 1: the second relay insert evicts the first (-1).
+	r1, r2 := mkItem("r", 1), mkItem("r", 2)
+	s.Put(r1, nil, true, false)
+	s.Put(r2, nil, true, false)
+	if counts[r1.ID] != 0 || counts[r2.ID] != 1 {
+		t.Errorf("after eviction: counts = %d/%d, want 0/1", counts[r1.ID], counts[r2.ID])
+	}
+
+	// Removal fires -1.
+	s.Remove(r2.ID)
+	if counts[r2.ID] != 0 {
+		t.Errorf("after remove: count = %d, want 0", counts[r2.ID])
+	}
+
+	// Restore replaces wholesale without notifying.
+	snap, next := s.Snapshot()
+	before = fires
+	if err := s.Restore(snap, next); err != nil {
+		t.Fatal(err)
+	}
+	if fires != before {
+		t.Error("Restore should not notify")
+	}
+
+	// Invariant: every id's running sum matches live presence.
+	for id, n := range counts {
+		e := s.Get(id)
+		live := e != nil && !e.Item.Deleted
+		if (n == 1) != live || n < 0 || n > 1 {
+			t.Errorf("id %v: sum %d, live %v", id, n, live)
+		}
+	}
+}
