@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test test-differential bench
+## COVER_FLOOR is the coverage baseline `make cover` enforces: the total
+## statement coverage measured before the fault-injection PR. Raise it when
+## coverage grows; never lower it to make a failing build pass.
+COVER_FLOOR ?= 82.7
+
+.PHONY: check build vet test test-differential cover bench
 
 ## check is the tier-1 verification gate: every PR must leave it green.
 ## test-differential re-runs the engine-equivalence tests on their own so a
@@ -17,9 +22,19 @@ test:
 	$(GO) test -race ./...
 
 ## test-differential proves the parallel emulation engine is bit-identical to
-## the sequential reference across every policy and constraint mode.
+## the sequential reference across every policy and constraint mode — with
+## faults off (including the faults-disabled equivalence smoke) and with a
+## seeded fault schedule on.
 test-differential:
-	$(GO) test -race -run Differential ./internal/emu/
+	$(GO) test -race -run 'Differential|FaultsDisabled' ./internal/emu/
+
+## cover fails if total statement coverage drops below COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'END { sub(/%/, "", $$3); if ($$3 + 0 < floor + 0) { \
+			printf "coverage %.1f%% is below the %.1f%% floor\n", $$3, floor; exit 1 } }'
 
 ## bench runs the hot-path microbenchmarks (store mutation, sync batch
 ## assembly, and whole emulation runs) with allocation stats, for

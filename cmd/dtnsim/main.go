@@ -12,9 +12,16 @@
 //	dtnsim -experiment fig7a -cpuprofile cpu.out   # profile the run
 //
 // Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9, fig10,
-// all, summary; ablations: ablation-ttl, ablation-copies, ablation-threshold,
-// ablation-bandwidth, ablation-bytes, ablation-storage, ablation-lifetime,
-// ablation-eviction.
+// all, summary, fault-sweep; ablations: ablation-ttl, ablation-copies,
+// ablation-threshold, ablation-bandwidth, ablation-bytes, ablation-storage,
+// ablation-lifetime, ablation-eviction.
+//
+// Fault injection (deterministic, seeded):
+//
+//	dtnsim -experiment fig7a -faults drop=0.3                # drop 30% of encounters
+//	dtnsim -experiment fig7a -faults drop=0.1,cutoff=0.3,cutoff-items=2,crash=0.01
+//	dtnsim -experiment fault-sweep -small                    # delivery vs fault dose
+//	dtnsim -experiment fig7a -faults drop=0.3 -fault-seed 7  # different fault schedule
 package main
 
 import (
@@ -25,20 +32,29 @@ import (
 
 	"replidtn/internal/emu"
 	"replidtn/internal/experiment"
+	"replidtn/internal/fault"
 	"replidtn/internal/metrics"
 	"replidtn/internal/trace"
 )
 
 func main() {
 	var (
-		name       = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, all)")
+		name       = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, fault-sweep, all)")
 		small      = flag.Bool("small", false, "use the scaled-down trace (fast)")
 		seed       = flag.Int64("seed", 1, "trace generator seed")
 		traceDir   = flag.String("trace", "", "load the trace from a directory of CSVs instead of generating it")
 		workers    = flag.Int("workers", 0, "emulation worker goroutines (0 = sequential engine; output is identical)")
+		faultSpec  = flag.String("faults", "", `fault injection spec, e.g. "drop=0.3,cutoff=0.25,cutoff-items=2,crash=0.01" ("" or "off" disables)`)
+		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed (same seed = same faults)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+	faults, err := fault.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
+		os.Exit(2)
+	}
+	faults.Seed = *faultSeed
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -52,32 +68,36 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*name, *small, *seed, *traceDir, *workers); err != nil {
+	if err := run(*name, *small, *seed, *traceDir, *workers, faults); err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, small bool, seed int64, traceDir string, workers int) error {
+func run(name string, small bool, seed int64, traceDir string, workers int, faults fault.Config) error {
 	tr, err := buildTrace(small, seed, traceDir)
 	if err != nil {
 		return err
 	}
 	params := emu.DefaultParams()
 	ww := experiment.WithWorkers(workers)
+	wf := experiment.WithFaults(faults)
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stdout, "[faults: %s]\n", faults)
+	}
 	out := os.Stdout
 
 	switch name {
 	case "all":
-		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers}
+		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers, Faults: faults}
 		return suite.RunAll(out)
 	case "table1":
 		fmt.Fprint(out, experiment.FormatTable1(experiment.Table1()))
 	case "table2":
 		fmt.Fprint(out, experiment.FormatTable2(params))
 	case "fig5", "fig6":
-		fs, err := experiment.RunFilterSweep(tr, nil, ww)
+		fs, err := experiment.RunFilterSweep(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
@@ -89,7 +109,7 @@ func run(name string, small bool, seed int64, traceDir string, workers int) erro
 				metrics.FormatTable("k", fs.Fig6()))
 		}
 	case "fig7a", "fig7b", "fig8":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf)
 		if err != nil {
 			return err
 		}
@@ -105,70 +125,79 @@ func run(name string, small bool, seed int64, traceDir string, workers int) erro
 				experiment.FormatFig8(ps.Fig8()))
 		}
 	case "fig9":
-		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww)
+		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "fig10":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 10: delay CDF under storage constraint (2 relayed msgs/node)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "summary":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Per-policy overview (unconstrained)\n%s",
 			experiment.FormatSummary(ps.SummaryRows()))
+	case "fault-sweep":
+		// The sweep injects its own fault grid; -faults selects nothing here,
+		// but -fault-seed still picks the schedule.
+		rows, err := experiment.RunFaultSweep(tr, faults.Seed, nil, nil, ww)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Fault sweep: delivery vs encounter drop probability and cutoff budget (seed %d)\n%s",
+			faults.Seed, experiment.FormatFaultSweep(rows))
 	case "ablation-ttl":
-		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww)
+		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: epidemic TTL", rows))
 	case "ablation-copies":
-		rows, err := experiment.AblationSprayCopies(tr, nil, ww)
+		rows, err := experiment.AblationSprayCopies(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: spray copy allowance", rows))
 	case "ablation-threshold":
-		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww)
+		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: MaxProp hop threshold (1 msg/encounter)", rows))
 	case "ablation-bandwidth":
-		rows, err := experiment.AblationBandwidth(tr, nil, ww)
+		rows, err := experiment.AblationBandwidth(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter budget (epidemic)", rows))
 	case "ablation-storage":
-		rows, err := experiment.AblationStorage(tr, nil, ww)
+		rows, err := experiment.AblationStorage(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay capacity (epidemic)", rows))
 	case "ablation-bytes":
-		rows, err := experiment.AblationByteBudget(tr, nil, ww)
+		rows, err := experiment.AblationByteBudget(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter byte budget (epidemic, 1KiB msgs)", rows))
 	case "ablation-lifetime":
-		rows, err := experiment.AblationLifetime(tr, nil, ww)
+		rows, err := experiment.AblationLifetime(tr, nil, ww, wf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: bounded message lifetime (epidemic)", rows))
 	case "ablation-eviction":
-		rows, err := experiment.AblationEviction(tr, ww)
+		rows, err := experiment.AblationEviction(tr, ww, wf)
 		if err != nil {
 			return err
 		}

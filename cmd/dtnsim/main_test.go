@@ -1,16 +1,20 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"replidtn/internal/fault"
+)
 
 func TestRunKnownExperiments(t *testing.T) {
 	// The cheap experiments run on the scaled-down trace; the full figure
 	// sweeps are covered by the experiment package and the benchmarks.
 	// Alternating worker counts also smoke-tests the parallel engine path.
-	for i, name := range []string{"table1", "table2", "fig8", "ablation-eviction"} {
+	for i, name := range []string{"table1", "table2", "fig8", "ablation-eviction", "fault-sweep"} {
 		name := name
 		workers := (i % 2) * 4
 		t.Run(name, func(t *testing.T) {
-			if err := run(name, true, 1, "", workers); err != nil {
+			if err := run(name, true, 1, "", workers, fault.Config{}); err != nil {
 				t.Fatalf("run(%q): %v", name, err)
 			}
 		})
@@ -18,7 +22,7 @@ func TestRunKnownExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, "", 0); err == nil {
+	if err := run("fig99", true, 1, "", 0, fault.Config{}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -38,5 +42,18 @@ func TestBuildTrace(t *testing.T) {
 	}
 	if err := full.Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	// A faulted figure run exercises the full flag path: parsed spec, seeded
+	// schedule, and fault option threading through the experiment driver.
+	cfg, err := fault.Parse("drop=0.2,cutoff=0.3,cutoff-items=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 7
+	if err := run("fig8", true, 1, "", 2, cfg); err != nil {
+		t.Fatalf("faulted run: %v", err)
 	}
 }

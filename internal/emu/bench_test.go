@@ -101,11 +101,11 @@ func BenchmarkEmuRunConstrained(b *testing.B) {
 // paper trace's ~16k events must stay a negligible fraction of a run.
 func BenchmarkBuildRounds(b *testing.B) {
 	tr := benchTrace(b, true)
-	events := buildEvents(tr)
+	events, _ := buildEvents(tr, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rounds, _ := buildRounds(tr, events)
+		rounds, _ := buildRounds(tr, events, nil)
 		if len(rounds) == 0 {
 			b.Fatal("no rounds")
 		}

@@ -27,13 +27,16 @@ package emu
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
+	"replidtn/internal/fault"
 	"replidtn/internal/item"
 	"replidtn/internal/messaging"
 	"replidtn/internal/metrics"
+	"replidtn/internal/persist"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing"
 	"replidtn/internal/store"
@@ -81,6 +84,14 @@ type Config struct {
 	// bit-identical to the sequential engine's, so the choice is purely a
 	// wall-clock matter.
 	Workers int
+	// Faults configures deterministic fault injection over the encounter
+	// schedule: dropped contacts, mid-sync link cutoffs (aborted
+	// transactionally), and node crash-restarts that reload state through the
+	// internal/persist codec. Decisions are pure functions of
+	// (Faults.Seed, encounter index), so faulted runs are reproducible and
+	// engine-independent. The zero value disables every fault and leaves the
+	// run byte-identical to a fault-free build.
+	Faults fault.Config
 	// EventLog, when set, receives one CSV line per emulation event
 	// (inject, encounter, deliver) for debugging and external analysis:
 	//
@@ -107,6 +118,20 @@ type Result struct {
 	// MeanKnowledgeEntries is the average knowledge size (base entries +
 	// exceptions) across nodes at the end — the metadata-compactness check.
 	MeanKnowledgeEntries float64
+	// EncountersDropped counts encounters the fault plan suppressed entirely
+	// (included in Encounters; zero without faults).
+	EncountersDropped int
+	// SyncsAborted counts synchronizations whose transfer was cut off
+	// mid-batch and discarded transactionally (zero without faults).
+	SyncsAborted int
+	// ItemsWasted and BytesWasted count partial transfers that crossed the
+	// link before a cutoff and were then discarded; both are already included
+	// in ItemsTransferred/BytesTransferred (zero without faults).
+	ItemsWasted int
+	BytesWasted int64
+	// Crashes counts node crash-restart events executed (zero without
+	// faults).
+	Crashes int
 }
 
 // clock is one endpoint's view of the simulation time. Each endpoint owns a
@@ -143,6 +168,15 @@ type eventRec struct {
 	st       *msgState // inject: the tracked message
 	from, to string    // inject: source and destination bus
 
+	// dropped marks an encounter the fault plan suppressed entirely.
+	dropped bool
+	// aborted counts synchronization legs cut off mid-batch this encounter;
+	// wastedItems/wastedBytes are the discarded partial transfers (included
+	// in moved/bytes).
+	aborted     int
+	wastedItems int
+	wastedBytes int64
+
 	// deltas are the live-copy transitions the event caused, in occurrence
 	// order; replaying them in schedule order maintains the exact copy count
 	// the sequential engine would observe after each event.
@@ -156,6 +190,8 @@ func (rec *eventRec) reset() {
 	rec.moved, rec.bytes = 0, 0
 	rec.st = nil
 	rec.from, rec.to = "", ""
+	rec.dropped = false
+	rec.aborted, rec.wastedItems, rec.wastedBytes = 0, 0, 0
 	rec.deltas = rec.deltas[:0]
 	rec.deliveries = rec.deliveries[:0]
 }
@@ -178,6 +214,12 @@ type runner struct {
 	tr     *trace.Trace
 	eps    map[string]*epState
 	events []event
+	// plan is the fault plan; nil disables fault injection entirely, leaving
+	// the run byte-identical to a build without the fault layer.
+	plan *fault.Plan
+	// crashes holds the crash-restart events the plan scheduled; event.index
+	// for evCrash events points into it.
+	crashes []crashEvent
 
 	// states holds per-message tracking, indexed like Trace.Messages.
 	states []*msgState
@@ -227,41 +269,50 @@ func newRunner(cfg Config, tr *trace.Trace) *runner {
 		cfg:    cfg,
 		tr:     tr,
 		eps:    make(map[string]*epState, len(tr.Buses)),
-		events: buildEvents(tr),
+		plan:   fault.NewPlan(cfg.Faults),
 		states: make([]*msgState, len(tr.Messages)),
 		byItem: make(map[item.ID]*msgState, len(tr.Messages)),
 		copies: make(map[item.ID]int, len(tr.Messages)),
 		res:    &Result{},
 	}
+	r.events, r.crashes = buildEvents(tr, r.plan)
 	for _, bus := range tr.Buses {
 		es := &epState{}
-		node := vclock.ReplicaID(bus)
-		own := []string{bus}
-		var pol routing.Policy
-		if cfg.Policy != nil {
-			pol = cfg.Policy(node, es.clk.now, own)
-		}
-		es.ep = messaging.NewEndpoint(messaging.Config{
-			NodeID:               node,
-			Addresses:            own,
-			ExtraFilterAddresses: cfg.ExtraBuses[bus],
-			Policy:               pol,
-			RelayCapacity:        cfg.RelayCapacity,
-			Eviction:             cfg.Eviction,
-			Now:                  es.clk.now,
-			// Both callbacks fire with the replica lock held, on the worker
-			// executing this endpoint's current event; they only note what
-			// happened, and commit folds it into run-global state in order.
-			OnReceive: func(rcv messaging.Received) {
-				es.rec.deliveries = append(es.rec.deliveries, rcv.Message.ID)
-			},
-			OnCopies: func(id item.ID, delta int) {
-				es.rec.deltas = append(es.rec.deltas, copyDelta{id: id, delta: delta})
-			},
-		})
+		es.ep = r.newEndpoint(bus, es)
 		r.eps[bus] = es
 	}
 	return r
+}
+
+// newEndpoint builds the messaging endpoint for one bus. The delivery and
+// copy-count callbacks capture the bus's epState — which is stable across
+// crash-restarts — so a rebuilt endpoint reports into the same recorder
+// plumbing as the original.
+func (r *runner) newEndpoint(bus string, es *epState) *messaging.Endpoint {
+	node := vclock.ReplicaID(bus)
+	own := []string{bus}
+	var pol routing.Policy
+	if r.cfg.Policy != nil {
+		pol = r.cfg.Policy(node, es.clk.now, own)
+	}
+	return messaging.NewEndpoint(messaging.Config{
+		NodeID:               node,
+		Addresses:            own,
+		ExtraFilterAddresses: r.cfg.ExtraBuses[bus],
+		Policy:               pol,
+		RelayCapacity:        r.cfg.RelayCapacity,
+		Eviction:             r.cfg.Eviction,
+		Now:                  es.clk.now,
+		// Both callbacks fire with the replica lock held, on the worker
+		// executing this endpoint's current event; they only note what
+		// happened, and commit folds it into run-global state in order.
+		OnReceive: func(rcv messaging.Received) {
+			es.rec.deliveries = append(es.rec.deliveries, rcv.Message.ID)
+		},
+		OnCopies: func(id item.ID, delta int) {
+			es.rec.deltas = append(es.rec.deltas, copyDelta{id: id, delta: delta})
+		},
+	})
 }
 
 // runSequential is the reference engine: execute and commit one event at a
@@ -301,6 +352,19 @@ func (r *runner) exec(ev *event, rec *eventRec) {
 		}
 		st.itemID = sent.ID
 	case evEncounter:
+		if r.plan != nil {
+			dec := r.plan.Encounter(ev.index)
+			if dec.Drop {
+				// The contact never happens: neither endpoint observes it, so
+				// clocks and recorders stay untouched.
+				rec.dropped = true
+				return
+			}
+			if dec.Cutoff >= 0 {
+				r.execEncounterLink(ev, rec, dec.Cutoff)
+				return
+			}
+		}
 		e := r.tr.Encounters[ev.index]
 		ea, eb := r.eps[e.A], r.eps[e.B]
 		ea.clk.t, eb.clk.t = ev.time, ev.time
@@ -311,7 +375,66 @@ func (r *runner) exec(ev *event, rec *eventRec) {
 		})
 		rec.moved = er.AtoB.Sent + er.BtoA.Sent
 		rec.bytes = er.AtoB.SentBytes + er.BtoA.SentBytes
+	case evCrash:
+		c := r.crashes[ev.index]
+		es := r.eps[c.bus]
+		es.clk.t = ev.time
+		es.rec = rec
+		if err := r.crashRestart(c.bus, es); err != nil {
+			rec.err = fmt.Errorf("emu: crash-restart %s: %w", c.bus, err)
+		}
 	}
+}
+
+// execEncounterLink runs one encounter over a link the fault plan will sever
+// after cutoff crossed items. The aborted leg's partial transfer is recorded
+// as wasted; the transactional discard in replica.EncounterLink guarantees the
+// target's knowledge and store are untouched, so a later encounter resumes the
+// exchange from scratch.
+func (r *runner) execEncounterLink(ev *event, rec *eventRec, cutoff int) {
+	e := r.tr.Encounters[ev.index]
+	ea, eb := r.eps[e.A], r.eps[e.B]
+	ea.clk.t, eb.clk.t = ev.time, ev.time
+	ea.rec, eb.rec = rec, rec
+	er := replica.EncounterLink(ea.ep.Replica(), eb.ep.Replica(), replica.Budget{
+		Items: r.cfg.MaxMessagesPerEncounter,
+		Bytes: r.cfg.MaxBytesPerEncounter,
+	}, replica.Link{Cutoff: cutoff})
+	rec.moved = er.AtoB.Sent + er.BtoA.Sent
+	rec.bytes = er.AtoB.SentBytes + er.BtoA.SentBytes
+	for _, sr := range [2]replica.SyncResult{er.AtoB, er.BtoA} {
+		if sr.Aborted {
+			rec.aborted++
+			rec.wastedItems += sr.Sent
+			rec.wastedBytes += sr.SentBytes
+		}
+	}
+}
+
+// crashRestart models a node dying and rebooting at the current instant. The
+// endpoint's durable state is shipped through the persist codec — exactly the
+// bytes persist.Save would put on disk — a fresh endpoint is built the way a
+// cold boot would build it, and the snapshot is restored into it. Volatile
+// state (a non-persistent policy's internals) is lost; knowledge, store
+// contents, and persistent policy state survive, which is what carries the
+// substrate's at-most-once guarantee across the restart. Restoring fires no
+// delivery or copy callbacks: the node's live copies are unchanged by the
+// reboot, so the run-global copy table stays exact.
+func (r *runner) crashRestart(bus string, es *epState) error {
+	var buf bytes.Buffer
+	if err := persist.Encode(&buf, es.ep.Replica()); err != nil {
+		return err
+	}
+	snap, err := persist.Decode(&buf)
+	if err != nil {
+		return err
+	}
+	ep := r.newEndpoint(bus, es)
+	if err := ep.Replica().RestoreSnapshot(snap); err != nil {
+		return err
+	}
+	es.ep = ep
+	return nil
 }
 
 // commit folds one executed event into run-global state: the copy-count
@@ -346,9 +469,26 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 		}
 	case evEncounter:
 		r.res.Encounters++
+		if rec.dropped {
+			r.res.EncountersDropped++
+			if r.log != nil {
+				e := r.tr.Encounters[ev.index]
+				fmt.Fprintf(r.log, "%d,drop,%s,%s,\n", ev.time, e.A, e.B)
+			}
+			break
+		}
 		r.res.Syncs += 2
 		r.res.ItemsTransferred += rec.moved
 		r.res.BytesTransferred += rec.bytes
+		if rec.aborted > 0 {
+			r.res.SyncsAborted += rec.aborted
+			r.res.ItemsWasted += rec.wastedItems
+			r.res.BytesWasted += rec.wastedBytes
+			if r.log != nil {
+				e := r.tr.Encounters[ev.index]
+				fmt.Fprintf(r.log, "%d,abort,%s,%s,%d\n", ev.time, e.A, e.B, rec.wastedItems)
+			}
+		}
 		if r.log != nil && rec.moved > 0 {
 			e := r.tr.Encounters[ev.index]
 			fmt.Fprintf(r.log, "%d,encounter,%s,%s,%d\n", ev.time, e.A, e.B, rec.moved)
@@ -363,6 +503,11 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 			if r.log != nil {
 				fmt.Fprintf(r.log, "%d,deliver,%s,%d,\n", ev.time, st.traceID, st.deliveredAt-st.sentAt)
 			}
+		}
+	case evCrash:
+		r.res.Crashes++
+		if r.log != nil {
+			fmt.Fprintf(r.log, "%d,crash,%s,,\n", ev.time, r.crashes[ev.index].bus)
 		}
 	}
 	return nil
@@ -411,28 +556,51 @@ func sendPadded(ep *messaging.Endpoint, fromBus, toBus, traceID string, lifetime
 	return ep.Send(fromBus, []string{toBus}, payload)
 }
 
-// event kinds, processed in time order with injections before encounters at
-// the same instant.
+// event kinds, processed in time order with injections before encounters and
+// encounters before crash-restarts at the same instant (a node crashing "at"
+// an encounter goes down right after the contact).
 const (
 	evInject = iota
 	evEncounter
+	evCrash
 )
 
 type event struct {
 	time  int64
 	kind  int
-	index int // into Messages or Encounters
+	index int // into Messages, Encounters, or runner.crashes
 }
 
-// buildEvents merges injections and encounters into one time-ordered
-// schedule.
-func buildEvents(tr *trace.Trace) []event {
+// crashEvent is one scheduled node crash-restart.
+type crashEvent struct {
+	time int64
+	bus  string
+}
+
+// buildEvents merges injections, encounters, and any fault-plan crash events
+// into one time-ordered schedule. Crash events derive deterministically from
+// the plan's per-encounter decisions, so both engines — and repeated runs —
+// build the identical schedule.
+func buildEvents(tr *trace.Trace, plan *fault.Plan) ([]event, []crashEvent) {
 	events := make([]event, 0, len(tr.Messages)+len(tr.Encounters))
 	for i, m := range tr.Messages {
 		events = append(events, event{time: m.Time, kind: evInject, index: i})
 	}
+	var crashes []crashEvent
 	for i, e := range tr.Encounters {
 		events = append(events, event{time: e.Time, kind: evEncounter, index: i})
+		if plan == nil {
+			continue
+		}
+		dec := plan.Encounter(i)
+		if dec.CrashA {
+			events = append(events, event{time: e.Time, kind: evCrash, index: len(crashes)})
+			crashes = append(crashes, crashEvent{time: e.Time, bus: e.A})
+		}
+		if dec.CrashB {
+			events = append(events, event{time: e.Time, kind: evCrash, index: len(crashes)})
+			crashes = append(crashes, crashEvent{time: e.Time, bus: e.B})
+		}
 	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].time != events[j].time {
@@ -440,5 +608,5 @@ func buildEvents(tr *trace.Trace) []event {
 		}
 		return events[i].kind < events[j].kind
 	})
-	return events
+	return events, crashes
 }

@@ -37,7 +37,7 @@ import (
 // runParallel executes the schedule on a pool of workers over conflict-free
 // rounds, committing in schedule order.
 func (r *runner) runParallel(workers int) error {
-	rounds, eventRound := buildRounds(r.tr, r.events)
+	rounds, eventRound := buildRounds(r.tr, r.events, r.crashes)
 	maxWidth := 0
 	for _, round := range rounds {
 		if len(round) > maxWidth {
@@ -96,7 +96,7 @@ func (r *runner) runParallel(workers int) error {
 // conflicts: one more than the latest round of any earlier event touching
 // one of its buses. It returns the rounds (event indexes, in schedule order)
 // and each event's round number.
-func buildRounds(tr *trace.Trace, events []event) (rounds [][]int, eventRound []int) {
+func buildRounds(tr *trace.Trace, events []event, crashes []crashEvent) (rounds [][]int, eventRound []int) {
 	eventRound = make([]int, len(events))
 	// next maps a bus to the earliest round its next event may occupy.
 	next := make(map[string]int, len(tr.Buses))
@@ -111,6 +111,12 @@ func buildRounds(tr *trace.Trace, events []event) (rounds [][]int, eventRound []
 		case evEncounter:
 			e := tr.Encounters[ev.index]
 			a, b = e.A, e.B
+		case evCrash:
+			// A crash-restart touches exactly its own bus: it must serialize
+			// after the encounter that triggered it and before the bus's next
+			// event, both of which conflict with it here.
+			a = crashes[ev.index].bus
+			b = a
 		}
 		round := next[a]
 		if n := next[b]; n > round {

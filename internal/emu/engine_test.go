@@ -58,11 +58,7 @@ func TestDifferentialParallelEngine(t *testing.T) {
 
 func assertIdenticalResults(t *testing.T, workers int, seq, par *Result) {
 	t.Helper()
-	if seq.Encounters != par.Encounters || seq.Syncs != par.Syncs ||
-		seq.ItemsTransferred != par.ItemsTransferred ||
-		seq.BytesTransferred != par.BytesTransferred ||
-		seq.Duplicates != par.Duplicates ||
-		seq.MeanKnowledgeEntries != par.MeanKnowledgeEntries {
+	if counters(seq) != counters(par) {
 		t.Errorf("workers=%d: counters differ: seq=%+v par=%+v", workers, counters(seq), counters(par))
 	}
 	ds, dp := seq.Summary.Deliveries(), par.Summary.Deliveries()
@@ -76,9 +72,11 @@ func assertIdenticalResults(t *testing.T, workers int, seq, par *Result) {
 	}
 }
 
-func counters(r *Result) [6]int64 {
-	return [6]int64{int64(r.Encounters), int64(r.Syncs), int64(r.ItemsTransferred),
-		r.BytesTransferred, int64(r.Duplicates), int64(r.MeanKnowledgeEntries * 1000)}
+func counters(r *Result) [11]int64 {
+	return [11]int64{int64(r.Encounters), int64(r.Syncs), int64(r.ItemsTransferred),
+		r.BytesTransferred, int64(r.Duplicates), int64(r.MeanKnowledgeEntries * 1000),
+		int64(r.EncountersDropped), int64(r.SyncsAborted),
+		int64(r.ItemsWasted), r.BytesWasted, int64(r.Crashes)}
 }
 
 // firstLogDiff renders the first differing line of two event logs.
@@ -148,8 +146,8 @@ func TestBuildRounds(t *testing.T) {
 			{ID: "m1", Time: 10, From: "v", To: "u"}, // bus c, same instant as encounters
 		},
 	}
-	events := buildEvents(tr)
-	rounds, eventRound := buildRounds(tr, events)
+	events, _ := buildEvents(tr, nil)
+	rounds, eventRound := buildRounds(tr, events, nil)
 
 	buses := func(ev *event) []string {
 		if ev.kind == evInject {

@@ -62,7 +62,7 @@ func AblationEpidemicTTL(tr *trace.Trace, ttls []int, opts ...Option) ([]Ablatio
 	for _, ttl := range ttls {
 		params := emu.DefaultParams()
 		params.EpidemicTTL = float64(ttl)
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params), Workers: o.workers})
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params), Workers: o.workers, Faults: o.faults})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation ttl=%d: %w", ttl, err)
 		}
@@ -81,7 +81,7 @@ func AblationSprayCopies(tr *trace.Trace, copies []int, opts ...Option) ([]Ablat
 	for _, c := range copies {
 		params := emu.DefaultParams()
 		params.SprayCopies = c
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params), Workers: o.workers})
+		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params), Workers: o.workers, Faults: o.faults})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation copies=%d: %w", c, err)
 		}
@@ -107,6 +107,7 @@ func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int, opts ...Option)
 			Policy:                  emu.Factory(emu.PolicyMaxProp, params),
 			MaxMessagesPerEncounter: 1,
 			Workers:                 o.workers,
+			Faults:                  o.faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation threshold=%d: %w", th, err)
@@ -131,6 +132,7 @@ func AblationBandwidth(tr *trace.Trace, budgets []int, opts ...Option) ([]Ablati
 			Policy:                  emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MaxMessagesPerEncounter: budget,
 			Workers:                 o.workers,
+			Faults:                  o.faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation budget=%d: %w", budget, err)
@@ -158,6 +160,7 @@ func AblationStorage(tr *trace.Trace, caps []int, opts ...Option) ([]AblationRow
 			Policy:        emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			RelayCapacity: capacity,
 			Workers:       o.workers,
+			Faults:        o.faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation capacity=%d: %w", capacity, err)
@@ -188,6 +191,7 @@ func AblationByteBudget(tr *trace.Trace, budgets []int64, opts ...Option) ([]Abl
 			MaxBytesPerEncounter: budget,
 			MessageSize:          messageSize,
 			Workers:              o.workers,
+			Faults:               o.faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation bytes=%d: %w", budget, err)
@@ -216,6 +220,7 @@ func AblationLifetime(tr *trace.Trace, lifetimes []int64, opts ...Option) ([]Abl
 			Policy:          emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MessageLifetime: lt,
 			Workers:         o.workers,
+			Faults:          o.faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation lifetime=%d: %w", lt, err)
@@ -247,6 +252,7 @@ func AblationEviction(tr *trace.Trace, opts ...Option) ([]AblationRow, error) {
 				RelayCapacity: 2,
 				Eviction:      ev,
 				Workers:       o.workers,
+				Faults:        o.faults,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiment: ablation eviction %s/%s: %w", name, ev.Name(), err)

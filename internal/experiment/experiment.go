@@ -82,6 +82,7 @@ func RunFilterSweep(tr *trace.Trace, ks []int, opts ...Option) (*FilterSweep, er
 				Trace:      tr,
 				ExtraBuses: extra,
 				Workers:    o.workers,
+				Faults:     o.faults,
 			})
 			mu.Lock()
 			defer mu.Unlock()
@@ -176,6 +177,7 @@ func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCa
 				MaxMessagesPerEncounter: maxPerEncounter,
 				RelayCapacity:           relayCapacity,
 				Workers:                 o.workers,
+				Faults:                  o.faults,
 			})
 			mu.Lock()
 			defer mu.Unlock()

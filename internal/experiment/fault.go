@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"replidtn/internal/emu"
+	"replidtn/internal/fault"
+	"replidtn/internal/trace"
+)
+
+// The fault sweep quantifies what the paper assumes qualitatively: DTN
+// routing must tolerate disrupted contacts. Each row reruns a policy with a
+// deterministic dose of dropped encounters or mid-sync cutoffs and reports
+// how delivery rate and delay degrade.
+
+// DefaultFaultDrops are the encounter drop probabilities swept.
+var DefaultFaultDrops = []float64{0, 0.1, 0.3, 0.5}
+
+// DefaultFaultCutoffs are the mid-sync cutoff item budgets swept (each with
+// cutoff probability 0.3 — probabilistic, so repeated encounters eventually
+// complete the exchange and the sweep cannot livelock).
+var DefaultFaultCutoffs = []int{1, 2, 4}
+
+// faultCutoffProb is the per-encounter cutoff probability used in the cutoff
+// budget sweep. Deliberately < 1: a link that is *always* severed after a
+// fixed budget can freeze progress entirely, because an aborted batch leaves
+// knowledge untouched and is re-offered whole at the next contact.
+const faultCutoffProb = 0.3
+
+// FaultRow is one (policy, fault setting) outcome in the sweep.
+type FaultRow struct {
+	Policy emu.PolicyName
+	// Setting describes the injected fault (e.g. "drop=0.30").
+	Setting string
+	// Delivered is the fraction of messages delivered by the end of the run.
+	Delivered float64
+	// Delivered12h is the fraction delivered within the 12-hour deadline.
+	Delivered12h float64
+	// MeanDelayHours is the mean delivery delay.
+	MeanDelayHours float64
+	// EncountersDropped, SyncsAborted, and ItemsWasted report the faults that
+	// actually fired and the transfer volume they destroyed.
+	EncountersDropped int
+	SyncsAborted      int
+	ItemsWasted       int
+}
+
+// RunFaultSweep reruns every routing policy under swept encounter-drop
+// probabilities and mid-sync cutoff budgets, all driven by one fault seed.
+// Nil drops/cutoffs select the defaults. The runs are independent and
+// deterministic, so they execute concurrently; rows come back grouped by
+// policy, drops before cutoffs, in sweep order.
+func RunFaultSweep(tr *trace.Trace, seed int64, drops []float64, cutoffs []int, opts ...Option) ([]FaultRow, error) {
+	o := buildOptions(opts)
+	if drops == nil {
+		drops = DefaultFaultDrops
+	}
+	if cutoffs == nil {
+		cutoffs = DefaultFaultCutoffs
+	}
+	type job struct {
+		policy  emu.PolicyName
+		setting string
+		cfg     fault.Config
+	}
+	var jobs []job
+	for _, name := range emu.AllPolicies {
+		for _, p := range drops {
+			jobs = append(jobs, job{name, fmt.Sprintf("drop=%.2f", p),
+				fault.Config{Seed: seed, Drop: p}})
+		}
+		for _, n := range cutoffs {
+			jobs = append(jobs, job{name, fmt.Sprintf("cutoff<=%d", n),
+				fault.Config{Seed: seed, Cutoff: faultCutoffProb, CutoffItems: n}})
+		}
+	}
+	rows := make([]FaultRow, len(jobs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := emu.Run(emu.Config{
+				Trace:   tr,
+				Policy:  emu.Factory(j.policy, emu.DefaultParams()),
+				Workers: o.workers,
+				Faults:  j.cfg,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiment: fault sweep %s %s: %w", j.policy, j.setting, err)
+				}
+				return
+			}
+			rows[i] = FaultRow{
+				Policy:            j.policy,
+				Setting:           j.setting,
+				Delivered:         float64(res.Summary.DeliveredCount()) / float64(res.Summary.Total()),
+				Delivered12h:      res.Summary.DeliveredWithin(Deadline12h),
+				MeanDelayHours:    res.Summary.MeanDelayHours(),
+				EncountersDropped: res.EncountersDropped,
+				SyncsAborted:      res.SyncsAborted,
+				ItemsWasted:       res.ItemsWasted,
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders fault-sweep rows as an aligned table.
+func FormatFaultSweep(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s%-12s%11s%11s%12s%9s%9s%9s\n",
+		"policy", "fault", "delivered", "12h deliv", "mean delay", "dropped", "aborted", "wasted")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s%-12s%10.1f%%%10.1f%%%11.1fh%9d%9d%9d\n",
+			r.Policy, r.Setting, r.Delivered*100, r.Delivered12h*100, r.MeanDelayHours,
+			r.EncountersDropped, r.SyncsAborted, r.ItemsWasted)
+	}
+	return b.String()
+}

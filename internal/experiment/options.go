@@ -1,12 +1,16 @@
 package experiment
 
-// Option adjusts how experiment drivers execute their emulation runs without
-// changing what they compute: every driver accepts a trailing ...Option and
-// produces results independent of the options chosen.
+import "replidtn/internal/fault"
+
+// Option adjusts how experiment drivers execute their emulation runs. Most
+// options (WithWorkers) leave results bit-identical; WithFaults deliberately
+// perturbs the emulated network and therefore the results, but keeps them a
+// deterministic function of the fault config.
 type Option func(*options)
 
 type options struct {
 	workers int
+	faults  fault.Config
 }
 
 // WithWorkers routes every emulation run in the driver through the parallel
@@ -18,6 +22,15 @@ func WithWorkers(n int) Option {
 		if n > 0 {
 			o.workers = n
 		}
+	}
+}
+
+// WithFaults injects deterministic encounter faults (dropped contacts,
+// mid-sync cutoffs, crash-restarts) into every emulation run in the driver.
+// The zero config is a no-op.
+func WithFaults(cfg fault.Config) Option {
+	return func(o *options) {
+		o.faults = cfg
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"replidtn/internal/emu"
+	"replidtn/internal/fault"
 	"replidtn/internal/metrics"
 	"replidtn/internal/trace"
 )
@@ -36,6 +37,9 @@ type Suite struct {
 	// engine with that many workers; 0 keeps the sequential engine. Output is
 	// bit-identical either way.
 	Workers int
+	// Faults, when enabled, injects deterministic encounter faults into every
+	// emulation run; the zero value reproduces the fault-free evaluation.
+	Faults fault.Config
 }
 
 // NewSuite builds a suite over the paper-calibrated default trace and
@@ -54,7 +58,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Table I: DTN routing policies ==\n%s\n", FormatTable1(Table1()))
 	fmt.Fprintf(w, "== Table II: protocol parameters ==\n%s\n", FormatTable2(s.Params))
 
-	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers))
+	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers), WithFaults(s.Faults))
 	if err != nil {
 		return err
 	}
@@ -63,7 +67,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 6: %% delivered within 12 hours vs addresses in filter ==\n%s\n",
 		metrics.FormatTable("k", fs.Fig6()))
 
-	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers))
+	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers), WithFaults(s.Faults))
 	if err != nil {
 		return err
 	}
@@ -74,14 +78,14 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 8: average stored copies per message ==\n%s\n",
 		FormatFig8(unconstrained.Fig8()))
 
-	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers))
+	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers), WithFaults(s.Faults))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "== Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter) ==\n%s\n",
 		metrics.FormatTable("hours", bandwidth.CDFHours(12)))
 
-	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers))
+	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers), WithFaults(s.Faults))
 	if err != nil {
 		return err
 	}

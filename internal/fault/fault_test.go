@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	if NewPlan(c) != nil {
+		t.Error("disabled config must yield a nil plan")
+	}
+	var p *Plan
+	for i := 0; i < 100; i++ {
+		if d := p.Encounter(i); d.Faulted() {
+			t.Fatalf("nil plan produced fault at %d: %+v", i, d)
+		}
+	}
+}
+
+func TestDecisionsAreDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.3, Cutoff: 0.2, CutoffItems: 3, Crash: 0.05}
+	p1, p2 := NewPlan(cfg), NewPlan(cfg)
+	const n = 2000
+	forward := make([]Decision, n)
+	for i := 0; i < n; i++ {
+		forward[i] = p1.Encounter(i)
+	}
+	// Query in reverse on an independent plan: every answer must match.
+	for i := n - 1; i >= 0; i-- {
+		if got := p2.Encounter(i); got != forward[i] {
+			t.Fatalf("encounter %d: %+v (reverse) != %+v (forward)", i, got, forward[i])
+		}
+	}
+	// Re-querying never changes the answer.
+	for _, i := range []int{0, 17, n - 1} {
+		if got := p1.Encounter(i); got != forward[i] {
+			t.Errorf("encounter %d not stable: %+v != %+v", i, got, forward[i])
+		}
+	}
+}
+
+func TestSeedChangesPlan(t *testing.T) {
+	cfg := Config{Seed: 1, Drop: 0.5}
+	other := cfg
+	other.Seed = 2
+	a, b := NewPlan(cfg), NewPlan(other)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Encounter(i).Drop == b.Encounter(i).Drop {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestRatesApproximatelyHonored(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.3, Cutoff: 0.2, CutoffItems: 4, Crash: 0.1}
+	p := NewPlan(cfg)
+	const n = 20000
+	var drops, cuts, crashes, cutSum int
+	for i := 0; i < n; i++ {
+		d := p.Encounter(i)
+		if d.Drop {
+			drops++
+			if d.Cutoff >= 0 || d.CrashA || d.CrashB {
+				t.Fatalf("dropped encounter %d carries other faults: %+v", i, d)
+			}
+			continue
+		}
+		if d.Cutoff >= 0 {
+			cuts++
+			cutSum += d.Cutoff
+			if d.Cutoff > cfg.CutoffItems {
+				t.Fatalf("cut point %d exceeds budget %d", d.Cutoff, cfg.CutoffItems)
+			}
+		}
+		if d.CrashA {
+			crashes++
+		}
+		if d.CrashB {
+			crashes++
+		}
+	}
+	within := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s rate = %.3f, want %.3f ± %.3f", name, got, want, tol)
+		}
+	}
+	within("drop", float64(drops)/n, cfg.Drop, 0.02)
+	// Cutoff and crash rates apply to the non-dropped remainder.
+	survivors := float64(n - drops)
+	within("cutoff", float64(cuts)/survivors, cfg.Cutoff, 0.02)
+	within("crash", float64(crashes)/(2*survivors), cfg.Crash, 0.02)
+	// Cut points are uniform over [0, CutoffItems].
+	within("mean cut point", float64(cutSum)/float64(cuts), float64(cfg.CutoffItems)/2, 0.25)
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"", Config{}},
+		{"off", Config{}},
+		{"drop=0.3", Config{Drop: 0.3}},
+		{"drop=0.3,cutoff=0.25,cutoff-items=2,crash=0.01",
+			Config{Drop: 0.3, Cutoff: 0.25, CutoffItems: 2, Crash: 0.01}},
+		{" drop=0.1 , crash=1 ", Config{Drop: 0.1, Crash: 1}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// String renders a spec Parse maps back to the same config.
+		again, err := Parse(got.String())
+		if err != nil || again != got {
+			t.Errorf("Parse(String(%+v)) = %+v, %v", got, again, err)
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"drop", "drop=", "drop=x", "drop=1.5", "drop=-0.1",
+		"cutoff-items=-1", "cutoff-items=x", "bogus=1", "drop=0.1;crash=0.2",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}

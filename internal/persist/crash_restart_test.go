@@ -1,0 +1,129 @@
+package persist
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing/epidemic"
+)
+
+// TestCrashRestartMidRun is the end-to-end disruption scenario: a relay node
+// carrying messages between two endpoints is killed mid-run — its process
+// state discarded, only the snapshot file surviving — reloaded through Load,
+// and the run continues. Every message must still arrive exactly once: the
+// persisted knowledge stops the restarted relay from re-accepting what it
+// already carried, and the persisted store lets it keep forwarding it.
+func TestCrashRestartMidRun(t *testing.T) {
+	const n = 6
+	path := filepath.Join(t.TempDir(), "relay.snap")
+
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}, Policy: epidemic.New(10)})
+	relayCfg := replica.Config{ID: "relay", OwnAddresses: []string{"addr:relay"}, Policy: epidemic.New(10)}
+	relay := replica.New(relayCfg)
+	delivered := make(map[item.ID]int)
+	b := replica.New(replica.Config{
+		ID: "b", OwnAddresses: []string{"addr:b"}, Policy: epidemic.New(10),
+		OnDeliver: func(it *item.Item) { delivered[it.ID]++ },
+	})
+
+	msgs := make([]*item.Item, n)
+	for i := range msgs {
+		msgs[i] = a.CreateItem(item.Metadata{
+			Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
+		}, []byte(fmt.Sprintf("m-%d", i)))
+	}
+
+	// The relay picks up half the messages, persists, and "crashes": the
+	// in-memory replica is abandoned, and only the snapshot file survives.
+	res := replica.EncounterBudget(a, relay, replica.Budget{Items: n / 2})
+	if res.AtoB.Sent != n/2 {
+		t.Fatalf("relay picked up %d messages, want %d", res.AtoB.Sent, n/2)
+	}
+	if err := Save(path, relay); err != nil {
+		t.Fatal(err)
+	}
+	relay = nil
+
+	// Reboot from disk. The restored relay must identify as the same node
+	// with the same knowledge, so the remaining sync moves only the rest.
+	relay2, err := Load(path, relayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = replica.EncounterBudget(a, relay2, replica.Budget{})
+	if res.AtoB.Sent != n-n/2 {
+		t.Errorf("post-restart pickup moved %d messages, want %d (knowledge lost?)", res.AtoB.Sent, n-n/2)
+	}
+	if relay2.Stats().Duplicates != 0 {
+		t.Errorf("restarted relay re-accepted %d known messages", relay2.Stats().Duplicates)
+	}
+
+	// The restarted relay delivers everything to b exactly once.
+	replica.EncounterBudget(relay2, b, replica.Budget{})
+	if len(delivered) != n {
+		t.Fatalf("delivered %d distinct messages, want %d", len(delivered), n)
+	}
+	for _, m := range msgs {
+		if delivered[m.ID] != 1 {
+			t.Errorf("message %s delivered %d times, want 1", m.ID, delivered[m.ID])
+		}
+	}
+	if b.Stats().Duplicates != 0 {
+		t.Errorf("b saw %d duplicates", b.Stats().Duplicates)
+	}
+
+	// A second crash-restart after delivery changes nothing: repeat
+	// encounters move nothing and deliver nothing new.
+	if err := Save(path, relay2); err != nil {
+		t.Fatal(err)
+	}
+	relay3, err := Load(path, relayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = replica.EncounterBudget(relay3, b, replica.Budget{})
+	if res.AtoB.Sent != 0 || res.BtoA.Sent != 0 {
+		t.Errorf("steady-state encounter moved items: %+v", res)
+	}
+	for _, m := range msgs {
+		if delivered[m.ID] != 1 {
+			t.Errorf("message %s delivered %d times after second restart", m.ID, delivered[m.ID])
+		}
+	}
+}
+
+// TestCrashBeforeSaveLosesOnlyVolatileProgress: a crash that happens before
+// any snapshot was written boots the node fresh; the network re-sends
+// everything and the destination still sees each message exactly once,
+// because at-most-once is enforced by the *receiver's* knowledge, not the
+// relay's memory.
+func TestCrashBeforeSaveLosesOnlyVolatileProgress(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}, Policy: epidemic.New(10)})
+	relayCfg := replica.Config{ID: "relay", OwnAddresses: []string{"addr:relay"}, Policy: epidemic.New(10)}
+	relay := replica.New(relayCfg)
+	delivered := 0
+	b := replica.New(replica.Config{
+		ID: "b", OwnAddresses: []string{"addr:b"}, Policy: epidemic.New(10),
+		OnDeliver: func(*item.Item) { delivered++ },
+	})
+	for i := 0; i < 3; i++ {
+		a.CreateItem(item.Metadata{
+			Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
+		}, []byte(fmt.Sprintf("v-%d", i)))
+	}
+	replica.EncounterBudget(a, relay, replica.Budget{})
+
+	// Crash with nothing on disk: the relay reboots empty.
+	relay = replica.New(relayCfg)
+	res := replica.EncounterBudget(a, relay, replica.Budget{})
+	if res.AtoB.Sent != 3 {
+		t.Errorf("fresh relay re-pulled %d messages, want 3", res.AtoB.Sent)
+	}
+	replica.EncounterBudget(relay, b, replica.Budget{})
+	if delivered != 3 || b.Stats().Duplicates != 0 {
+		t.Errorf("delivered %d (want 3), duplicates %d (want 0)", delivered, b.Stats().Duplicates)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -40,16 +41,50 @@ type envelope struct {
 	Snapshot *replica.Snapshot
 }
 
-// Save atomically writes the replica's durable state to path.
-func Save(path string, r *replica.Replica) error {
+// Encode writes the replica's durable state to w in the snapshot wire
+// format — the same bytes Save writes to disk. Callers that do not need a
+// file (the emulator's in-memory crash-restart, tests, network shipping of
+// snapshots) use this directly.
+func Encode(w io.Writer, r *replica.Replica) error {
 	snap, err := r.Snapshot()
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	var buf bytes.Buffer
+	return EncodeSnapshot(w, snap)
+}
+
+// EncodeSnapshot writes an already-captured snapshot to w in the wire format.
+func EncodeSnapshot(w io.Writer, snap *replica.Snapshot) error {
 	env := envelope{Magic: magic, Version: formatVersion, Snapshot: snap}
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return fmt.Errorf("persist: encode %s: %w", path, err)
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// Decode reads and validates a snapshot from rd (the inverse of Encode).
+func Decode(rd io.Reader) (*replica.Snapshot, error) {
+	var env envelope
+	if err := gob.NewDecoder(rd).Decode(&env); err != nil {
+		return nil, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	if env.Magic != magic {
+		return nil, errors.New("persist: not a replidtn snapshot")
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("persist: snapshot format version %d, want %d", env.Version, formatVersion)
+	}
+	if env.Snapshot == nil {
+		return nil, errors.New("persist: empty snapshot envelope")
+	}
+	return env.Snapshot, nil
+}
+
+// Save atomically writes the replica's durable state to path.
+func Save(path string, r *replica.Replica) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, r); err != nil {
+		return err
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snap-*")
@@ -87,20 +122,11 @@ func LoadSnapshot(path string) (*replica.Snapshot, error) {
 		}
 		return nil, fmt.Errorf("persist: read %s: %w", path, err)
 	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("persist: decode %s: %w", path, err)
+	snap, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
 	}
-	if env.Magic != magic {
-		return nil, fmt.Errorf("persist: %s is not a replidtn snapshot", path)
-	}
-	if env.Version != formatVersion {
-		return nil, fmt.Errorf("persist: %s has format version %d, want %d", path, env.Version, formatVersion)
-	}
-	if env.Snapshot == nil {
-		return nil, fmt.Errorf("persist: %s contains no snapshot", path)
-	}
-	return env.Snapshot, nil
+	return snap, nil
 }
 
 // Load reads a snapshot from path and restores it into a replica built from

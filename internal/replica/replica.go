@@ -72,6 +72,9 @@ type Stats struct {
 	SyncsInitiated int
 	// SyncsServed counts syncs where this replica was the source.
 	SyncsServed int
+	// SyncsAborted counts syncs this replica initiated whose transfer died
+	// mid-batch; the partial batch was discarded without applying anything.
+	SyncsAborted int
 	// ItemsSent counts batch items transmitted as source.
 	ItemsSent int
 	// ItemsReceived counts batch items accepted as target.
@@ -147,6 +150,18 @@ func (r *Replica) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// AbortSync records that a synchronization this replica initiated was
+// interrupted mid-transfer and its partial batch discarded. Nothing else
+// changes: the knowledge and store are exactly as they were before the sync
+// began, which is what lets the next encounter resume precisely where this
+// one failed. (Transactional sync: a batch applies atomically via ApplyBatch
+// or, on an interrupted transfer, not at all.)
+func (r *Replica) AbortSync() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SyncsAborted++
 }
 
 // Knowledge returns a copy of the replica's knowledge.

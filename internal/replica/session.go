@@ -15,7 +15,11 @@ type SyncResult struct {
 	Sent      int
 	SentBytes int64
 	Truncated bool
-	Apply     ApplyStats
+	// Aborted reports that the transfer died mid-batch and the partial batch
+	// was discarded transactionally: the target applied nothing, its knowledge
+	// is untouched, and Sent/SentBytes count only the wasted partial transfer.
+	Aborted bool
+	Apply   ApplyStats
 }
 
 // Sync performs one in-process synchronization in which target pulls from
@@ -69,23 +73,109 @@ func EncounterBudget(a, b *Replica, budget Budget) EncounterResult {
 		res.BtoA = SyncBudget(b, a, budget)
 		return res
 	}
-	second := budget
+	second, strict, ok := secondLeg(budget, res.AtoB)
+	if !ok {
+		return res
+	}
+	res.BtoA = syncBudget(b, a, second, strict)
+	return res
+}
+
+// secondLeg derives the second synchronization's budget from the encounter
+// budget and the first leg's consumption. ok is false when the first leg
+// exhausted the shared budget.
+func secondLeg(budget Budget, first SyncResult) (second Budget, strict, ok bool) {
+	second = budget
 	if budget.Items > 0 {
-		second.Items = budget.Items - res.AtoB.Sent
+		second.Items = budget.Items - first.Sent
 		if second.Items <= 0 {
-			return res
+			return second, false, false
 		}
 	}
-	strict := false
 	if budget.Bytes > 0 {
-		second.Bytes = budget.Bytes - res.AtoB.SentBytes
+		second.Bytes = budget.Bytes - first.SentBytes
 		if second.Bytes <= 0 {
-			return res
+			return second, false, false
 		}
 		// The remainder is a hard cap: the at-least-one exception applied to
 		// the encounter budget already, on the first leg.
 		strict = true
 	}
-	res.BtoA = syncBudget(b, a, second, strict)
+	return second, strict, true
+}
+
+// Link models the radio contact an encounter runs over. A non-negative
+// Cutoff is a disrupted link: it delivers at most that many batch items
+// (across both synchronization legs) before dying. A negative Cutoff is a
+// reliable link — EncounterLink over a reliable link is exactly
+// EncounterBudget.
+type Link struct {
+	Cutoff int
+}
+
+// ReliableLink returns a link that never fails.
+func ReliableLink() Link { return Link{Cutoff: -1} }
+
+// EncounterLink is EncounterBudget over a possibly-disrupted link. When the
+// link dies mid-batch the interrupted synchronization aborts transactionally:
+// the target discards the partial batch without applying any of it, leaving
+// its knowledge untouched, so the next encounter re-offers exactly the
+// versions this one failed to deliver and at-most-once delivery is
+// preserved. The remainder of the encounter (including the second leg) is
+// skipped — the link is gone.
+func EncounterLink(a, b *Replica, budget Budget, link Link) EncounterResult {
+	if link.Cutoff < 0 {
+		return EncounterBudget(a, b, budget)
+	}
+	var res EncounterResult
+	var ok bool
+	res.AtoB, ok = syncLink(a, b, budget, false, &link)
+	if !ok {
+		return res
+	}
+	if budget.unlimited() {
+		res.BtoA, _ = syncLink(b, a, budget, false, &link)
+		return res
+	}
+	second, strict, open := secondLeg(budget, res.AtoB)
+	if !open {
+		return res
+	}
+	res.BtoA, _ = syncLink(b, a, second, strict, &link)
 	return res
+}
+
+// syncLink performs one directed synchronization over a disrupted link,
+// consuming the link's remaining item allowance. ok is false when the link
+// died mid-batch: the sync was aborted and nothing was applied.
+func syncLink(source, target *Replica, budget Budget, strictBytes bool, link *Link) (SyncResult, bool) {
+	req := target.MakeSyncRequest(budget.Items)
+	req.MaxBytes = budget.Bytes
+	req.StrictBytes = strictBytes
+	resp := source.HandleSyncRequest(req)
+	if len(resp.Items) > link.Cutoff {
+		// The link died after link.Cutoff items had crossed. The target never
+		// received a complete batch, so it applies nothing: a partial apply
+		// would fold partial knowledge and break resume-correctness.
+		crossed := resp.Items[:link.Cutoff]
+		target.AbortSync()
+		var wasted int64
+		for i := range crossed {
+			wasted += itemWireBytes(crossed[i].Item)
+		}
+		return SyncResult{
+			Sent:      len(crossed),
+			SentBytes: wasted,
+			Truncated: true,
+			Aborted:   true,
+		}, false
+	}
+	link.Cutoff -= len(resp.Items)
+	apply := target.ApplyBatch(resp)
+	return SyncResult{
+		Sent:      len(resp.Items),
+		SentBytes: BatchBytes(resp),
+		Truncated: resp.Truncated,
+		Apply:     apply,
+	}, true
 }

@@ -265,6 +265,20 @@ func transmitTransient(e *store.Entry, policySet item.Transient) item.Transient 
 // ApplyBatch ingests a synchronization response (acting as target): fold
 // every carried version into knowledge, store new items in the appropriate
 // partition, apply tombstones, and deliver items addressed to this replica.
+//
+// Application is transactional with respect to the transfer: ApplyBatch must
+// only ever be handed a complete batch. Under the replica lock it has no
+// failure points — every item's knowledge fold and store mutation happen
+// together, and the optional wholesale knowledge merge runs only after every
+// item has been stored — so a caller-visible batch is always applied in full.
+// Callers that receive batches over an unreliable medium (the TCP transport,
+// the fault-injecting emulator) discard interrupted transfers before this
+// point (see AbortSync and EncounterLink): a partial batch must never reach
+// ApplyBatch, because folding a prefix of the batch's versions into knowledge
+// would permanently suppress re-transmission of the lost suffix. Durability
+// composes the same way: internal/persist snapshots are taken between syncs,
+// so a crash never persists a half-applied batch, and a batch replayed after
+// a restart is rejected item-by-item through the restored knowledge.
 func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()

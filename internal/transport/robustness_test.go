@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"encoding/gob"
+	"errors"
+	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -112,5 +116,289 @@ func TestGarbageNeverPanics(t *testing.T) {
 	defer mu.Unlock()
 	if gotErr == 0 {
 		t.Error("expected at least one surfaced protocol error")
+	}
+}
+
+// chokeWriter forwards writes to a connection until its limit is exhausted,
+// then fails mid-write — the wire sees a prefix of a valid frame, exactly
+// what a link dying mid-batch produces.
+type chokeWriter struct {
+	conn  net.Conn
+	limit int // -1 = unlimited
+}
+
+func (c *chokeWriter) Write(p []byte) (int, error) {
+	if c.limit < 0 {
+		return c.conn.Write(p)
+	}
+	if len(p) > c.limit {
+		c.conn.Write(p[:c.limit])
+		c.limit = 0
+		return 0, errTruncated
+	}
+	c.limit -= len(p)
+	return c.conn.Write(p)
+}
+
+var errTruncated = errors.New("link died mid-frame")
+
+// TestTruncatedBatchAppliesNothing: a peer that dies mid-frame while sending
+// its batch must leave the dialer's replica untouched — knowledge and store
+// bit-identical — so the next encounter resumes the full exchange.
+func TestTruncatedBatchAppliesNothing(t *testing.T) {
+	peer := replica.New(replica.Config{ID: "peer", OwnAddresses: []string{"addr:peer"}})
+	for i := 0; i < 5; i++ {
+		peer.CreateItem(item.Metadata{
+			Source: "addr:peer", Destinations: []string{"addr:a"}, Kind: "message",
+		}, []byte(fmt.Sprintf("msg-%d", i)))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	served := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			served <- err
+			return
+		}
+		defer conn.Close()
+		// Speak the protocol honestly up to the batch, then die mid-frame.
+		cw := &chokeWriter{conn: conn, limit: -1}
+		enc := gob.NewEncoder(cw)
+		dec := gob.NewDecoder(conn)
+		var h hello
+		if err := dec.Decode(&h); err != nil {
+			served <- err
+			return
+		}
+		if err := enc.Encode(hello{Version: protocolVersion, ID: "peer"}); err != nil {
+			served <- err
+			return
+		}
+		var req replica.SyncRequest
+		if err := dec.Decode(&req); err != nil {
+			served <- err
+			return
+		}
+		resp := peer.HandleSyncRequest(&req)
+		cw.limit = 20 // the batch frame is cut after 20 bytes
+		if err := enc.Encode(resp); err != errTruncated {
+			served <- fmt.Errorf("expected truncation, got %v", err)
+			return
+		}
+		served <- nil
+	}()
+
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	knowBefore := a.Knowledge()
+	if _, err := Encounter(a, ln.Addr().String(), 0, 2*time.Second); err == nil {
+		t.Fatal("truncated batch should fail the encounter")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("fake peer: %v", err)
+	}
+	if !a.Knowledge().Equal(knowBefore) {
+		t.Errorf("truncated batch perturbed knowledge: %s -> %s", knowBefore, a.Knowledge())
+	}
+	if total, _, _ := a.StoreLen(); total != 0 {
+		t.Errorf("truncated batch left %d items in the store", total)
+	}
+	if a.Stats().Duplicates != 0 {
+		t.Error("duplicates after truncated batch")
+	}
+}
+
+// TestOversizedBatchRejected: a server with a small wire-byte budget cuts off
+// a peer shipping an oversized batch, applies nothing, and keeps serving.
+func TestOversizedBatchRejected(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	srv := NewServer(a, 0)
+	srv.MaxWireBytes = 4 << 10
+	var mu sync.Mutex
+	var errs int
+	srv.OnError = func(error) { mu.Lock(); errs++; mu.Unlock() }
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	big := replica.New(replica.Config{ID: "big", OwnAddresses: []string{"addr:big"}})
+	big.CreateItem(item.Metadata{
+		Source: "addr:big", Destinations: []string{"addr:a"}, Kind: "message",
+	}, make([]byte, 64<<10))
+	if _, err := Encounter(big, addr.String(), 0, 2*time.Second); err == nil {
+		t.Fatal("oversized batch should fail the encounter")
+	}
+	if total, _, _ := a.StoreLen(); total != 0 {
+		t.Errorf("oversized batch left %d items in the server store", total)
+	}
+	mu.Lock()
+	n := errs
+	mu.Unlock()
+	if n == 0 {
+		t.Error("server surfaced no error for the oversized batch")
+	}
+	// A reasonable peer still syncs fine afterwards.
+	small := replica.New(replica.Config{ID: "small", OwnAddresses: []string{"addr:small"}})
+	if _, err := Encounter(small, addr.String(), 0, 2*time.Second); err != nil {
+		t.Errorf("server unusable after oversized batch: %v", err)
+	}
+}
+
+// TestSlowLorisCutOffByDeadline: a peer that connects and stalls is
+// disconnected once the server's I/O deadline expires, and Close does not
+// hang on the abandoned handler.
+func TestSlowLorisCutOffByDeadline(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	srv := NewServer(a, 0)
+	srv.IOTimeout = 200 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble one hello byte and stall; the server must hang up on its own.
+	conn.Write([]byte{0x1f})
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected server to close the stalled connection")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("server took %v to cut off a stalled peer", waited)
+	}
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on a stalled handler")
+	}
+}
+
+// TestNoGoroutineLeaksAfterAbuse: after garbage connections, stalled peers,
+// and clean encounters, closing the server returns the process to its
+// pre-test goroutine population.
+func TestNoGoroutineLeaksAfterAbuse(t *testing.T) {
+	before := runtime.NumGoroutine()
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	srv := NewServer(a, 0)
+	srv.IOTimeout = 200 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		conn, err := netDial(addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0:
+			conn.Write([]byte{0xba, 0xad})
+			conn.Close()
+		case 1:
+			conn.Close()
+		case 2:
+			// Stalled: left open for the deadline to collect.
+			defer conn.Close()
+		}
+	}
+	b := replica.New(replica.Config{ID: "b", OwnAddresses: []string{"addr:b"}})
+	if _, err := Encounter(b, addr.String(), 0, 2*time.Second); err != nil {
+		t.Fatalf("clean encounter amid abuse: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Handlers exit with Close; give the runtime a moment to reap them.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// TestEncounterRetryRecoversFromRefused: a peer that is not yet listening
+// refuses the dial; bounded retry-with-backoff rides out the gap and the
+// encounter completes once the server comes up.
+func TestEncounterRetryRecoversFromRefused(t *testing.T) {
+	// Reserve a port, then free it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	a.CreateItem(item.Metadata{
+		Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
+	}, []byte("late"))
+	srvUp := make(chan *Server, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		srv := NewServer(replica.New(replica.Config{ID: "b", OwnAddresses: []string{"addr:b"}}), 0)
+		if _, err := srv.Listen(addr); err != nil {
+			t.Error(err)
+		}
+		srvUp <- srv
+	}()
+	b := replica.New(replica.Config{ID: "c", OwnAddresses: []string{"addr:c"}})
+	res, err := EncounterRetry(b, addr, 0, 2*time.Second, DialOptions{Retries: 20, Backoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("retry never reached the late server: %v", err)
+	}
+	_ = res
+	(<-srvUp).Close()
+}
+
+// TestEncounterRetryNotOnProtocolError: failures after the dial — here a
+// version mismatch — are permanent for this encounter and must not be
+// retried.
+func TestEncounterRetryNotOnProtocolError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	accepts := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepts++
+			mu.Unlock()
+			dec := gob.NewDecoder(conn)
+			var h hello
+			dec.Decode(&h)
+			gob.NewEncoder(conn).Encode(hello{Version: 99, ID: "zeta"})
+			conn.Close()
+		}
+	}()
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	if _, err := EncounterRetry(a, ln.Addr().String(), 0, time.Second, DialOptions{Retries: 5, Backoff: 10 * time.Millisecond}); err == nil {
+		t.Fatal("version mismatch should fail the encounter")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if accepts != 1 {
+		t.Errorf("protocol error was retried: %d connection attempts", accepts)
 	}
 }

@@ -12,8 +12,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"replidtn/internal/filter"
@@ -26,6 +28,16 @@ import (
 
 // protocolVersion guards against wire incompatibilities.
 const protocolVersion = 1
+
+// defaultIOTimeout bounds one connection's total I/O when the server does not
+// configure its own limit: a peer that stalls (slow-loris, dead link) is cut
+// off rather than pinning a handler goroutine.
+const defaultIOTimeout = 30 * time.Second
+
+// defaultMaxWireBytes bounds the bytes read from one connection when the
+// server does not configure its own limit, so an adversarial or broken peer
+// cannot make a handler buffer unbounded gob input.
+const defaultMaxWireBytes = 64 << 20
 
 // registerOnce installs the concrete filter and routing-request types that
 // travel inside interface-typed sync request fields.
@@ -70,6 +82,13 @@ type Server struct {
 	// OnError, when set before Listen, observes per-connection protocol
 	// errors (primarily for logging and tests).
 	OnError func(error)
+	// IOTimeout bounds each connection's total I/O time; 0 selects the
+	// 30-second default. Set before Listen.
+	IOTimeout time.Duration
+	// MaxWireBytes bounds the bytes read from one connection; 0 selects the
+	// 64 MiB default. A peer exceeding it fails mid-decode and the
+	// connection is dropped with nothing applied. Set before Listen.
+	MaxWireBytes int64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -126,11 +145,23 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn handles one encounter from the accepting side.
+// serveConn handles one encounter from the accepting side. Batch application
+// is transactional: every frame is fully decoded before any replica call, so
+// a peer dying mid-batch — truncated frame, slow-loris hitting the deadline,
+// oversized input hitting the wire limit — leaves the replica's store and
+// knowledge exactly as they were.
 func (s *Server) serveConn(conn net.Conn) error {
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	timeout := s.IOTimeout
+	if timeout <= 0 {
+		timeout = defaultIOTimeout
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	limit := s.MaxWireBytes
+	if limit <= 0 {
+		limit = defaultMaxWireBytes
+	}
 	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(&io.LimitedReader{R: conn, N: limit})
 
 	var peer hello
 	if err := dec.Decode(&peer); err != nil {
@@ -242,4 +273,49 @@ func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Durat
 		return out, fmt.Errorf("transport: read done: %w", err)
 	}
 	return out, nil
+}
+
+// DialOptions configures EncounterRetry's handling of transient dial
+// failures.
+type DialOptions struct {
+	// Retries is the number of additional dial attempts after a transient
+	// failure; 0 means a single attempt (no retry).
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt;
+	// 0 selects 50ms.
+	Backoff time.Duration
+}
+
+// EncounterRetry performs a full encounter like Encounter, retrying with
+// exponential backoff when the dial itself fails transiently (refused, reset,
+// or timed out — a peer that is rebooting or not yet listening). Failures
+// after the connection is up are never retried: the protocol is transactional
+// per encounter, so a broken exchange applies nothing and the caller simply
+// schedules a fresh encounter later.
+func EncounterRetry(r *replica.Replica, addr string, maxItems int, timeout time.Duration, opts DialOptions) (replica.EncounterResult, error) {
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		out, err := Encounter(r, addr, maxItems, timeout)
+		if err == nil || attempt >= opts.Retries || !transientDialError(err) {
+			return out, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// transientDialError reports whether err is a dial-phase failure worth
+// retrying. Anything past the dial — protocol errors, mid-exchange
+// disconnects — is permanent from this encounter's point of view.
+func transientDialError(err error) bool {
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "dial" {
+		return false
+	}
+	return op.Timeout() ||
+		errors.Is(op.Err, syscall.ECONNREFUSED) ||
+		errors.Is(op.Err, syscall.ECONNRESET)
 }
