@@ -1,22 +1,42 @@
 GO ?= go
 
-## COVER_FLOOR is the coverage baseline `make cover` enforces: the total
-## statement coverage measured before the fault-injection PR. Raise it when
-## coverage grows; never lower it to make a failing build pass.
-COVER_FLOOR ?= 82.7
+## COVER_FLOOR is the coverage baseline `make cover` enforces. Raise it when
+## coverage grows; never lower it to make a failing build pass. Coverage is
+## measured with -coverpkg=./... (union across all test binaries) because the
+## analyzer driver (internal/analysis/lintcore) and golden-test harness
+## (linttest) are deliberately exercised from other packages' tests; without
+## cross-package accounting their genuinely-executed statements would count
+## as dead.
+COVER_FLOOR ?= 83.4
 
-.PHONY: check build vet test test-differential cover bench
+## FUZZ_SMOKE_TIME bounds each fuzz target's run in `make fuzz-smoke`: long
+## enough to mutate past the seed corpus, short enough for every CI run.
+FUZZ_SMOKE_TIME ?= 10s
+
+.PHONY: check build vet lint test test-differential cover fuzz-smoke bench
 
 ## check is the tier-1 verification gate: every PR must leave it green.
 ## test-differential re-runs the engine-equivalence tests on their own so a
 ## parallel-engine regression is named explicitly in the failure output.
-check: build vet test test-differential
+check: build vet lint test test-differential
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint runs dtnlint, the repository's own invariant checker (see
+## internal/analysis and DESIGN.md §10): determinism, callbackunderlock,
+## transientleak, and errdiscard. Any diagnostic fails the build. A violation
+## may be suppressed with `//lint:allow <analyzer> -- <justification>` ONLY
+## when the flagged code upholds the invariant by other documented means
+## (e.g. a callback contractually forbidden from re-entering, a transient
+## field that is an explicit part of the wire protocol); the justification is
+## mandatory and reviewed like code. Never allow-list to silence a finding
+## you have not analyzed — fix it or escalate.
+lint:
+	$(GO) run ./cmd/dtnlint ./...
 
 test:
 	$(GO) test -race ./...
@@ -30,11 +50,23 @@ test-differential:
 
 ## cover fails if total statement coverage drops below COVER_FLOOR.
 cover:
-	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) test -coverpkg=./... -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
 	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
 		'END { sub(/%/, "", $$3); if ($$3 + 0 < floor + 0) { \
 			printf "coverage %.1f%% is below the %.1f%% floor\n", $$3, floor; exit 1 } }'
+
+## fuzz-smoke runs each native fuzz target briefly against the two
+## parse-hostile surfaces — the transport's gob stream and the vclock
+## knowledge codec — complementing the static dtnlint pass with dynamic
+## checking. Seed corpora live under each package's testdata/fuzz
+## (regenerate with `go test -tags corpusgen -run WriteFuzzCorpus`). Any
+## crasher fails the target; run the printed reproducer file under `go test`
+## to debug.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
+	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeMerge$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
+	$(GO) test -run '^$$' -fuzz '^FuzzServeConn$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/transport/
 
 ## bench runs the hot-path microbenchmarks (store mutation, sync batch
 ## assembly, and whole emulation runs) with allocation stats, for

@@ -1,0 +1,58 @@
+// Command dtnlint is the repository's invariant checker: a multichecker
+// running the four dtnlint analyzers (determinism, callbackunderlock,
+// transientleak, errdiscard) over the packages matching the given patterns.
+//
+// Usage:
+//
+//	dtnlint [packages]
+//
+// With no arguments it checks ./... relative to the current directory.
+// Diagnostics print as file:line:col: analyzer: message, one per line, and
+// any diagnostic makes the exit status 1 — `make lint` wires this into the
+// tier-1 `make check` gate. Suppress a deliberate violation with a
+// justified //lint:allow comment (see internal/analysis/lintcore).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"replidtn/internal/analysis"
+	"replidtn/internal/analysis/lintcore"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtnlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dtnlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]lintcore.Diagnostic, error) {
+	pkgs, err := lintcore.Load(".", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lintcore.Run(pkgs, analysis.All())
+}

@@ -1,3 +1,6 @@
+// Deliberately dependency-free. The dtnlint analyzers mirror the
+// golang.org/x/tools/go/analysis API but are built on the standard library
+// alone (internal/analysis/lintcore) — see DESIGN.md §10.
 module replidtn
 
 go 1.22

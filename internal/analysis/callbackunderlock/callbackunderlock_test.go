@@ -1,0 +1,16 @@
+package callbackunderlock_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/callbackunderlock"
+	"replidtn/internal/analysis/linttest"
+)
+
+// TestGolden checks the analyzer against the fixture package: callback
+// fields invoked under a held (or *Locked-implied) mutex are flagged, the
+// copy-then-call idiom and cross-object calls stay quiet, and the justified
+// //lint:allow escape hatch suppresses the annotated line.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, callbackunderlock.Analyzer)
+}

@@ -1,0 +1,103 @@
+// Package store is a callbackunderlock-analyzer fixture mimicking the
+// observer-callback shapes of the real store/replica/messaging packages.
+package store
+
+import "sync"
+
+// Store carries a registered observer callback guarded by a mutex, like the
+// real store's LiveNotify hook.
+type Store struct {
+	mu     sync.Mutex
+	onLive func(string, int)
+	peers  map[string]int
+	n      int
+}
+
+// DeferBad holds the lock for the whole body via defer and invokes the
+// callback inside the critical section.
+func (s *Store) DeferBad(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.onLive(id, 1) // want `callback field s.onLive is invoked while s.mu is held`
+}
+
+// InlineBad unlocks only after the callback.
+func (s *Store) InlineBad(id string) {
+	s.mu.Lock()
+	s.onLive(id, 1) // want `callback field s.onLive is invoked while s.mu is held`
+	s.mu.Unlock()
+}
+
+// Good is the sanctioned idiom: copy the callback under the lock, invoke it
+// after unlocking. The call through the local copy is not a field call.
+func (s *Store) Good(id string) {
+	s.mu.Lock()
+	cb := s.onLive
+	s.mu.Unlock()
+	if cb != nil {
+		cb(id, 1)
+	}
+}
+
+// EarlyExit unlocks in a return branch; the fall-through path still holds
+// the lock when the callback fires.
+func (s *Store) EarlyExit(id string) {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.onLive(id, 1) // want `callback field s.onLive is invoked while s.mu is held`
+	s.mu.Unlock()
+}
+
+// BranchUnlockClean unlocks inside the branch before calling: the copy of
+// the held set models the in-branch sequence correctly.
+func (s *Store) BranchUnlockClean(id string) {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		s.onLive(id, 1) // unlocked on this path: fine
+		return
+	}
+	s.mu.Unlock()
+}
+
+// notifyLocked documents the caller-holds-the-lock contract by the repo's
+// *Locked naming convention; calling the callback inside it is the same
+// hazard.
+func (s *Store) notifyLocked(id string) {
+	s.onLive(id, 1) // want `method is \*Locked`
+}
+
+// Unguarded has no lock in scope; field calls are fine.
+func (s *Store) Unguarded(id string) {
+	s.onLive(id, 1)
+}
+
+// OtherObject holds this store's lock while invoking a callback field of a
+// different object: not this analyzer's hazard (no self-deadlock), so it
+// stays quiet.
+func (s *Store) OtherObject(peer *Store, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peer.onLive(id, 1)
+}
+
+// Spawned callbacks run outside the caller's critical section.
+func (s *Store) Spawned(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.onLive(id, 1) // separate goroutine, own lock discipline: fine here
+	}()
+}
+
+// Allowed demonstrates the justified escape hatch for a documented
+// call-under-lock contract.
+func (s *Store) Allowed(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onLive(id, 1) //lint:allow callbackunderlock -- fixture: documented deterministic-ordering contract requires in-lock delivery
+}

@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/determinism"
+	"replidtn/internal/analysis/linttest"
+)
+
+// TestGolden checks the analyzer against the fixture packages: banned
+// wall-clock/rand/env calls and order-leaking map iteration are flagged in
+// the critical package, the collect-then-sort idiom and non-critical
+// packages stay quiet, and the //lint:allow escape hatch suppresses exactly
+// the annotated line (an unjustified allow is itself a diagnostic).
+func TestGolden(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer)
+}

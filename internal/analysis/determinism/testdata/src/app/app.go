@@ -1,0 +1,23 @@
+// Package app is a determinism-analyzer fixture for a package outside the
+// determinism-critical set: nothing here may be flagged.
+package app
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func roll() int { return rand.Intn(6) }
+
+func mode() string { return os.Getenv("APP_MODE") }
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

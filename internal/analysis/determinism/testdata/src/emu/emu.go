@@ -1,0 +1,141 @@
+// Package emu is a determinism-analyzer fixture mimicking a
+// determinism-critical package (its import-path segment "emu" is in the
+// critical set).
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// wallClock exercises the banned time entry points.
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	elapsed := time.Since(start)   // want `time.Since reads the wall clock`
+	_ = time.Until(start)          // want `time.Until reads the wall clock`
+	_ = start.Add(time.Second)     // method on an explicit value: fine
+	_ = time.Unix(42, 0)           // pure construction: fine
+	return start, elapsed
+}
+
+// injectedClock shows the sanctioned pattern: the clock is a value, and
+// referencing time.Now as the injected default is not a call.
+type config struct {
+	Clock func() time.Time
+}
+
+func defaulted(cfg config) func() time.Time {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg.Clock
+}
+
+// globalRand exercises the banned shared-source rand functions.
+func globalRand(seed int64) int {
+	n := rand.Intn(10) // want `global rand.Intn draws from the shared unseeded source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand.Shuffle draws from the shared unseeded source`
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: fine
+	return rng.Intn(10)                   // method on the seeded generator: fine
+}
+
+// env exercises the environment lookups.
+func env() string {
+	if v, ok := os.LookupEnv("DTN_DEBUG"); ok { // want `os.LookupEnv makes behavior depend on the environment`
+		return v
+	}
+	return os.Getenv("DTN_MODE") // want `os.Getenv makes behavior depend on the environment`
+}
+
+// eventLog mimics the emulation engine's event recorder.
+type eventLog struct{ b strings.Builder }
+
+func (l *eventLog) Record(line string) { l.b.WriteString(line) }
+
+// emitCopies reproduces the PR 2 bug shape: committing event-log lines
+// while iterating the copy table map.
+func emitCopies(log *eventLog, copies map[string]int) {
+	for id, n := range copies {
+		log.Record(fmt.Sprintf("copies %s=%d\n", id, n)) // want `writes in map order`
+	}
+}
+
+// emitCopiesSorted is the fixed shape: collect, sort, then emit.
+func emitCopiesSorted(log *eventLog, copies map[string]int) {
+	ids := make([]string, 0, len(copies))
+	for id := range copies {
+		ids = append(ids, id) // sorted immediately below: fine
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		log.Record(fmt.Sprintf("copies %s=%d\n", id, copies[id]))
+	}
+}
+
+// collectUnsorted leaks map order through an escaping slice.
+func collectUnsorted(copies map[string]int) []string {
+	var ids []string
+	for id := range copies {
+		ids = append(ids, id) // want `append to ids inside iteration over a map commits map order`
+	}
+	return ids
+}
+
+// nestedSorted mirrors vclock's Knowledge.String: the append happens in a
+// nested map range and the sort follows the outer loop.
+func nestedSorted(extra map[string]map[uint64]bool) []string {
+	var versions []string
+	for r, ex := range extra {
+		for s := range ex {
+			versions = append(versions, fmt.Sprintf("%s:%d", r, s)) // sorted after the outer loop: fine
+		}
+	}
+	sort.Strings(versions)
+	return versions
+}
+
+// writerLeak commits stream output in map order.
+func writerLeak(w *strings.Builder, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `Fprintf inside iteration over a map writes in map order`
+	}
+}
+
+// channelLeak publishes values in map order.
+func channelLeak(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `send on ch inside iteration over a map publishes values in map order`
+	}
+}
+
+// mapToMap is order-free: writing into another map commits nothing.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// allowed demonstrates the justified escape hatch.
+func allowed(m map[string]int) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id) //lint:allow determinism -- fixture: order is folded through a commutative reduction downstream
+	}
+	return ids
+}
+
+// unjustified demonstrates that a bare allow is itself a diagnostic — and
+// suppresses nothing, so the original finding stands beside it.
+func unjustified(m map[string]int) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id) //lint:allow determinism // want `allow comment needs a justification` `append to ids inside iteration over a map`
+	}
+	return ids
+}

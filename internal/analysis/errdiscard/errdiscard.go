@@ -1,0 +1,152 @@
+// Package errdiscard implements the dtnlint analyzer that forbids
+// discarding error returns in the transport and persist packages.
+//
+// Both packages sit on the transactional-sync path hardened by the
+// fault-injection work (DESIGN.md §9): transport promises that a severed
+// batch is discarded whole and persist promises atomic, detectable
+// snapshots. A swallowed error on either surface converts a detectable
+// fault into silent state divergence — the one failure mode the fault model
+// cannot account for. Elsewhere in the repo, dropped errors are at worst a
+// robustness wart; here they break a stated guarantee, so the check is
+// scoped rather than global.
+//
+// Flagged forms: a call used as a bare statement whose (last) result is an
+// error, a blank-assigned error result, and a deferred or spawned call
+// whose error vanishes with the statement. One pattern is allowlisted
+// outright: `_ = conn.SetDeadline(...)` (and the read/write variants) — the
+// deliberate best-effort deadline arming on a connection whose subsequent
+// reads report any failure anyway. Everything else needs handling or a
+// justified //lint:allow.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"replidtn/internal/analysis/lintcore"
+)
+
+// Analyzer is the discarded-error checker for the wire/durability packages.
+var Analyzer = &lintcore.Analyzer{
+	Name: "errdiscard",
+	Doc:  "forbid discarded error returns in transport and persist, where a swallowed error breaks transactional sync",
+	Run:  run,
+}
+
+// scopeSegments are the packages under the transactional-sync contract.
+var scopeSegments = []string{"transport", "persist"}
+
+// deadlineMethods may have their error blank-assigned without justification.
+var deadlineMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func run(pass *lintcore.Pass) error {
+	if !lintcore.PathHasSegment(pass.Pkg.Path(), scopeSegments...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "call")
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "deferred call")
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call, "spawned call")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorResults returns the indices of error-typed results of a call.
+func errorResults(pass *lintcore.Pass, call *ast.CallExpr) []int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if lintcore.IsErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if lintcore.IsErrorType(tv.Type) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// checkBareCall flags a statement-position call whose error result dies
+// with the statement.
+func checkBareCall(pass *lintcore.Pass, call *ast.CallExpr, kind string) {
+	if len(errorResults(pass, call)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s to %s discards its error; on the transactional sync path a swallowed error is silent state divergence — handle it or annotate why it cannot matter", kind, calleeName(pass, call))
+}
+
+// checkBlankAssign flags error results assigned to the blank identifier,
+// excepting the deliberate deadline-arming pattern.
+func checkBlankAssign(pass *lintcore.Pass, assign *ast.AssignStmt) {
+	// Only call RHS can produce errors; tuple-destructuring assigns have a
+	// single call on the right.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, i := range errorResults(pass, call) {
+			if i < len(assign.Lhs) && isBlank(assign.Lhs[i]) {
+				report(pass, call, assign)
+			}
+		}
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(assign.Lhs) || !isBlank(assign.Lhs[i]) {
+			continue
+		}
+		if len(errorResults(pass, call)) > 0 {
+			report(pass, call, assign)
+		}
+	}
+}
+
+func report(pass *lintcore.Pass, call *ast.CallExpr, assign *ast.AssignStmt) {
+	if fn := lintcore.CalleeFunc(pass.TypesInfo, call); fn != nil && deadlineMethods[fn.Name()] {
+		return // the sanctioned `_ = conn.SetDeadline(...)` arming pattern
+	}
+	pass.Reportf(assign.Pos(), "error from %s is blank-assigned; on the transactional sync path a swallowed error is silent state divergence — handle it or annotate why it cannot matter", calleeName(pass, call))
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(pass *lintcore.Pass, call *ast.CallExpr) string {
+	if fn := lintcore.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "call"
+}

@@ -1,0 +1,17 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/errdiscard"
+	"replidtn/internal/analysis/linttest"
+)
+
+// TestGolden checks the analyzer against the fixture packages: discarded
+// error returns in transport/persist are flagged in every form (bare call,
+// blank assign, defer, go), the `_ = conn.SetDeadline` arming pattern and
+// out-of-scope packages stay quiet, and the justified //lint:allow escape
+// hatch suppresses the annotated line.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, errdiscard.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Package app is an errdiscard-analyzer fixture outside the
+// transport/persist scope: discards here are ordinary robustness concerns,
+// not transactional-sync violations, and stay unflagged.
+package app
+
+import "os"
+
+func cleanup(f *os.File) {
+	f.Close()
+	defer f.Close()
+	_ = os.Remove("scratch")
+}

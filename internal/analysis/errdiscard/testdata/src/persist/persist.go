@@ -1,0 +1,21 @@
+// Package persist is an errdiscard-analyzer fixture for the durability
+// side of the transactional-sync contract.
+package persist
+
+import "os"
+
+func save(path string, data []byte) error {
+	tmp, err := os.CreateTemp("", ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // want `deferred call to Remove discards its error`
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() // want `call to Close discards its error`
+		return err
+	}
+	if err := tmp.Close(); err != nil { // handled: fine
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

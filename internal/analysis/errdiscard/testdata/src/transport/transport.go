@@ -1,0 +1,37 @@
+// Package transport is an errdiscard-analyzer fixture: a wire-handling
+// package where discarded errors break transactional sync.
+package transport
+
+import (
+	"net"
+	"time"
+)
+
+// serve exercises the flagged discard forms.
+func serve(conn net.Conn, buf []byte) {
+	conn.Close()                            // want `call to Close discards its error`
+	defer conn.Close()                      // want `deferred call to Close discards its error`
+	go conn.Close()                         // want `spawned call to Close discards its error`
+	_ = conn.Close()                        // want `error from Close is blank-assigned`
+	n, _ := conn.Read(buf)                  // want `error from Read is blank-assigned`
+	_ = n
+	_ = conn.SetDeadline(time.Time{})       // sanctioned deadline-arming pattern: fine
+	_ = conn.SetReadDeadline(time.Time{})   // fine
+	_ = conn.SetWriteDeadline(time.Time{})  // fine
+	if err := conn.Close(); err != nil {    // handled: fine
+		_ = err
+	}
+}
+
+// helpers without error results are never flagged.
+func report(s string) {}
+
+func clean(conn net.Conn) {
+	report("ok")
+	defer report("done")
+}
+
+// allowed demonstrates the justified escape hatch.
+func allowed(ln net.Listener) {
+	ln.Close() //lint:allow errdiscard -- fixture: listener already failed; nothing to report the close error to
+}

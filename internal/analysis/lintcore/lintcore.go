@@ -1,0 +1,200 @@
+// Package lintcore is the driver core for dtnlint, the repository's static
+// invariant checker. It mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Reportf) but is implemented entirely on the standard
+// library's go/ast and go/types, because this module builds offline and must
+// not pull external dependencies. An analyzer written against lintcore ports
+// to the upstream framework by renaming imports.
+//
+// The driver adds one facility the upstream multichecker leaves to
+// third parties: source-level suppression. A diagnostic is suppressed by a
+//
+//	//lint:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// comment on the flagged line or the line directly above it. The
+// justification after " -- " is mandatory: an allow without one is itself
+// reported as a diagnostic, so every escape hatch in the tree carries its
+// reasoning next to the code it excuses. See DESIGN.md §10 for the catalog
+// of enforced invariants and the sanctioned allow sites.
+package lintcore
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker: a name (used in diagnostics and in
+// //lint:allow comments), documentation, and a Run function applied to one
+// package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowName is the pseudo-analyzer under which malformed //lint:allow
+// comments are reported; it cannot itself be suppressed.
+const allowName = "lintallow"
+
+// allowMark is one parsed //lint:allow comment.
+type allowMark struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+}
+
+// parseAllows extracts the //lint:allow marks from a package's files and
+// reports malformed ones (missing justification, unknown analyzer name)
+// as diagnostics so they fail the lint run rather than silently excusing
+// nothing — or worse, everything.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]allowMark, []Diagnostic) {
+	var marks []allowMark
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: allowName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				names, reason, justified := strings.Cut(body, " -- ")
+				if !justified || strings.TrimSpace(reason) == "" {
+					report(c.Pos(), "allow comment needs a justification: //lint:allow <analyzer> -- <why>")
+					continue
+				}
+				mark := allowMark{
+					analyzers: make(map[string]bool),
+					line:      fset.Position(c.Pos()).Line,
+					file:      fset.Position(c.Pos()).Filename,
+				}
+				for _, name := range strings.Split(strings.TrimSpace(names), ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if !known[name] {
+						report(c.Pos(), "allow names unknown analyzer %q", name)
+						continue
+					}
+					mark.analyzers[name] = true
+				}
+				if len(mark.analyzers) > 0 {
+					marks = append(marks, mark)
+				}
+			}
+		}
+	}
+	return marks, diags
+}
+
+// suppress drops every diagnostic covered by an allow mark: same file, same
+// analyzer, and located on the mark's line or the line directly below it
+// (so a mark works both trailing the flagged statement and standing alone
+// above it).
+func suppress(diags []Diagnostic, marks []allowMark) []Diagnostic {
+	if len(marks) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		allowed := false
+		for _, m := range marks {
+			if m.file == d.Pos.Filename && m.analyzers[d.Analyzer] &&
+				(d.Pos.Line == m.line || d.Pos.Line == m.line+1) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Allow marks are parsed per package and
+// applied to that package's diagnostics only.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lintcore: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		marks, bad := parseAllows(pkg.Fset, pkg.Files, known)
+		diags = append(suppress(diags, marks), bad...)
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

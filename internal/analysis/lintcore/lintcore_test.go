@@ -1,0 +1,150 @@
+package lintcore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// dummyAnalyzer reports every call expression, exercising the resolver
+// helpers the real analyzers are built from along the way.
+var dummyAnalyzer = &Analyzer{
+	Name: "dummy",
+	Doc:  "report every call",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := CalleeFunc(pass.TypesInfo, call); fn != nil {
+					_ = IsErrorType(fn.Type())
+				}
+				if id := RootIdent(call.Fun); id != nil {
+					if obj := ObjectOf(pass.TypesInfo, id); obj != nil {
+						_ = NamedOrNil(obj.Type())
+						_ = IsErrorType(obj.Type())
+					}
+				}
+				pass.Reportf(call.Pos(), "call reported by dummy")
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestDriverEndToEnd runs the dummy analyzer over the fixture module and
+// checks the driver behaviors the analyzer golden tests rely on: justified
+// allows suppress (trailing and standing-above forms), unjustified or
+// unknown-name allows are themselves diagnostics, everything else reports,
+// and the output is sorted by position.
+func TestDriverEndToEnd(t *testing.T) {
+	pkgs, err := Load("testdata/src", "./...")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 fixture package, got %d", len(pkgs))
+	}
+	diags, err := Run(pkgs, []*Analyzer{dummyAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var dummy, allow []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "dummy":
+			dummy = append(dummy, d)
+		case "lintallow":
+			allow = append(allow, d)
+		default:
+			t.Errorf("diagnostic from unexpected analyzer: %s", d)
+		}
+	}
+
+	// thing.go makes seven reportable calls (errors.New at init, one Boom
+	// per method, plus Plain's hook invocation); the two justified allows
+	// suppress two.
+	if len(dummy) != 5 {
+		t.Errorf("want 5 surviving dummy diagnostics, got %d: %v", len(dummy), dummy)
+	}
+	for _, d := range dummy {
+		if !strings.Contains(d.String(), "call reported by dummy") {
+			t.Errorf("diagnostic lost its message: %s", d)
+		}
+	}
+
+	// One malformed allow (missing justification) and one naming an unknown
+	// analyzer.
+	if len(allow) != 2 {
+		t.Fatalf("want 2 lintallow diagnostics, got %d: %v", len(allow), allow)
+	}
+	if !strings.Contains(allow[0].Message, "justification") &&
+		!strings.Contains(allow[1].Message, "justification") {
+		t.Errorf("no lintallow diagnostic mentions the missing justification: %v", allow)
+	}
+	if !strings.Contains(allow[0].Message, "nosuchanalyzer") &&
+		!strings.Contains(allow[1].Message, "nosuchanalyzer") {
+		t.Errorf("no lintallow diagnostic names the unknown analyzer: %v", allow)
+	}
+
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics not sorted: %s before %s", a, b)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "determinism",
+		Message:  "no wall clocks",
+	}
+	if got, want := d.String(), "x.go:3:7: determinism: no wall clocks"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPathHasSegment(t *testing.T) {
+	cases := []struct {
+		path string
+		segs []string
+		want bool
+	}{
+		{"replidtn/internal/emu", []string{"emu"}, true},
+		{"replidtn/internal/emu", []string{"store", "emu"}, true},
+		{"replidtn/internal/emulator", []string{"emu"}, false},
+		{"emu", []string{"emu"}, true},
+		{"replidtn/internal/transport", []string{"emu"}, false},
+	}
+	for _, c := range cases {
+		if got := PathHasSegment(c.path, c.segs...); got != c.want {
+			t.Errorf("PathHasSegment(%q, %v) = %v, want %v", c.path, c.segs, got, c.want)
+		}
+	}
+}
+
+func TestRootIdent(t *testing.T) {
+	base := &ast.Ident{Name: "s"}
+	expr := ast.Expr(&ast.StarExpr{
+		X: &ast.IndexExpr{
+			X: &ast.ParenExpr{
+				X: &ast.SelectorExpr{X: base, Sel: &ast.Ident{Name: "cfg"}},
+			},
+			Index: &ast.Ident{Name: "i"},
+		},
+	})
+	if got := RootIdent(expr); got != base {
+		t.Errorf("RootIdent = %v, want the base ident", got)
+	}
+	if got := RootIdent(&ast.BasicLit{}); got != nil {
+		t.Errorf("RootIdent(literal) = %v, want nil", got)
+	}
+}

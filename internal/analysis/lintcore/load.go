@@ -1,0 +1,216 @@
+package lintcore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked target package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// loader type-checks packages from source in dependency order. Dependencies
+// (including the standard library) are checked with IgnoreFuncBodies — only
+// their exported shape matters — while target packages get full bodies and a
+// populated types.Info. This is what lets dtnlint run offline with no
+// go/packages or export-data machinery: one `go list -deps -json` call
+// supplies the file sets and import resolution, and go/types does the rest.
+type loader struct {
+	fset   *token.FileSet
+	metas  map[string]*listPkg // by ImportPath
+	byDir  map[string]*listPkg
+	cache  map[string]*types.Package
+	sizes  types.Sizes
+	errors []error
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, type-checks the
+// matched packages and every dependency, and returns the matched packages.
+// CGO is disabled for file selection so the pure-Go fallbacks of net/os are
+// chosen and every compiled file is parseable Go source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintcore: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		metas: make(map[string]*listPkg),
+		byDir: make(map[string]*listPkg),
+		cache: make(map[string]*types.Package),
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintcore: decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintcore: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		meta := p
+		ld.metas[meta.ImportPath] = &meta
+		ld.byDir[meta.Dir] = &meta
+		if !meta.DepOnly {
+			targets = append(targets, &meta)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := ld.checkTarget(t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses a package's Go files. Target packages keep comments
+// (needed for //lint:allow and golden-test want markers); dependencies skip
+// them for speed.
+func (ld *loader) parseFiles(meta *listPkg, withComments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if withComments {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lintcore: parse %s: %w", filepath.Join(meta.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkTarget fully type-checks a matched package.
+func (ld *loader) checkTarget(meta *listPkg) (*Package, error) {
+	files, err := ld.parseFiles(meta, true)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var checkErrs []error
+	conf := &types.Config{
+		Importer: ld,
+		Sizes:    ld.sizes,
+		Error:    func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	tpkg, _ := conf.Check(meta.ImportPath, ld.fset, files, info)
+	if len(checkErrs) > 0 {
+		return nil, fmt.Errorf("lintcore: type-check %s: %v", meta.ImportPath, checkErrs[0])
+	}
+	ld.cache[meta.ImportPath] = tpkg
+	return &Package{
+		ImportPath: meta.ImportPath,
+		Dir:        meta.Dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: srcDir identifies the importing
+// package, whose ImportMap rewrites vendored standard-library import paths
+// (e.g. net's "golang.org/x/net/dns/dnsmessage") to their actual location.
+func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if from, ok := ld.byDir[srcDir]; ok {
+		if mapped, ok := from.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := ld.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("lintcore: import %q not in go list dependency set", path)
+	}
+	files, err := ld.parseFiles(meta, false)
+	if err != nil {
+		return nil, err
+	}
+	var checkErrs []error
+	conf := &types.Config{
+		Importer:         ld,
+		Sizes:            ld.sizes,
+		IgnoreFuncBodies: true,
+		Error:            func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	tpkg, _ := conf.Check(meta.ImportPath, ld.fset, files, nil)
+	if len(checkErrs) > 0 {
+		return nil, fmt.Errorf("lintcore: type-check dependency %s: %v", path, checkErrs[0])
+	}
+	ld.cache[path] = tpkg
+	return tpkg, nil
+}

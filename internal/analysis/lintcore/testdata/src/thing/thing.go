@@ -1,0 +1,48 @@
+// Package thing is the lintcore driver fixture: a package whose calls a
+// dummy analyzer reports, so the driver's allow parsing, suppression
+// windows, and diagnostic ordering are observable end to end.
+package thing
+
+import "errors"
+
+// ErrBoom is returned by Boom.
+var ErrBoom = errors.New("boom")
+
+// Boom fails.
+func Boom() error { return ErrBoom }
+
+// Caller makes calls for the dummy analyzer to report.
+type Caller struct {
+	hook func() error
+}
+
+// Allowed is suppressed by a justified trailing allow.
+func (c *Caller) Allowed() error {
+	return Boom() //lint:allow dummy -- fixture: trailing allow on the flagged line
+}
+
+// AllowedAbove is suppressed by a justified allow standing on the line above.
+func (c *Caller) AllowedAbove() error {
+	//lint:allow dummy -- fixture: standalone allow above the flagged line
+	return Boom()
+}
+
+// Unjustified carries an allow with no justification: the diagnostic
+// survives and the malformed allow is itself reported.
+func (c *Caller) Unjustified() error {
+	return Boom() //lint:allow dummy
+}
+
+// UnknownName names an analyzer that does not exist: reported, nothing
+// suppressed.
+func (c *Caller) UnknownName() error {
+	return Boom() //lint:allow nosuchanalyzer -- fixture: unknown analyzer name
+}
+
+// Plain is reported with no allow in sight.
+func (c *Caller) Plain() error {
+	if c.hook != nil {
+		return c.hook()
+	}
+	return Boom()
+}

@@ -1,0 +1,89 @@
+package lintcore
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathHasSegment reports whether any "/"-separated segment of the import
+// path is one of segs. Analyzers use it to scope themselves to the
+// determinism-critical or wire-handling packages by name, which also makes
+// them testable against fixture packages that mimic those names.
+func PathHasSegment(path string, segs ...string) bool {
+	for _, part := range strings.Split(path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the statically known function or method a call
+// invokes, or nil when the callee is a function value (a variable, field,
+// or parameter) or a type conversion.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RootIdent unwraps selectors, indexing, dereferences, and parens down to
+// the base identifier of an expression (e.g. s for s.cfg.OnPeer), or nil.
+func RootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to its (used or defined) object.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// NamedOrNil returns the named type of t after stripping pointers, or nil.
+func NamedOrNil(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}

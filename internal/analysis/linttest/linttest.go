@@ -1,0 +1,144 @@
+// Package linttest is the golden-test harness for dtnlint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture packages
+// live under the analyzer's testdata/src directory (which carries its own
+// go.mod so `go list` resolves them without touching the real module), and
+// expected diagnostics are declared inline with want comments:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// The backquoted (or double-quoted) string is a regular expression matched
+// against diagnostic messages reported on that line; several want markers
+// may share a line. The harness fails the test for any diagnostic without a
+// matching want and any want without a matching diagnostic — so a fixture
+// line carrying a //lint:allow comment and no want marker is exactly the
+// proof that the suppression facility works.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"replidtn/internal/analysis/lintcore"
+)
+
+// want is one expected-diagnostic marker.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantPattern extracts the quoted expectation strings from a want comment.
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads every fixture package under testdata/src, applies the analyzer,
+// and compares the surviving diagnostics against the fixtures' want
+// markers.
+func Run(t *testing.T, analyzer *lintcore.Analyzer) {
+	t.Helper()
+	pkgs, err := lintcore.Load("testdata/src", "./...")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	diags, err := lintcore.Run(pkgs, []*lintcore.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s: %v", analyzer.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmet want matching the diagnostic and reports
+// whether one existed.
+func claim(wants []*want, d lintcore.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want markers out of every fixture file.
+func collectWants(t *testing.T, pkgs []*lintcore.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, pkg.Fset, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	t.Helper()
+	// The marker may open the comment or follow other trailing commentary
+	// (e.g. a //lint:allow annotation under test) in the same token.
+	idx := strings.Index(c.Text, "// want ")
+	if idx < 0 {
+		return nil
+	}
+	body := c.Text[idx+len("// want "):]
+	pos := fset.Position(c.Pos())
+	var wants []*want
+	for _, quoted := range wantPattern.FindAllString(body, -1) {
+		expr := quoted[1 : len(quoted)-1]
+		if quoted[0] == '"' {
+			unq, err := unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, quoted, err)
+			}
+			expr = unq
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", pos, quoted, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: quoted})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: want comment carries no quoted expectation", pos)
+	}
+	return wants
+}
+
+// unquote resolves a double-quoted want string's escapes.
+func unquote(s string) (string, error) {
+	var out strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' {
+			i++
+			if i >= len(body) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String(), nil
+}

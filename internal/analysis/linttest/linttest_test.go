@@ -1,0 +1,53 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+func TestUnquote(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`"plain"`, "plain"},
+		{`"with \"escape\""`, `with "escape"`},
+		{`"back\\slash"`, `back\slash`},
+	}
+	for _, c := range cases {
+		got, err := unquote(c.in)
+		if err != nil {
+			t.Errorf("unquote(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("unquote(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := unquote(`"trailing\"`); err == nil {
+		t.Error("unquote accepted a trailing backslash")
+	}
+}
+
+func TestParseWant(t *testing.T) {
+	fset := token.NewFileSet()
+	file := fset.AddFile("fixture.go", -1, 100)
+	file.AddLine(0)
+	c := &ast.Comment{
+		Slash: file.Pos(0),
+		Text:  "// want `first pattern` \"second \\\"quoted\\\"\"",
+	}
+	wants := parseWant(t, fset, c)
+	if len(wants) != 2 {
+		t.Fatalf("want 2 markers, got %d", len(wants))
+	}
+	if !wants[0].re.MatchString("a first pattern here") {
+		t.Errorf("backquoted marker does not match: %v", wants[0].raw)
+	}
+	if !wants[1].re.MatchString(`second "quoted"`) {
+		t.Errorf("double-quoted marker does not match: %v", wants[1].raw)
+	}
+	if got := parseWant(t, fset, &ast.Comment{Slash: file.Pos(0), Text: "// no marker"}); got != nil {
+		t.Errorf("comment without marker produced wants: %v", got)
+	}
+}

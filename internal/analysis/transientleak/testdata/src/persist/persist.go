@@ -1,0 +1,29 @@
+// Package persist is a transientleak-analyzer fixture mimicking the
+// snapshot layer: the gob boundary is checked here too, while struct
+// declarations are not (only transport frames are wire contracts).
+package persist
+
+import (
+	"encoding/gob"
+	"io"
+
+	"fixtures/item"
+)
+
+// envelope mirrors the real snapshot envelope. Declaring it here is fine —
+// persist structs are not frame structs.
+type envelope struct {
+	Magic   string
+	Entries []item.Entry
+}
+
+// save crosses the gob boundary with transient state.
+func save(w io.Writer, env envelope) error {
+	return gob.NewEncoder(w).Encode(env) // want `transient host-specific metadata reaches gob.Encode`
+}
+
+// saveAllowed is the sanctioned crossing: a restart restores the same host,
+// so its own per-copy transient state legitimately survives.
+func saveAllowed(w io.Writer, env envelope) error {
+	return gob.NewEncoder(w).Encode(env) //lint:allow transientleak -- fixture: snapshot restores the same host; its own per-copy state survives restart
+}

@@ -1,0 +1,54 @@
+// Package transport is a transientleak-analyzer fixture: a wire-handling
+// package (segment "transport"), where frame structs are also checked.
+package transport
+
+import (
+	"encoding/gob"
+
+	"fixtures/item"
+)
+
+// frame carries transient state in an exported field: the wire contract
+// would replicate host-local metadata.
+type frame struct {
+	Item      item.Item
+	Transient item.Transient // want `frame struct frame carries transient host-specific metadata`
+}
+
+// nested reaches Transient through an exported struct chain.
+type nested struct {
+	Entries []item.Entry // want `frame struct nested carries transient host-specific metadata`
+}
+
+// cleanFrame only moves replicated state; the unexported transient field is
+// invisible to gob and deliberately host-local.
+type cleanFrame struct {
+	Item item.Item
+	hops item.Transient
+}
+
+// send ships a transient value directly.
+func send(enc *gob.Encoder, tr item.Transient) error {
+	return enc.Encode(tr) // want `transient host-specific metadata reaches gob.Encode`
+}
+
+// sendEntry ships a struct containing one.
+func sendEntry(enc *gob.Encoder, e item.Entry) error {
+	return enc.Encode(&e) // want `transient host-specific metadata reaches gob.Encode`
+}
+
+// sendClean ships only replicated state.
+func sendClean(enc *gob.Encoder, it item.Item) error {
+	return enc.Encode(it)
+}
+
+// register declares a transient-bearing type for the wire.
+func register() {
+	gob.Register(item.Entry{}) // want `transient host-specific metadata reaches gob.Register`
+}
+
+// sendAllowed is the sanctioned, justified crossing (the real transport's
+// policy-mediated transmit transient).
+func sendAllowed(enc *gob.Encoder, tr item.Transient) error {
+	return enc.Encode(tr) //lint:allow transientleak -- fixture: policy-mediated transmit transient, an explicit wire field of the sync protocol
+}

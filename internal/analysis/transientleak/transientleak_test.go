@@ -1,0 +1,17 @@
+package transientleak_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/linttest"
+	"replidtn/internal/analysis/transientleak"
+)
+
+// TestGolden checks the analyzer against the fixture packages: transient
+// metadata reaching gob encoding/registration and transient-bearing
+// transport frame structs are flagged, replicated-only payloads and
+// unexported (never-serialized) fields stay quiet, and the justified
+// //lint:allow escape hatch marks the two sanctioned crossings.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, transientleak.Analyzer)
+}

@@ -60,6 +60,10 @@ type Config struct {
 	// OnPeer, when set, fires each time a peer is seen for the first time
 	// (or re-appears after expiring).
 	OnPeer func(Peer)
+	// Clock supplies the current time for peer freshness accounting
+	// (default time.Now). Tests inject a fake clock to drive expiry
+	// deterministically instead of sleeping through real TTLs.
+	Clock func() time.Time
 }
 
 // Discoverer runs the beacon sender and listener. Create with New, then
@@ -82,6 +86,9 @@ func New(cfg Config) *Discoverer {
 	}
 	if cfg.TTL <= 0 {
 		cfg.TTL = 3 * cfg.Interval
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 	return &Discoverer{
 		cfg:   cfg,
@@ -127,7 +134,7 @@ func (d *Discoverer) Stop() {
 
 // Peers returns the live (unexpired) registry, sorted by ID.
 func (d *Discoverer) Peers() []Peer {
-	now := time.Now()
+	now := d.cfg.Clock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]Peer, 0, len(d.peers))
@@ -211,7 +218,7 @@ func (d *Discoverer) recvLoop() {
 }
 
 func (d *Discoverer) observe(b beacon) {
-	now := time.Now()
+	now := d.cfg.Clock()
 	d.mu.Lock()
 	prev, known := d.peers[b.ID]
 	fresh := !known || now.Sub(prev.LastSeen) > d.cfg.TTL

@@ -7,8 +7,30 @@ import (
 	"time"
 )
 
+// fakeClock is an injectable clock: tests advance it explicitly instead of
+// sleeping through real TTLs.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
 // startPair launches two discoverers beaconing at each other over loopback.
-func startPair(t *testing.T, interval time.Duration) (*Discoverer, *Discoverer) {
+// clockA, when non-nil, is injected into node A's freshness accounting.
+func startPair(t *testing.T, interval time.Duration, clockA func() time.Time) (*Discoverer, *Discoverer) {
 	t.Helper()
 	// Bind both sockets first so each knows the other's UDP address.
 	connA, err := net.ListenPacket("udp", "127.0.0.1:0")
@@ -26,6 +48,7 @@ func startPair(t *testing.T, interval time.Duration) (*Discoverer, *Discoverer) 
 	da := New(Config{
 		Self: "nodeA", TCPAddr: "127.0.0.1:9001",
 		Listen: addrA, Targets: []string{addrB}, Interval: interval,
+		Clock: clockA,
 	})
 	db := New(Config{
 		Self: "nodeB", TCPAddr: "127.0.0.1:9002",
@@ -56,7 +79,7 @@ func waitFor(t *testing.T, cond func() bool, within time.Duration, what string) 
 }
 
 func TestMutualDiscovery(t *testing.T) {
-	da, db := startPair(t, 50*time.Millisecond)
+	da, db := startPair(t, 50*time.Millisecond, nil)
 	waitFor(t, func() bool { return len(da.Peers()) == 1 && len(db.Peers()) == 1 },
 		3*time.Second, "mutual discovery")
 	pa := da.Peers()[0]
@@ -112,10 +135,51 @@ func TestOnPeerFiresOncePerAppearance(t *testing.T) {
 }
 
 func TestPeerExpiry(t *testing.T) {
-	da, db := startPair(t, 30*time.Millisecond)
+	clk := newFakeClock()
+	da, db := startPair(t, 30*time.Millisecond, clk.Now)
 	waitFor(t, func() bool { return len(da.Peers()) == 1 }, 3*time.Second, "discovery")
 	db.Stop()
-	waitFor(t, func() bool { return len(da.Peers()) == 0 }, 3*time.Second, "expiry")
+	// Expiry is driven by the injected clock, not by sleeping through the
+	// TTL: each poll jumps well past it, so once B's last in-flight beacon
+	// has drained the registry must read empty.
+	waitFor(t, func() bool {
+		clk.Advance(time.Second)
+		return len(da.Peers()) == 0
+	}, 3*time.Second, "expiry")
+}
+
+// TestObserveWithInjectedClock exercises the registry state machine without
+// sockets: freshness, TTL expiry, and OnPeer re-fire are all a pure function
+// of the injected clock.
+func TestObserveWithInjectedClock(t *testing.T) {
+	clk := newFakeClock()
+	var fired []Peer
+	d := New(Config{
+		Self: "self", TCPAddr: "a", Listen: "127.0.0.1:0",
+		Interval: time.Second, // TTL defaults to 3s
+		OnPeer:   func(p Peer) { fired = append(fired, p) },
+		Clock:    clk.Now,
+	})
+	d.observe(beacon{Version: beaconVersion, ID: "peer", TCPAddr: "127.0.0.1:9300"})
+	if len(d.Peers()) != 1 || len(fired) != 1 {
+		t.Fatalf("after first beacon: peers=%v fired=%v", d.Peers(), fired)
+	}
+	// A beacon within the TTL refreshes without re-firing OnPeer.
+	clk.Advance(2 * time.Second)
+	d.observe(beacon{Version: beaconVersion, ID: "peer", TCPAddr: "127.0.0.1:9300"})
+	if len(fired) != 1 {
+		t.Fatalf("OnPeer re-fired within TTL: %v", fired)
+	}
+	// Silence past the TTL expires the peer.
+	clk.Advance(4 * time.Second)
+	if got := d.Peers(); len(got) != 0 {
+		t.Fatalf("peer should have expired, got %v", got)
+	}
+	// A re-appearance after expiry fires OnPeer again.
+	d.observe(beacon{Version: beaconVersion, ID: "peer", TCPAddr: "127.0.0.1:9300"})
+	if len(fired) != 2 {
+		t.Fatalf("OnPeer should re-fire after expiry, fired=%v", fired)
+	}
 }
 
 func TestIgnoresOwnAndMalformedBeacons(t *testing.T) {

@@ -56,6 +56,7 @@ func Encode(w io.Writer, r *replica.Replica) error {
 // EncodeSnapshot writes an already-captured snapshot to w in the wire format.
 func EncodeSnapshot(w io.Writer, snap *replica.Snapshot) error {
 	env := envelope{Magic: magic, Version: formatVersion, Snapshot: snap}
+	//lint:allow transientleak -- a snapshot restores the same host after a crash, so its own per-copy transient state (spray allowances, hop budgets) legitimately survives; nothing here crosses to another replica
 	if err := gob.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("persist: encode snapshot: %w", err)
 	}
@@ -92,13 +93,13 @@ func Save(path string, r *replica.Replica) error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after successful rename
+	defer os.Remove(tmpName) //lint:allow errdiscard -- best-effort scratch cleanup: a no-op after the rename commits, and a leftover temp file cannot corrupt the committed snapshot
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
+		tmp.Close() //lint:allow errdiscard -- the write error already aborts the save; the close failure on the doomed temp file adds nothing
 		return fmt.Errorf("persist: write %s: %w", tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //lint:allow errdiscard -- the sync error already aborts the save; the close failure on the doomed temp file adds nothing
 		return fmt.Errorf("persist: sync %s: %w", tmpName, err)
 	}
 	if err := tmp.Close(); err != nil {

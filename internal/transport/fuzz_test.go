@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/vclock"
+)
+
+// byteConn is a net.Conn that replays a fixed client transcript: reads drain
+// the recorded bytes then hit EOF, writes succeed and are discarded. Using it
+// instead of a real socket makes each fuzz exec a pure in-process parse —
+// microseconds instead of an I/O-deadline wait — while driving exactly the
+// code path a TCP peer reaches. Deadline behavior (slow-loris and friends)
+// is covered separately by robustness_test.go.
+type byteConn struct {
+	r bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return fuzzAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr               { return fuzzAddr{} }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+type fuzzAddr struct{}
+
+func (fuzzAddr) Network() string { return "fuzz" }
+func (fuzzAddr) String() string  { return "fuzz" }
+
+// FuzzServeConn feeds arbitrary bytes to the server side of an encounter:
+// the gob stream is the system's outermost parse-hostile surface, reachable
+// by anyone who can dial the TCP port. The invariant under test is that a
+// hostile or corrupt client transcript can never panic the handler — every
+// malformed frame must surface as an error, applied transactionally (nothing
+// half-ingested) — and that the handler always returns within its deadline.
+// The seed corpus under testdata/fuzz (regenerated with
+// `go test -tags corpusgen -run WriteFuzzCorpus`) includes a full valid
+// client transcript, so mutation explores the deep protocol path (hello →
+// request → reverse response), not just first-frame rejections.
+func FuzzServeConn(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Add(validClientTranscript(f)[:8]) // truncated mid-hello
+	f.Add(validClientTranscript(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := replica.New(replica.Config{ID: "srv", OwnAddresses: []string{"addr:srv"}})
+		r.CreateItem(item.Metadata{
+			Source: "addr:srv", Destinations: []string{"addr:peer"}, Kind: "message",
+		}, []byte("payload"))
+		srv := NewServer(r, 4)
+		srv.MaxWireBytes = 1 << 20
+
+		conn := &byteConn{}
+		conn.r.Reset(data)
+		// The only acceptable outcomes are a clean return or a protocol
+		// error; a panic fails the run.
+		_ = srv.serveConn(conn)
+
+		// Whatever the transcript did, the replica must remain internally
+		// consistent: a usable knowledge structure and a servable store.
+		if r.Knowledge() == nil {
+			t.Fatal("replica knowledge destroyed by hostile transcript")
+		}
+		probe := replica.New(replica.Config{ID: "probe", OwnAddresses: []string{"addr:probe"}})
+		resp := r.HandleSyncRequest(probe.MakeSyncRequest(0))
+		probe.ApplyBatch(resp)
+	})
+}
+
+// validClientTranscript builds the full byte stream an honest dialer sends
+// during one encounter: hello, sync request, reverse sync response — one
+// continuous gob stream, exactly as Encounter would produce against a peer
+// holding one message.
+func validClientTranscript(f testing.TB) []byte {
+	f.Helper()
+	registerWireTypes()
+	peer := replica.New(replica.Config{ID: "peer", OwnAddresses: []string{"addr:peer"}})
+	it := peer.CreateItem(item.Metadata{
+		Source: "addr:peer", Destinations: []string{"addr:srv"}, Kind: "message",
+	}, []byte("from peer"))
+
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(hello{Version: protocolVersion, ID: "peer"}); err != nil {
+		f.Fatal(err)
+	}
+	req := peer.MakeSyncRequest(4)
+	if err := enc.Encode(req); err != nil {
+		f.Fatal(err)
+	}
+	know := vclock.NewKnowledge()
+	know.Add(it.Version)
+	resp := &replica.SyncResponse{
+		SourceID: "peer",
+		Items: []replica.BatchItem{{
+			Item:      it,
+			Transient: item.Transient{}.Set(item.FieldHops, 1),
+		}},
+		LearnedKnowledge: know,
+	}
+	if err := enc.Encode(resp); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServeConnRejectsMalformedFrames pins the validation layer the fuzzer
+// exercises probabilistically: structurally malformed frames that gob
+// decodes happily — nil knowledge, negative budgets, nil batch items — must
+// be rejected at the transport boundary with nothing applied, because the
+// replica's in-process contract assumes they cannot occur.
+func TestServeConnRejectsMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		req  *replica.SyncRequest
+		resp *replica.SyncResponse
+	}{
+		{name: "nil knowledge", req: &replica.SyncRequest{TargetID: "evil"}},
+		{name: "negative max items", req: &replica.SyncRequest{
+			TargetID: "evil", Knowledge: vclock.NewKnowledge(), MaxItems: -1,
+		}},
+		{name: "negative max bytes", req: &replica.SyncRequest{
+			TargetID: "evil", Knowledge: vclock.NewKnowledge(), MaxBytes: -1,
+		}},
+		{name: "nil batch item", req: &replica.SyncRequest{
+			TargetID: "evil", Knowledge: vclock.NewKnowledge(), Filter: filter.All{},
+		}, resp: &replica.SyncResponse{
+			SourceID: "evil", Items: []replica.BatchItem{{Item: nil}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := replica.New(replica.Config{ID: "srv", OwnAddresses: []string{"addr:srv"}})
+			srv := NewServer(r, 4)
+			srv.IOTimeout = 2 * time.Second
+			errc := make(chan error, 1)
+			srv.OnError = func(err error) { errc <- err }
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			conn, err := netDial(addr.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			enc := gob.NewEncoder(conn)
+			dec := gob.NewDecoder(conn)
+			if err := enc.Encode(hello{Version: protocolVersion, ID: "evil"}); err != nil {
+				t.Fatal(err)
+			}
+			var peerHello hello
+			if err := dec.Decode(&peerHello); err != nil {
+				t.Fatal(err)
+			}
+			if err := enc.Encode(tc.req); err != nil {
+				t.Fatal(err)
+			}
+			if tc.resp != nil {
+				// The request was valid; walk the protocol to the reverse
+				// leg and deliver the malformed response there.
+				var legResp replica.SyncResponse
+				if err := dec.Decode(&legResp); err != nil {
+					t.Fatal(err)
+				}
+				var revReq replica.SyncRequest
+				if err := dec.Decode(&revReq); err != nil {
+					t.Fatal(err)
+				}
+				if err := enc.Encode(tc.resp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Fatal("server accepted malformed frame")
+				}
+			case <-time.After(3 * time.Second):
+				t.Fatal("server reported no protocol error")
+			}
+			total, _, _ := r.StoreLen()
+			if total != 0 {
+				t.Fatalf("malformed exchange mutated the store: %d items", total)
+			}
+		})
+	}
+}

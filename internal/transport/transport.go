@@ -114,7 +114,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		ln.Close() //lint:allow errdiscard -- losing the race with Close: the socket was never exposed, so there is no caller to report a close failure to
 		return nil, errors.New("transport: server closed")
 	}
 	s.listener = ln
@@ -135,7 +135,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer conn.Close() //lint:allow errdiscard -- teardown after the batch committed or failed transactionally; a close error cannot un-apply it and serveConn already surfaced any real fault via OnError
 			// Errors are per-connection: a misbehaving peer must not take
 			// down the server.
 			if err := s.serveConn(conn); err != nil && s.OnError != nil {
@@ -143,6 +143,34 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			}
 		}()
 	}
+}
+
+// validateRequest rejects structurally malformed sync requests before they
+// reach the replica. gob happily decodes a frame with fields omitted or
+// forged, and the replica's in-process contract (non-nil knowledge,
+// non-negative budgets) must not be enforceable by a hostile peer's byte
+// stream: a nil knowledge would panic HandleSyncRequest, and a negative
+// MaxItems would bypass the server's batch clamp.
+func validateRequest(req *replica.SyncRequest) error {
+	if req.Knowledge == nil {
+		return errors.New("sync request missing knowledge")
+	}
+	if req.MaxItems < 0 || req.MaxBytes < 0 {
+		return fmt.Errorf("sync request with negative budget (items %d, bytes %d)", req.MaxItems, req.MaxBytes)
+	}
+	return nil
+}
+
+// validateResponse rejects structurally malformed sync responses before
+// ApplyBatch, which documents that it is only ever handed complete, valid
+// batches: a nil item pointer in a decoded batch would panic it.
+func validateResponse(resp *replica.SyncResponse) error {
+	for i := range resp.Items {
+		if resp.Items[i].Item == nil {
+			return fmt.Errorf("batch item %d missing item", i)
+		}
+	}
+	return nil
 }
 
 // serveConn handles one encounter from the accepting side. Batch application
@@ -179,10 +207,14 @@ func (s *Server) serveConn(conn net.Conn) error {
 	if err := dec.Decode(&req); err != nil {
 		return fmt.Errorf("transport: read sync request: %w", err)
 	}
+	if err := validateRequest(&req); err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
 	if s.maxItems > 0 && (req.MaxItems == 0 || req.MaxItems > s.maxItems) {
 		req.MaxItems = s.maxItems
 	}
 	resp := s.replica.HandleSyncRequest(&req)
+	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient (e.g. a halved spray allowance): an explicit field of the wire protocol, not a leak of host-local state
 	if err := enc.Encode(resp); err != nil {
 		return fmt.Errorf("transport: write sync response: %w", err)
 	}
@@ -195,6 +227,9 @@ func (s *Server) serveConn(conn net.Conn) error {
 	var theirResp replica.SyncResponse
 	if err := dec.Decode(&theirResp); err != nil {
 		return fmt.Errorf("transport: read reverse response: %w", err)
+	}
+	if err := validateResponse(&theirResp); err != nil {
+		return fmt.Errorf("transport: %w", err)
 	}
 	apply := s.replica.ApplyBatch(&theirResp)
 	if err := enc.Encode(done{Applied: apply.Stored + apply.Relayed + apply.Tombstones}); err != nil {
@@ -228,7 +263,7 @@ func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Durat
 	if err != nil {
 		return out, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	defer conn.Close()
+	defer conn.Close() //lint:allow errdiscard -- teardown after the encounter committed or failed transactionally; the exchange's own errors are already returned to the caller
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
@@ -253,6 +288,9 @@ func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Durat
 	if err := dec.Decode(&resp); err != nil {
 		return out, fmt.Errorf("transport: read sync response: %w", err)
 	}
+	if err := validateResponse(&resp); err != nil {
+		return out, fmt.Errorf("transport: %w", err)
+	}
 	out.BtoA.Sent = len(resp.Items)
 	out.BtoA.Truncated = resp.Truncated
 	out.BtoA.Apply = r.ApplyBatch(&resp)
@@ -262,7 +300,11 @@ func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Durat
 	if err := dec.Decode(&theirReq); err != nil {
 		return out, fmt.Errorf("transport: read reverse request: %w", err)
 	}
+	if err := validateRequest(&theirReq); err != nil {
+		return out, fmt.Errorf("transport: %w", err)
+	}
 	ourResp := r.HandleSyncRequest(&theirReq)
+	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient: an explicit field of the wire protocol, not a leak of host-local state
 	if err := enc.Encode(ourResp); err != nil {
 		return out, fmt.Errorf("transport: write reverse response: %w", err)
 	}

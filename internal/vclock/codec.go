@@ -77,6 +77,12 @@ func decodeDoc(data []byte) (knowledgeDoc, error) {
 		if err != nil {
 			return doc, err
 		}
+		// Every sequence costs at least one byte, so a count exceeding the
+		// remaining input is forged — reject it before trusting it as an
+		// allocation size.
+		if nSeqs > uint64(len(data)-pos) {
+			return doc, errTruncated
+		}
 		seqs := make([]uint64, 0, nSeqs)
 		for j := uint64(0); j < nSeqs; j++ {
 			s, err := readUvarint(data, &pos)

@@ -1,0 +1,217 @@
+package vclock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The knowledge codec is one of the two parse-hostile surfaces in the system
+// (the other is the transport's gob stream): every byte of a knowledge
+// encoding arrives from a peer, so decoding must never panic, never trust a
+// forged count as an allocation size, and always yield a canonical structure
+// whose Merge/Equal/Count behave as set operations. These fuzz targets
+// complement the static dtnlint pass with dynamic checking; `make fuzz-smoke`
+// runs them briefly on every CI run, and the seed corpus under testdata/fuzz
+// (regenerated with `go test -tags corpusgen -run WriteFuzzCorpus`) pins the
+// interesting shapes: canonical, non-canonical, truncated, forged-count.
+
+// decodeCanonical unmarshals data, reporting ok=false for invalid encodings.
+func decodeCanonical(t *testing.T, data []byte) (*Knowledge, bool) {
+	t.Helper()
+	k := NewKnowledge()
+	if err := k.UnmarshalBinary(data); err != nil {
+		return nil, false
+	}
+	return k, true
+}
+
+// checkCanonical fails the test unless k is in canonical form: no zero base
+// entries, no exception at or below the base, no exception contiguous with
+// the base, no empty exception sets.
+func checkCanonical(t *testing.T, k *Knowledge, what string) {
+	t.Helper()
+	for r, s := range k.base {
+		if s == 0 {
+			t.Fatalf("%s: zero base entry for %q", what, r)
+		}
+	}
+	for r, ex := range k.extra {
+		if len(ex) == 0 {
+			t.Fatalf("%s: empty exception set for %q", what, r)
+		}
+		for s := range ex {
+			if s <= k.base[r] {
+				t.Fatalf("%s: exception %s:%d at or below base %d", what, r, s, k.base[r])
+			}
+			if s == k.base[r]+1 {
+				t.Fatalf("%s: exception %s:%d contiguous with base %d (not compacted)", what, r, s, k.base[r])
+			}
+		}
+	}
+}
+
+// sampleVersions returns a bounded sample of the versions k contains: for
+// each replica the first few and the last base version, plus every
+// exception. Bounded so a fuzzed base seq of 2^60 cannot make the test
+// enumerate forever.
+func sampleVersions(k *Knowledge) []Version {
+	var vs []Version
+	for r, s := range k.base {
+		lo := uint64(1)
+		for q := lo; q <= s && q <= lo+8; q++ {
+			vs = append(vs, Version{Replica: r, Seq: q})
+		}
+		vs = append(vs, Version{Replica: r, Seq: s})
+	}
+	for r, ex := range k.extra {
+		for s := range ex {
+			vs = append(vs, Version{Replica: r, Seq: s})
+		}
+	}
+	return vs
+}
+
+func FuzzKnowledgeDecode(f *testing.F) {
+	for _, seed := range decodeSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, ok := decodeCanonical(t, data)
+		if !ok {
+			return // invalid encodings must only error, never panic
+		}
+		checkCanonical(t, k, "decoded")
+
+		// Marshal is deterministic: equal knowledge, equal bytes.
+		enc1, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal decoded knowledge: %v", err)
+		}
+		enc2, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("marshal not deterministic: %x vs %x", enc1, enc2)
+		}
+
+		// Decode∘encode round-trips to the same version set.
+		back := NewKnowledge()
+		if err := back.UnmarshalBinary(enc1); err != nil {
+			t.Fatalf("re-decode canonical encoding: %v", err)
+		}
+		if !back.Equal(k) {
+			t.Fatalf("round-trip changed knowledge: %v -> %v", k, back)
+		}
+
+		// Contains agrees with the structure for a bounded sample.
+		for _, v := range sampleVersions(k) {
+			if !k.Contains(v) {
+				t.Fatalf("decoded knowledge %v does not contain its own version %v", k, v)
+			}
+		}
+		if k.Contains(Version{}) {
+			t.Fatal("knowledge contains the zero sentinel version")
+		}
+	})
+}
+
+func FuzzKnowledgeMerge(f *testing.F) {
+	seeds := decodeSeeds()
+	for i, a := range seeds {
+		f.Add(a, seeds[(i+1)%len(seeds)])
+	}
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a, ok := decodeCanonical(t, da)
+		if !ok {
+			return
+		}
+		b, ok := decodeCanonical(t, db)
+		if !ok {
+			return
+		}
+
+		// Merge is commutative: a∪b == b∪a (decode fresh copies, Merge
+		// mutates the receiver).
+		ab, _ := decodeCanonical(t, da)
+		ab.Merge(b)
+		ba, _ := decodeCanonical(t, db)
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("merge not commutative:\n a=%v\n b=%v\n a∪b=%v\n b∪a=%v", a, b, ab, ba)
+		}
+		checkCanonical(t, ab, "merged")
+
+		// Merge never forgets: every sampled version of either input is
+		// contained in the union.
+		for _, v := range append(sampleVersions(a), sampleVersions(b)...) {
+			if !ab.Contains(v) {
+				t.Fatalf("merge forgot %v:\n a=%v\n b=%v\n a∪b=%v", v, a, b, ab)
+			}
+		}
+
+		// Count(a∪b) equals the size of the set union, computed
+		// independently: element-wise max of the bases plus the distinct
+		// exceptions above that joint base. Exception folding during Merge
+		// must preserve this (each fold trades one exception for one base
+		// increment).
+		union := a.Base()
+		union.Merge(b.Base())
+		distinct := make(map[Version]struct{})
+		for _, k := range []*Knowledge{a, b} {
+			for r, ex := range k.extra {
+				for s := range ex {
+					if s > union[r] {
+						distinct[Version{Replica: r, Seq: s}] = struct{}{}
+					}
+				}
+			}
+		}
+		var want uint64
+		for _, s := range union {
+			want += s
+		}
+		want += uint64(len(distinct))
+		if got := ab.Count(); got != want {
+			t.Fatalf("merged count %d, want %d:\n a=%v\n b=%v\n a∪b=%v", got, want, a, b, ab)
+		}
+
+		// Merge is idempotent: folding b in again changes nothing.
+		again, _ := decodeCanonical(t, da)
+		again.Merge(b)
+		again.Merge(b)
+		if !again.Equal(ab) {
+			t.Fatalf("merge not idempotent:\n a∪b=%v\n (a∪b)∪b=%v", ab, again)
+		}
+	})
+}
+
+// decodeSeeds returns the in-code seed corpus: the same shapes the
+// checked-in testdata/fuzz corpus pins (see corpusgen_test.go).
+func decodeSeeds() [][]byte {
+	empty := NewKnowledge()
+	encEmpty, _ := empty.MarshalBinary()
+
+	k := NewKnowledge()
+	for s := uint64(1); s <= 5; s++ {
+		k.Add(Version{Replica: "a", Seq: s})
+	}
+	for _, s := range []uint64{1, 2, 3, 5, 7} {
+		k.Add(Version{Replica: "b", Seq: s})
+	}
+	encTypical, _ := k.MarshalBinary()
+
+	return [][]byte{
+		encEmpty,
+		encTypical,
+		// Non-canonical: base {a:5}, exceptions {a:[2,6]} — 2 is below the
+		// base, 6 is contiguous with it; decode must canonicalize both away.
+		[]byte("\x01\x01a\x05\x01\x01a\x02\x02\x06"),
+		// Truncated: claims five base entries, supplies none.
+		[]byte("\x05\x01a"),
+		// Forged exception count: claims 2^31 sequences in two bytes.
+		[]byte("\x00\x01\x01a\x80\x80\x80\x80\x08"),
+		// Trailing garbage after a valid empty document.
+		[]byte("\x00\x00\xff"),
+	}
+}

@@ -259,7 +259,13 @@ func (k *Knowledge) MarshalBinary() ([]byte, error) {
 	return encodeDoc(doc)
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Decoded knowledge
+// is canonicalized — zero base entries dropped, exceptions at or below the
+// base discarded, contiguous exceptions folded into the base — because the
+// bytes come from a peer: a malformed or adversarial encoding must not
+// produce a Knowledge whose Count double-counts versions or whose Equal
+// disagrees with set equality. Encodings produced by MarshalBinary are
+// already canonical, so for honest peers this is a no-op.
 func (k *Knowledge) UnmarshalBinary(data []byte) error {
 	doc, err := decodeDoc(data)
 	if err != nil {
@@ -269,15 +275,28 @@ func (k *Knowledge) UnmarshalBinary(data []byte) error {
 	if k.base == nil {
 		k.base = NewVector()
 	}
+	for r, s := range k.base {
+		if s == 0 {
+			delete(k.base, r)
+		}
+	}
 	// The decoded maps are freshly built, so any previous sharing ends here.
 	k.shared = false
 	k.extra = make(map[ReplicaID]map[uint64]struct{}, len(doc.Extra))
 	for r, seqs := range doc.Extra {
 		ex := make(map[uint64]struct{}, len(seqs))
 		for _, s := range seqs {
+			if s == 0 || s <= k.base[r] {
+				continue
+			}
 			ex[s] = struct{}{}
 		}
-		k.extra[r] = ex
+		if len(ex) > 0 {
+			k.extra[r] = ex
+		}
+	}
+	for r := range k.extra {
+		k.compact(r)
 	}
 	return nil
 }
