@@ -6,7 +6,7 @@
 //
 //	dtnnode -id alice -addr user:alice -listen 127.0.0.1:7701 \
 //	        -peers 127.0.0.1:7702,127.0.0.1:7703 -policy epidemic \
-//	        -data alice.snap
+//	        -data alice.snap -debug-addr 127.0.0.1:8701
 //
 // Console commands (stdin):
 //
@@ -20,6 +20,11 @@
 // the background, making a small always-on gossip mesh. With -data set, the
 // replica state (items, knowledge, routing state) persists across restarts,
 // so a restarted node never re-accepts messages it already received.
+//
+// With -debug-addr set, the node serves an HTTP observability endpoint:
+// /metrics (counters, gauges, histograms, and recent sync spans as JSON),
+// /healthz, /peers, /debug/vars (expvar), and /debug/pprof/* (see debug.go
+// for the response schemas).
 package main
 
 import (
@@ -27,13 +32,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"replidtn/internal/discovery"
 	"replidtn/internal/messaging"
+	"replidtn/internal/obs"
 	"replidtn/internal/persist"
+	"replidtn/internal/replica"
 	"replidtn/internal/routing"
 	"replidtn/internal/routing/epidemic"
 	"replidtn/internal/routing/maxprop"
@@ -54,6 +63,7 @@ func main() {
 		dataPath   = flag.String("data", "", "snapshot file for durable state (empty = in-memory only)")
 		discListen = flag.String("discover-listen", "", "UDP address for peer discovery beacons (empty = disabled)")
 		discPeers  = flag.String("discover-peers", "", "comma-separated UDP beacon targets")
+		debugAddr  = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /peers, /debug/* (empty = disabled)")
 	)
 	flag.Parse()
 	if *id == "" || *addr == "" {
@@ -64,6 +74,7 @@ func main() {
 		id: *id, addr: *addr, listen: *listen, peers: splitPeers(*peers),
 		policy: *policy, syncEvery: *syncEvery, dataPath: *dataPath,
 		discoverListen: *discListen, discoverPeers: splitPeers(*discPeers),
+		debugAddr: *debugAddr, syncOnDiscover: true,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "dtnnode: %v\n", err)
@@ -112,131 +123,212 @@ type options struct {
 	dataPath         string
 	discoverListen   string
 	discoverPeers    []string
+	debugAddr        string
+	// syncOnDiscover triggers an immediate encounter when discovery reports a
+	// fresh peer. On for the CLI; tests disable it to drive syncs explicitly.
+	syncOnDiscover bool
+	// out receives console and status output (nil = os.Stdout).
+	out io.Writer
 }
 
-func run(opts options) error {
-	id, addr, listen, peers, policyName := opts.id, opts.addr, opts.listen, opts.peers, opts.policy
-	syncEvery, dataPath := opts.syncEvery, opts.dataPath
-	pol, err := buildPolicy(policyName, id, addr)
+// node is one running dtnnode: the messaging endpoint, its transport server,
+// optional discovery and debug HTTP servers, and the shared metrics they all
+// report into. Built by newNode, torn down by close.
+type node struct {
+	opts    options
+	metrics *obs.NodeMetrics
+	ep      *messaging.Endpoint
+	srv     *transport.Server
+	bound   net.Addr
+	disc    *discovery.Discoverer
+	debug   *debugServer
+	save    func()
+	started time.Time
+	out     io.Writer
+}
+
+// newNode builds and starts every subsystem: restores durable state, listens
+// for encounters, and (when configured) launches discovery beacons and the
+// debug HTTP endpoint. The caller owns the result and must close it.
+func newNode(opts options) (n *node, err error) {
+	pol, err := buildPolicy(opts.policy, opts.id, opts.addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	ep := messaging.NewEndpoint(messaging.Config{
-		NodeID:    vclock.ReplicaID(id),
-		Addresses: []string{addr},
-		Policy:    pol,
-		Now:       func() int64 { return time.Now().Unix() },
+	n = &node{
+		opts:    opts,
+		metrics: &obs.NodeMetrics{},
+		save:    func() {},
+		started: time.Now(),
+		out:     opts.out,
+	}
+	if n.out == nil {
+		n.out = os.Stdout
+	}
+	defer func() {
+		if err != nil {
+			n.close()
+		}
+	}()
+	n.ep = messaging.NewEndpoint(messaging.Config{
+		NodeID:       vclock.ReplicaID(opts.id),
+		Addresses:    []string{opts.addr},
+		Policy:       pol,
+		Now:          func() int64 { return time.Now().Unix() },
+		Metrics:      &n.metrics.Replica,
+		StoreMetrics: &n.metrics.Store,
 		OnReceive: func(r messaging.Received) {
-			fmt.Printf("<< message from %s: %s\n", r.Message.From, r.Message.Body)
+			fmt.Fprintf(n.out, "<< message from %s: %s\n", r.Message.From, r.Message.Body)
 		},
 	})
-	save := func() {}
-	if dataPath != "" {
-		if snap, err := persist.LoadSnapshot(dataPath); err == nil {
-			if err := ep.Replica().RestoreSnapshot(snap); err != nil {
-				return fmt.Errorf("restore %s: %w", dataPath, err)
+	if opts.dataPath != "" {
+		if snap, err := persist.LoadSnapshot(opts.dataPath); err == nil {
+			if err := n.ep.Replica().RestoreSnapshot(snap); err != nil {
+				return nil, fmt.Errorf("restore %s: %w", opts.dataPath, err)
 			}
-			fmt.Printf("restored state from %s\n", dataPath)
+			fmt.Fprintf(n.out, "restored state from %s\n", opts.dataPath)
 		} else if !errors.Is(err, persist.ErrNotExist) {
-			return err
+			return nil, err
 		}
-		save = func() {
-			if err := persist.Save(dataPath, ep.Replica()); err != nil {
+		n.save = func() {
+			if err := persist.Save(opts.dataPath, n.ep.Replica()); err != nil {
 				fmt.Fprintf(os.Stderr, "!! persist: %v\n", err)
 			}
 		}
-		defer save()
 	}
 
-	srv := transport.NewServer(ep.Replica(), 0)
-	srv.OnError = func(err error) { fmt.Fprintf(os.Stderr, "!! %v\n", err) }
-	bound, err := srv.Listen(listen)
-	if err != nil {
-		return err
+	n.srv = transport.NewServer(n.ep.Replica(), 0)
+	n.srv.OnError = func(err error) { fmt.Fprintf(os.Stderr, "!! %v\n", err) }
+	n.srv.Metrics = &n.metrics.Transport
+	if n.bound, err = n.srv.Listen(opts.listen); err != nil {
+		return nil, err
 	}
-	defer srv.Close()
-	fmt.Printf("node %s (%s, policy %s) listening on %s\n", id, addr, policyName, bound)
 
-	var disc *discovery.Discoverer
 	if opts.discoverListen != "" {
-		disc = discovery.New(discovery.Config{
-			Self:    vclock.ReplicaID(id),
-			TCPAddr: bound.String(),
+		n.disc = discovery.New(discovery.Config{
+			Self:    vclock.ReplicaID(opts.id),
+			TCPAddr: n.bound.String(),
 			Listen:  opts.discoverListen,
 			Targets: opts.discoverPeers,
+			Metrics: &n.metrics.Discovery,
 			OnPeer: func(p discovery.Peer) {
-				fmt.Printf("** discovered %s at %s\n", p.ID, p.Addr)
-				if _, err := transport.Encounter(ep.Replica(), p.Addr, 0, 5*time.Second); err != nil {
-					fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", p.Addr, err)
+				fmt.Fprintf(n.out, "** discovered %s at %s\n", p.ID, p.Addr)
+				if opts.syncOnDiscover {
+					if _, err := n.encounter(p.Addr); err != nil {
+						fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", p.Addr, err)
+					}
 				}
 			},
 		})
-		udpAddr, err := disc.Start()
+		udpAddr, err := n.disc.Start()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer disc.Stop()
-		fmt.Printf("discovery beacons on %s\n", udpAddr)
+		fmt.Fprintf(n.out, "discovery beacons on %s\n", udpAddr)
 	}
 
-	syncAll := func() {
-		targets := append([]string(nil), peers...)
-		if disc != nil {
-			targets = append(targets, disc.Addrs()...)
+	if opts.debugAddr != "" {
+		if n.debug, err = startDebug(opts.debugAddr, n); err != nil {
+			return nil, err
 		}
-		for _, peer := range targets {
-			if _, err := transport.Encounter(ep.Replica(), peer, 0, 5*time.Second); err != nil {
-				fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", peer, err)
-			}
-		}
-		save()
+		fmt.Fprintf(n.out, "debug endpoint on http://%s/metrics\n", n.debug.addr)
 	}
-	if syncEvery > 0 {
-		ticker := time.NewTicker(syncEvery)
+	return n, nil
+}
+
+// close tears down whatever newNode started, saving durable state last.
+func (n *node) close() {
+	if n.debug != nil {
+		n.debug.close()
+	}
+	if n.disc != nil {
+		n.disc.Stop()
+	}
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	n.save()
+}
+
+// encounter dials one peer with the node's transport metrics attached.
+func (n *node) encounter(addr string) (replica.EncounterResult, error) {
+	return transport.EncounterOpts(n.ep.Replica(), addr, 0, 5*time.Second,
+		transport.DialOptions{Metrics: &n.metrics.Transport})
+}
+
+// syncAll encounters every configured and discovered peer once.
+func (n *node) syncAll() {
+	targets := append([]string(nil), n.opts.peers...)
+	if n.disc != nil {
+		targets = append(targets, n.disc.Addrs()...)
+	}
+	for _, peer := range targets {
+		if _, err := n.encounter(peer); err != nil {
+			fmt.Fprintf(os.Stderr, "!! sync %s: %v\n", peer, err)
+		}
+	}
+	n.save()
+}
+
+func run(opts options) error {
+	n, err := newNode(opts)
+	if err != nil {
+		return err
+	}
+	defer n.close()
+	fmt.Fprintf(n.out, "node %s (%s, policy %s) listening on %s\n",
+		opts.id, opts.addr, opts.policy, n.bound)
+
+	if opts.syncEvery > 0 {
+		ticker := time.NewTicker(opts.syncEvery)
 		defer ticker.Stop()
 		go func() {
 			for range ticker.C {
-				syncAll()
+				n.syncAll()
 			}
 		}()
 	}
+	return n.console(os.Stdin)
+}
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("> ")
+// console runs the interactive command loop until quit or EOF.
+func (n *node) console(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(n.out, "> ")
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
-			fmt.Print("> ")
+			fmt.Fprint(n.out, "> ")
 			continue
 		}
 		switch fields[0] {
 		case "send":
 			if len(fields) < 3 {
-				fmt.Println("usage: send <to-address> <text...>")
+				fmt.Fprintln(n.out, "usage: send <to-address> <text...>")
 				break
 			}
 			body := strings.Join(fields[2:], " ")
-			if _, err := ep.Send(addr, []string{fields[1]}, []byte(body)); err != nil {
-				fmt.Printf("!! %v\n", err)
+			if _, err := n.ep.Send(n.opts.addr, []string{fields[1]}, []byte(body)); err != nil {
+				fmt.Fprintf(n.out, "!! %v\n", err)
 			} else {
-				save()
-				fmt.Println("queued")
+				n.save()
+				fmt.Fprintln(n.out, "queued")
 			}
 		case "sync":
-			syncAll()
-			fmt.Println("synced")
+			n.syncAll()
+			fmt.Fprintln(n.out, "synced")
 		case "inbox":
-			for i, r := range ep.Inbox() {
-				fmt.Printf("%3d %s -> %s: %s\n", i+1, r.Message.From, r.At, r.Message.Body)
+			for i, r := range n.ep.Inbox() {
+				fmt.Fprintf(n.out, "%3d %s -> %s: %s\n", i+1, r.Message.From, r.At, r.Message.Body)
 			}
 		case "stats":
-			fmt.Printf("%+v\n", ep.Replica().Stats())
+			fmt.Fprintf(n.out, "%+v\n", n.ep.Replica().Stats())
 		case "quit", "exit":
 			return nil
 		default:
-			fmt.Println("commands: send, sync, inbox, stats, quit")
+			fmt.Fprintln(n.out, "commands: send, sync, inbox, stats, quit")
 		}
-		fmt.Print("> ")
+		fmt.Fprint(n.out, "> ")
 	}
 	return sc.Err()
 }

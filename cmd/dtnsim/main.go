@@ -25,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"replidtn/internal/experiment"
 	"replidtn/internal/fault"
 	"replidtn/internal/metrics"
+	"replidtn/internal/obs"
 	"replidtn/internal/trace"
 )
 
@@ -47,6 +49,7 @@ func main() {
 		faultSpec  = flag.String("faults", "", `fault injection spec, e.g. "drop=0.3,cutoff=0.25,cutoff-items=2,crash=0.01" ("" or "off" disables)`)
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed (same seed = same faults)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		obsDump    = flag.Bool("metrics", false, "dump aggregated replica/store observability counters as JSON to stderr at exit")
 	)
 	flag.Parse()
 	faults, err := fault.Parse(*faultSpec)
@@ -68,14 +71,32 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*name, *small, *seed, *traceDir, *workers, faults); err != nil {
+	var nm *obs.NodeMetrics
+	if *obsDump {
+		nm = &obs.NodeMetrics{}
+	}
+	if err := run(*name, *small, *seed, *traceDir, *workers, faults, nm); err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
 		os.Exit(1)
 	}
+	if nm != nil {
+		dumpObs(os.Stderr, nm)
+	}
 }
 
-func run(name string, small bool, seed int64, traceDir string, workers int, faults fault.Config) error {
+// dumpObs renders the aggregated counters as indented JSON. The dump goes to
+// stderr so experiment tables on stdout stay byte-comparable across runs.
+func dumpObs(w *os.File, nm *obs.NodeMetrics) {
+	out, err := json.MarshalIndent(nm.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "dtnsim: metrics dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "== observability counters (aggregated over all nodes and runs) ==\n%s\n", out)
+}
+
+func run(name string, small bool, seed int64, traceDir string, workers int, faults fault.Config, nm *obs.NodeMetrics) error {
 	tr, err := buildTrace(small, seed, traceDir)
 	if err != nil {
 		return err
@@ -83,6 +104,7 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 	params := emu.DefaultParams()
 	ww := experiment.WithWorkers(workers)
 	wf := experiment.WithFaults(faults)
+	wo := experiment.WithObs(nm)
 	if faults.Enabled() {
 		fmt.Fprintf(os.Stdout, "[faults: %s]\n", faults)
 	}
@@ -90,14 +112,14 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 
 	switch name {
 	case "all":
-		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers, Faults: faults}
+		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers, Faults: faults, Obs: nm}
 		return suite.RunAll(out)
 	case "table1":
 		fmt.Fprint(out, experiment.FormatTable1(experiment.Table1()))
 	case "table2":
 		fmt.Fprint(out, experiment.FormatTable2(params))
 	case "fig5", "fig6":
-		fs, err := experiment.RunFilterSweep(tr, nil, ww, wf)
+		fs, err := experiment.RunFilterSweep(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
@@ -109,7 +131,7 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 				metrics.FormatTable("k", fs.Fig6()))
 		}
 	case "fig7a", "fig7b", "fig8":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo)
 		if err != nil {
 			return err
 		}
@@ -125,21 +147,21 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 				experiment.FormatFig8(ps.Fig8()))
 		}
 	case "fig9":
-		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww, wf)
+		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "fig10":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww, wf)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 10: delay CDF under storage constraint (2 relayed msgs/node)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "summary":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo)
 		if err != nil {
 			return err
 		}
@@ -148,56 +170,56 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 	case "fault-sweep":
 		// The sweep injects its own fault grid; -faults selects nothing here,
 		// but -fault-seed still picks the schedule.
-		rows, err := experiment.RunFaultSweep(tr, faults.Seed, nil, nil, ww)
+		rows, err := experiment.RunFaultSweep(tr, faults.Seed, nil, nil, ww, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fault sweep: delivery vs encounter drop probability and cutoff budget (seed %d)\n%s",
 			faults.Seed, experiment.FormatFaultSweep(rows))
 	case "ablation-ttl":
-		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww, wf)
+		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: epidemic TTL", rows))
 	case "ablation-copies":
-		rows, err := experiment.AblationSprayCopies(tr, nil, ww, wf)
+		rows, err := experiment.AblationSprayCopies(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: spray copy allowance", rows))
 	case "ablation-threshold":
-		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww, wf)
+		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: MaxProp hop threshold (1 msg/encounter)", rows))
 	case "ablation-bandwidth":
-		rows, err := experiment.AblationBandwidth(tr, nil, ww, wf)
+		rows, err := experiment.AblationBandwidth(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter budget (epidemic)", rows))
 	case "ablation-storage":
-		rows, err := experiment.AblationStorage(tr, nil, ww, wf)
+		rows, err := experiment.AblationStorage(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay capacity (epidemic)", rows))
 	case "ablation-bytes":
-		rows, err := experiment.AblationByteBudget(tr, nil, ww, wf)
+		rows, err := experiment.AblationByteBudget(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter byte budget (epidemic, 1KiB msgs)", rows))
 	case "ablation-lifetime":
-		rows, err := experiment.AblationLifetime(tr, nil, ww, wf)
+		rows, err := experiment.AblationLifetime(tr, nil, ww, wf, wo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: bounded message lifetime (epidemic)", rows))
 	case "ablation-eviction":
-		rows, err := experiment.AblationEviction(tr, ww, wf)
+		rows, err := experiment.AblationEviction(tr, ww, wf, wo)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"replidtn/internal/fault"
+	"replidtn/internal/obs"
 )
 
 func TestRunKnownExperiments(t *testing.T) {
@@ -13,16 +16,40 @@ func TestRunKnownExperiments(t *testing.T) {
 	for i, name := range []string{"table1", "table2", "fig8", "ablation-eviction", "fault-sweep"} {
 		name := name
 		workers := (i % 2) * 4
+		emulates := name != "table1" && name != "table2"
 		t.Run(name, func(t *testing.T) {
-			if err := run(name, true, 1, "", workers, fault.Config{}); err != nil {
+			nm := &obs.NodeMetrics{}
+			if err := run(name, true, 1, "", workers, fault.Config{}, nm); err != nil {
 				t.Fatalf("run(%q): %v", name, err)
+			}
+			if synced := nm.Replica.SyncsInitiated.Value() > 0; synced != emulates {
+				t.Errorf("run(%q) synced=%v, want %v (SyncsInitiated=%d)",
+					name, synced, emulates, nm.Replica.SyncsInitiated.Value())
 			}
 		})
 	}
 }
 
+func TestDumpObs(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := &obs.NodeMetrics{}
+	nm.Replica.SyncsInitiated.Add(3)
+	dumpObs(f, nm)
+	out, err := os.ReadFile(f.Name())
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"syncs_initiated": 3`) {
+		t.Errorf("dump missing counter:\n%s", out)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, "", 0, fault.Config{}); err == nil {
+	if err := run("fig99", true, 1, "", 0, fault.Config{}, nil); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -53,7 +80,7 @@ func TestRunWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Seed = 7
-	if err := run("fig8", true, 1, "", 2, cfg); err != nil {
+	if err := run("fig8", true, 1, "", 2, cfg, nil); err != nil {
 		t.Fatalf("faulted run: %v", err)
 	}
 }

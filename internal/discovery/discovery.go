@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"replidtn/internal/obs"
 	"replidtn/internal/vclock"
 )
 
@@ -64,10 +65,14 @@ type Config struct {
 	// (default time.Now). Tests inject a fake clock to drive expiry
 	// deterministically instead of sleeping through real TTLs.
 	Clock func() time.Time
+	// Metrics, when set, receives beacon counters and the live-peer gauge.
+	// Nil disables instrumentation.
+	Metrics *obs.DiscoveryMetrics
 }
 
 // Discoverer runs the beacon sender and listener. Create with New, then
-// Start; Stop shuts both down.
+// Start; Stop shuts both down. A stopped Discoverer can be started again —
+// the peer registry survives the gap, subject to normal TTL expiry.
 type Discoverer struct {
 	cfg  Config
 	conn net.PacketConn
@@ -111,6 +116,9 @@ func (d *Discoverer) Start() (net.Addr, error) {
 	}
 	d.conn = conn
 	d.started = true
+	// Stop closed the previous done channel; every Start gets a fresh one so
+	// the relaunched loops do not exit on their first select.
+	d.done = make(chan struct{})
 	d.wg.Add(2)
 	go d.sendLoop()
 	go d.recvLoop()
@@ -141,9 +149,15 @@ func (d *Discoverer) Peers() []Peer {
 	for id, p := range d.peers {
 		if now.Sub(p.LastSeen) > d.cfg.TTL {
 			delete(d.peers, id)
+			if d.cfg.Metrics != nil {
+				d.cfg.Metrics.PeerExpiries.Inc()
+			}
 			continue
 		}
 		out = append(out, p)
+	}
+	if d.cfg.Metrics != nil {
+		d.cfg.Metrics.PeersLive.Set(int64(len(d.peers)))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -172,7 +186,9 @@ func (d *Discoverer) sendLoop() {
 	for {
 		for _, target := range d.cfg.Targets {
 			if addr, err := net.ResolveUDPAddr("udp", target); err == nil {
-				_, _ = d.conn.WriteTo(frame, addr)
+				if _, err := d.conn.WriteTo(frame, addr); err == nil && d.cfg.Metrics != nil {
+					d.cfg.Metrics.BeaconsSent.Inc()
+				}
 			}
 		}
 		select {
@@ -206,11 +222,20 @@ func (d *Discoverer) recvLoop() {
 		if err != nil {
 			return // socket closed by Stop
 		}
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.BeaconsReceived.Inc()
+		}
 		var b beacon
 		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&b); err != nil {
+			if d.cfg.Metrics != nil {
+				d.cfg.Metrics.BeaconsRejected.Inc()
+			}
 			continue
 		}
 		if b.Version != beaconVersion || b.ID == d.cfg.Self || b.TCPAddr == "" {
+			if d.cfg.Metrics != nil {
+				d.cfg.Metrics.BeaconsRejected.Inc()
+			}
 			continue
 		}
 		d.observe(b)
@@ -224,6 +249,12 @@ func (d *Discoverer) observe(b beacon) {
 	fresh := !known || now.Sub(prev.LastSeen) > d.cfg.TTL
 	peer := Peer{ID: b.ID, Addr: b.TCPAddr, LastSeen: now}
 	d.peers[b.ID] = peer
+	if d.cfg.Metrics != nil {
+		if fresh {
+			d.cfg.Metrics.PeersSeen.Inc()
+		}
+		d.cfg.Metrics.PeersLive.Set(int64(len(d.peers)))
+	}
 	cb := d.cfg.OnPeer
 	d.mu.Unlock()
 	if fresh && cb != nil {

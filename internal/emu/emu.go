@@ -36,6 +36,7 @@ import (
 	"replidtn/internal/item"
 	"replidtn/internal/messaging"
 	"replidtn/internal/metrics"
+	"replidtn/internal/obs"
 	"replidtn/internal/persist"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing"
@@ -99,6 +100,15 @@ type Config struct {
 	//
 	// Writes are buffered for the duration of the run and flushed on return.
 	EventLog io.Writer
+	// Metrics, when set, aggregates replica-level sync/apply counters across
+	// every emulated node into one obs.ReplicaMetrics. All counters are
+	// atomic, so the parallel engine feeds them safely; nil (the default)
+	// skips instrumentation entirely, keeping the run byte-identical to an
+	// uninstrumented build. The emulation Result is unaffected either way.
+	Metrics *obs.ReplicaMetrics
+	// StoreMetrics, when set, aggregates store occupancy gauges and the
+	// eviction counter across every emulated node. Nil disables it.
+	StoreMetrics *obs.StoreMetrics
 }
 
 // Result is the outcome of one emulation run.
@@ -303,6 +313,8 @@ func (r *runner) newEndpoint(bus string, es *epState) *messaging.Endpoint {
 		RelayCapacity:        r.cfg.RelayCapacity,
 		Eviction:             r.cfg.Eviction,
 		Now:                  es.clk.now,
+		Metrics:              r.cfg.Metrics,
+		StoreMetrics:         r.cfg.StoreMetrics,
 		// Both callbacks fire with the replica lock held, on the worker
 		// executing this endpoint's current event; they only note what
 		// happened, and commit folds it into run-global state in order.
@@ -429,6 +441,9 @@ func (r *runner) crashRestart(bus string, es *epState) error {
 	if err != nil {
 		return err
 	}
+	// The dying node's store contribution leaves the shared gauges before the
+	// rebuilt node's restore re-adds it.
+	es.ep.Replica().DetachStoreMetrics()
 	ep := r.newEndpoint(bus, es)
 	if err := ep.Replica().RestoreSnapshot(snap); err != nil {
 		return err

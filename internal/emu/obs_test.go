@@ -1,0 +1,62 @@
+package emu
+
+import (
+	"testing"
+
+	"replidtn/internal/obs"
+)
+
+// TestObsAggregatesAcrossFleet: an instrumented run leaves the Result
+// untouched, and the shared counters reconcile with the run's own accounting
+// — the store Live gauge with the end-of-run copy census, the abort counter
+// with the fault layer's. Crash-restarts are enabled so the test also pins
+// the detach-before-rebuild path: without it every crash would double the
+// dead node's contribution to the gauges.
+func TestObsAggregatesAcrossFleet(t *testing.T) {
+	tr := miniTrace(t)
+	plain := runPolicy(t, tr, PolicyEpidemic, func(c *Config) {
+		c.Faults = testFaults(9)
+	})
+
+	rm := &obs.ReplicaMetrics{}
+	sm := &obs.StoreMetrics{}
+	res := runPolicy(t, tr, PolicyEpidemic, func(c *Config) {
+		c.Faults = testFaults(9)
+		c.Metrics = rm
+		c.StoreMetrics = sm
+	})
+
+	if res.Summary.DeliveredCount() != plain.Summary.DeliveredCount() ||
+		res.ItemsTransferred != plain.ItemsTransferred ||
+		res.BytesTransferred != plain.BytesTransferred ||
+		res.SyncsAborted != plain.SyncsAborted ||
+		res.Crashes != plain.Crashes {
+		t.Errorf("instrumentation changed the result: %+v vs %+v", res, plain)
+	}
+	if res.Crashes == 0 || res.SyncsAborted == 0 {
+		t.Fatalf("fault mix too tame to exercise the hooks: crashes=%d aborts=%d",
+			res.Crashes, res.SyncsAborted)
+	}
+
+	if rm.SyncsInitiated.Value() == 0 || rm.BatchesApplied.Value() == 0 {
+		t.Errorf("replica counters flat: initiated=%d applied=%d",
+			rm.SyncsInitiated.Value(), rm.BatchesApplied.Value())
+	}
+	if got, want := rm.SyncsAborted.Value(), int64(res.SyncsAborted); got != want {
+		t.Errorf("SyncsAborted = %d, result says %d", got, want)
+	}
+
+	// Every live entry across the fleet is a copy of a tracked message, so
+	// the shared gauge must equal the copy census — crashes included.
+	copies := int64(0)
+	for _, d := range res.Summary.Deliveries() {
+		copies += int64(d.CopiesAtEnd)
+	}
+	if got := sm.Live.Value(); got != copies {
+		t.Errorf("Live gauge = %d, copy census says %d", got, copies)
+	}
+	if sm.Relay.Value() < 0 || sm.Tombstones.Value() < 0 {
+		t.Errorf("negative occupancy: relay=%d tombstones=%d",
+			sm.Relay.Value(), sm.Tombstones.Value())
+	}
+}

@@ -62,7 +62,7 @@ func AblationEpidemicTTL(tr *trace.Trace, ttls []int, opts ...Option) ([]Ablatio
 	for _, ttl := range ttls {
 		params := emu.DefaultParams()
 		params.EpidemicTTL = float64(ttl)
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params), Workers: o.workers, Faults: o.faults})
+		res, err := emu.Run(o.instrument(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicyEpidemic, params), Workers: o.workers, Faults: o.faults}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation ttl=%d: %w", ttl, err)
 		}
@@ -81,7 +81,7 @@ func AblationSprayCopies(tr *trace.Trace, copies []int, opts ...Option) ([]Ablat
 	for _, c := range copies {
 		params := emu.DefaultParams()
 		params.SprayCopies = c
-		res, err := emu.Run(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params), Workers: o.workers, Faults: o.faults})
+		res, err := emu.Run(o.instrument(emu.Config{Trace: tr, Policy: emu.Factory(emu.PolicySpray, params), Workers: o.workers, Faults: o.faults}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation copies=%d: %w", c, err)
 		}
@@ -102,13 +102,13 @@ func AblationMaxPropThreshold(tr *trace.Trace, thresholds []int, opts ...Option)
 	for _, th := range thresholds {
 		params := emu.DefaultParams()
 		params.MaxPropHopThreshold = th
-		res, err := emu.Run(emu.Config{
+		res, err := emu.Run(o.instrument(emu.Config{
 			Trace:                   tr,
 			Policy:                  emu.Factory(emu.PolicyMaxProp, params),
 			MaxMessagesPerEncounter: 1,
 			Workers:                 o.workers,
 			Faults:                  o.faults,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation threshold=%d: %w", th, err)
 		}
@@ -127,13 +127,13 @@ func AblationBandwidth(tr *trace.Trace, budgets []int, opts ...Option) ([]Ablati
 	}
 	rows := make([]AblationRow, 0, len(budgets))
 	for _, budget := range budgets {
-		res, err := emu.Run(emu.Config{
+		res, err := emu.Run(o.instrument(emu.Config{
 			Trace:                   tr,
 			Policy:                  emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MaxMessagesPerEncounter: budget,
 			Workers:                 o.workers,
 			Faults:                  o.faults,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation budget=%d: %w", budget, err)
 		}
@@ -155,13 +155,13 @@ func AblationStorage(tr *trace.Trace, caps []int, opts ...Option) ([]AblationRow
 	}
 	rows := make([]AblationRow, 0, len(caps))
 	for _, capacity := range caps {
-		res, err := emu.Run(emu.Config{
+		res, err := emu.Run(o.instrument(emu.Config{
 			Trace:         tr,
 			Policy:        emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			RelayCapacity: capacity,
 			Workers:       o.workers,
 			Faults:        o.faults,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation capacity=%d: %w", capacity, err)
 		}
@@ -185,14 +185,14 @@ func AblationByteBudget(tr *trace.Trace, budgets []int64, opts ...Option) ([]Abl
 	const messageSize = 1 << 10
 	rows := make([]AblationRow, 0, len(budgets))
 	for _, budget := range budgets {
-		res, err := emu.Run(emu.Config{
+		res, err := emu.Run(o.instrument(emu.Config{
 			Trace:                tr,
 			Policy:               emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MaxBytesPerEncounter: budget,
 			MessageSize:          messageSize,
 			Workers:              o.workers,
 			Faults:               o.faults,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation bytes=%d: %w", budget, err)
 		}
@@ -215,13 +215,13 @@ func AblationLifetime(tr *trace.Trace, lifetimes []int64, opts ...Option) ([]Abl
 	}
 	rows := make([]AblationRow, 0, len(lifetimes))
 	for _, lt := range lifetimes {
-		res, err := emu.Run(emu.Config{
+		res, err := emu.Run(o.instrument(emu.Config{
 			Trace:           tr,
 			Policy:          emu.Factory(emu.PolicyEpidemic, emu.DefaultParams()),
 			MessageLifetime: lt,
 			Workers:         o.workers,
 			Faults:          o.faults,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation lifetime=%d: %w", lt, err)
 		}
@@ -246,14 +246,14 @@ func AblationEviction(tr *trace.Trace, opts ...Option) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, name := range []emu.PolicyName{emu.PolicyEpidemic, emu.PolicyMaxProp} {
 		for _, ev := range strategies {
-			res, err := emu.Run(emu.Config{
+			res, err := emu.Run(o.instrument(emu.Config{
 				Trace:         tr,
 				Policy:        emu.Factory(name, emu.DefaultParams()),
 				RelayCapacity: 2,
 				Eviction:      ev,
 				Workers:       o.workers,
 				Faults:        o.faults,
-			})
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("experiment: ablation eviction %s/%s: %w", name, ev.Name(), err)
 			}

@@ -78,12 +78,12 @@ func RunFilterSweep(tr *trace.Trace, ks []int, opts ...Option) (*FilterSweep, er
 			if j.strategy == "random" {
 				extra = emu.RandomExtraBuses(tr, j.k, 11)
 			}
-			res, err := emu.Run(emu.Config{
+			res, err := emu.Run(o.instrument(emu.Config{
 				Trace:      tr,
 				ExtraBuses: extra,
 				Workers:    o.workers,
 				Faults:     o.faults,
-			})
+			}))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -171,14 +171,14 @@ func RunPolicySweep(tr *trace.Trace, params emu.Params, maxPerEncounter, relayCa
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := emu.Run(emu.Config{
+			res, err := emu.Run(o.instrument(emu.Config{
 				Trace:                   tr,
 				Policy:                  emu.Factory(name, params),
 				MaxMessagesPerEncounter: maxPerEncounter,
 				RelayCapacity:           relayCapacity,
 				Workers:                 o.workers,
 				Faults:                  o.faults,
-			})
+			}))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

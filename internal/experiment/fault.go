@@ -87,12 +87,12 @@ func RunFaultSweep(tr *trace.Trace, seed int64, drops []float64, cutoffs []int, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := emu.Run(emu.Config{
+			res, err := emu.Run(o.instrument(emu.Config{
 				Trace:   tr,
 				Policy:  emu.Factory(j.policy, emu.DefaultParams()),
 				Workers: o.workers,
 				Faults:  j.cfg,
-			})
+			}))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -1,6 +1,10 @@
 package experiment
 
-import "replidtn/internal/fault"
+import (
+	"replidtn/internal/emu"
+	"replidtn/internal/fault"
+	"replidtn/internal/obs"
+)
 
 // Option adjusts how experiment drivers execute their emulation runs. Most
 // options (WithWorkers) leave results bit-identical; WithFaults deliberately
@@ -11,6 +15,7 @@ type Option func(*options)
 type options struct {
 	workers int
 	faults  fault.Config
+	obs     *obs.NodeMetrics
 }
 
 // WithWorkers routes every emulation run in the driver through the parallel
@@ -34,10 +39,31 @@ func WithFaults(cfg fault.Config) Option {
 	}
 }
 
+// WithObs aggregates replica and store observability counters from every
+// node of every emulation run in the driver into n's Replica and Store
+// sections (see emu.Config.Metrics). Counter updates are atomic, so
+// instrumented runs stay bit-identical in their results; nil is a no-op,
+// leaving instrumentation off.
+func WithObs(n *obs.NodeMetrics) Option {
+	return func(o *options) {
+		o.obs = n
+	}
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return o
+}
+
+// instrument attaches the driver's observability sinks, if any, to one run
+// config. Every emu.Run call in this package goes through it.
+func (o options) instrument(cfg emu.Config) emu.Config {
+	if o.obs != nil {
+		cfg.Metrics = &o.obs.Replica
+		cfg.StoreMetrics = &o.obs.Store
+	}
+	return cfg
 }

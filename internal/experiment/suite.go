@@ -7,6 +7,7 @@ import (
 	"replidtn/internal/emu"
 	"replidtn/internal/fault"
 	"replidtn/internal/metrics"
+	"replidtn/internal/obs"
 	"replidtn/internal/trace"
 )
 
@@ -40,6 +41,10 @@ type Suite struct {
 	// Faults, when enabled, injects deterministic encounter faults into every
 	// emulation run; the zero value reproduces the fault-free evaluation.
 	Faults fault.Config
+	// Obs, when set, aggregates replica and store observability counters
+	// across every emulation run in the suite (see WithObs). Nil keeps
+	// instrumentation off; results are identical either way.
+	Obs *obs.NodeMetrics
 }
 
 // NewSuite builds a suite over the paper-calibrated default trace and
@@ -58,7 +63,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Table I: DTN routing policies ==\n%s\n", FormatTable1(Table1()))
 	fmt.Fprintf(w, "== Table II: protocol parameters ==\n%s\n", FormatTable2(s.Params))
 
-	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers), WithFaults(s.Faults))
+	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
 	if err != nil {
 		return err
 	}
@@ -67,7 +72,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 6: %% delivered within 12 hours vs addresses in filter ==\n%s\n",
 		metrics.FormatTable("k", fs.Fig6()))
 
-	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers), WithFaults(s.Faults))
+	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
 	if err != nil {
 		return err
 	}
@@ -78,14 +83,14 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 8: average stored copies per message ==\n%s\n",
 		FormatFig8(unconstrained.Fig8()))
 
-	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers), WithFaults(s.Faults))
+	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "== Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter) ==\n%s\n",
 		metrics.FormatTable("hours", bandwidth.CDFHours(12)))
 
-	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers), WithFaults(s.Faults))
+	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 
 	"replidtn/internal/filter"
 	"replidtn/internal/item"
+	"replidtn/internal/obs"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing"
 	"replidtn/internal/store"
@@ -87,6 +88,13 @@ type Config struct {
 	// Now supplies time in seconds; defaults to a zero clock (useful only
 	// for tests — emulations always supply the simulation clock).
 	Now func() int64
+	// Metrics, when set, receives the backing replica's sync/apply counters.
+	// The same instance may back several endpoints to aggregate across an
+	// emulated fleet. Nil (the default) disables instrumentation entirely.
+	Metrics *obs.ReplicaMetrics
+	// StoreMetrics, when set, receives the backing store's occupancy gauges
+	// and eviction counter. Nil disables instrumentation.
+	StoreMetrics *obs.StoreMetrics
 }
 
 // NewEndpoint creates a messaging endpoint and its backing replica.
@@ -111,6 +119,8 @@ func NewEndpoint(cfg Config) *Endpoint {
 		OnDeliver:     ep.deliver,
 		OnCopies:      cfg.OnCopies,
 		Now:           ep.now,
+		Metrics:       cfg.Metrics,
+		StoreMetrics:  cfg.StoreMetrics,
 	})
 	return ep
 }

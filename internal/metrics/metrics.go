@@ -183,19 +183,35 @@ type Series struct {
 
 // FormatTable renders aligned columns: the first column is x, then one column
 // per series, matching the rows a plot digitizer would extract from the
-// paper's figures.
+// paper's figures. Ragged series render every row out to the longest series:
+// the x value comes from the first series that has one at that index, and
+// shorter series print "-".
 func FormatTable(xHeader string, series []Series) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s", xHeader)
+	rows := 0
 	for _, s := range series {
 		fmt.Fprintf(&b, "%14s", s.Label)
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+		if len(s.Y) > rows {
+			rows = len(s.Y)
+		}
 	}
 	b.WriteByte('\n')
-	if len(series) == 0 {
-		return b.String()
-	}
-	for i := range series[0].X {
-		fmt.Fprintf(&b, "%-12.4g", series[0].X[i])
+	for i := 0; i < rows; i++ {
+		wroteX := false
+		for _, s := range series {
+			if i < len(s.X) {
+				fmt.Fprintf(&b, "%-12.4g", s.X[i])
+				wroteX = true
+				break
+			}
+		}
+		if !wroteX {
+			fmt.Fprintf(&b, "%-12s", "-")
+		}
 		for _, s := range series {
 			if i < len(s.Y) {
 				fmt.Fprintf(&b, "%14.3f", s.Y[i])

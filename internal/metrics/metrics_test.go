@@ -128,6 +128,77 @@ func TestFormatTable(t *testing.T) {
 	}
 }
 
+// TestFormatTableRaggedSeries: a later series longer than series[0] must
+// render every row — the table iterates the longest series, taking x from the
+// first series that still has one and dashing out the rest.
+func TestFormatTableRaggedSeries(t *testing.T) {
+	out := FormatTable("hours", []Series{
+		{Label: "short", X: []float64{1}, Y: []float64{10}},
+		{Label: "long", X: []float64{1, 2, 3}, Y: []float64{5, 6, 7}},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4 (header + longest series):\n%s", len(lines), out)
+	}
+	// Rows past the short series take x from the long one and dash its y.
+	if !strings.HasPrefix(lines[2], "2") || !strings.HasPrefix(lines[3], "3") {
+		t.Errorf("x column should come from the longer series:\n%s", out)
+	}
+	for _, line := range lines[2:] {
+		if !strings.Contains(line, "-") {
+			t.Errorf("exhausted series should render a dash: %q", line)
+		}
+	}
+	if !strings.Contains(lines[3], "7.000") {
+		t.Errorf("long series y missing from final row:\n%s", out)
+	}
+
+	// A series with y values but no x of its own still gets its rows.
+	out = FormatTable("x", []Series{
+		{Label: "noX", X: nil, Y: []float64{1, 2}},
+	})
+	lines = strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "-") {
+		t.Errorf("missing x should render a dash placeholder:\n%s", out)
+	}
+}
+
+// TestNaNPathsWhenNothingDelivered: every delivered-only aggregate is NaN for
+// a summary whose messages all failed, and stays NaN for the empty summary.
+func TestNaNPathsWhenNothingDelivered(t *testing.T) {
+	undelivered := NewSummary([]Delivery{
+		{MsgID: "u1", SentAt: 0, DeliveredAt: -1, CopiesAtEnd: 3},
+		{MsgID: "u2", SentAt: 50, DeliveredAt: -1, CopiesAtEnd: 1},
+	})
+	if !math.IsNaN(undelivered.MeanDelayHours()) {
+		t.Error("MeanDelayHours over undelivered messages should be NaN")
+	}
+	if !math.IsNaN(undelivered.MeanCopiesAtDelivery()) {
+		t.Error("MeanCopiesAtDelivery over undelivered messages should be NaN")
+	}
+	if !math.IsNaN(undelivered.PercentileDelayHours(50)) {
+		t.Error("percentile over undelivered messages should be NaN")
+	}
+	if !math.IsNaN(undelivered.PercentileDelayHours(100)) {
+		t.Error("p100 over undelivered messages should be NaN")
+	}
+	// But all-message quantities stay well-defined.
+	if got := undelivered.MeanCopiesAtEnd(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanCopiesAtEnd = %v, want 2", got)
+	}
+	if undelivered.DeliveryRate() != 0 {
+		t.Errorf("DeliveryRate = %v, want 0", undelivered.DeliveryRate())
+	}
+
+	single := NewSummary([]Delivery{{MsgID: "s", SentAt: 0, DeliveredAt: 3600}})
+	if got := single.PercentileDelayHours(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p100 of a single delivery = %v, want 1", got)
+	}
+	if got := single.PercentileDelayHours(0.0001); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tiny percentile should clamp to rank 1, got %v", got)
+	}
+}
+
 func TestPercentiles(t *testing.T) {
 	s := sample()
 	// Delivered delays: 1h, 2h, 24h.

@@ -1,0 +1,114 @@
+package obs
+
+import "sync"
+
+// Roles a node can play in one encounter span.
+const (
+	// RoleServe marks an encounter this node accepted (it was dialed).
+	RoleServe = "serve"
+	// RoleDial marks an encounter this node initiated.
+	RoleDial = "dial"
+)
+
+// SyncSpan traces one encounter from one node's point of view: which leg
+// moved what, how many bytes crossed the wire, how long the exchange took,
+// and how it ended. Start and duration are supplied by the caller — obs
+// never reads a clock (see the package comment).
+type SyncSpan struct {
+	// Start is the encounter's start time in Unix nanoseconds, as read by
+	// the instrumented package's clock.
+	Start int64 `json:"start_unix_ns"`
+	// Peer is the remote replica ID when the hello exchange got far enough
+	// to learn it, otherwise the remote address.
+	Peer string `json:"peer"`
+	// Role is RoleServe or RoleDial.
+	Role string `json:"role"`
+	// ItemsSent counts batch items this node sent on its source leg.
+	ItemsSent int `json:"items_sent"`
+	// ItemsApplied counts batch items this node applied on its target leg.
+	ItemsApplied int `json:"items_applied"`
+	// BytesIn and BytesOut count the wire bytes read and written on the
+	// encounter's connection, hello frames included.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// DurationMicros is the encounter's wall duration in microseconds.
+	DurationMicros int64 `json:"duration_us"`
+	// Err classifies how the encounter failed ("" for success) — one of the
+	// transport error classes: timeout, refused, reset, truncated,
+	// validation, protocol, io.
+	Err string `json:"err,omitempty"`
+}
+
+// DefaultSpanCapacity is the span ring size when none is configured.
+const DefaultSpanCapacity = 64
+
+// SpanLog is a fixed-capacity ring of the most recent sync spans. The zero
+// value is ready to use with DefaultSpanCapacity; methods on a nil receiver
+// are no-ops.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []SyncSpan
+	next  int
+	total int64
+}
+
+// SetCapacity sizes the ring (minimum 1) and clears any recorded spans.
+// Call it before the log sees traffic.
+func (l *SpanLog) SetCapacity(n int) {
+	if l == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = make([]SyncSpan, 0, n)
+	l.next = 0
+	l.total = 0
+}
+
+// Record appends a span, evicting the oldest when the ring is full.
+func (l *SpanLog) Record(s SyncSpan) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap(l.buf) == 0 {
+		l.buf = make([]SyncSpan, 0, DefaultSpanCapacity)
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[l.next] = s
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+}
+
+// Total returns how many spans were ever recorded, including evicted ones.
+func (l *SpanLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (l *SpanLog) Snapshot() []SyncSpan {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) == 0 {
+		return nil
+	}
+	out := make([]SyncSpan, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}

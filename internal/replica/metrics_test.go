@@ -1,0 +1,120 @@
+package replica
+
+import (
+	"testing"
+
+	"replidtn/internal/obs"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/vclock"
+)
+
+func newMeteredNode(id string, m *obs.ReplicaMetrics, sm *obs.StoreMetrics, addrs ...string) *Replica {
+	return New(Config{
+		ID:           vclock.ReplicaID(id),
+		OwnAddresses: addrs,
+		Policy:       epidemic.New(10),
+		Metrics:      m,
+		StoreMetrics: sm,
+	})
+}
+
+func TestMetricsMirrorSyncActivity(t *testing.T) {
+	m := &obs.ReplicaMetrics{}
+	sm := &obs.StoreMetrics{}
+	a := newMeteredNode("a", m, nil, "addr:a")
+	b := newMeteredNode("b", m, sm, "addr:b")
+
+	send(a, "addr:a", "addr:b")
+	send(a, "addr:a", "addr:c") // relayed at b
+	res := Sync(a, b, 0)
+	if res.Sent != 2 {
+		t.Fatalf("Sent = %d, want 2", res.Sent)
+	}
+
+	snap := m.Snapshot()
+	if snap.SyncsInitiated != 1 || snap.SyncsServed != 1 {
+		t.Errorf("syncs initiated/served = %d/%d, want 1/1", snap.SyncsInitiated, snap.SyncsServed)
+	}
+	if snap.ItemsSent != 2 || snap.ItemsApplied != 2 {
+		t.Errorf("items sent/applied = %d/%d, want 2/2", snap.ItemsSent, snap.ItemsApplied)
+	}
+	if snap.Stored != 1 || snap.Relayed != 1 || snap.Delivered != 1 {
+		t.Errorf("stored/relayed/delivered = %d/%d/%d, want 1/1/1",
+			snap.Stored, snap.Relayed, snap.Delivered)
+	}
+	if snap.BatchesApplied != 1 || snap.BatchItems.Count != 1 || snap.BatchItems.Sum != 2 {
+		t.Errorf("batches = %d, batch-items count/sum = %d/%d, want 1, 1/2",
+			snap.BatchesApplied, snap.BatchItems.Count, snap.BatchItems.Sum)
+	}
+	if snap.Duplicates != 0 {
+		t.Errorf("Duplicates = %d, want 0 (at-most-once)", snap.Duplicates)
+	}
+	if got, want := snap.KnowledgeSize, int64(b.Knowledge().Size()); got != want {
+		t.Errorf("KnowledgeSize = %d, want %d", got, want)
+	}
+
+	// Store gauges were threaded through Config.StoreMetrics to b's store.
+	if sm.Live.Value() != 2 || sm.Relay.Value() != 1 {
+		t.Errorf("store gauges live/relay = %d/%d, want 2/1", sm.Live.Value(), sm.Relay.Value())
+	}
+
+	// Tombstone replication shows up in the tombstone counter.
+	msg := b.Items()[0]
+	if _, err := b.DeleteItem(msg.ID); err != nil {
+		t.Fatalf("DeleteItem: %v", err)
+	}
+	Sync(b, a, 0)
+	if got := m.Snapshot().Tombstones; got != 1 {
+		t.Errorf("Tombstones = %d, want 1", got)
+	}
+}
+
+func TestMetricsCountAbortedSyncs(t *testing.T) {
+	m := &obs.ReplicaMetrics{}
+	a := newMeteredNode("a", m, nil, "addr:a")
+	b := newMeteredNode("b", m, nil, "addr:b")
+	for i := 0; i < 3; i++ {
+		send(a, "addr:a", "addr:b")
+	}
+	res := EncounterLink(a, b, Budget{}, Link{Cutoff: 1})
+	if !res.AtoB.Aborted {
+		t.Fatalf("link cutoff should abort the first leg: %+v", res)
+	}
+	snap := m.Snapshot()
+	if snap.SyncsAborted != 1 {
+		t.Errorf("SyncsAborted = %d, want 1", snap.SyncsAborted)
+	}
+	if snap.BatchesApplied != 0 || snap.ItemsApplied != 0 {
+		t.Errorf("aborted sync must apply nothing: batches=%d items=%d",
+			snap.BatchesApplied, snap.ItemsApplied)
+	}
+}
+
+func TestMetricsCountEvictions(t *testing.T) {
+	m := &obs.ReplicaMetrics{}
+	a := newMeteredNode("a", nil, nil, "addr:a")
+	b := New(Config{ // two relay items against capacity 1
+		ID:            "b",
+		OwnAddresses:  []string{"addr:b"},
+		Policy:        epidemic.New(10),
+		RelayCapacity: 1,
+		Metrics:       m,
+	})
+	send(a, "addr:a", "addr:c")
+	send(a, "addr:a", "addr:d")
+	Sync(a, b, 0)
+	snap := m.Snapshot()
+	if snap.Relayed != 2 || snap.Evictions != 1 {
+		t.Errorf("relayed/evictions = %d/%d, want 2/1", snap.Relayed, snap.Evictions)
+	}
+}
+
+func TestMetricsDisabledChangesNothing(t *testing.T) {
+	a := newNode("a", "addr:a")
+	b := newNode("b", "addr:b")
+	send(a, "addr:a", "addr:b")
+	res := Sync(a, b, 0)
+	if res.Sent != 1 || res.Apply.Stored != 1 {
+		t.Fatalf("sync without metrics should behave identically: %+v", res)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"replidtn/internal/filter"
 	"replidtn/internal/item"
+	"replidtn/internal/obs"
 	"replidtn/internal/routing"
 	"replidtn/internal/store"
 	"replidtn/internal/vclock"
@@ -57,6 +58,14 @@ type Config struct {
 	// Now supplies the current time in seconds for message-lifetime checks;
 	// nil disables expiry (items never expire).
 	Now func() int64
+	// Metrics, when set, mirrors sync activity into observability counters
+	// (see obs.ReplicaMetrics). Nil — the default, and what the deterministic
+	// emulation uses unless asked — disables the hooks at the cost of one nil
+	// check per sync. A single set may be shared across replicas to aggregate.
+	Metrics *obs.ReplicaMetrics
+	// StoreMetrics, when set, is handed to the underlying store (see
+	// store.SetMetrics); its gauges are only exact when not shared.
+	StoreMetrics *obs.StoreMetrics
 	// MergeKnowledge enables the Cimbiosys knowledge-merge optimization:
 	// when a sync source proves its filter covers ours, adopt its whole
 	// knowledge, keeping ours a compact vector. Leave it off for replicas
@@ -100,10 +109,11 @@ type Replica struct {
 	now            func() int64
 	mergeKnowledge bool
 
-	seq   uint64
-	know  *vclock.Knowledge
-	store *store.Store
-	stats Stats
+	seq     uint64
+	know    *vclock.Knowledge
+	store   *store.Store
+	stats   Stats
+	metrics *obs.ReplicaMetrics
 }
 
 // New creates a replica from cfg.
@@ -122,12 +132,16 @@ func New(cfg Config) *Replica {
 		mergeKnowledge: cfg.MergeKnowledge,
 		know:           vclock.NewKnowledge(),
 		store:          store.NewWithEviction(cfg.RelayCapacity, cfg.Eviction),
+		metrics:        cfg.Metrics,
 	}
 	for _, a := range cfg.OwnAddresses {
 		r.own[a] = struct{}{}
 	}
 	if cfg.OnCopies != nil {
 		r.store.LiveNotify(cfg.OnCopies)
+	}
+	if cfg.StoreMetrics != nil {
+		r.store.SetMetrics(cfg.StoreMetrics)
 	}
 	return r
 }
@@ -162,6 +176,9 @@ func (r *Replica) AbortSync() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.SyncsAborted++
+	if r.metrics != nil {
+		r.metrics.SyncsAborted.Inc()
+	}
 }
 
 // Knowledge returns a copy of the replica's knowledge.
@@ -169,6 +186,16 @@ func (r *Replica) Knowledge() *vclock.Knowledge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.know.Clone()
+}
+
+// DetachStoreMetrics withdraws this replica's store contribution from a
+// shared obs.StoreMetrics sink and unregisters it (no-op when none is set).
+// Call it before discarding a replica whose state is restored into a
+// successor sharing the same sink, so gauges are not double-counted.
+func (r *Replica) DetachStoreMetrics() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store.DetachMetrics()
 }
 
 // StoreLen returns (total, live, relay) entry counts.
@@ -288,7 +315,11 @@ func (r *Replica) SetIdentity(ownAddresses []string, f filter.Filter) []*item.It
 		}
 		relay := !r.filter.Match(e.Item)
 		if relay != e.Relay {
-			r.stats.Evicted += len(r.store.Put(e.Item, e.Transient, relay, e.Local))
+			evicted := len(r.store.Put(e.Item, e.Transient, relay, e.Local))
+			r.stats.Evicted += evicted
+			if r.metrics != nil {
+				r.metrics.Evictions.Add(int64(evicted))
+			}
 		}
 		newlyAddressed := r.addressedLocally(e.Item) && !addressedBy(prevOwn, e.Item)
 		if !e.Item.Deleted && newlyAddressed && r.store.Get(e.Item.ID) != nil {

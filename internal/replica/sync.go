@@ -93,6 +93,10 @@ func (r *Replica) MakeSyncRequest(maxItems int) *SyncRequest {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.SyncsInitiated++
+	if r.metrics != nil {
+		r.metrics.SyncsInitiated.Inc()
+		r.metrics.KnowledgeSize.Set(int64(r.know.Size()))
+	}
 	req := &SyncRequest{
 		TargetID:  r.id,
 		Knowledge: r.know.Clone(),
@@ -240,6 +244,10 @@ func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
 		resp.LearnedKnowledge = r.know.Clone()
 	}
 	r.stats.ItemsSent += len(resp.Items)
+	if r.metrics != nil {
+		r.metrics.SyncsServed.Inc()
+		r.metrics.ItemsSent.Add(int64(len(resp.Items)))
+	}
 	return resp
 }
 
@@ -339,7 +347,27 @@ func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
 		r.know.Merge(resp.LearnedKnowledge)
 		st.KnowledgeMerged = true
 	}
+	if r.metrics != nil {
+		r.recordApplyLocked(len(resp.Items), st)
+	}
 	return st
+}
+
+// recordApplyLocked mirrors one ApplyBatch outcome into the metrics sink.
+func (r *Replica) recordApplyLocked(batchLen int, st ApplyStats) {
+	m := r.metrics
+	m.BatchesApplied.Inc()
+	m.BatchItems.Observe(int64(batchLen))
+	m.ItemsApplied.Add(int64(st.Stored + st.Relayed + st.Tombstones))
+	m.Stored.Add(int64(st.Stored))
+	m.Relayed.Add(int64(st.Relayed))
+	m.Tombstones.Add(int64(st.Tombstones))
+	m.Duplicates.Add(int64(st.Duplicates))
+	m.Superseded.Add(int64(st.Superseded))
+	m.Expired.Add(int64(st.Expired))
+	m.Delivered.Add(int64(st.Delivered))
+	m.Evictions.Add(int64(st.Evicted))
+	m.KnowledgeSize.Set(int64(r.know.Size()))
 }
 
 // metadataOverhead is the fixed per-item wire cost added to the payload

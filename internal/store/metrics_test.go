@@ -1,0 +1,99 @@
+package store
+
+import (
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+)
+
+func mkTombstone(creator string, num uint64) *item.Item {
+	it := mkItem(creator, num)
+	it.Deleted = true
+	return it
+}
+
+// checkGauges asserts the metric gauges mirror the store's own counters.
+func checkGauges(t *testing.T, s *Store, m *obs.StoreMetrics) {
+	t.Helper()
+	if got, want := m.Live.Value(), int64(s.LiveLen()); got != want {
+		t.Errorf("Live gauge = %d, store says %d", got, want)
+	}
+	if got, want := m.Relay.Value(), int64(s.RelayLen()); got != want {
+		t.Errorf("Relay gauge = %d, store says %d", got, want)
+	}
+	if got, want := m.Tombstones.Value(), int64(s.TombstoneLen()); got != want {
+		t.Errorf("Tombstones gauge = %d, store says %d", got, want)
+	}
+}
+
+func TestMetricsGaugesTrackMutations(t *testing.T) {
+	s := New(2)
+	m := &obs.StoreMetrics{}
+	s.SetMetrics(m)
+
+	s.Put(mkItem("a", 1), nil, false, true) // local live
+	s.Put(mkItem("b", 1), nil, true, false) // relay
+	s.Put(mkItem("b", 2), nil, true, false) // relay
+	checkGauges(t, s, m)
+
+	// Third relay entry evicts the oldest relay (b/1).
+	s.Put(mkItem("b", 3), nil, true, false)
+	checkGauges(t, s, m)
+	if got := m.Evictions.Value(); got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+
+	// Replacing a live entry with a tombstone moves live -> tombstone.
+	s.Put(mkTombstone("a", 1), nil, false, true)
+	checkGauges(t, s, m)
+	if m.Tombstones.Value() != 1 {
+		t.Errorf("Tombstones = %d, want 1", m.Tombstones.Value())
+	}
+
+	// Remove drops whatever partition the entry was in.
+	s.Remove(item.ID{Creator: "a", Num: 1})
+	s.Remove(item.ID{Creator: "b", Num: 2})
+	checkGauges(t, s, m)
+}
+
+func TestMetricsGaugesSurviveRestore(t *testing.T) {
+	s := New(0)
+	m := &obs.StoreMetrics{}
+	s.SetMetrics(m)
+	s.Put(mkItem("a", 1), nil, false, true)
+	s.Put(mkItem("a", 2), nil, true, false)
+	s.Put(mkTombstone("a", 3), nil, false, false)
+
+	donor := New(0)
+	donor.Put(mkItem("z", 1), nil, true, false)
+	donor.Put(mkItem("z", 2), nil, true, false)
+	snap, next := donor.Snapshot()
+
+	if err := s.Restore(snap, next); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	checkGauges(t, s, m)
+	if m.Live.Value() != 2 || m.Relay.Value() != 2 || m.Tombstones.Value() != 0 {
+		t.Errorf("post-restore gauges = %d/%d/%d, want 2/2/0",
+			m.Live.Value(), m.Relay.Value(), m.Tombstones.Value())
+	}
+
+	// A failed restore must leave the gauges untouched.
+	bad := []EntrySnapshot{{Item: nil}}
+	if err := s.Restore(bad, next); err == nil {
+		t.Fatal("Restore with nil item should fail")
+	}
+	checkGauges(t, s, m)
+}
+
+func TestMetricsNilIsNoOp(t *testing.T) {
+	s := New(1)
+	s.SetMetrics(nil)
+	s.Put(mkItem("a", 1), nil, true, false)
+	s.Put(mkItem("a", 2), nil, true, false) // evicts
+	s.Remove(item.ID{Creator: "a", Num: 2})
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}

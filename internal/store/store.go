@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"replidtn/internal/item"
+	"replidtn/internal/obs"
 )
 
 // Entry is one stored copy of an item plus its host-local state.
@@ -136,6 +137,32 @@ type Store struct {
 
 	// onLive observes live-copy transitions (see LiveNotify).
 	onLive func(item.ID, int)
+
+	// metrics, when set, mirrors the partition counters into observability
+	// gauges (see SetMetrics). Nil disables the hooks entirely.
+	metrics *obs.StoreMetrics
+}
+
+// SetMetrics registers an observability sink: the Live/Relay/Tombstones
+// gauges track the partition populations by delta on every mutation, and
+// Evictions counts capacity evictions. A single sink may be shared by many
+// stores — deltas aggregate — as long as each store is detached before being
+// discarded. Nil (the default) disables the hooks; like LiveNotify, register
+// before the store sees traffic.
+func (s *Store) SetMetrics(m *obs.StoreMetrics) { s.metrics = m }
+
+// DetachMetrics withdraws this store's contribution from the shared gauges
+// and unregisters the sink. Call it before discarding a store whose contents
+// live on elsewhere (e.g. a crash-restart that rebuilds the node from a
+// snapshot), so the successor's recount does not double the population.
+func (s *Store) DetachMetrics() {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Live.Add(-int64(s.liveCount))
+	s.metrics.Relay.Add(-int64(s.relayCount))
+	s.metrics.Tombstones.Add(-int64(s.TombstoneLen()))
+	s.metrics = nil
 }
 
 // LiveNotify registers fn to observe live-copy transitions: fn(id, +1) runs
@@ -234,9 +261,17 @@ func (s *Store) count(e *Entry) {
 		if s.onLive != nil {
 			s.onLive(e.Item.ID, 1)
 		}
+		if s.metrics != nil {
+			s.metrics.Live.Add(1)
+		}
+	} else if s.metrics != nil {
+		s.metrics.Tombstones.Add(1)
 	}
 	if e.relayLive() {
 		s.relayCount++
+		if s.metrics != nil {
+			s.metrics.Relay.Add(1)
+		}
 		if s.useHeap {
 			s.heapPush(e)
 		}
@@ -251,9 +286,17 @@ func (s *Store) uncount(e *Entry) {
 		if s.onLive != nil {
 			s.onLive(e.Item.ID, -1)
 		}
+		if s.metrics != nil {
+			s.metrics.Live.Add(-1)
+		}
+	} else if s.metrics != nil {
+		s.metrics.Tombstones.Add(-1)
 	}
 	if e.relayLive() {
 		s.relayCount--
+		if s.metrics != nil {
+			s.metrics.Relay.Add(-1)
+		}
 	}
 }
 
@@ -267,6 +310,9 @@ func (s *Store) evictOverflow() []*Entry {
 	over := s.relayCount - s.relayCapacity
 	if over <= 0 {
 		return nil
+	}
+	if s.metrics != nil {
+		s.metrics.Evictions.Add(int64(over))
 	}
 	evicted := make([]*Entry, 0, over)
 	if s.useHeap {

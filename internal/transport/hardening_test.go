@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+	"replidtn/internal/replica"
+)
+
+// TestDialerOversizedBatchRejected mirrors the server-side oversized-gob test
+// on the dialing side: a listener shipping a batch past the dialer's
+// wire-byte cap fails the encounter mid-decode with nothing applied.
+func TestDialerOversizedBatchRejected(t *testing.T) {
+	big := replica.New(replica.Config{ID: "big", OwnAddresses: []string{"addr:big"}})
+	big.CreateItem(item.Metadata{
+		Source: "addr:big", Destinations: []string{"addr:a"}, Kind: "message",
+	}, make([]byte, 64<<10))
+	srv := NewServer(big, 0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	knowBefore := a.Knowledge()
+	_, err = EncounterOpts(a, addr.String(), 0, 2*time.Second, DialOptions{MaxWireBytes: 4 << 10})
+	if err == nil {
+		t.Fatal("oversized batch should fail the dialer")
+	}
+	if !a.Knowledge().Equal(knowBefore) {
+		t.Error("oversized batch perturbed the dialer's knowledge")
+	}
+	if total, _, _ := a.StoreLen(); total != 0 {
+		t.Errorf("oversized batch left %d items in the dialer store", total)
+	}
+
+	// With the default (generous) cap the same encounter succeeds.
+	if _, err := Encounter(a, addr.String(), 0, 2*time.Second); err != nil {
+		t.Fatalf("encounter under the default cap: %v", err)
+	}
+	if total, _, _ := a.StoreLen(); total != 1 {
+		t.Errorf("store has %d items after clean encounter, want 1", total)
+	}
+}
+
+// TestSecondListenRejected: a server listens on at most one address; a second
+// Listen is rejected instead of silently leaking the first listener, and
+// Close reaps the active one.
+func TestSecondListenRejected(t *testing.T) {
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	srv := NewServer(a, 0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil || !strings.Contains(err.Error(), "already listening") {
+		t.Fatalf("second Listen = %v, want already-listening error", err)
+	}
+	// The first listener still serves.
+	b := replica.New(replica.Config{ID: "b", OwnAddresses: []string{"addr:b"}})
+	if _, err := Encounter(b, addr.String(), 0, 2*time.Second); err != nil {
+		t.Fatalf("encounter after rejected Listen: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the port: a fresh raw listener can bind it.
+	ln, err := net.Listen("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+}
+
+// TestEncounterRetryBoundedByTimeout: the retry loop's backoff sleeps count
+// against the caller's timeout, so a generous retry budget against a dead
+// port still returns within (roughly) the deadline.
+func TestEncounterRetryBoundedByTimeout(t *testing.T) {
+	// Reserve a port, then free it so every dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	const timeout = 250 * time.Millisecond
+	start := time.Now()
+	// Without deadline accounting this would sleep 100ms * (2^20 - 1).
+	_, err = EncounterRetry(a, addr, 0, timeout, DialOptions{Retries: 20, Backoff: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dialing a dead port should fail")
+	}
+	if elapsed > timeout+500*time.Millisecond {
+		t.Errorf("EncounterRetry blocked %v past its %v budget", elapsed, timeout)
+	}
+}
+
+// TestTransportMetricsMatchEncounterResult runs one instrumented encounter
+// and checks both sides' counters, byte accounting, and spans agree with the
+// EncounterResult and with each other.
+func TestTransportMetricsMatchEncounterResult(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	b := node(t, "b", "addr:b")
+	sendMsg(a, "addr:a", "addr:b")
+	sendMsg(b, "addr:b", "addr:a")
+
+	serverM := &obs.TransportMetrics{}
+	srv := NewServer(a, 0)
+	srv.Metrics = serverM
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dialM := &obs.TransportMetrics{}
+	res, err := EncounterOpts(b, addr.String(), 0, testTimeout, DialOptions{Metrics: dialM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // flush the handler before reading counters
+		t.Fatal(err)
+	}
+
+	ss, ds := serverM.Snapshot(), dialM.Snapshot()
+	if ss.EncountersServed != 1 || ss.EncounterErrors != 0 {
+		t.Errorf("server counters: %+v", ss)
+	}
+	if ds.EncountersDialed != 1 || ds.EncounterErrors != 0 {
+		t.Errorf("dialer counters: %+v", ds)
+	}
+	// The two ends of one TCP stream must agree byte for byte.
+	if ss.BytesRead != ds.BytesWritten || ss.BytesWritten != ds.BytesRead {
+		t.Errorf("wire bytes disagree: server r/w %d/%d, dialer r/w %d/%d",
+			ss.BytesRead, ss.BytesWritten, ds.BytesRead, ds.BytesWritten)
+	}
+	// Frames per side: hello, request, response, reverse leg, done = 5 each way.
+	if ss.FramesRead != 3 || ss.FramesWritten != 4 {
+		t.Errorf("server frames r/w = %d/%d, want 3/4", ss.FramesRead, ss.FramesWritten)
+	}
+	if ds.FramesRead != 4 || ds.FramesWritten != 3 {
+		t.Errorf("dialer frames r/w = %d/%d, want 4/3", ds.FramesRead, ds.FramesWritten)
+	}
+
+	spans := dialM.Spans.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("dialer spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Role != obs.RoleDial || sp.Peer != "a" || sp.Err != "" {
+		t.Errorf("dialer span = %+v", sp)
+	}
+	if sp.ItemsSent != res.AtoB.Sent || sp.ItemsApplied != res.BtoA.Apply.Stored {
+		t.Errorf("span items sent/applied = %d/%d, result %d/%d",
+			sp.ItemsSent, sp.ItemsApplied, res.AtoB.Sent, res.BtoA.Apply.Stored)
+	}
+	srvSpans := serverM.Spans.Snapshot()
+	if len(srvSpans) != 1 || srvSpans[0].Role != obs.RoleServe || srvSpans[0].Peer != "b" {
+		t.Errorf("server spans = %+v", srvSpans)
+	}
+	if srvSpans[0].DurationMicros < 0 || ss.EncounterMicros.Count != 1 {
+		t.Errorf("duration accounting: span %d, hist %+v", srvSpans[0].DurationMicros, ss.EncounterMicros)
+	}
+}
+
+// TestMetricsClassifyValidationRejections: a structurally malformed frame
+// from a hostile peer lands in the validation counter and its span carries
+// the validation error class.
+func TestMetricsClassifyValidationRejections(t *testing.T) {
+	a := node(t, "a", "addr:a")
+	m := &obs.TransportMetrics{}
+	srv := NewServer(a, 0)
+	srv.Metrics = m
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Version: protocolVersion, ID: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	var reply hello
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	// A sync request with no knowledge must be rejected before the replica:
+	// the server hangs up without sending a sync response.
+	if err := enc.Encode(&replica.SyncRequest{TargetID: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var resp replica.SyncResponse
+	if err := dec.Decode(&resp); err == nil {
+		t.Error("expected the server to drop the malformed request")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.ValidationRejected != 1 || snap.EncounterErrors != 1 || snap.EncountersServed != 0 {
+		t.Errorf("counters after malformed request: %+v", snap)
+	}
+	spans := m.Spans.Snapshot()
+	if len(spans) != 1 || spans[0].Err != "validation" {
+		t.Errorf("spans after malformed request: %+v", spans)
+	}
+}
+
+// TestMetricsCountDialRetries: each backoff retry increments the retry
+// counter.
+func TestMetricsCountDialRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	a := replica.New(replica.Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	m := &obs.TransportMetrics{}
+	_, err = EncounterRetry(a, addr, 0, 2*time.Second, DialOptions{
+		Retries: 2, Backoff: 10 * time.Millisecond, Metrics: m,
+	})
+	if err == nil {
+		t.Fatal("dead port should fail")
+	}
+	if got := m.DialRetries.Value(); got != 2 {
+		t.Errorf("DialRetries = %d, want 2", got)
+	}
+	if got := m.EncounterErrors.Value(); got != 3 {
+		t.Errorf("EncounterErrors = %d, want 3 (one per attempt)", got)
+	}
+}

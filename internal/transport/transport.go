@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"replidtn/internal/filter"
+	"replidtn/internal/obs"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing"
 	"replidtn/internal/routing/maxprop"
@@ -34,9 +35,10 @@ const protocolVersion = 1
 // off rather than pinning a handler goroutine.
 const defaultIOTimeout = 30 * time.Second
 
-// defaultMaxWireBytes bounds the bytes read from one connection when the
-// server does not configure its own limit, so an adversarial or broken peer
-// cannot make a handler buffer unbounded gob input.
+// defaultMaxWireBytes bounds the bytes read from one connection — on both the
+// serving and the dialing side — when no explicit limit is configured, so an
+// adversarial or broken peer cannot make the other end buffer unbounded gob
+// input.
 const defaultMaxWireBytes = 64 << 20
 
 // registerOnce installs the concrete filter and routing-request types that
@@ -89,6 +91,9 @@ type Server struct {
 	// 64 MiB default. A peer exceeding it fails mid-decode and the
 	// connection is dropped with nothing applied. Set before Listen.
 	MaxWireBytes int64
+	// Metrics, when set before Listen, receives served-encounter counters,
+	// wire accounting, and sync spans. Nil disables instrumentation.
+	Metrics *obs.TransportMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -105,7 +110,9 @@ func NewServer(r *replica.Replica, maxItems int) *Server {
 
 // Listen starts accepting encounters on addr (e.g. "127.0.0.1:0") and returns
 // the bound address. It serves connections on background goroutines until
-// Close.
+// Close. A server listens on at most one address: a second Listen while the
+// first is active is rejected rather than silently abandoning the first
+// listener and its accept goroutine.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -116,6 +123,11 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		s.mu.Unlock()
 		ln.Close() //lint:allow errdiscard -- losing the race with Close: the socket was never exposed, so there is no caller to report a close failure to
 		return nil, errors.New("transport: server closed")
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		ln.Close() //lint:allow errdiscard -- the socket was never exposed; the caller only learns the Listen was rejected
+		return nil, errors.New("transport: server already listening")
 	}
 	s.listener = ln
 	s.mu.Unlock()
@@ -145,6 +157,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// validationError marks frames that decoded but failed structural validation:
+// the work of a hostile or broken peer, counted separately from transport
+// faults.
+type validationError struct{ err error }
+
+func (e *validationError) Error() string { return e.err.Error() }
+func (e *validationError) Unwrap() error { return e.err }
+
+// errVersionMismatch classifies hello frames from an incompatible peer.
+var errVersionMismatch = errors.New("protocol version mismatch")
+
 // validateRequest rejects structurally malformed sync requests before they
 // reach the replica. gob happily decodes a frame with fields omitted or
 // forged, and the replica's in-process contract (non-nil knowledge,
@@ -153,10 +176,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // MaxItems would bypass the server's batch clamp.
 func validateRequest(req *replica.SyncRequest) error {
 	if req.Knowledge == nil {
-		return errors.New("sync request missing knowledge")
+		return &validationError{errors.New("sync request missing knowledge")}
 	}
 	if req.MaxItems < 0 || req.MaxBytes < 0 {
-		return fmt.Errorf("sync request with negative budget (items %d, bytes %d)", req.MaxItems, req.MaxBytes)
+		return &validationError{fmt.Errorf("sync request with negative budget (items %d, bytes %d)", req.MaxItems, req.MaxBytes)}
 	}
 	return nil
 }
@@ -167,10 +190,119 @@ func validateRequest(req *replica.SyncRequest) error {
 func validateResponse(resp *replica.SyncResponse) error {
 	for i := range resp.Items {
 		if resp.Items[i].Item == nil {
-			return fmt.Errorf("batch item %d missing item", i)
+			return &validationError{fmt.Errorf("batch item %d missing item", i)}
 		}
 	}
 	return nil
+}
+
+// countingReader counts bytes pulled through it into *n. One connection is
+// driven by one goroutine, so a plain int64 suffices.
+type countingReader struct {
+	r io.Reader
+	n *int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// countingWriter counts bytes pushed through it into *n.
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// wireIO bundles one encounter connection's gob codecs with the wire-byte cap
+// and frame/byte accounting the metrics hooks report.
+type wireIO struct {
+	enc                 *gob.Encoder
+	dec                 *gob.Decoder
+	bytesIn, bytesOut   int64
+	framesIn, framesOut int64
+}
+
+func newWireIO(conn net.Conn, limit int64) *wireIO {
+	w := &wireIO{}
+	w.enc = gob.NewEncoder(countingWriter{w: conn, n: &w.bytesOut})
+	w.dec = gob.NewDecoder(&io.LimitedReader{R: countingReader{r: conn, n: &w.bytesIn}, N: limit})
+	return w
+}
+
+func (w *wireIO) encode(v any) error {
+	if err := w.enc.Encode(v); err != nil {
+		return err
+	}
+	w.framesOut++
+	return nil
+}
+
+func (w *wireIO) decode(v any) error {
+	if err := w.dec.Decode(v); err != nil {
+		return err
+	}
+	w.framesIn++
+	return nil
+}
+
+// errClass buckets an encounter error for spans and counters: "" (success),
+// timeout, refused, reset, truncated, validation, protocol, or io.
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ve *validationError
+	if errors.As(err, &ve) {
+		return "validation"
+	}
+	if errors.Is(err, errVersionMismatch) {
+		return "protocol"
+	}
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "refused"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "reset"
+	case errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF):
+		return "truncated"
+	}
+	return "io"
+}
+
+// record folds one finished encounter into the metrics sink. m is non-nil.
+func record(m *obs.TransportMetrics, span obs.SyncSpan, w *wireIO, start time.Time, err error) {
+	span.BytesIn, span.BytesOut = w.bytesIn, w.bytesOut
+	span.DurationMicros = time.Since(start).Microseconds()
+	span.Err = errClass(err)
+	m.FramesRead.Add(w.framesIn)
+	m.FramesWritten.Add(w.framesOut)
+	m.BytesRead.Add(w.bytesIn)
+	m.BytesWritten.Add(w.bytesOut)
+	if span.Err == "validation" {
+		m.ValidationRejected.Inc()
+	}
+	if err != nil {
+		m.EncounterErrors.Inc()
+	} else {
+		if span.Role == obs.RoleServe {
+			m.EncountersServed.Inc()
+		} else {
+			m.EncountersDialed.Inc()
+		}
+		m.EncounterMicros.Observe(span.DurationMicros)
+	}
+	m.Spans.Record(span)
 }
 
 // serveConn handles one encounter from the accepting side. Batch application
@@ -178,7 +310,7 @@ func validateResponse(resp *replica.SyncResponse) error {
 // a peer dying mid-batch — truncated frame, slow-loris hitting the deadline,
 // oversized input hitting the wire limit — leaves the replica's store and
 // knowledge exactly as they were.
-func (s *Server) serveConn(conn net.Conn) error {
+func (s *Server) serveConn(conn net.Conn) (err error) {
 	timeout := s.IOTimeout
 	if timeout <= 0 {
 		timeout = defaultIOTimeout
@@ -188,23 +320,30 @@ func (s *Server) serveConn(conn net.Conn) error {
 	if limit <= 0 {
 		limit = defaultMaxWireBytes
 	}
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(&io.LimitedReader{R: conn, N: limit})
+	w := newWireIO(conn, limit)
+
+	span := obs.SyncSpan{Peer: conn.RemoteAddr().String(), Role: obs.RoleServe}
+	if s.Metrics != nil {
+		start := time.Now()
+		span.Start = start.UnixNano()
+		defer func() { record(s.Metrics, span, w, start, err) }()
+	}
 
 	var peer hello
-	if err := dec.Decode(&peer); err != nil {
+	if err := w.decode(&peer); err != nil {
 		return fmt.Errorf("transport: read hello: %w", err)
 	}
 	if peer.Version != protocolVersion {
-		return fmt.Errorf("transport: protocol version %d, want %d", peer.Version, protocolVersion)
+		return fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolVersion, errVersionMismatch)
 	}
-	if err := enc.Encode(hello{Version: protocolVersion, ID: s.replica.ID()}); err != nil {
+	span.Peer = string(peer.ID)
+	if err := w.encode(hello{Version: protocolVersion, ID: s.replica.ID()}); err != nil {
 		return fmt.Errorf("transport: write hello: %w", err)
 	}
 
 	// Leg 1: we are the source; the dialer pulls from us.
 	var req replica.SyncRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := w.decode(&req); err != nil {
 		return fmt.Errorf("transport: read sync request: %w", err)
 	}
 	if err := validateRequest(&req); err != nil {
@@ -214,25 +353,27 @@ func (s *Server) serveConn(conn net.Conn) error {
 		req.MaxItems = s.maxItems
 	}
 	resp := s.replica.HandleSyncRequest(&req)
+	span.ItemsSent = len(resp.Items)
 	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient (e.g. a halved spray allowance): an explicit field of the wire protocol, not a leak of host-local state
-	if err := enc.Encode(resp); err != nil {
+	if err := w.encode(resp); err != nil {
 		return fmt.Errorf("transport: write sync response: %w", err)
 	}
 
 	// Leg 2: roles alternate; we pull from the dialer.
 	ourReq := s.replica.MakeSyncRequest(s.maxItems)
-	if err := enc.Encode(ourReq); err != nil {
+	if err := w.encode(ourReq); err != nil {
 		return fmt.Errorf("transport: write reverse request: %w", err)
 	}
 	var theirResp replica.SyncResponse
-	if err := dec.Decode(&theirResp); err != nil {
+	if err := w.decode(&theirResp); err != nil {
 		return fmt.Errorf("transport: read reverse response: %w", err)
 	}
 	if err := validateResponse(&theirResp); err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
 	apply := s.replica.ApplyBatch(&theirResp)
-	if err := enc.Encode(done{Applied: apply.Stored + apply.Relayed + apply.Tombstones}); err != nil {
+	span.ItemsApplied = apply.Stored + apply.Relayed + apply.Tombstones
+	if err := w.encode(done{Applied: span.ItemsApplied}); err != nil {
 		return fmt.Errorf("transport: write done: %w", err)
 	}
 	return nil
@@ -253,39 +394,82 @@ func (s *Server) Close() error {
 	return err
 }
 
+// DialOptions configures the dialing side of an encounter.
+type DialOptions struct {
+	// Retries is the number of additional dial attempts after a transient
+	// failure; 0 means a single attempt (no retry). Only EncounterRetry
+	// retries.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt;
+	// 0 selects 50ms.
+	Backoff time.Duration
+	// MaxWireBytes bounds the bytes read from the connection, mirroring
+	// Server.MaxWireBytes on the dialing side; 0 selects the 64 MiB default.
+	// A listener exceeding it fails the encounter mid-decode with nothing
+	// applied.
+	MaxWireBytes int64
+	// Metrics, when set, receives dialed-encounter counters, wire
+	// accounting, and sync spans. Nil disables instrumentation.
+	Metrics *obs.TransportMetrics
+}
+
 // Encounter dials addr and performs a full encounter (two syncs with
 // alternating roles) on behalf of r. maxItems bounds each pulled batch
 // (0 = unlimited). timeout bounds the whole exchange.
 func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Duration) (replica.EncounterResult, error) {
+	return EncounterOpts(r, addr, maxItems, timeout, DialOptions{})
+}
+
+// EncounterOpts is Encounter with explicit dial options (wire-byte cap,
+// metrics sink). The Retries/Backoff fields are ignored here; use
+// EncounterRetry for transient-failure retries.
+func EncounterOpts(r *replica.Replica, addr string, maxItems int, timeout time.Duration, opts DialOptions) (out replica.EncounterResult, err error) {
 	registerWireTypes()
-	var out replica.EncounterResult
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
+		if opts.Metrics != nil {
+			opts.Metrics.EncounterErrors.Inc()
+			opts.Metrics.Spans.Record(obs.SyncSpan{
+				Start: time.Now().UnixNano(), Peer: addr, Role: obs.RoleDial,
+				Err: errClass(err),
+			})
+		}
 		return out, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close() //lint:allow errdiscard -- teardown after the encounter committed or failed transactionally; the exchange's own errors are already returned to the caller
 	_ = conn.SetDeadline(time.Now().Add(timeout))
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	limit := opts.MaxWireBytes
+	if limit <= 0 {
+		limit = defaultMaxWireBytes
+	}
+	w := newWireIO(conn, limit)
 
-	if err := enc.Encode(hello{Version: protocolVersion, ID: r.ID()}); err != nil {
+	span := obs.SyncSpan{Peer: addr, Role: obs.RoleDial}
+	if opts.Metrics != nil {
+		start := time.Now()
+		span.Start = start.UnixNano()
+		defer func() { record(opts.Metrics, span, w, start, err) }()
+	}
+
+	if err := w.encode(hello{Version: protocolVersion, ID: r.ID()}); err != nil {
 		return out, fmt.Errorf("transport: write hello: %w", err)
 	}
 	var peer hello
-	if err := dec.Decode(&peer); err != nil {
+	if err := w.decode(&peer); err != nil {
 		return out, fmt.Errorf("transport: read hello: %w", err)
 	}
 	if peer.Version != protocolVersion {
-		return out, fmt.Errorf("transport: protocol version %d, want %d", peer.Version, protocolVersion)
+		return out, fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolVersion, errVersionMismatch)
 	}
+	span.Peer = string(peer.ID)
 
 	// Leg 1: we are the target and pull from the listener.
 	req := r.MakeSyncRequest(maxItems)
-	if err := enc.Encode(req); err != nil {
+	if err := w.encode(req); err != nil {
 		return out, fmt.Errorf("transport: write sync request: %w", err)
 	}
 	var resp replica.SyncResponse
-	if err := dec.Decode(&resp); err != nil {
+	if err := w.decode(&resp); err != nil {
 		return out, fmt.Errorf("transport: read sync response: %w", err)
 	}
 	if err := validateResponse(&resp); err != nil {
@@ -294,38 +478,29 @@ func Encounter(r *replica.Replica, addr string, maxItems int, timeout time.Durat
 	out.BtoA.Sent = len(resp.Items)
 	out.BtoA.Truncated = resp.Truncated
 	out.BtoA.Apply = r.ApplyBatch(&resp)
+	span.ItemsApplied = out.BtoA.Apply.Stored + out.BtoA.Apply.Relayed + out.BtoA.Apply.Tombstones
 
 	// Leg 2: serve the listener's pull.
 	var theirReq replica.SyncRequest
-	if err := dec.Decode(&theirReq); err != nil {
+	if err := w.decode(&theirReq); err != nil {
 		return out, fmt.Errorf("transport: read reverse request: %w", err)
 	}
 	if err := validateRequest(&theirReq); err != nil {
 		return out, fmt.Errorf("transport: %w", err)
 	}
 	ourResp := r.HandleSyncRequest(&theirReq)
+	span.ItemsSent = len(ourResp.Items)
 	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient: an explicit field of the wire protocol, not a leak of host-local state
-	if err := enc.Encode(ourResp); err != nil {
+	if err := w.encode(ourResp); err != nil {
 		return out, fmt.Errorf("transport: write reverse response: %w", err)
 	}
 	out.AtoB.Sent = len(ourResp.Items)
 	out.AtoB.Truncated = ourResp.Truncated
 	var fin done
-	if err := dec.Decode(&fin); err != nil {
+	if err := w.decode(&fin); err != nil {
 		return out, fmt.Errorf("transport: read done: %w", err)
 	}
 	return out, nil
-}
-
-// DialOptions configures EncounterRetry's handling of transient dial
-// failures.
-type DialOptions struct {
-	// Retries is the number of additional dial attempts after a transient
-	// failure; 0 means a single attempt (no retry).
-	Retries int
-	// Backoff is the wait before the first retry, doubling per attempt;
-	// 0 selects 50ms.
-	Backoff time.Duration
 }
 
 // EncounterRetry performs a full encounter like Encounter, retrying with
@@ -334,17 +509,32 @@ type DialOptions struct {
 // after the connection is up are never retried: the protocol is transactional
 // per encounter, so a broken exchange applies nothing and the caller simply
 // schedules a fresh encounter later.
+//
+// timeout budgets the whole call — attempts and backoff sleeps together.
+// Later attempts run under whatever remains of the budget, and retrying stops
+// once a backoff sleep would exhaust it, so the call never blocks
+// meaningfully past timeout no matter how many retries are allowed.
 func EncounterRetry(r *replica.Replica, addr string, maxItems int, timeout time.Duration, opts DialOptions) (replica.EncounterResult, error) {
 	backoff := opts.Backoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	deadline := time.Now().Add(timeout)
+	remaining := timeout
 	for attempt := 0; ; attempt++ {
-		out, err := Encounter(r, addr, maxItems, timeout)
+		out, err := EncounterOpts(r, addr, maxItems, remaining, opts)
 		if err == nil || attempt >= opts.Retries || !transientDialError(err) {
 			return out, err
 		}
+		if remaining = time.Until(deadline); remaining <= backoff {
+			// The budget cannot cover the sleep, let alone another attempt.
+			return out, err
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.DialRetries.Inc()
+		}
 		time.Sleep(backoff)
+		remaining = time.Until(deadline)
 		backoff *= 2
 	}
 }
