@@ -8,13 +8,23 @@
 //	dtnsim -experiment fig9 -small    # scaled-down trace (fast)
 //	dtnsim -experiment fig5 -seed 7   # different trace seed
 //	dtnsim -experiment fig7a -trace ./traces   # run on an external CSV trace
-//	dtnsim -experiment all -workers 8          # parallel engine, identical output
+//	dtnsim -experiment fig7a -scenario rwp:n=1000,seed=7   # seeded mobility scenario
+//	dtnsim -experiment all -workers 0          # sequential reference engine
+//	dtnsim -experiment scale-sweep             # engine throughput, 1k-100k nodes
 //	dtnsim -experiment fig7a -cpuprofile cpu.out   # profile the run
 //
+// The engine runs region-sharded with one worker per CPU by default; output
+// is bit-identical at any worker count, and -workers 0 selects the
+// sequential reference engine.
+//
+// Scenario specs (see internal/mobility): dieselnet, rwp, community,
+// corridor, dir:PATH — e.g. "rwp:n=100000,seed=7" or
+// "community:n=500,cells=3,bias=0.7".
+//
 // Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9, fig10,
-// all, summary, fault-sweep; ablations: ablation-ttl, ablation-copies,
-// ablation-threshold, ablation-bandwidth, ablation-bytes, ablation-storage,
-// ablation-lifetime, ablation-eviction.
+// all, summary, fault-sweep, scale-sweep; ablations: ablation-ttl,
+// ablation-copies, ablation-threshold, ablation-bandwidth, ablation-bytes,
+// ablation-storage, ablation-lifetime, ablation-eviction.
 //
 // Fault injection (deterministic, seeded):
 //
@@ -28,24 +38,28 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"replidtn/internal/emu"
 	"replidtn/internal/experiment"
 	"replidtn/internal/fault"
 	"replidtn/internal/metrics"
+	"replidtn/internal/mobility"
 	"replidtn/internal/obs"
 	"replidtn/internal/trace"
 )
 
 func main() {
 	var (
-		name       = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, fault-sweep, all)")
+		name       = flag.String("experiment", "all", "experiment to run (table1, table2, fig5..fig10, fault-sweep, scale-sweep, all)")
 		small      = flag.Bool("small", false, "use the scaled-down trace (fast)")
 		seed       = flag.Int64("seed", 1, "trace generator seed")
 		traceDir   = flag.String("trace", "", "load the trace from a directory of CSVs instead of generating it")
-		workers    = flag.Int("workers", 0, "emulation worker goroutines (0 = sequential engine; output is identical)")
+		scenario   = flag.String("scenario", "", `generate the trace from a mobility scenario spec, e.g. "rwp:n=1000,seed=7" (dieselnet, rwp, community, corridor, dir:PATH)`)
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "emulation worker goroutines (0 = sequential reference engine; output is identical)")
 		faultSpec  = flag.String("faults", "", `fault injection spec, e.g. "drop=0.3,cutoff=0.25,cutoff-items=2,crash=0.01" ("" or "off" disables)`)
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed (same seed = same faults)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -75,7 +89,7 @@ func main() {
 	if *obsDump {
 		nm = &obs.NodeMetrics{}
 	}
-	if err := run(*name, *small, *seed, *traceDir, *workers, faults, nm); err != nil {
+	if err := run(*name, *small, *seed, *traceDir, *scenario, *workers, faults, nm); err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
 		os.Exit(1)
@@ -96,8 +110,13 @@ func dumpObs(w *os.File, nm *obs.NodeMetrics) {
 	fmt.Fprintf(w, "== observability counters (aggregated over all nodes and runs) ==\n%s\n", out)
 }
 
-func run(name string, small bool, seed int64, traceDir string, workers int, faults fault.Config, nm *obs.NodeMetrics) error {
-	tr, err := buildTrace(small, seed, traceDir)
+func run(name string, small bool, seed int64, traceDir, scenario string, workers int, faults fault.Config, nm *obs.NodeMetrics) error {
+	if name == "scale-sweep" {
+		// The sweep materializes its own scenarios (one per rung of the
+		// ladder); -scenario narrows it to a single spec.
+		return runScaleSweep(os.Stdout, small, scenario, workers, faults, nm)
+	}
+	tr, err := buildTrace(small, seed, traceDir, scenario)
 	if err != nil {
 		return err
 	}
@@ -230,9 +249,42 @@ func run(name string, small bool, seed int64, traceDir string, workers int, faul
 	return nil
 }
 
-func buildTrace(small bool, seed int64, traceDir string) (*trace.Trace, error) {
+// runScaleSweep drives the engine-throughput ladder: each rung materializes
+// a seeded mobility scenario and runs it on the sequential reference engine
+// and the sharded engine, reporting wall-clock throughput and partition
+// statistics.
+func runScaleSweep(out io.Writer, small bool, scenario string, workers int, faults fault.Config, nm *obs.NodeMetrics) error {
+	specs := experiment.DefaultScaleSpecs
+	if small {
+		specs = experiment.SmallScaleSpecs
+	}
+	if scenario != "" {
+		specs = []string{scenario}
+	}
+	counts := []int{0, workers}
+	if workers < 1 {
+		counts = []int{0}
+	}
+	rows, err := experiment.RunScaleSweep(specs, counts, emu.PolicySpray,
+		experiment.WithFaults(faults), experiment.WithObs(nm))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Scale sweep: engine throughput vs fleet size (spray policy)\n%s",
+		experiment.FormatScaleSweep(rows))
+	return nil
+}
+
+func buildTrace(small bool, seed int64, traceDir, scenario string) (*trace.Trace, error) {
 	if traceDir != "" {
 		return trace.LoadDir(traceDir)
+	}
+	if scenario != "" {
+		sc, err := mobility.Parse(scenario)
+		if err != nil {
+			return nil, err
+		}
+		return trace.Materialize(sc)
 	}
 	if small {
 		return experiment.SmallTrace(seed)

@@ -19,7 +19,7 @@ func TestRunKnownExperiments(t *testing.T) {
 		emulates := name != "table1" && name != "table2"
 		t.Run(name, func(t *testing.T) {
 			nm := &obs.NodeMetrics{}
-			if err := run(name, true, 1, "", workers, fault.Config{}, nm); err != nil {
+			if err := run(name, true, 1, "", "", workers, fault.Config{}, nm); err != nil {
 				t.Fatalf("run(%q): %v", name, err)
 			}
 			if synced := nm.Replica.SyncsInitiated.Value() > 0; synced != emulates {
@@ -49,17 +49,17 @@ func TestDumpObs(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, "", 0, fault.Config{}, nil); err == nil {
+	if err := run("fig99", true, 1, "", "", 0, fault.Config{}, nil); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestBuildTrace(t *testing.T) {
-	small, err := buildTrace(true, 1, "")
+	small, err := buildTrace(true, 1, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := buildTrace(false, 1, "")
+	full, err := buildTrace(false, 1, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,59 @@ func TestRunWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Seed = 7
-	if err := run("fig8", true, 1, "", 2, cfg, nil); err != nil {
+	if err := run("fig8", true, 1, "", "", 2, cfg, nil); err != nil {
 		t.Fatalf("faulted run: %v", err)
+	}
+}
+
+func TestBuildTraceScenario(t *testing.T) {
+	tr, err := buildTrace(false, 1, "", "rwp:n=30,seed=5,users=8,msgs=20,active=3600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Buses) != 30 {
+		t.Errorf("scenario trace has %d nodes, want 30", len(tr.Buses))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := buildTrace(false, 1, "", "warp:n=10"); err == nil {
+		t.Error("unknown scenario model should fail")
+	}
+}
+
+func TestRunScenarioExperiment(t *testing.T) {
+	// -scenario replaces the generated trace for any experiment.
+	nm := &obs.NodeMetrics{}
+	spec := "community:n=30,seed=5,users=8,msgs=20,active=3600,cells=2,bias=0.8"
+	if err := run("summary", false, 1, "", spec, 4, fault.Config{}, nm); err != nil {
+		t.Fatalf("run(summary, %q): %v", spec, err)
+	}
+	if nm.Replica.SyncsInitiated.Value() == 0 {
+		t.Error("scenario run performed no syncs")
+	}
+}
+
+func TestRunScaleSweepExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := runScaleSweep(&out, false, "rwp:n=30,seed=5,users=8,msgs=20,active=3600", 4, fault.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scale sweep", "workers", "rwp:n=30"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Each spec runs on both engines: header + 2 rows.
+	if lines := strings.Count(strings.TrimRight(out.String(), "\n"), "\n") + 1; lines != 4 {
+		t.Errorf("sweep printed %d lines, want 4:\n%s", lines, out.String())
+	}
+	// workers < 1 drops to the sequential engine only.
+	out.Reset()
+	if err := runScaleSweep(&out, false, "rwp:n=30,seed=5,users=8,msgs=20,active=3600", 0, fault.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimRight(out.String(), "\n"), "\n") + 1; lines != 3 {
+		t.Errorf("sequential-only sweep printed %d lines, want 3:\n%s", lines, out.String())
 	}
 }

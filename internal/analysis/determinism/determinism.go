@@ -39,7 +39,7 @@ var Analyzer = &lintcore.Analyzer{
 
 // criticalSegments names the packages (by import-path segment) whose
 // behavior must be reproducible from explicit seeds and injected clocks.
-var criticalSegments = []string{"emu", "fault", "replica", "store", "vclock", "routing", "discovery", "obs"}
+var criticalSegments = []string{"emu", "fault", "replica", "store", "vclock", "routing", "discovery", "obs", "trace", "mobility"}
 
 // bannedTime are the wall-clock entry points.
 var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}

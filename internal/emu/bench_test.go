@@ -97,17 +97,22 @@ func BenchmarkEmuRunConstrained(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildRounds isolates the scheduler: list scheduling the full
-// paper trace's ~16k events must stay a negligible fraction of a run.
-func BenchmarkBuildRounds(b *testing.B) {
+// BenchmarkPartition isolates the region sharder: union-find partitioning
+// the full paper trace's ~16k events into epochs must stay a negligible
+// fraction of a run, and steady-state epochs must not allocate beyond the
+// shard index slices.
+func BenchmarkPartition(b *testing.B) {
 	tr := benchTrace(b, true)
-	events, _ := buildEvents(tr, nil)
+	r := newRunner(Config{Trace: tr}, tr)
+	se := newShardEngine(r, 8)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rounds, _ := buildRounds(tr, events, nil)
-		if len(rounds) == 0 {
-			b.Fatal("no rounds")
+		for lo := 0; lo < len(r.events); lo += defaultEpochEvents {
+			shards := se.partition(lo, min(lo+defaultEpochEvents, len(r.events)))
+			if len(shards) == 0 {
+				b.Fatal("no shards")
+			}
 		}
 	}
 }

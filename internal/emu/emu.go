@@ -16,13 +16,14 @@
 //
 // Two execution engines share one event model. The sequential reference
 // engine replays the time-ordered schedule one event at a time. The parallel
-// engine (Config.Workers >= 1) partitions the same schedule into
-// conflict-free rounds — two events conflict iff they touch a common bus —
-// and executes each round on a worker pool, committing observable effects
-// (copy accounting, metrics, the event log) strictly in schedule order. The
-// two engines are bit-identical: every endpoint observes exactly the
+// engine (Config.Workers >= 1) cuts the same schedule into epochs and, per
+// epoch, into region shards — connected components of the conflict graph,
+// where two events conflict iff they touch a common bus. Shards execute
+// concurrently, per-item effects are folded concurrently, and a sequential
+// merge commits aggregate counters and the event log strictly in schedule
+// order. The two engines are bit-identical: every endpoint observes the
 // sequential event order, so replica state, policy state, and every recorded
-// number match (see DESIGN.md and the differential test).
+// number match (see DESIGN.md §8 and the differential test).
 package emu
 
 import (
@@ -80,11 +81,23 @@ type Config struct {
 	// delivered, modeling deadline-bound DTN workloads.
 	MessageLifetime int64
 	// Workers selects the execution engine. 0 (the default) runs the
-	// sequential reference engine. n >= 1 runs the deterministic parallel
-	// engine with n workers over conflict-free event rounds; its output is
-	// bit-identical to the sequential engine's, so the choice is purely a
-	// wall-clock matter.
+	// sequential reference engine. n >= 1 runs the deterministic sharded
+	// parallel engine with n workers over region/epoch shards; its output
+	// is bit-identical to the sequential engine's, so the choice is purely
+	// a wall-clock matter.
 	Workers int
+	// EpochEvents bounds the number of schedule events per epoch in the
+	// sharded engine (0 = a tuned default). Smaller epochs commit effects
+	// sooner but expose less parallelism per barrier; the output is
+	// bit-identical at any setting, so this too is purely a wall-clock
+	// knob (the differential tests sweep it).
+	EpochEvents int
+	// Engine, when set, records sharded-engine scheduling metrics: shard
+	// counts and widths per epoch, and the wall time spent in the execute,
+	// fold, and merge stages. Durations are wall-clock and feed only these
+	// histograms — the Result and event log stay bit-identical to an
+	// uninstrumented run. Nil (the default) disables collection.
+	Engine *obs.EngineMetrics
 	// Faults configures deterministic fault injection over the encounter
 	// schedule: dropped contacts, mid-sync link cutoffs (aborted
 	// transactionally), and node crash-restarts that reload state through the
@@ -193,6 +206,10 @@ type eventRec struct {
 	deltas []copyDelta
 	// deliveries are first-time message receipts, in occurrence order.
 	deliveries []item.ID
+	// resolved, in the sharded engine, is the fold phase's verdict on each
+	// entry of deliveries: the message and delay to log for a first
+	// receipt, or an unset slot for a repeat. The merge only reads it.
+	resolved []delivery
 }
 
 func (rec *eventRec) reset() {
@@ -204,6 +221,7 @@ func (rec *eventRec) reset() {
 	rec.aborted, rec.wastedItems, rec.wastedBytes = 0, 0, 0
 	rec.deltas = rec.deltas[:0]
 	rec.deliveries = rec.deliveries[:0]
+	rec.resolved = rec.resolved[:0]
 }
 
 // epState is one endpoint plus its engine-side execution state.
@@ -241,6 +259,10 @@ type runner struct {
 	// scanning every endpoint store per delivery.
 	copies map[item.ID]int
 
+	// engine is the sharded engine's scheduling and fold state; nil when
+	// the sequential reference engine runs.
+	engine *shardEngine
+
 	log *bufio.Writer // buffered EventLog; nil when unset
 	res *Result
 }
@@ -261,7 +283,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var err error
 	if cfg.Workers >= 1 {
-		err = r.runParallel(cfg.Workers)
+		err = r.runSharded(cfg.Workers)
 	} else {
 		err = r.runSequential()
 	}
@@ -480,7 +502,7 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 			st.copiesAtDel = 1
 		}
 		if r.log != nil {
-			fmt.Fprintf(r.log, "%d,inject,%s,%s,%s\n", ev.time, st.traceID, rec.from, rec.to)
+			logInject(r.log, ev.time, st.traceID, rec.from, rec.to)
 		}
 	case evEncounter:
 		r.res.Encounters++
@@ -488,7 +510,7 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 			r.res.EncountersDropped++
 			if r.log != nil {
 				e := r.tr.Encounters[ev.index]
-				fmt.Fprintf(r.log, "%d,drop,%s,%s,\n", ev.time, e.A, e.B)
+				logDrop(r.log, ev.time, e.A, e.B)
 			}
 			break
 		}
@@ -501,12 +523,12 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 			r.res.BytesWasted += rec.wastedBytes
 			if r.log != nil {
 				e := r.tr.Encounters[ev.index]
-				fmt.Fprintf(r.log, "%d,abort,%s,%s,%d\n", ev.time, e.A, e.B, rec.wastedItems)
+				logAbort(r.log, ev.time, e.A, e.B, rec.wastedItems)
 			}
 		}
 		if r.log != nil && rec.moved > 0 {
 			e := r.tr.Encounters[ev.index]
-			fmt.Fprintf(r.log, "%d,encounter,%s,%s,%d\n", ev.time, e.A, e.B, rec.moved)
+			logEncounter(r.log, ev.time, e.A, e.B, rec.moved)
 		}
 		for _, id := range rec.deliveries {
 			st := r.byItem[id]
@@ -516,16 +538,44 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 			st.deliveredAt = ev.time
 			st.copiesAtDel = r.copies[id]
 			if r.log != nil {
-				fmt.Fprintf(r.log, "%d,deliver,%s,%d,\n", ev.time, st.traceID, st.deliveredAt-st.sentAt)
+				logDeliver(r.log, ev.time, st.traceID, st.deliveredAt-st.sentAt)
 			}
 		}
 	case evCrash:
 		r.res.Crashes++
 		if r.log != nil {
-			fmt.Fprintf(r.log, "%d,crash,%s,,\n", ev.time, r.crashes[ev.index].bus)
+			logCrash(r.log, ev.time, r.crashes[ev.index].bus)
 		}
 	}
 	return nil
+}
+
+// The event-log line formats, shared verbatim by the sequential commit and
+// the sharded merge so the differential tests compare engines against one
+// source of truth.
+
+func logInject(w io.Writer, t int64, id, from, to string) {
+	fmt.Fprintf(w, "%d,inject,%s,%s,%s\n", t, id, from, to)
+}
+
+func logDrop(w io.Writer, t int64, a, b string) {
+	fmt.Fprintf(w, "%d,drop,%s,%s,\n", t, a, b)
+}
+
+func logAbort(w io.Writer, t int64, a, b string, wasted int) {
+	fmt.Fprintf(w, "%d,abort,%s,%s,%d\n", t, a, b, wasted)
+}
+
+func logEncounter(w io.Writer, t int64, a, b string, moved int) {
+	fmt.Fprintf(w, "%d,encounter,%s,%s,%d\n", t, a, b, moved)
+}
+
+func logDeliver(w io.Writer, t int64, id string, delay int64) {
+	fmt.Fprintf(w, "%d,deliver,%s,%d,\n", t, id, delay)
+}
+
+func logCrash(w io.Writer, t int64, bus string) {
+	fmt.Fprintf(w, "%d,crash,%s,,\n", t, bus)
 }
 
 // finalize assembles the Result after every event has committed. CopiesAtEnd
@@ -539,7 +589,7 @@ func (r *runner) finalize() *Result {
 			SentAt:           st.sentAt,
 			DeliveredAt:      st.deliveredAt,
 			CopiesAtDelivery: st.copiesAtDel,
-			CopiesAtEnd:      r.copies[st.itemID],
+			CopiesAtEnd:      r.copiesAt(st.itemID),
 		}
 	}
 	r.res.Summary = metrics.NewSummary(deliveries)

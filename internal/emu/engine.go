@@ -1,133 +1,444 @@
 package emu
 
 import (
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"replidtn/internal/item"
 	"replidtn/internal/trace"
 )
 
-// The parallel engine exploits the trace's natural concurrency: most
-// encounters at nearby times touch disjoint bus pairs, so they can execute
-// simultaneously without any node observing a different event order than the
-// sequential engine's.
+// The parallel engine exploits the trace's natural concurrency with a
+// region/epoch-sharded schedule:
 //
-// Scheduling is greedy list scheduling over the conflict graph. Walking the
-// time-ordered schedule, every event is placed into the earliest round after
-// the rounds of all earlier conflicting events — two events conflict iff
-// they touch a common bus (an encounter touches both endpoints, an injection
-// its source bus). Rounds execute under a barrier, in order, so:
+//   - The time-ordered schedule is cut into epochs of contiguous events
+//     (Config.EpochEvents, default 4096).
+//   - Within an epoch, events partition into region shards: the connected
+//     components of the conflict graph, where two events conflict iff they
+//     touch a common bus (an encounter touches both endpoints, an injection
+//     its source bus, a crash-restart its own bus). Components are computed
+//     with an epoch-stamped union-find, O(events · α) per epoch with no
+//     per-epoch allocation.
+//   - Shards execute concurrently on a worker pool. Each shard replays its
+//     own events sequentially in schedule order; shards share no bus — even
+//     transitively — so no replica, policy, clock, or recorder is shared,
+//     and every endpoint observes exactly the sequential engine's event
+//     sequence. Epochs are separated by a barrier, so cross-epoch conflicts
+//     are ordered too. By induction, replica contents, version vectors, and
+//     policy state are bit-identical to the sequential engine's.
 //
-//   - Within a round, events are pairwise conflict-free: no replica, policy,
-//     clock, or recorder is shared, and workers may run them in any order.
-//   - Across rounds, any two conflicting events execute in schedule order,
-//     so every endpoint observes exactly the sequential engine's event
-//     sequence. An event's outcome depends only on its endpoints' states,
-//     which by induction equal the sequential engine's — replica contents,
-//     version vectors, and policy state are bit-identical.
+// Observable effects are captured in per-event recorders during execution
+// and folded into run-global state in two stages, keeping per-item and
+// per-message state out of the sequential tail:
 //
-// Effects that are global rather than per-endpoint (copy accounting,
-// delivery states, result counters, the event log) are captured in
-// per-event recorders during execution and committed by the coordinator in
-// schedule order: after round r completes, every event scheduled in rounds
-// <= r has executed, and the commit frontier advances through them by event
-// index. A delivery always commits after the injection that created the
-// message, because the message travelled over a chain of conflicting events
-// whose rounds — and schedule indexes — strictly increase.
+//   - Fold (parallel): per-event records — copy deltas, message
+//     registrations, first-delivery candidates — are routed to fold shards
+//     by item ID, and each fold worker replays its items' records in
+//     schedule order, maintaining the live-copy table, the item→message
+//     index, and per-message delivery state. Items are independent: every
+//     record for one item lands in exactly one fold shard, so replaying a
+//     shard's records in schedule order yields exactly the sequential
+//     outcome, including copies-at-delivery counts. Delivery outcomes are
+//     written into per-event slots for the merge to log.
+//   - Merge (sequential): commitShard walks the epoch's events in schedule
+//     order touching only aggregate result counters and the event log —
+//     no per-node, per-item, or per-message state — so the serial section
+//     stays O(events) with constant-size state regardless of fleet size.
+//
+// A delivery always resolves after the injection that created the message:
+// the message travelled over a chain of conflicting events whose schedule
+// indexes strictly increase, and fold records preserve schedule order.
 
-// runParallel executes the schedule on a pool of workers over conflict-free
-// rounds, committing in schedule order.
-func (r *runner) runParallel(workers int) error {
-	rounds, eventRound := buildRounds(r.tr, r.events, r.crashes)
-	maxWidth := 0
-	for _, round := range rounds {
-		if len(round) > maxWidth {
-			maxWidth = len(round)
-		}
-	}
-	if workers > maxWidth {
-		workers = maxWidth
-	}
+// defaultEpochEvents is the epoch length when Config.EpochEvents is unset:
+// large enough to expose wide components to the pool, small enough that
+// per-epoch recorder state stays cache-resident.
+const defaultEpochEvents = 4096
 
-	recs := make([]eventRec, len(r.events))
-	var wg sync.WaitGroup
-	var jobs chan int
-	if workers > 1 {
-		// The buffer covers the widest round, so dispatching never blocks on
-		// a busy pool.
-		jobs = make(chan int, maxWidth)
-		defer close(jobs)
-		for w := 0; w < workers; w++ {
-			go func() {
-				for i := range jobs {
-					r.exec(&r.events[i], &recs[i])
-					wg.Done()
-				}
-			}()
-		}
-	}
+// delivery is one resolved first-delivery outcome, produced by the fold
+// phase for the merge to log. Slots for repeat receipts stay ok=false.
+type delivery struct {
+	traceID string
+	delay   int64
+	ok      bool
+}
 
-	frontier := 0
-	for ri, round := range rounds {
-		if workers <= 1 || len(round) == 1 {
-			// A single-event round (or a one-worker pool) runs inline:
-			// dispatch overhead would dwarf the work.
-			for _, i := range round {
-				r.exec(&r.events[i], &recs[i])
-			}
-		} else {
-			wg.Add(len(round))
-			for _, i := range round {
-				jobs <- i
-			}
-			wg.Wait()
+// runSharded executes the schedule epoch by epoch: partition, execute
+// shards concurrently, fold per-item effects concurrently, then merge the
+// epoch sequentially in schedule order.
+func (r *runner) runSharded(workers int) error {
+	se := newShardEngine(r, workers)
+	r.engine = se
+	em := r.cfg.Engine
+	epochLen := r.cfg.EpochEvents
+	if epochLen <= 0 {
+		epochLen = defaultEpochEvents
+	}
+	recs := make([]eventRec, min(epochLen, len(r.events)))
+	for lo := 0; lo < len(r.events); lo += epochLen {
+		hi := min(lo+epochLen, len(r.events))
+		epoch := recs[:hi-lo]
+		for k := range epoch {
+			epoch[k].reset()
 		}
-		// Commit every event whose round has completed, in schedule order.
-		for frontier < len(r.events) && eventRound[frontier] <= ri {
-			if err := r.commit(&r.events[frontier], &recs[frontier]); err != nil {
-				return err
+		shards := se.partition(lo, hi)
+
+		var t0 time.Time
+		if em != nil {
+			//lint:allow determinism -- wall clock feeds only the observability histograms below, never the Result or the event log
+			t0 = time.Now()
+			em.Epochs.Inc()
+			em.Shards.Add(int64(len(shards)))
+			em.EpochShards.Observe(int64(len(shards)))
+			for _, sh := range shards {
+				em.ShardEvents.Observe(int64(len(sh)))
 			}
-			frontier++
+		}
+		runIndexed(workers, len(shards), func(s int) {
+			for _, i := range shards[s] {
+				r.exec(&r.events[i], &epoch[i-int32(lo)])
+			}
+		})
+		if em != nil {
+			//lint:allow determinism -- wall clock feeds only observability histograms
+			now := time.Now()
+			em.ExecMicros.Observe(now.Sub(t0).Microseconds())
+			t0 = now
+		}
+
+		errIdx := se.route(lo, epoch)
+		runIndexed(workers, len(se.folds), func(f int) { se.folds[f].run() })
+		if em != nil {
+			//lint:allow determinism -- wall clock feeds only observability histograms
+			now := time.Now()
+			em.FoldMicros.Observe(now.Sub(t0).Microseconds())
+			t0 = now
+		}
+
+		limit := len(epoch)
+		if errIdx >= 0 {
+			limit = errIdx
+		}
+		for k := 0; k < limit; k++ {
+			r.commitShard(&r.events[lo+k], &epoch[k])
+		}
+		if em != nil {
+			//lint:allow determinism -- wall clock feeds only observability histograms
+			em.MergeMicros.Observe(time.Since(t0).Microseconds())
+		}
+		if errIdx >= 0 {
+			return epoch[errIdx].err
 		}
 	}
 	return nil
 }
 
-// buildRounds assigns every event the earliest round compatible with its
-// conflicts: one more than the latest round of any earlier event touching
-// one of its buses. It returns the rounds (event indexes, in schedule order)
-// and each event's round number.
-func buildRounds(tr *trace.Trace, events []event, crashes []crashEvent) (rounds [][]int, eventRound []int) {
-	eventRound = make([]int, len(events))
-	// next maps a bus to the earliest round its next event may occupy.
-	next := make(map[string]int, len(tr.Buses))
-	for i := range events {
-		ev := &events[i]
-		var a, b string
+// shardEngine holds the sharded engine's scheduling and fold state. The
+// union-find and shard-index arrays are epoch-stamped: reusing them across
+// epochs costs one generation bump instead of a clear.
+type shardEngine struct {
+	r *runner
+	// busA/busB are each event's touched bus indexes (busB == busA for
+	// single-bus events), precomputed once.
+	busA, busB []int32
+	// parent/ufStamp implement the stamped union-find over bus indexes.
+	parent  []int32
+	ufStamp []int64
+	// rootShard/rootStamp map a component root to its shard slot.
+	rootShard []int32
+	rootStamp []int64
+	epoch     int64
+	shards    [][]int32
+	folds     []foldShard
+}
+
+func newShardEngine(r *runner, workers int) *shardEngine {
+	buses := make(map[string]int32, len(r.tr.Buses))
+	for i, b := range r.tr.Buses {
+		buses[b] = int32(i)
+	}
+	se := &shardEngine{
+		r:         r,
+		busA:      make([]int32, len(r.events)),
+		busB:      make([]int32, len(r.events)),
+		parent:    make([]int32, len(r.tr.Buses)),
+		ufStamp:   make([]int64, len(r.tr.Buses)),
+		rootShard: make([]int32, len(r.tr.Buses)),
+		rootStamp: make([]int64, len(r.tr.Buses)),
+	}
+	for i := range r.events {
+		ev := &r.events[i]
 		switch ev.kind {
 		case evInject:
-			m := tr.Messages[ev.index]
-			a = tr.Assignment[trace.Day(m.Time)][m.From]
-			b = a
+			m := r.tr.Messages[ev.index]
+			a := buses[r.tr.Assignment[trace.Day(m.Time)][m.From]]
+			se.busA[i], se.busB[i] = a, a
 		case evEncounter:
-			e := tr.Encounters[ev.index]
-			a, b = e.A, e.B
+			e := r.tr.Encounters[ev.index]
+			se.busA[i], se.busB[i] = buses[e.A], buses[e.B]
 		case evCrash:
-			// A crash-restart touches exactly its own bus: it must serialize
-			// after the encounter that triggered it and before the bus's next
-			// event, both of which conflict with it here.
-			a = crashes[ev.index].bus
-			b = a
+			a := buses[r.crashes[ev.index].bus]
+			se.busA[i], se.busB[i] = a, a
 		}
-		round := next[a]
-		if n := next[b]; n > round {
-			round = n
-		}
-		eventRound[i] = round
-		next[a], next[b] = round+1, round+1
-		if round == len(rounds) {
-			rounds = append(rounds, nil)
-		}
-		rounds[round] = append(rounds[round], i)
 	}
-	return rounds, eventRound
+	if workers < 1 {
+		workers = 1
+	}
+	se.folds = make([]foldShard, workers)
+	for f := range se.folds {
+		se.folds[f].copies = make(map[item.ID]int)
+		se.folds[f].byItem = make(map[item.ID]*msgState)
+	}
+	return se
+}
+
+// partition splits epoch [lo, hi) into region shards: one shard per
+// connected component of the epoch's conflict graph, each holding its event
+// indexes in schedule order.
+func (se *shardEngine) partition(lo, hi int) [][]int32 {
+	se.epoch++
+	for i := lo; i < hi; i++ {
+		se.union(se.busA[i], se.busB[i])
+	}
+	se.shards = se.shards[:0]
+	for i := lo; i < hi; i++ {
+		root := se.find(se.busA[i])
+		if se.rootStamp[root] != se.epoch {
+			se.rootStamp[root] = se.epoch
+			se.rootShard[root] = int32(len(se.shards))
+			se.shards = append(se.shards, nil)
+		}
+		s := se.rootShard[root]
+		se.shards[s] = append(se.shards[s], int32(i))
+	}
+	return se.shards
+}
+
+// find resolves a bus's component root with path halving. A stale stamp
+// means the bus has not been touched this epoch: it becomes its own root.
+func (se *shardEngine) find(x int32) int32 {
+	if se.ufStamp[x] != se.epoch {
+		se.ufStamp[x] = se.epoch
+		se.parent[x] = x
+		return x
+	}
+	for se.parent[x] != x {
+		se.parent[x] = se.parent[se.parent[x]]
+		x = se.parent[x]
+	}
+	return x
+}
+
+func (se *shardEngine) union(a, b int32) {
+	ra, rb := se.find(a), se.find(b)
+	if ra != rb {
+		se.parent[ra] = rb
+	}
+}
+
+// foldKind tags one fold record. Records are routed in schedule order with
+// an event's deltas before its registration or deliveries, mirroring the
+// sequential commit's fold-deltas-then-resolve order.
+const (
+	foldDelta = iota
+	foldRegister
+	foldDeliver
+)
+
+// foldRec is one per-item effect awaiting its fold shard.
+type foldRec struct {
+	kind  int8
+	self  bool      // foldRegister: message addressed to its own bus
+	delta int32     // foldDelta
+	time  int64     // event time
+	id    item.ID   // foldDelta, foldDeliver
+	st    *msgState // foldRegister
+	slot  *delivery // foldDeliver: where to publish the outcome
+}
+
+// foldShard owns the per-item state for the items hashed to it: the
+// live-copy counts and the item→message index. Shards are disjoint by
+// construction, so fold workers run without synchronization.
+type foldShard struct {
+	recs   []foldRec
+	copies map[item.ID]int
+	byItem map[item.ID]*msgState
+}
+
+// route distributes one epoch's per-item records to the fold shards,
+// walking events in schedule order so every shard's record list is
+// schedule-ordered for the items it owns. It returns the index of the
+// first errored event (records from it and everything after are withheld,
+// exactly like the sequential engine, which stops at the first error), or
+// -1.
+func (se *shardEngine) route(lo int, epoch []eventRec) int {
+	for k := range epoch {
+		rec := &epoch[k]
+		if rec.err != nil {
+			return k
+		}
+		ev := &se.r.events[lo+k]
+		for _, d := range rec.deltas {
+			f := se.fold(d.id)
+			f.recs = append(f.recs, foldRec{kind: foldDelta, id: d.id, delta: int32(d.delta)})
+		}
+		switch ev.kind {
+		case evInject:
+			f := se.fold(rec.st.itemID)
+			f.recs = append(f.recs, foldRec{
+				kind: foldRegister, time: ev.time, st: rec.st, self: rec.from == rec.to,
+			})
+		case evEncounter:
+			if cap(rec.resolved) < len(rec.deliveries) {
+				rec.resolved = make([]delivery, len(rec.deliveries))
+			}
+			rec.resolved = rec.resolved[:len(rec.deliveries)]
+			for di, id := range rec.deliveries {
+				rec.resolved[di] = delivery{}
+				f := se.fold(id)
+				f.recs = append(f.recs, foldRec{
+					kind: foldDeliver, time: ev.time, id: id, slot: &rec.resolved[di],
+				})
+			}
+		}
+	}
+	return -1
+}
+
+// fold picks the fold shard owning an item.
+func (se *shardEngine) fold(id item.ID) *foldShard {
+	h := fnv.New64a()
+	h.Write([]byte(id.Creator))
+	var num [8]byte
+	for b := 0; b < 8; b++ {
+		num[b] = byte(id.Num >> (8 * b))
+	}
+	h.Write(num[:])
+	return &se.folds[h.Sum64()%uint64(len(se.folds))]
+}
+
+// run replays one fold shard's records in schedule order. Writes touch only
+// this shard's maps and the message states and delivery slots of items it
+// owns, so shards never contend.
+func (f *foldShard) run() {
+	for i := range f.recs {
+		fr := &f.recs[i]
+		switch fr.kind {
+		case foldDelta:
+			if n := f.copies[fr.id] + int(fr.delta); n == 0 {
+				delete(f.copies, fr.id)
+			} else {
+				f.copies[fr.id] = n
+			}
+		case foldRegister:
+			st := fr.st
+			f.byItem[st.itemID] = st
+			// A self-addressed message was delivered during Send: an
+			// immediate single-copy delivery, not a deliver event.
+			if fr.self && st.deliveredAt < 0 {
+				st.deliveredAt = fr.time
+				st.copiesAtDel = 1
+			}
+		case foldDeliver:
+			st := f.byItem[fr.id]
+			if st == nil || st.deliveredAt >= 0 {
+				continue // repeat receipt: the slot stays unresolved
+			}
+			st.deliveredAt = fr.time
+			st.copiesAtDel = f.copies[fr.id]
+			*fr.slot = delivery{traceID: st.traceID, delay: fr.time - st.sentAt, ok: true}
+		}
+	}
+	f.recs = f.recs[:0]
+}
+
+// copiesAt reads the end-of-run live-copy count for an item from whichever
+// engine maintained it.
+func (r *runner) copiesAt(id item.ID) int {
+	if r.engine != nil {
+		return r.engine.fold(id).copies[id]
+	}
+	return r.copies[id]
+}
+
+// commitShard folds one executed, fold-resolved event into the run result.
+// It is the sharded engine's sequential tail, and deliberately touches only
+// aggregate counters and the event log: everything per-item or per-message
+// was resolved by the fold workers, so the cost per event here is constant
+// no matter how large the fleet or the workload.
+func (r *runner) commitShard(ev *event, rec *eventRec) {
+	switch ev.kind {
+	case evInject:
+		if r.log != nil {
+			logInject(r.log, ev.time, rec.st.traceID, rec.from, rec.to)
+		}
+	case evEncounter:
+		r.res.Encounters++
+		if rec.dropped {
+			r.res.EncountersDropped++
+			if r.log != nil {
+				e := r.tr.Encounters[ev.index]
+				logDrop(r.log, ev.time, e.A, e.B)
+			}
+			break
+		}
+		r.res.Syncs += 2
+		r.res.ItemsTransferred += rec.moved
+		r.res.BytesTransferred += rec.bytes
+		if rec.aborted > 0 {
+			r.res.SyncsAborted += rec.aborted
+			r.res.ItemsWasted += rec.wastedItems
+			r.res.BytesWasted += rec.wastedBytes
+			if r.log != nil {
+				e := r.tr.Encounters[ev.index]
+				logAbort(r.log, ev.time, e.A, e.B, rec.wastedItems)
+			}
+		}
+		if r.log != nil && rec.moved > 0 {
+			e := r.tr.Encounters[ev.index]
+			logEncounter(r.log, ev.time, e.A, e.B, rec.moved)
+		}
+		for i := range rec.resolved {
+			d := &rec.resolved[i]
+			if d.ok && r.log != nil {
+				logDeliver(r.log, ev.time, d.traceID, d.delay)
+			}
+		}
+	case evCrash:
+		r.res.Crashes++
+		if r.log != nil {
+			logCrash(r.log, ev.time, r.crashes[ev.index].bus)
+		}
+	}
+}
+
+// runIndexed runs f(0..n-1) on up to `workers` goroutines pulling indexes
+// from a shared counter. workers <= 1 degrades to an inline loop.
+func runIndexed(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -5,51 +5,122 @@ import (
 	"strings"
 	"testing"
 
+	"replidtn/internal/fault"
+	"replidtn/internal/mobility"
+	"replidtn/internal/obs"
 	"replidtn/internal/trace"
 )
 
-// TestDifferentialParallelEngine is the determinism gate for the parallel
-// engine: for every routing policy, under no constraint and under both of
-// the paper's constraint modes (Fig. 9 bandwidth, Fig. 10 storage), the
-// parallel engine at 1, 2, and 8 workers must reproduce the sequential
-// reference engine bit for bit — the full delivery list (delays and copy
-// counts included), every result counter, and the exact event log text.
-// `make check` runs it under -race, which also audits the scheduler for
-// conflicting concurrent access.
-func TestDifferentialParallelEngine(t *testing.T) {
+// scenarioTraces builds the differential-test inputs: the scaled-down
+// DieselNet trace plus a small instance of each synthetic mobility model.
+// Results are cached — trace generation dominates the suite otherwise.
+var scenarioTraceCache = map[string]*trace.Trace{}
+
+func scenarioTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	if len(scenarioTraceCache) > 0 {
+		return scenarioTraceCache
+	}
+	scenarioTraceCache["dieselnet"] = miniTrace(t)
+	for _, spec := range []string{
+		"rwp:n=16,days=2,seed=5,users=10,msgs=30,injectdays=2,spacing=250,active=7200",
+		"community:n=16,days=2,seed=5,users=10,msgs=30,injectdays=2,spacing=250,active=7200,cells=2,bias=0.9",
+		"corridor:n=16,days=2,seed=5,users=10,msgs=30,injectdays=2,spacing=250,active=7200,lanes=3",
+	} {
+		sc, err := mobility.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Materialize(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarioTraceCache[sc.Name()] = tr
+	}
+	return scenarioTraceCache
+}
+
+// TestDifferentialShardedEngine is the determinism gate for the sharded
+// parallel engine: for every routing policy, on the DieselNet trace and on
+// each synthetic mobility model, with fault injection off and on, the
+// sharded engine at several worker counts and epoch sizes must reproduce
+// the sequential reference engine bit for bit — the full delivery list
+// (delays and copy counts included), every result counter, and the exact
+// event log text. `make check` runs it under -race, which also audits the
+// shard partition for conflicting concurrent access.
+func TestDifferentialShardedEngine(t *testing.T) {
+	traces := scenarioTraces(t)
+	faultModes := []struct {
+		name string
+		cfg  fault.Config
+	}{
+		{"clean", fault.Config{}},
+		{"faults", fault.Config{Seed: 9, Drop: 0.1, Cutoff: 0.15, CutoffItems: 2, Crash: 0.02}},
+	}
+	for _, scenario := range []string{"dieselnet", "rwp", "community", "corridor"} {
+		tr := traces[scenario]
+		for _, name := range AllPolicies {
+			for _, fm := range faultModes {
+				t.Run(fmt.Sprintf("%s/%s/%s", scenario, name, fm.name), func(t *testing.T) {
+					var seqLog strings.Builder
+					seq := runPolicy(t, tr, name, func(c *Config) {
+						c.Faults = fm.cfg
+						c.EventLog = &seqLog
+					})
+					for _, par := range []struct{ workers, epoch int }{
+						{1, 0}, {2, 64}, {8, 0}, {4, 1},
+					} {
+						var parLog strings.Builder
+						got := runPolicy(t, tr, name, func(c *Config) {
+							c.Faults = fm.cfg
+							c.Workers = par.workers
+							c.EpochEvents = par.epoch
+							c.EventLog = &parLog
+						})
+						assertIdenticalResults(t, par.workers, seq, got)
+						if seqLog.String() != parLog.String() {
+							t.Errorf("workers=%d epoch=%d: event log differs from sequential engine\n%s",
+								par.workers, par.epoch, firstLogDiff(seqLog.String(), parLog.String()))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialConstraintModes keeps the paper's constraint axes covered
+// against the sharded engine: Fig. 9 bandwidth, Fig. 10 storage, bounded
+// lifetimes, byte budgets with padded payloads, and multi-address filters.
+func TestDifferentialConstraintModes(t *testing.T) {
 	tr := miniTrace(t)
-	modes := []struct {
+	mods := []struct {
 		name string
 		mod  func(*Config)
 	}{
-		{"unconstrained", nil},
 		{"bandwidth", func(c *Config) { c.MaxMessagesPerEncounter = 1 }},
 		{"storage", func(c *Config) { c.RelayCapacity = 2 }},
+		{"lifetime", func(c *Config) { c.MessageLifetime = 6 * 3600 }},
+		{"bytes", func(c *Config) {
+			c.MaxBytesPerEncounter = 2 << 10
+			c.MessageSize = 1 << 10
+		}},
+		{"filters", func(c *Config) { c.ExtraBuses = SelectedExtraBuses(tr, 4) }},
 	}
 	for _, name := range AllPolicies {
-		for _, mode := range modes {
-			t.Run(fmt.Sprintf("%s/%s", name, mode.name), func(t *testing.T) {
-				var seqLog strings.Builder
-				seq := runPolicy(t, tr, name, func(c *Config) {
-					if mode.mod != nil {
-						mode.mod(c)
-					}
-					c.EventLog = &seqLog
+		for _, m := range mods {
+			t.Run(fmt.Sprintf("%s/%s", name, m.name), func(t *testing.T) {
+				var seqLog, parLog strings.Builder
+				seq := runPolicy(t, tr, name, func(c *Config) { m.mod(c); c.EventLog = &seqLog })
+				par := runPolicy(t, tr, name, func(c *Config) {
+					m.mod(c)
+					c.Workers = 4
+					c.EpochEvents = 128
+					c.EventLog = &parLog
 				})
-				for _, workers := range []int{1, 2, 8} {
-					var parLog strings.Builder
-					par := runPolicy(t, tr, name, func(c *Config) {
-						if mode.mod != nil {
-							mode.mod(c)
-						}
-						c.Workers = workers
-						c.EventLog = &parLog
-					})
-					assertIdenticalResults(t, workers, seq, par)
-					if seqLog.String() != parLog.String() {
-						t.Errorf("workers=%d: event log differs from sequential engine\n%s",
-							workers, firstLogDiff(seqLog.String(), parLog.String()))
-					}
+				assertIdenticalResults(t, 4, seq, par)
+				if seqLog.String() != parLog.String() {
+					t.Errorf("event log differs:\n%s", firstLogDiff(seqLog.String(), parLog.String()))
 				}
 			})
 		}
@@ -90,129 +161,183 @@ func firstLogDiff(a, b string) string {
 	return fmt.Sprintf("length differs: %d vs %d lines", len(la), len(lb))
 }
 
-// TestDifferentialLifetimeAndBytes covers the remaining config axes the
-// policy/constraint matrix above does not: bounded message lifetimes (expiry
-// interacts with the per-endpoint clocks) and byte-granular budgets with
-// padded payloads.
-func TestDifferentialLifetimeAndBytes(t *testing.T) {
-	tr := miniTrace(t)
-	mods := []struct {
-		name string
-		mod  func(*Config)
-	}{
-		{"lifetime", func(c *Config) { c.MessageLifetime = 6 * 3600 }},
-		{"bytes", func(c *Config) {
-			c.MaxBytesPerEncounter = 2 << 10
-			c.MessageSize = 1 << 10
-		}},
-		{"filters", func(c *Config) { c.ExtraBuses = SelectedExtraBuses(tr, 4) }},
+// TestPartitionInvariants checks the region sharder on a hand-built
+// schedule: within an epoch no two shards share a bus (even transitively),
+// every event lands in exactly one shard, and a shard's events keep
+// schedule order.
+func TestPartitionInvariants(t *testing.T) {
+	tr := &trace.Trace{
+		Days:  1,
+		Buses: []string{"a", "b", "c", "d", "e", "f"},
+		Encounters: []trace.Encounter{
+			{Time: 10, A: "a", B: "b"},
+			{Time: 10, A: "c", B: "d"}, // separate component from a–b
+			{Time: 11, A: "a", B: "c"}, // bridges the two into one region
+			{Time: 12, A: "e", B: "f"}, // independent region
+			{Time: 13, A: "a", B: "b"},
+		},
+		Roster:     [][]string{{"a", "b", "c", "d", "e", "f"}},
+		Assignment: []map[string]string{{"u": "a", "v": "e"}},
+		Users:      []string{"u", "v"},
+		Messages: []trace.Message{
+			{ID: "m0", Time: 9, From: "u", To: "v"},  // bus a
+			{ID: "m1", Time: 10, From: "v", To: "u"}, // bus e
+		},
 	}
-	for _, m := range mods {
-		t.Run(m.name, func(t *testing.T) {
-			var seqLog, parLog strings.Builder
-			seq := runPolicy(t, tr, PolicyEpidemic, func(c *Config) { m.mod(c); c.EventLog = &seqLog })
-			par := runPolicy(t, tr, PolicyEpidemic, func(c *Config) {
-				m.mod(c)
-				c.Workers = 4
-				c.EventLog = &parLog
-			})
-			assertIdenticalResults(t, 4, seq, par)
-			if seqLog.String() != parLog.String() {
-				t.Errorf("event log differs:\n%s", firstLogDiff(seqLog.String(), parLog.String()))
+	r := newRunner(Config{Trace: tr}, tr)
+	se := newShardEngine(r, 2)
+
+	// One epoch over everything: a,b,c,d form one region (bridged at t=11),
+	// e,f another.
+	shards := se.partition(0, len(r.events))
+	checkPartition(t, r, se, shards, 0, len(r.events))
+	if len(shards) != 2 {
+		t.Errorf("expected 2 region shards, got %d", len(shards))
+	}
+
+	// Split epochs: before the bridge event, a–b and c–d are separate
+	// regions. The stamped union-find must fully reset between epochs.
+	half := 4
+	shards = se.partition(0, half)
+	checkPartition(t, r, se, shards, 0, half)
+	if len(shards) != 3 {
+		t.Errorf("first half: expected 3 region shards (a-b, c-d, e), got %d", len(shards))
+	}
+	shards = se.partition(half, len(r.events))
+	checkPartition(t, r, se, shards, half, len(r.events))
+}
+
+func checkPartition(t *testing.T, r *runner, se *shardEngine, shards [][]int32, lo, hi int) {
+	t.Helper()
+	// Every event in [lo, hi) appears exactly once.
+	seen := map[int32]bool{}
+	for _, shard := range shards {
+		for _, i := range shard {
+			if seen[i] {
+				t.Errorf("event %d scheduled twice", i)
+			}
+			seen[i] = true
+			if int(i) < lo || int(i) >= hi {
+				t.Errorf("event %d outside epoch [%d, %d)", i, lo, hi)
+			}
+		}
+	}
+	if len(seen) != hi-lo {
+		t.Errorf("scheduled %d events, want %d", len(seen), hi-lo)
+	}
+	// Shards are bus-disjoint and schedule-ordered.
+	busShard := map[int32]int{}
+	for s, shard := range shards {
+		for k, i := range shard {
+			if k > 0 && shard[k-1] >= i {
+				t.Errorf("shard %d not in schedule order at %d", s, i)
+			}
+			for _, bus := range []int32{se.busA[i], se.busB[i]} {
+				if prev, ok := busShard[bus]; ok && prev != s {
+					t.Errorf("bus %d appears in shards %d and %d", bus, prev, s)
+				}
+				busShard[bus] = s
+			}
+		}
+	}
+}
+
+// TestShardedWorkerAndEpochClamp exercises degenerate scheduler inputs:
+// worker counts far beyond the shard width and epochs far beyond the
+// schedule length must degrade gracefully.
+func TestShardedWorkerAndEpochClamp(t *testing.T) {
+	tr := miniTrace(t)
+	seq := runPolicy(t, tr, PolicyEpidemic, nil)
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.Workers = 512 },
+		func(c *Config) { c.Workers = 4; c.EpochEvents = 1 << 20 },
+	} {
+		par := runPolicy(t, tr, PolicyEpidemic, mod)
+		assertIdenticalResults(t, 512, seq, par)
+	}
+}
+
+// TestEngineMetricsRecorded checks the scheduling metrics plumbing: epochs,
+// shard counts, and stage latencies must be observed, and instrumentation
+// must not perturb the run.
+func TestEngineMetricsRecorded(t *testing.T) {
+	tr := miniTrace(t)
+	seq := runPolicy(t, tr, PolicyEpidemic, nil)
+	em := &obs.EngineMetrics{}
+	par := runPolicy(t, tr, PolicyEpidemic, func(c *Config) {
+		c.Workers = 4
+		c.EpochEvents = 256
+		c.Engine = em
+	})
+	assertIdenticalResults(t, 4, seq, par)
+	snap := em.Snapshot()
+	if snap.Epochs == 0 {
+		t.Error("no epochs recorded")
+	}
+	if snap.Shards < snap.Epochs {
+		t.Errorf("shards (%d) below epochs (%d)", snap.Shards, snap.Epochs)
+	}
+	if snap.ShardEvents.Count != snap.Shards {
+		t.Errorf("shard width observations (%d) != shards (%d)", snap.ShardEvents.Count, snap.Shards)
+	}
+	if snap.MergeMicros.Count != snap.Epochs || snap.ExecMicros.Count != snap.Epochs {
+		t.Error("stage latency histograms missing epochs")
+	}
+}
+
+// TestCommitLoopScalesFree pins the tentpole property of the sharded merge:
+// committing an epoch allocates nothing and touches no per-node or per-item
+// state, so its allocation count is identical whether the fleet has ten
+// nodes or ten thousand. A regression here means somebody put a map or a
+// per-node structure back into the sequential tail.
+func TestCommitLoopScalesFree(t *testing.T) {
+	allocsPerEpoch := func(nodes int) float64 {
+		tr := syntheticTrace(nodes)
+		r := newRunner(Config{Trace: tr}, tr)
+		// Pre-executed, pre-folded records: two resolved deliveries on a
+		// moved encounter — the heaviest commit path without a log writer.
+		recs := make([]eventRec, len(r.events))
+		for i := range recs {
+			recs[i].moved = 3
+			recs[i].bytes = 512
+			recs[i].resolved = []delivery{{traceID: "m1", delay: 60, ok: true}, {}}
+		}
+		return testing.AllocsPerRun(50, func() {
+			for i := range r.events {
+				r.commitShard(&r.events[i], &recs[i])
 			}
 		})
 	}
+	small, large := allocsPerEpoch(10), allocsPerEpoch(10_000)
+	if small != large {
+		t.Errorf("commit allocations scale with fleet size: %v allocs at 10 nodes, %v at 10k", small, large)
+	}
+	if small != 0 {
+		t.Errorf("commit loop allocates (%v allocs/epoch); the merge must stay allocation-free", small)
+	}
 }
 
-// TestBuildRounds checks the list scheduler's two invariants on a hand-built
-// schedule: events in one round never share a bus, and any two events
-// sharing a bus land in rounds ordered like their schedule positions.
-func TestBuildRounds(t *testing.T) {
-	tr := &trace.Trace{
-		Days:  1,
-		Buses: []string{"a", "b", "c", "d"},
-		Encounters: []trace.Encounter{
-			{Time: 10, A: "a", B: "b"},
-			{Time: 10, A: "c", B: "d"}, // disjoint: same round as the first
-			{Time: 11, A: "a", B: "c"}, // conflicts with both: next round
-			{Time: 12, A: "b", B: "d"}, // conflicts with #0 and #1 only
-			{Time: 13, A: "a", B: "b"}, // conflicts with #2 and #3
-		},
-		Roster:     [][]string{{"a", "b", "c", "d"}},
-		Assignment: []map[string]string{{"u": "a", "v": "c"}},
+// syntheticTrace builds an encounters-only trace over n buses (ring
+// neighbors, one encounter per bus pair) for scheduler-focused tests.
+func syntheticTrace(n int) *trace.Trace {
+	buses := make([]string, n)
+	for i := range buses {
+		buses[i] = fmt.Sprintf("b%05d", i)
+	}
+	encounters := make([]trace.Encounter, n)
+	for i := range encounters {
+		a, b := buses[i], buses[(i+1)%n]
+		if a > b {
+			a, b = b, a
+		}
+		encounters[i] = trace.Encounter{Time: int64(i + 1), A: a, B: b}
+	}
+	return &trace.Trace{
+		Days:       1,
+		Buses:      buses,
 		Users:      []string{"u", "v"},
-		Messages: []trace.Message{
-			{ID: "m0", Time: 9, From: "u", To: "v"},  // bus a, before everything
-			{ID: "m1", Time: 10, From: "v", To: "u"}, // bus c, same instant as encounters
-		},
+		Encounters: encounters,
+		Roster:     [][]string{buses},
+		Assignment: []map[string]string{{"u": buses[0], "v": buses[n/2]}},
 	}
-	events, _ := buildEvents(tr, nil)
-	rounds, eventRound := buildRounds(tr, events, nil)
-
-	buses := func(ev *event) []string {
-		if ev.kind == evInject {
-			m := tr.Messages[ev.index]
-			return []string{tr.Assignment[trace.Day(m.Time)][m.From]}
-		}
-		e := tr.Encounters[ev.index]
-		return []string{e.A, e.B}
-	}
-	// No round shares a bus.
-	for ri, round := range rounds {
-		seen := map[string]int{}
-		for _, i := range round {
-			for _, bus := range buses(&events[i]) {
-				if prev, dup := seen[bus]; dup {
-					t.Errorf("round %d: events %d and %d both touch %s", ri, prev, i, bus)
-				}
-				seen[bus] = i
-			}
-		}
-	}
-	// Conflicting events are round-ordered like their schedule order, and
-	// every event is scheduled exactly once.
-	scheduled := 0
-	for _, round := range rounds {
-		scheduled += len(round)
-	}
-	if scheduled != len(events) {
-		t.Fatalf("scheduled %d events, want %d", scheduled, len(events))
-	}
-	for i := range events {
-		for j := i + 1; j < len(events); j++ {
-			if !sharesBus(buses(&events[i]), buses(&events[j])) {
-				continue
-			}
-			if eventRound[i] >= eventRound[j] {
-				t.Errorf("conflicting events %d (round %d) and %d (round %d) not ordered",
-					i, eventRound[i], j, eventRound[j])
-			}
-		}
-	}
-	// The injection at t=10 on bus c must be ordered before the c–d
-	// encounter at the same instant (injections sort first).
-	if eventRound[1] >= eventRound[3] {
-		t.Errorf("same-instant injection (round %d) not before conflicting encounter (round %d)",
-			eventRound[1], eventRound[3])
-	}
-}
-
-func sharesBus(a, b []string) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x == y {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// TestParallelWorkerClamp exercises worker counts far beyond the schedule's
-// width, which must degrade gracefully to the available parallelism.
-func TestParallelWorkerClamp(t *testing.T) {
-	tr := miniTrace(t)
-	seq := runPolicy(t, tr, PolicyEpidemic, nil)
-	par := runPolicy(t, tr, PolicyEpidemic, func(c *Config) { c.Workers = 512 })
-	assertIdenticalResults(t, 512, seq, par)
 }

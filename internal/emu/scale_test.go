@@ -1,0 +1,95 @@
+package emu
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"replidtn/internal/mobility"
+	"replidtn/internal/trace"
+)
+
+// scaleTrace materializes a mobility scenario for the scale tests.
+func scaleTrace(tb testing.TB, spec string) *trace.Trace {
+	tb.Helper()
+	sc, err := mobility.Parse(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := trace.Materialize(sc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// TestScaleSmoke is the scale gate run by `make scale-smoke` (and its CI
+// job): a 10k-node random-waypoint scenario through both engines, asserting
+// bit-identical results and event logs. It is opt-in via DTN_SCALE_SMOKE
+// because a fleet this size under -race takes more wall time than tier-1
+// tests should; the differential suite covers the same property at small
+// scale on every run.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("DTN_SCALE_SMOKE") == "" {
+		t.Skip("set DTN_SCALE_SMOKE=1 to run the 10k-node scale smoke (make scale-smoke)")
+	}
+	tr := scaleTrace(t, "rwp:n=10000,seed=11,users=100,msgs=200,active=1800")
+	t.Logf("scenario: %d nodes, %d encounters, %d messages",
+		len(tr.Buses), len(tr.Encounters), len(tr.Messages))
+	var seqLog, parLog strings.Builder
+	seq := runPolicy(t, tr, PolicySpray, func(c *Config) { c.EventLog = &seqLog })
+	par := runPolicy(t, tr, PolicySpray, func(c *Config) {
+		c.Workers = runtime.GOMAXPROCS(0)
+		c.EventLog = &parLog
+	})
+	assertIdenticalResults(t, runtime.GOMAXPROCS(0), seq, par)
+	if seqLog.String() != parLog.String() {
+		t.Errorf("event log differs at 10k nodes:\n%s", firstLogDiff(seqLog.String(), parLog.String()))
+	}
+}
+
+// BenchmarkScale drives the sharded engine across fleet sizes up to the
+// 100k-node mark, with the sequential engine as the baseline at each size
+// the schedule keeps tractable. Scenario area auto-scales with the fleet, so
+// per-node contact rates — and per-node work — are constant across sizes;
+// what the benchmark exposes is how the engines absorb schedule volume.
+// `make bench-scale` records this suite into BENCH_scale.json.
+func BenchmarkScale(b *testing.B) {
+	cases := []struct {
+		nodes   int
+		active  int
+		workers []int
+	}{
+		{1_000, 3600, []int{0, 8}},
+		{10_000, 1800, []int{0, 8}},
+		{100_000, 900, []int{8}},
+	}
+	for _, tc := range cases {
+		spec := fmt.Sprintf("rwp:n=%d,seed=11,users=100,msgs=200,active=%d", tc.nodes, tc.active)
+		var tr *trace.Trace
+		for _, workers := range tc.workers {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", tc.nodes, workers), func(b *testing.B) {
+				if tr == nil {
+					tr = scaleTrace(b, spec)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(Config{
+						Trace:   tr,
+						Policy:  Factory(PolicySpray, DefaultParams()),
+						Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Encounters != len(tr.Encounters) {
+						b.Fatalf("processed %d encounters, want %d", res.Encounters, len(tr.Encounters))
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"replidtn/internal/emu"
+	"replidtn/internal/mobility"
+	"replidtn/internal/obs"
+	"replidtn/internal/trace"
+)
+
+// The scale sweep answers a question the paper's 40-bus fleet cannot: how
+// does the emulation engine absorb schedule volume as the fleet grows by
+// orders of magnitude? Each row materializes a seeded mobility scenario,
+// runs it through the engine at a given worker count, and reports
+// throughput plus the sharded scheduler's partition statistics. Wall-clock
+// appears only in the reported rates, never in emulation results — the
+// engines stay bit-identical at every size.
+
+// DefaultScaleSpecs is the scenario ladder swept by `dtnsim -experiment
+// scale-sweep`: random-waypoint fleets from 1k to 100k nodes with a
+// constant per-node contact rate (area auto-scales with the fleet), the
+// active window shrinking with size to keep total schedule volume — and
+// sweep wall time — tractable.
+var DefaultScaleSpecs = []string{
+	"rwp:n=1000,seed=11,users=100,msgs=200,active=3600",
+	"rwp:n=10000,seed=11,users=100,msgs=200,active=1800",
+	"rwp:n=100000,seed=11,users=100,msgs=200,active=900",
+}
+
+// SmallScaleSpecs is the fast ladder used with -small: the three mobility
+// models at a few hundred nodes each, so the sweep doubles as a smoke test
+// of every generator.
+var SmallScaleSpecs = []string{
+	"rwp:n=200,seed=11,users=40,msgs=80,active=3600",
+	"community:n=200,seed=11,users=40,msgs=80,active=3600,cells=3,bias=0.7",
+	"corridor:n=200,seed=11,users=40,msgs=80,active=3600,lanes=4",
+}
+
+// ScaleRow is one (scenario, worker count) measurement in the sweep.
+type ScaleRow struct {
+	// Scenario is the spec the row ran (see mobility.Parse).
+	Scenario string
+	// Nodes, Encounters, and Messages describe the materialized trace.
+	Nodes      int
+	Encounters int
+	Messages   int
+	// Workers is the engine configuration: 0 is the sequential reference
+	// engine, >= 1 the region-sharded engine with that many workers.
+	Workers int
+	// Delivered is the fraction of messages delivered by the end of the run.
+	Delivered float64
+	// Wall is the wall-clock time of the emulation run (excluding scenario
+	// materialization).
+	Wall time.Duration
+	// EventsPerSec is schedule throughput: (encounters + messages) / Wall.
+	EventsPerSec float64
+	// ShardsPerEpoch is the mean number of region shards the partition
+	// exposed per epoch (0 for the sequential engine): the concurrency the
+	// sharded scheduler actually found in the contact structure.
+	ShardsPerEpoch float64
+	// MergeMicrosPerEpoch is the mean wall time of the sequential merge
+	// phase per epoch (0 for the sequential engine) — the serial residue
+	// the sharding exists to minimize.
+	MergeMicrosPerEpoch float64
+}
+
+// RunScaleSweep materializes each scenario spec once and runs it at each
+// worker count, in order. Runs execute sequentially — unlike the other
+// sweeps in this package — because the rows measure wall-clock throughput
+// and concurrent runs would contend for the same cores. Emulation results
+// are deterministic per (spec, policy); only the timing columns vary
+// between invocations.
+func RunScaleSweep(specs []string, workerCounts []int, policy emu.PolicyName, opts ...Option) ([]ScaleRow, error) {
+	o := buildOptions(opts)
+	params := emu.DefaultParams()
+	var rows []ScaleRow
+	for _, spec := range specs {
+		sc, err := mobility.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scale sweep: %w", err)
+		}
+		tr, err := trace.Materialize(sc)
+		if err != nil {
+			return nil, fmt.Errorf("scale sweep %q: %w", spec, err)
+		}
+		for _, workers := range workerCounts {
+			var em *obs.EngineMetrics
+			if workers >= 1 {
+				em = &obs.EngineMetrics{}
+			}
+			cfg := o.instrument(emu.Config{
+				Trace:   tr,
+				Policy:  emu.Factory(policy, params),
+				Workers: workers,
+				Faults:  o.faults,
+				Engine:  em,
+			})
+			start := time.Now()
+			res, err := emu.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scale sweep %q workers=%d: %w", spec, workers, err)
+			}
+			wall := time.Since(start)
+			row := ScaleRow{
+				Scenario:   spec,
+				Nodes:      len(tr.Buses),
+				Encounters: len(tr.Encounters),
+				Messages:   len(tr.Messages),
+				Workers:    workers,
+				Delivered:  res.Summary.DeliveryRate(),
+				Wall:       wall,
+			}
+			if secs := wall.Seconds(); secs > 0 {
+				row.EventsPerSec = float64(len(tr.Encounters)+len(tr.Messages)) / secs
+			}
+			if em != nil {
+				if s := em.Snapshot(); s.Epochs > 0 {
+					row.ShardsPerEpoch = float64(s.Shards) / float64(s.Epochs)
+					row.MergeMicrosPerEpoch = float64(s.MergeMicros.Sum) / float64(s.Epochs)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatScaleSweep renders sweep rows as an aligned table.
+func FormatScaleSweep(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %8s %10s %8s %6s %9s %10s %11s %9s\n",
+		"scenario", "nodes", "encounters", "workers", "deliv", "wall", "events/s", "shards/ep", "merge-us")
+	for _, r := range rows {
+		shards, merge := "-", "-"
+		if r.Workers >= 1 {
+			shards = fmt.Sprintf("%.1f", r.ShardsPerEpoch)
+			merge = fmt.Sprintf("%.0f", r.MergeMicrosPerEpoch)
+		}
+		fmt.Fprintf(&b, "%-52s %8d %10d %8d %5.1f%% %9s %10.0f %11s %9s\n",
+			r.Scenario, r.Nodes, r.Encounters, r.Workers, 100*r.Delivered,
+			r.Wall.Round(time.Millisecond), r.EventsPerSec, shards, merge)
+	}
+	return b.String()
+}

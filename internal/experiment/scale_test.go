@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"replidtn/internal/emu"
+)
+
+// tinyScaleSpecs keeps the sweep test fast while still covering all three
+// mobility models and both engines.
+var tinyScaleSpecs = []string{
+	"rwp:n=40,seed=7,users=10,msgs=30,active=3600",
+	"community:n=40,seed=7,users=10,msgs=30,active=3600,cells=2,bias=0.8",
+	"corridor:n=40,seed=7,users=10,msgs=30,active=3600,lanes=3",
+}
+
+func TestRunScaleSweep(t *testing.T) {
+	rows, err := RunScaleSweep(tinyScaleSpecs, []int{0, 4}, emu.PolicySpray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tinyScaleSpecs)*2 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(tinyScaleSpecs)*2)
+	}
+	for i, r := range rows {
+		spec := tinyScaleSpecs[i/2]
+		if r.Scenario != spec {
+			t.Errorf("row %d: scenario %q, want %q", i, r.Scenario, spec)
+		}
+		if r.Nodes != 40 {
+			t.Errorf("row %d: %d nodes, want 40", i, r.Nodes)
+		}
+		if r.Encounters == 0 {
+			t.Errorf("row %d: no encounters", i)
+		}
+		if wantWorkers := (i % 2) * 4; r.Workers != wantWorkers {
+			t.Errorf("row %d: workers %d, want %d", i, r.Workers, wantWorkers)
+		}
+		if r.Wall <= 0 || r.EventsPerSec <= 0 {
+			t.Errorf("row %d: non-positive timing (wall=%v events/s=%v)", i, r.Wall, r.EventsPerSec)
+		}
+	}
+	// The deterministic columns must agree between the engines; shard
+	// statistics must be reported only for the sharded engine.
+	for i := 0; i < len(rows); i += 2 {
+		seq, par := rows[i], rows[i+1]
+		if seq.Delivered != par.Delivered {
+			t.Errorf("%s: delivery differs between engines: %v vs %v",
+				seq.Scenario, seq.Delivered, par.Delivered)
+		}
+		if seq.ShardsPerEpoch != 0 || seq.MergeMicrosPerEpoch != 0 {
+			t.Errorf("%s: sequential row reports shard stats", seq.Scenario)
+		}
+		if par.ShardsPerEpoch < 1 {
+			t.Errorf("%s: sharded row reports %v shards/epoch, want >= 1",
+				par.Scenario, par.ShardsPerEpoch)
+		}
+	}
+}
+
+func TestRunScaleSweepBadSpec(t *testing.T) {
+	if _, err := RunScaleSweep([]string{"warp:n=10"}, []int{0}, emu.PolicySpray); err == nil {
+		t.Error("unknown scenario model should fail")
+	}
+}
+
+func TestFormatScaleSweep(t *testing.T) {
+	rows, err := RunScaleSweep(tinyScaleSpecs[:1], []int{0, 2}, emu.PolicySpray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatScaleSweep(rows)
+	for _, want := range []string{"scenario", "events/s", "shards/ep", tinyScaleSpecs[0]} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+len(rows) {
+		t.Errorf("table has %d lines, want %d:\n%s", len(lines), 1+len(rows), out)
+	}
+}

@@ -1,0 +1,93 @@
+package mobility
+
+import (
+	"fmt"
+
+	"replidtn/internal/trace"
+)
+
+// Corridor is a geographic-corridor model patterned on vehicular fleets:
+// nodes shuttle back and forth along fixed lanes — alternating horizontal
+// and vertical lines across the playground — reflecting at the boundary.
+// Contacts happen when vehicles pass on the same lane or cross at a lane
+// intersection, giving the recurring, route-structured encounter pattern of
+// the DieselNet buses but at arbitrary scale.
+type Corridor struct {
+	base
+	Lanes int
+}
+
+// NewCorridor validates the configuration; node i runs lane i mod Lanes.
+func NewCorridor(cfg Common, lanes int) (*Corridor, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("mobility: corridor needs at least 1 lane, have %d", lanes)
+	}
+	return &Corridor{base: b, Lanes: lanes}, nil
+}
+
+func (s *Corridor) Name() string { return "corridor" }
+
+func (s *Corridor) Encounters(yield func(trace.Encounter) bool) {
+	streamContacts(s.cfg, s.nodes, newCorridorSim(s.cfg, s.Lanes), yield)
+}
+
+type corridorSim struct {
+	side  float64
+	pos   []float64 // coordinate along the lane
+	dir   []float64 // +1 or -1
+	speed []float64
+	lane  []int32 // lane index; even lanes horizontal, odd vertical
+	coord []float64
+}
+
+func newCorridorSim(cfg Common, lanes int) *corridorSim {
+	n := cfg.Nodes
+	side := cfg.side()
+	c := &corridorSim{
+		side:  side,
+		pos:   make([]float64, n),
+		dir:   make([]float64, n),
+		speed: make([]float64, n),
+		lane:  make([]int32, n),
+		coord: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		rng := seedStream(cfg.Seed, uint64(i))
+		lane := i % lanes
+		c.lane[i] = int32(lane)
+		// Lanes are spread evenly across the interior so horizontal and
+		// vertical corridors intersect away from the boundary.
+		c.coord[i] = side * float64(lane+1) / float64(lanes+1)
+		c.pos[i] = unitRand(&rng) * side
+		c.speed[i] = spanRand(&rng, cfg.SpeedMin, cfg.SpeedMax)
+		if nextRand(&rng)&1 == 0 {
+			c.dir[i] = 1
+		} else {
+			c.dir[i] = -1
+		}
+	}
+	return c
+}
+
+func (c *corridorSim) step(i int, dt float64) (float64, float64) {
+	p := c.pos[i] + c.dir[i]*c.speed[i]*dt
+	// Reflect at the boundary; with tick displacements far below the side
+	// length a single fold per end suffices.
+	if p > c.side {
+		p = 2*c.side - p
+		c.dir[i] = -1
+	}
+	if p < 0 {
+		p = -p
+		c.dir[i] = 1
+	}
+	c.pos[i] = p
+	if c.lane[i]%2 == 0 {
+		return p, c.coord[i]
+	}
+	return c.coord[i], p
+}

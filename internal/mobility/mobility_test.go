@@ -1,0 +1,396 @@
+package mobility
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"replidtn/internal/trace"
+)
+
+// writeTraceDir exports a trace as the CSV directory layout LoadDir reads.
+func writeTraceDir(dir string, tr *trace.Trace) error {
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write(trace.EncountersFile, func(f *os.File) error { return trace.WriteEncounters(f, tr.Encounters) }); err != nil {
+		return err
+	}
+	if err := write(trace.MessagesFile, func(f *os.File) error { return trace.WriteMessages(f, tr.Messages) }); err != nil {
+		return err
+	}
+	return write(trace.AssignmentsFile, func(f *os.File) error { return trace.WriteAssignments(f, tr.Assignment) })
+}
+
+func testCommon() Common {
+	cfg := Defaults()
+	cfg.Nodes = 40
+	cfg.Days = 2
+	cfg.Seed = 7
+	cfg.Users = 10
+	cfg.Messages = 50
+	cfg.InjectDays = 2
+	// A denser playground than the default so the small fleet still meets.
+	cfg.Spacing = 300
+	return cfg
+}
+
+func buildAll(t *testing.T, cfg Common) []trace.Scenario {
+	t.Helper()
+	rwp, err := NewRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := NewCommunity(cfg, 4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cor, err := NewCorridor(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []trace.Scenario{rwp, com, cor}
+}
+
+func TestGeneratorsMaterializeValidTraces(t *testing.T) {
+	for _, sc := range buildAll(t, testCommon()) {
+		tr, err := trace.Materialize(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if len(tr.Encounters) == 0 {
+			t.Errorf("%s: no encounters generated", sc.Name())
+		}
+		if len(tr.Messages) != 50 {
+			t.Errorf("%s: %d messages, want 50", sc.Name(), len(tr.Messages))
+		}
+		if len(tr.Buses) != 40 {
+			t.Errorf("%s: %d nodes, want 40", sc.Name(), len(tr.Buses))
+		}
+		for _, e := range tr.Encounters {
+			off := e.Time % trace.SecondsPerDay
+			if off >= testCommon().ActiveSeconds {
+				t.Fatalf("%s: encounter at day offset %d outside the active window", sc.Name(), off)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cfg := testCommon()
+	for i, sc := range buildAll(t, cfg) {
+		t1, err := trace.Materialize(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := trace.Materialize(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Errorf("%s: two enumerations of the same scenario differ", sc.Name())
+		}
+		other := cfg
+		other.Seed++
+		t3, err := trace.Materialize(buildAll(t, other)[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(t1.Encounters, t3.Encounters) {
+			t.Errorf("%s: different seeds produced identical schedules", sc.Name())
+		}
+	}
+}
+
+func TestEncounterStreamingStopsEarly(t *testing.T) {
+	for _, sc := range buildAll(t, testCommon()) {
+		var got int
+		sc.Encounters(func(trace.Encounter) bool {
+			got++
+			return got < 3
+		})
+		if got != 3 {
+			t.Errorf("%s: early stop visited %d encounters, want 3", sc.Name(), got)
+		}
+	}
+}
+
+func TestCommunityClustersContacts(t *testing.T) {
+	// With full home bias almost all contacts should be within-community;
+	// compare against the uniform RWP baseline on the same parameters.
+	cfg := testCommon()
+	com, err := NewCommunity(cfg, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeOf := func(name string) int {
+		for i, n := range com.Nodes() {
+			if n == name {
+				return com.home[i]
+			}
+		}
+		t.Fatalf("unknown node %s", name)
+		return -1
+	}
+	same, total := 0, 0
+	com.Encounters(func(e trace.Encounter) bool {
+		total++
+		if homeOf(e.A) == homeOf(e.B) {
+			same++
+		}
+		return true
+	})
+	if total == 0 {
+		t.Fatal("no community encounters")
+	}
+	if frac := float64(same) / float64(total); frac < 0.7 {
+		t.Errorf("only %.0f%% of fully-biased community contacts are within-community", frac*100)
+	}
+}
+
+func TestCorridorContactsRespectLanes(t *testing.T) {
+	// Nodes on parallel lanes far apart can only meet at intersections
+	// with crossing lanes; same-lane passes must dominate with few lanes.
+	cfg := testCommon()
+	cor, err := NewCorridor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneOf := func(name string) int {
+		for i, n := range cor.Nodes() {
+			if n == name {
+				return i % 4
+			}
+		}
+		t.Fatalf("unknown node %s", name)
+		return -1
+	}
+	total := 0
+	cor.Encounters(func(e trace.Encounter) bool {
+		total++
+		la, lb := laneOf(e.A), laneOf(e.B)
+		// Two distinct parallel lanes never come within radio range: lane
+		// separation is side/(lanes+1) >> range in this configuration.
+		if la != lb && la%2 == lb%2 {
+			t.Fatalf("contact between parallel lanes %d and %d", la, lb)
+		}
+		return true
+	})
+	if total == 0 {
+		t.Fatal("no corridor encounters")
+	}
+}
+
+func TestScenarioInterfaceShape(t *testing.T) {
+	cfg := testCommon()
+	sc, err := NewRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Days() != cfg.Days {
+		t.Errorf("days = %d", sc.Days())
+	}
+	nodes := sc.Nodes()
+	if !sortedStrings(nodes) {
+		t.Error("node roster not sorted")
+	}
+	if got := sc.Roster(1); !reflect.DeepEqual(got, nodes) {
+		t.Error("all nodes should be rostered every day")
+	}
+	asg := sc.Assignment(0)
+	if len(asg) != cfg.Users {
+		t.Errorf("assignment covers %d users, want %d", len(asg), cfg.Users)
+	}
+	for _, u := range sc.Users() {
+		if _, ok := asg[u]; !ok {
+			t.Errorf("user %s unassigned", u)
+		}
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	// The hash grid must report exactly the pairs a quadratic scan finds,
+	// across several deterministic point clouds including cell-boundary
+	// and duplicate positions.
+	const n, side, radio = 200, 2000.0, 100.0
+	rng := seedStream(99, 0)
+	for round := 0; round < 5; round++ {
+		g := newGrid(n, side, radio)
+		g.reset()
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = unitRand(&rng) * side
+			ys[i] = unitRand(&rng) * side
+			if i%17 == 0 { // exact cell corners
+				xs[i] = float64(int(xs[i]/radio)) * radio
+			}
+			if i%23 == 0 && i > 0 { // coincident nodes
+				xs[i], ys[i] = xs[i-1], ys[i-1]
+			}
+			g.insert(int32(i), xs[i], ys[i])
+		}
+		got := map[uint64]bool{}
+		for _, p := range g.collectPairs(nil) {
+			if got[p] {
+				t.Fatalf("pair %x reported twice", p)
+			}
+			got[p] = true
+		}
+		want := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+				if dx*dx+dy*dy <= radio*radio {
+					want[packPair(int32(i), int32(j))] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: grid found %d pairs, brute force %d", round, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("round %d: grid missed pair %x", round, p)
+			}
+		}
+	}
+}
+
+func TestEncountersSortedAndWellFormed(t *testing.T) {
+	for _, sc := range buildAll(t, testCommon()) {
+		var prev trace.Encounter
+		first := true
+		sc.Encounters(func(e trace.Encounter) bool {
+			if !first && e.Time < prev.Time {
+				t.Fatalf("%s: time went backwards: %d after %d", sc.Name(), e.Time, prev.Time)
+			}
+			if !first && e.Time == prev.Time && (e.A < prev.A || (e.A == prev.A && e.B < prev.B)) {
+				t.Fatalf("%s: same-tick pair order regressed", sc.Name())
+			}
+			if e.A >= e.B {
+				t.Fatalf("%s: pair %q,%q not in name order", sc.Name(), e.A, e.B)
+			}
+			prev, first = e, false
+			return true
+		})
+	}
+}
+
+func TestMessagesWellFormed(t *testing.T) {
+	cfg := testCommon()
+	sc, err := NewRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	count := 0
+	sc.Messages(func(m trace.Message) bool {
+		count++
+		if m.Time < prev {
+			t.Fatalf("message times regressed: %d after %d", m.Time, prev)
+		}
+		if m.From == m.To {
+			t.Fatalf("self-addressed message %s", m.ID)
+		}
+		if trace.Day(m.Time) >= cfg.InjectDays {
+			t.Fatalf("message %s injected on day %d", m.ID, trace.Day(m.Time))
+		}
+		prev = m.Time
+		return true
+	})
+	if count != cfg.Messages {
+		t.Errorf("streamed %d messages, want %d", count, cfg.Messages)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		name string
+	}{
+		{"rwp:n=30,seed=7,users=6,msgs=10,spacing=300", "rwp"},
+		{"community:n=30,cells=3,bias=0.9,users=6,msgs=10,spacing=300", "community"},
+		{"corridor:n=30,lanes=5,users=6,msgs=10,spacing=300", "corridor"},
+		{"rwp:n=30,speed=2-12,tick=30,active=7200,area=1500,users=4,msgs=5,days=2,injectdays=1", "rwp"},
+		{"dieselnet:seed=3,days=4,fleet=10,users=8,msgs=20", "dieselnet"},
+		{"dieselnet", "dieselnet"},
+	} {
+		sc, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if sc.Name() != tc.name {
+			t.Errorf("%s: name = %q", tc.spec, sc.Name())
+		}
+		if _, err := trace.Materialize(sc); err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+		}
+	}
+}
+
+func TestParseDirSpec(t *testing.T) {
+	dn := trace.DefaultDieselNet()
+	dn.Days, dn.FleetSize, dn.ActivePerDay, dn.EncountersPerDay = 2, 6, 5, 50
+	wl := trace.DefaultWorkload()
+	wl.Users, wl.Messages, wl.InjectDays = 6, 10, 2
+	tr, err := trace.Generate(dn, wl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeTraceDir(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse("dir:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Materialize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Encounters, tr.Encounters) {
+		t.Error("dir: scenario diverged from the written trace")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		spec, want string
+	}{
+		{"levy:n=10", "unknown scenario model"},
+		{"rwp:n=0", "positive integer"},
+		{"rwp:bogus=1", "unknown key"},
+		{"rwp:speed=5", "min-max band"},
+		{"rwp:n", "key=value"},
+		{"community:lanes=3", "only applies to corridor"},
+		{"corridor:bias=0.5", "only applies to community"},
+		{"dieselnet:zipf=2", "unknown key"},
+		{"dir:", "needs a path"},
+	} {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q should mention %q", tc.spec, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+// EngineMetrics instruments the sharded emulation engine's scheduler: how
+// the schedule partitions into epochs and region shards, how well the shard
+// width feeds the worker pool, and where the wall-clock time of an epoch
+// goes (parallel shard execution, parallel per-item fold, sequential
+// merge). Durations are wall-clock microseconds supplied by the engine —
+// they feed only these histograms, never the deterministic Result. Nil-safe
+// like every bundle in this package: a nil *EngineMetrics disables
+// collection entirely.
+type EngineMetrics struct {
+	// Epochs counts schedule epochs processed.
+	Epochs Counter
+	// Shards counts region shards executed across all epochs.
+	Shards Counter
+	// EpochShards observes the number of shards per epoch — the
+	// parallelism the partition exposed to the worker pool.
+	EpochShards Histogram
+	// ShardEvents observes events per shard: wide flat histograms mean an
+	// even partition, a heavy top bucket means one connected component
+	// dominates the epoch and serializes it.
+	ShardEvents Histogram
+	// ExecMicros observes per-epoch wall time executing shards.
+	ExecMicros Histogram
+	// FoldMicros observes per-epoch wall time folding per-item effects.
+	FoldMicros Histogram
+	// MergeMicros observes per-epoch wall time in the sequential merge —
+	// the commit latency the sharding exists to minimize.
+	MergeMicros Histogram
+}
+
+// EngineSnapshot is EngineMetrics at one instant.
+type EngineSnapshot struct {
+	Epochs      int64             `json:"epochs"`
+	Shards      int64             `json:"shards"`
+	EpochShards HistogramSnapshot `json:"epoch_shards"`
+	ShardEvents HistogramSnapshot `json:"shard_events"`
+	ExecMicros  HistogramSnapshot `json:"exec_us"`
+	FoldMicros  HistogramSnapshot `json:"fold_us"`
+	MergeMicros HistogramSnapshot `json:"merge_us"`
+}
+
+// Snapshot captures the counters. Nil-safe.
+func (m *EngineMetrics) Snapshot() EngineSnapshot {
+	if m == nil {
+		return EngineSnapshot{}
+	}
+	return EngineSnapshot{
+		Epochs:      m.Epochs.Value(),
+		Shards:      m.Shards.Value(),
+		EpochShards: m.EpochShards.Snapshot(),
+		ShardEvents: m.ShardEvents.Snapshot(),
+		ExecMicros:  m.ExecMicros.Snapshot(),
+		FoldMicros:  m.FoldMicros.Snapshot(),
+		MergeMicros: m.MergeMicros.Snapshot(),
+	}
+}

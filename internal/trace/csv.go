@@ -12,9 +12,16 @@ import (
 // records or an Enron-derived message schedule) to be substituted for the
 // synthetic generators, and let generated traces be exported for inspection.
 //
+//	nodes:      node                 (optional roster; one node per row)
 //	encounters: time,busA,busB
 //	messages:   id,time,from,to
 //	assignment: day,user,bus
+//
+// The readers are strict about schedule order: encounter and message rows
+// must be non-decreasing in time. Every writer in this repository emits
+// sorted schedules, so an out-of-order row means the file was corrupted or
+// hand-edited — silently re-sorting it would mask the damage and hand the
+// engine a scenario that no longer matches what the file claims to contain.
 
 // WriteEncounters writes the encounter schedule as CSV.
 func WriteEncounters(w io.Writer, encounters []Encounter) error {
@@ -28,8 +35,9 @@ func WriteEncounters(w io.Writer, encounters []Encounter) error {
 	return cw.Error()
 }
 
-// ReadEncounters parses an encounter CSV and returns the schedule sorted by
-// time.
+// ReadEncounters parses an encounter CSV. Rows must already be sorted by
+// time; an out-of-order row is rejected with its row number rather than
+// silently re-sorted (see the package comment above).
 func ReadEncounters(r io.Reader) ([]Encounter, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 3
@@ -46,9 +54,12 @@ func ReadEncounters(r io.Reader) ([]Encounter, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: encounter time %q: %w", rec[0], err)
 		}
+		if n := len(out); n > 0 && t < out[n-1].Time {
+			return nil, fmt.Errorf("trace: encounters row %d out of order: time %d after %d",
+				n+1, t, out[n-1].Time)
+		}
 		out = append(out, Encounter{Time: t, A: rec[1], B: rec[2]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out, nil
 }
 
@@ -65,7 +76,9 @@ func WriteMessages(w io.Writer, messages []Message) error {
 	return cw.Error()
 }
 
-// ReadMessages parses a message CSV and returns the schedule sorted by time.
+// ReadMessages parses a message CSV. Rows must already be sorted by time;
+// an out-of-order row is rejected with its row number rather than silently
+// re-sorted.
 func ReadMessages(r io.Reader) ([]Message, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
@@ -82,9 +95,55 @@ func ReadMessages(r io.Reader) ([]Message, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: message time %q: %w", rec[1], err)
 		}
+		if n := len(out); n > 0 && t < out[n-1].Time {
+			return nil, fmt.Errorf("trace: messages row %d out of order: time %d after %d",
+				n+1, t, out[n-1].Time)
+		}
 		out = append(out, Message{ID: rec[0], Time: t, From: rec[2], To: rec[3]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// WriteNodes writes the node roster as CSV, one node per row. A roster file
+// lets a trace directory declare its full fleet explicitly — including nodes
+// that never appear in an encounter — and turns a mistyped node name in an
+// encounter row into a load error instead of a phantom extra node.
+func WriteNodes(w io.Writer, nodes []string) error {
+	cw := csv.NewWriter(w)
+	for _, n := range nodes {
+		if err := cw.Write([]string{n}); err != nil {
+			return fmt.Errorf("trace: write nodes: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNodes parses a roster CSV into a sorted node list, rejecting empty
+// names and duplicates.
+func ReadNodes(r io.Reader) ([]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 1
+	seen := make(map[string]struct{})
+	var out []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read nodes: %w", err)
+		}
+		if rec[0] == "" {
+			return nil, fmt.Errorf("trace: nodes row %d is empty", len(out)+1)
+		}
+		if _, dup := seen[rec[0]]; dup {
+			return nil, fmt.Errorf("trace: duplicate node %q in roster", rec[0])
+		}
+		seen[rec[0]] = struct{}{}
+		out = append(out, rec[0])
+	}
+	sort.Strings(out)
 	return out, nil
 }
 

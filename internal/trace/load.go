@@ -8,21 +8,34 @@ import (
 )
 
 // Standard file names inside a trace directory (the format cmd/tracegen
-// writes and real converted traces should follow).
+// writes and real converted traces should follow). NodesFile is optional:
+// when present it declares the full fleet, and any encounter or assignment
+// row naming a node outside it fails the load.
 const (
+	NodesFile       = "nodes.csv"
 	EncountersFile  = "encounters.csv"
 	MessagesFile    = "messages.csv"
 	AssignmentsFile = "assignments.csv"
 )
 
 // LoadDir reads a complete trace from a directory containing encounters.csv,
-// messages.csv, and assignments.csv, deriving the fleet, user list, day
-// count, and daily rosters from the data. This is the drop-in path for real
-// traces (e.g. a converted CRAWDAD DieselNet contact log).
+// messages.csv, and assignments.csv, plus an optional nodes.csv roster. The
+// user list, day count, and daily rosters are derived from the data; the
+// fleet is taken from nodes.csv when present (a mistyped node in any row is
+// then an error, not a phantom extra node) and derived otherwise. This is
+// the drop-in path for real traces (e.g. a converted CRAWDAD DieselNet
+// contact log) and for scenarios exported by cmd/tracegen.
 func LoadDir(dir string) (*Trace, error) {
+	roster, err := loadNodes(filepath.Join(dir, NodesFile))
+	if err != nil {
+		return nil, err
+	}
 	encounters, err := loadEncounters(filepath.Join(dir, EncountersFile))
 	if err != nil {
 		return nil, err
+	}
+	if len(encounters) == 0 {
+		return nil, fmt.Errorf("trace: %s: empty encounter schedule — a scenario with no contacts can never deliver anything", dir)
 	}
 	messages, err := loadMessages(filepath.Join(dir, MessagesFile))
 	if err != nil {
@@ -31,6 +44,28 @@ func LoadDir(dir string) (*Trace, error) {
 	assignment, err := loadAssignments(filepath.Join(dir, AssignmentsFile))
 	if err != nil {
 		return nil, err
+	}
+	if roster != nil {
+		known := make(map[string]struct{}, len(roster))
+		for _, n := range roster {
+			known[n] = struct{}{}
+		}
+		for i, e := range encounters {
+			for _, n := range []string{e.A, e.B} {
+				if _, ok := known[n]; !ok {
+					return nil, fmt.Errorf("trace: %s: encounters row %d names unknown node %q (not in %s)",
+						dir, i+1, n, NodesFile)
+				}
+			}
+		}
+		for d, asg := range assignment {
+			for u, b := range asg {
+				if _, ok := known[b]; !ok {
+					return nil, fmt.Errorf("trace: %s: day %d assigns user %q to unknown node %q (not in %s)",
+						dir, d, u, b, NodesFile)
+				}
+			}
+		}
 	}
 
 	days := len(assignment)
@@ -49,6 +84,9 @@ func LoadDir(dir string) (*Trace, error) {
 	}
 
 	busSet := make(map[string]struct{})
+	for _, n := range roster {
+		busSet[n] = struct{}{}
+	}
 	userSet := make(map[string]struct{})
 	// Rosters: a bus is active on a day if it encounters someone or hosts a
 	// user that day.
@@ -97,6 +135,20 @@ func LoadDir(dir string) (*Trace, error) {
 		return nil, fmt.Errorf("trace: %s: %w", dir, err)
 	}
 	return tr, nil
+}
+
+// loadNodes reads the optional roster file; a missing file returns a nil
+// roster (fleet derived from the data), any other error fails the load.
+func loadNodes(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadNodes(f)
 }
 
 func loadEncounters(path string) ([]Encounter, error) {

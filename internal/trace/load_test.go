@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -81,8 +82,106 @@ func TestLoadDirEmptyTrace(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := LoadDir(dir); err == nil {
-		t.Error("trace with no events should fail")
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("trace with no events should fail")
+	}
+	if !strings.Contains(err.Error(), "empty encounter schedule") {
+		t.Errorf("empty schedule should be named in the error: %v", err)
+	}
+}
+
+// writeDirFiles populates a trace directory from literal CSV contents.
+func writeDirFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirEmptyEncounterSchedule(t *testing.T) {
+	// Messages alone are not a runnable scenario: with no contacts nothing
+	// can ever be delivered, so the load must fail loudly.
+	dir := writeDirFiles(t, map[string]string{
+		EncountersFile:  "",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busB\n",
+	})
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("encounter-free trace should fail")
+	}
+	if !strings.Contains(err.Error(), "empty encounter schedule") {
+		t.Errorf("error should explain the rejection: %v", err)
+	}
+}
+
+func TestLoadDirRejectsOutOfOrderEncounters(t *testing.T) {
+	dir := writeDirFiles(t, map[string]string{
+		EncountersFile:  "7200,busA,busB\n3600,busB,busC\n",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busC\n",
+	})
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("out-of-order encounter schedule should fail")
+	}
+	if !strings.Contains(err.Error(), "out of order") {
+		t.Errorf("error should name the ordering violation: %v", err)
+	}
+}
+
+func TestLoadDirRejectsUnknownEncounterNode(t *testing.T) {
+	dir := writeDirFiles(t, map[string]string{
+		NodesFile:       "busA\nbusB\n",
+		EncountersFile:  "3600,busA,busX\n",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busB\n",
+	})
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("encounter naming a node outside the roster should fail")
+	}
+	if !strings.Contains(err.Error(), `unknown node "busX"`) {
+		t.Errorf("error should name the unknown node: %v", err)
+	}
+}
+
+func TestLoadDirRejectsUnknownAssignmentNode(t *testing.T) {
+	dir := writeDirFiles(t, map[string]string{
+		NodesFile:       "busA\nbusB\n",
+		EncountersFile:  "3600,busA,busB\n",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busZ\n",
+	})
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("assignment naming a node outside the roster should fail")
+	}
+	if !strings.Contains(err.Error(), `unknown node "busZ"`) {
+		t.Errorf("error should name the unknown node: %v", err)
+	}
+}
+
+func TestLoadDirRosterIncludesSilentNodes(t *testing.T) {
+	// A declared node that never encounters anyone still belongs to the
+	// fleet — exactly what nodes.csv exists to express.
+	dir := writeDirFiles(t, map[string]string{
+		NodesFile:       "busA\nbusB\nbusQuiet\n",
+		EncountersFile:  "3600,busA,busB\n",
+		MessagesFile:    "m1,3700,u1,u2\n",
+		AssignmentsFile: "0,u1,busA\n0,u2,busB\n",
+	})
+	tr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Buses, []string{"busA", "busB", "busQuiet"}) {
+		t.Errorf("fleet = %v, want the declared roster including the silent node", tr.Buses)
 	}
 }
 

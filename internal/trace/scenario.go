@@ -1,0 +1,114 @@
+package trace
+
+import "fmt"
+
+// Scenario is a complete, replayable experiment input: a node roster, a
+// time-ordered encounter schedule, and a message workload with its per-day
+// user→node assignment. It is the seam between scenario *sources* — the
+// DieselNet generator, the CSV loader, and the synthetic mobility generators
+// in internal/mobility — and scenario *consumers* (the emulation engine, the
+// experiment drivers, and cmd/tracegen).
+//
+// Implementations must be deterministic: enumerating a scenario twice yields
+// byte-identical schedules, because every experiment and differential test
+// depends on replaying exactly the same input. Generators therefore derive
+// everything from explicit seeds (dtnlint's determinism analyzer enforces
+// this mechanically for the trace and mobility packages).
+//
+// Encounters and Messages are push iterators rather than slices so that
+// generated scenarios can be streamed: a million-node mobility scenario
+// produces its contact schedule tick by tick and never has to materialize
+// it, which is what lets cmd/tracegen export scenarios far larger than
+// memory-resident traces. Materialize folds a scenario into a concrete
+// *Trace when a consumer (the in-memory emulation engine) needs random
+// access.
+type Scenario interface {
+	// Name identifies the scenario in logs, tables, and benchmark labels.
+	Name() string
+	// Days is the number of experiment days the schedule spans.
+	Days() int
+	// Nodes is the sorted roster of replication hosts (the fleet).
+	Nodes() []string
+	// Users is the sorted list of workload endpoint addresses.
+	Users() []string
+	// Roster lists the nodes active on one day.
+	Roster(day int) []string
+	// Assignment maps each user to its host node for one day.
+	Assignment(day int) map[string]string
+	// Encounters streams the time-ordered contact schedule. Enumeration
+	// stops early when yield returns false.
+	Encounters(yield func(Encounter) bool)
+	// Messages streams the time-ordered injection schedule. Enumeration
+	// stops early when yield returns false.
+	Messages(yield func(Message) bool)
+}
+
+// Materialize folds a scenario into a validated Trace, the random-access
+// form the emulation engine consumes. The encounter schedule is collected
+// whole, so callers at extreme scale should size scenarios to fit memory
+// (the streaming interfaces exist for consumers that do not need random
+// access, like CSV export).
+func Materialize(s Scenario) (*Trace, error) {
+	days := s.Days()
+	tr := &Trace{
+		Days:       days,
+		Buses:      s.Nodes(),
+		Users:      s.Users(),
+		Roster:     make([][]string, days),
+		Assignment: make([]map[string]string, days),
+	}
+	for d := 0; d < days; d++ {
+		tr.Roster[d] = s.Roster(d)
+		tr.Assignment[d] = s.Assignment(d)
+	}
+	s.Encounters(func(e Encounter) bool {
+		tr.Encounters = append(tr.Encounters, e)
+		return true
+	})
+	s.Messages(func(m Message) bool {
+		tr.Messages = append(tr.Messages, m)
+		return true
+	})
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: scenario %s: %w", s.Name(), err)
+	}
+	return tr, nil
+}
+
+// traceScenario adapts a materialized Trace to the Scenario interface, so
+// the DieselNet generator's output and CSV-loaded traces flow through the
+// same scenario plumbing as the streaming mobility generators.
+type traceScenario struct {
+	name string
+	tr   *Trace
+}
+
+// FromTrace wraps an existing trace as a Scenario.
+func FromTrace(name string, tr *Trace) Scenario {
+	return &traceScenario{name: name, tr: tr}
+}
+
+func (s *traceScenario) Name() string    { return s.name }
+func (s *traceScenario) Days() int       { return s.tr.Days }
+func (s *traceScenario) Nodes() []string { return s.tr.Buses }
+func (s *traceScenario) Users() []string { return s.tr.Users }
+
+func (s *traceScenario) Roster(day int) []string { return s.tr.Roster[day] }
+
+func (s *traceScenario) Assignment(day int) map[string]string { return s.tr.Assignment[day] }
+
+func (s *traceScenario) Encounters(yield func(Encounter) bool) {
+	for _, e := range s.tr.Encounters {
+		if !yield(e) {
+			return
+		}
+	}
+}
+
+func (s *traceScenario) Messages(yield func(Message) bool) {
+	for _, m := range s.tr.Messages {
+		if !yield(m) {
+			return
+		}
+	}
+}

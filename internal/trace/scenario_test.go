@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFromTraceMaterializeRoundTrip(t *testing.T) {
+	dn := DefaultDieselNet()
+	dn.Days = 2
+	dn.FleetSize = 6
+	dn.ActivePerDay = 4
+	dn.EncountersPerDay = 40
+	wl := DefaultWorkload()
+	wl.Users = 8
+	wl.Messages = 12
+	wl.InjectDays = 2
+	orig, err := Generate(dn, wl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := FromTrace("dieselnet", orig)
+	if sc.Name() != "dieselnet" {
+		t.Errorf("name = %q", sc.Name())
+	}
+	if sc.Days() != orig.Days {
+		t.Errorf("days = %d, want %d", sc.Days(), orig.Days)
+	}
+	back, err := Materialize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Error("FromTrace→Materialize should reproduce the trace exactly")
+	}
+}
+
+func TestScenarioStreamingStopsEarly(t *testing.T) {
+	tr, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := FromTrace("d", tr)
+	var got int
+	sc.Encounters(func(Encounter) bool {
+		got++
+		return got < 5
+	})
+	if got != 5 {
+		t.Errorf("enumeration visited %d encounters after early stop, want 5", got)
+	}
+	got = 0
+	sc.Messages(func(Message) bool {
+		got++
+		return false
+	})
+	if got != 1 {
+		t.Errorf("message enumeration visited %d after immediate stop, want 1", got)
+	}
+}
+
+func TestMaterializeRejectsInvalidScenario(t *testing.T) {
+	tr, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *tr
+	broken.Encounters = append([]Encounter{{Time: 0, A: "x", B: "x"}}, tr.Encounters...)
+	if _, err := Materialize(FromTrace("broken", &broken)); err == nil {
+		t.Error("self-encounter should fail materialization")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -191,8 +192,8 @@ func TestValidateCatchesCorruption(t *testing.T) {
 
 func TestEncounterCSVRoundTrip(t *testing.T) {
 	in := []Encounter{
-		{Time: 100, A: "bus01", B: "bus02"},
 		{Time: 50, A: "bus03", B: "bus04"},
+		{Time: 100, A: "bus01", B: "bus02"},
 	}
 	var buf bytes.Buffer
 	if err := WriteEncounters(&buf, in); err != nil {
@@ -202,8 +203,32 @@ func TestEncounterCSVRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 2 || out[0].Time != 50 || out[1].A != "bus01" {
+	if !reflect.DeepEqual(in, out) {
 		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestNodesCSVRoundTrip(t *testing.T) {
+	in := []string{"bus01", "bus02", "bus17"}
+	var buf bytes.Buffer
+	if err := WriteNodes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNodes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadNodesErrors(t *testing.T) {
+	if _, err := ReadNodes(bytes.NewBufferString("a\na\n")); err == nil {
+		t.Error("duplicate node should fail")
+	}
+	if _, err := ReadNodes(bytes.NewBufferString("a\n\"\"\nb\n")); err == nil {
+		t.Error("empty node name should fail")
 	}
 }
 
@@ -246,6 +271,23 @@ func TestReadEncountersErrors(t *testing.T) {
 	}
 	if _, err := ReadEncounters(bytes.NewBufferString("1,a\n")); err == nil {
 		t.Error("wrong field count should fail")
+	}
+	_, err := ReadEncounters(bytes.NewBufferString("100,a,b\n50,c,d\n"))
+	if err == nil {
+		t.Fatal("out-of-order encounters should fail instead of being silently re-sorted")
+	}
+	if !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("error should name the offending row: %v", err)
+	}
+}
+
+func TestReadMessagesRejectsOutOfOrder(t *testing.T) {
+	_, err := ReadMessages(bytes.NewBufferString("m1,100,u1,u2\nm2,50,u2,u1\n"))
+	if err == nil {
+		t.Fatal("out-of-order messages should fail instead of being silently re-sorted")
+	}
+	if !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("error should name the offending row: %v", err)
 	}
 }
 
