@@ -13,7 +13,7 @@ COVER_FLOOR ?= 85.0
 ## enough to mutate past the seed corpus, short enough for every CI run.
 FUZZ_SMOKE_TIME ?= 10s
 
-.PHONY: check build vet lint test test-differential cover fuzz-smoke bench bench-scale scale-smoke
+.PHONY: check build vet lint test test-differential cover fuzz-smoke bench bench-scale bench-sync scale-smoke
 
 ## check is the tier-1 verification gate: every PR must leave it green.
 ## test-differential re-runs the engine-equivalence tests on their own so a
@@ -66,6 +66,8 @@ cover:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeMerge$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
+	$(GO) test -run '^$$' -fuzz '^FuzzDigestDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeConn$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/transport/
 
 ## bench runs the hot-path microbenchmarks (store mutation, sync batch
@@ -83,6 +85,15 @@ bench:
 ## file when the engine's scaling behavior changes.
 bench-scale:
 	$(GO) test -run xxx -bench 'BenchmarkScale' -benchtime 3x -timeout 30m -benchmem ./internal/emu/
+
+## bench-sync measures the knowledge-frame bytes each sync request
+## representation ships at 10k+ known versions — exact v1 frame, protocol-v2
+## Bloom digest, and recurring-pair delta — with allocation stats. Results
+## are recorded in BENCH_sync.json; refresh the file when the knowledge
+## codec, digest sizing, or delta protocol changes. The >=5x reduction the
+## file reports is pinned as a regular test by TestKnowledgeFrameReduction.
+bench-sync:
+	$(GO) test -run xxx -bench 'BenchmarkKnowledgeFrame' -benchmem ./internal/replica/
 
 ## scale-smoke is the scale gate CI runs on every push: a 10k-node
 ## random-waypoint scenario through the sequential and the sharded engine

@@ -64,6 +64,7 @@ func main() {
 		discListen = flag.String("discover-listen", "", "UDP address for peer discovery beacons (empty = disabled)")
 		discPeers  = flag.String("discover-peers", "", "comma-separated UDP beacon targets")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /peers, /debug/* (empty = disabled)")
+		summaries  = flag.Bool("summaries", false, "enable the compact knowledge summary sync protocol (negotiated per peer; v1 peers keep exact knowledge)")
 	)
 	flag.Parse()
 	if *id == "" || *addr == "" {
@@ -75,6 +76,7 @@ func main() {
 		policy: *policy, syncEvery: *syncEvery, dataPath: *dataPath,
 		discoverListen: *discListen, discoverPeers: splitPeers(*discPeers),
 		debugAddr: *debugAddr, syncOnDiscover: true,
+		summaries: *summaries,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "dtnnode: %v\n", err)
@@ -127,6 +129,8 @@ type options struct {
 	// syncOnDiscover triggers an immediate encounter when discovery reports a
 	// fresh peer. On for the CLI; tests disable it to drive syncs explicitly.
 	syncOnDiscover bool
+	// summaries enables the compact knowledge summary sync protocol.
+	summaries bool
 	// out receives console and status output (nil = os.Stdout).
 	out io.Writer
 }
@@ -171,12 +175,13 @@ func newNode(opts options) (n *node, err error) {
 		}
 	}()
 	n.ep = messaging.NewEndpoint(messaging.Config{
-		NodeID:       vclock.ReplicaID(opts.id),
-		Addresses:    []string{opts.addr},
-		Policy:       pol,
-		Now:          func() int64 { return time.Now().Unix() },
-		Metrics:      &n.metrics.Replica,
-		StoreMetrics: &n.metrics.Store,
+		NodeID:        vclock.ReplicaID(opts.id),
+		Addresses:     []string{opts.addr},
+		Policy:        pol,
+		Now:           func() int64 { return time.Now().Unix() },
+		Metrics:       &n.metrics.Replica,
+		StoreMetrics:  &n.metrics.Store,
+		SyncSummaries: opts.summaries,
 		OnReceive: func(r messaging.Received) {
 			fmt.Fprintf(n.out, "<< message from %s: %s\n", r.Message.From, r.Message.Body)
 		},

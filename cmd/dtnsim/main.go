@@ -64,6 +64,7 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed (same seed = same faults)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		obsDump    = flag.Bool("metrics", false, "dump aggregated replica/store observability counters as JSON to stderr at exit")
+		summaries  = flag.Bool("summaries", false, "enable the compact knowledge summary sync protocol (Bloom digests + delta knowledge); delivery results are identical, knowledge traffic shrinks")
 	)
 	flag.Parse()
 	faults, err := fault.Parse(*faultSpec)
@@ -89,7 +90,7 @@ func main() {
 	if *obsDump {
 		nm = &obs.NodeMetrics{}
 	}
-	if err := run(*name, *small, *seed, *traceDir, *scenario, *workers, faults, nm); err != nil {
+	if err := run(*name, *small, *seed, *traceDir, *scenario, *workers, faults, nm, *summaries); err != nil {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "dtnsim: %v\n", err)
 		os.Exit(1)
@@ -110,7 +111,7 @@ func dumpObs(w *os.File, nm *obs.NodeMetrics) {
 	fmt.Fprintf(w, "== observability counters (aggregated over all nodes and runs) ==\n%s\n", out)
 }
 
-func run(name string, small bool, seed int64, traceDir, scenario string, workers int, faults fault.Config, nm *obs.NodeMetrics) error {
+func run(name string, small bool, seed int64, traceDir, scenario string, workers int, faults fault.Config, nm *obs.NodeMetrics, summaries bool) error {
 	if name == "scale-sweep" {
 		// The sweep materializes its own scenarios (one per rung of the
 		// ladder); -scenario narrows it to a single spec.
@@ -124,6 +125,10 @@ func run(name string, small bool, seed int64, traceDir, scenario string, workers
 	ww := experiment.WithWorkers(workers)
 	wf := experiment.WithFaults(faults)
 	wo := experiment.WithObs(nm)
+	ws := experiment.WithSyncSummaries(summaries)
+	if summaries {
+		fmt.Fprintln(os.Stdout, "[sync summaries: on]")
+	}
 	if faults.Enabled() {
 		fmt.Fprintf(os.Stdout, "[faults: %s]\n", faults)
 	}
@@ -131,14 +136,14 @@ func run(name string, small bool, seed int64, traceDir, scenario string, workers
 
 	switch name {
 	case "all":
-		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers, Faults: faults, Obs: nm}
+		suite := &experiment.Suite{Trace: tr, Params: params, Workers: workers, Faults: faults, Obs: nm, Summaries: summaries}
 		return suite.RunAll(out)
 	case "table1":
 		fmt.Fprint(out, experiment.FormatTable1(experiment.Table1()))
 	case "table2":
 		fmt.Fprint(out, experiment.FormatTable2(params))
 	case "fig5", "fig6":
-		fs, err := experiment.RunFilterSweep(tr, nil, ww, wf, wo)
+		fs, err := experiment.RunFilterSweep(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
@@ -150,7 +155,7 @@ func run(name string, small bool, seed int64, traceDir, scenario string, workers
 				metrics.FormatTable("k", fs.Fig6()))
 		}
 	case "fig7a", "fig7b", "fig8":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
@@ -166,21 +171,21 @@ func run(name string, small bool, seed int64, traceDir, scenario string, workers
 				experiment.FormatFig8(ps.Fig8()))
 		}
 	case "fig9":
-		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww, wf, wo)
+		ps, err := experiment.RunPolicySweep(tr, params, 1, 0, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "fig10":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww, wf, wo)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 2, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fig. 10: delay CDF under storage constraint (2 relayed msgs/node)\n%s",
 			metrics.FormatTable("hours", ps.CDFHours(12)))
 	case "summary":
-		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo)
+		ps, err := experiment.RunPolicySweep(tr, params, 0, 0, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
@@ -189,56 +194,56 @@ func run(name string, small bool, seed int64, traceDir, scenario string, workers
 	case "fault-sweep":
 		// The sweep injects its own fault grid; -faults selects nothing here,
 		// but -fault-seed still picks the schedule.
-		rows, err := experiment.RunFaultSweep(tr, faults.Seed, nil, nil, ww, wo)
+		rows, err := experiment.RunFaultSweep(tr, faults.Seed, nil, nil, ww, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "Fault sweep: delivery vs encounter drop probability and cutoff budget (seed %d)\n%s",
 			faults.Seed, experiment.FormatFaultSweep(rows))
 	case "ablation-ttl":
-		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationEpidemicTTL(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: epidemic TTL", rows))
 	case "ablation-copies":
-		rows, err := experiment.AblationSprayCopies(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationSprayCopies(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: spray copy allowance", rows))
 	case "ablation-threshold":
-		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationMaxPropThreshold(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: MaxProp hop threshold (1 msg/encounter)", rows))
 	case "ablation-bandwidth":
-		rows, err := experiment.AblationBandwidth(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationBandwidth(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter budget (epidemic)", rows))
 	case "ablation-storage":
-		rows, err := experiment.AblationStorage(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationStorage(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: relay capacity (epidemic)", rows))
 	case "ablation-bytes":
-		rows, err := experiment.AblationByteBudget(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationByteBudget(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: per-encounter byte budget (epidemic, 1KiB msgs)", rows))
 	case "ablation-lifetime":
-		rows, err := experiment.AblationLifetime(tr, nil, ww, wf, wo)
+		rows, err := experiment.AblationLifetime(tr, nil, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, experiment.FormatAblation("Ablation: bounded message lifetime (epidemic)", rows))
 	case "ablation-eviction":
-		rows, err := experiment.AblationEviction(tr, ww, wf, wo)
+		rows, err := experiment.AblationEviction(tr, ww, wf, wo, ws)
 		if err != nil {
 			return err
 		}

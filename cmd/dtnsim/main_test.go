@@ -19,7 +19,7 @@ func TestRunKnownExperiments(t *testing.T) {
 		emulates := name != "table1" && name != "table2"
 		t.Run(name, func(t *testing.T) {
 			nm := &obs.NodeMetrics{}
-			if err := run(name, true, 1, "", "", workers, fault.Config{}, nm); err != nil {
+			if err := run(name, true, 1, "", "", workers, fault.Config{}, nm, i%2 == 0); err != nil {
 				t.Fatalf("run(%q): %v", name, err)
 			}
 			if synced := nm.Replica.SyncsInitiated.Value() > 0; synced != emulates {
@@ -49,7 +49,7 @@ func TestDumpObs(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", true, 1, "", "", 0, fault.Config{}, nil); err == nil {
+	if err := run("fig99", true, 1, "", "", 0, fault.Config{}, nil, false); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -80,7 +80,7 @@ func TestRunWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Seed = 7
-	if err := run("fig8", true, 1, "", "", 2, cfg, nil); err != nil {
+	if err := run("fig8", true, 1, "", "", 2, cfg, nil, true); err != nil {
 		t.Fatalf("faulted run: %v", err)
 	}
 }
@@ -105,7 +105,7 @@ func TestRunScenarioExperiment(t *testing.T) {
 	// -scenario replaces the generated trace for any experiment.
 	nm := &obs.NodeMetrics{}
 	spec := "community:n=30,seed=5,users=8,msgs=20,active=3600,cells=2,bias=0.8"
-	if err := run("summary", false, 1, "", spec, 4, fault.Config{}, nm); err != nil {
+	if err := run("summary", false, 1, "", spec, 4, fault.Config{}, nm, false); err != nil {
 		t.Fatalf("run(summary, %q): %v", spec, err)
 	}
 	if nm.Replica.SyncsInitiated.Value() == 0 {

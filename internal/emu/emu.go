@@ -122,6 +122,19 @@ type Config struct {
 	// StoreMetrics, when set, aggregates store occupancy gauges and the
 	// eviction counter across every emulated node. Nil disables it.
 	StoreMetrics *obs.StoreMetrics
+	// SyncSummaries enables the compact knowledge summary protocol on every
+	// emulated node (Bloom digests and delta knowledge; see
+	// replica.Config.SyncSummaries). Delivery results are unchanged — the
+	// summary protocol only shrinks the knowledge frames each sync ships,
+	// which Result.KnowledgeBytes accounts.
+	SyncSummaries bool
+	// SummaryFPRate is the Bloom digest's target false-positive rate; 0
+	// selects the default. Only meaningful with SyncSummaries.
+	SummaryFPRate float64
+	// SummaryDigestMin is the exception-count threshold below which exact
+	// knowledge is sent instead of a digest; 0 selects the default. Only
+	// meaningful with SyncSummaries.
+	SummaryDigestMin int
 }
 
 // Result is the outcome of one emulation run.
@@ -155,6 +168,16 @@ type Result struct {
 	// Crashes counts node crash-restart events executed (zero without
 	// faults).
 	Crashes int
+	// KnowledgeBytes is the encoded size of every knowledge frame shipped
+	// across all syncs — exact frames, digests, deltas, and fallback retries
+	// alike. This is the per-encounter metadata cost the summary protocol
+	// (Config.SyncSummaries) exists to shrink; item payload volume is counted
+	// separately in BytesTransferred.
+	KnowledgeBytes int64
+	// SummaryFallbacks counts syncs whose summary frame could not be served
+	// exactly and needed the extra exact-knowledge round (zero unless
+	// SyncSummaries is enabled).
+	SummaryFallbacks int
 }
 
 // clock is one endpoint's view of the simulation time. Each endpoint owns a
@@ -184,9 +207,11 @@ type copyDelta struct {
 // folded into run-global state. Execution fills it (possibly on a worker
 // goroutine); commit consumes it in schedule order on the coordinator.
 type eventRec struct {
-	err   error
-	moved int   // encounter: items moved across both syncs
-	bytes int64 // encounter: payload volume moved
+	err       error
+	moved     int   // encounter: items moved across both syncs
+	bytes     int64 // encounter: payload volume moved
+	kbytes    int64 // encounter: knowledge-frame bytes shipped
+	fallbacks int   // encounter: summary syncs that needed the exact round
 
 	st       *msgState // inject: the tracked message
 	from, to string    // inject: source and destination bus
@@ -215,6 +240,7 @@ type eventRec struct {
 func (rec *eventRec) reset() {
 	rec.err = nil
 	rec.moved, rec.bytes = 0, 0
+	rec.kbytes, rec.fallbacks = 0, 0
 	rec.st = nil
 	rec.from, rec.to = "", ""
 	rec.dropped = false
@@ -337,6 +363,9 @@ func (r *runner) newEndpoint(bus string, es *epState) *messaging.Endpoint {
 		Now:                  es.clk.now,
 		Metrics:              r.cfg.Metrics,
 		StoreMetrics:         r.cfg.StoreMetrics,
+		SyncSummaries:        r.cfg.SyncSummaries,
+		SummaryFPRate:        r.cfg.SummaryFPRate,
+		SummaryDigestMin:     r.cfg.SummaryDigestMin,
 		// Both callbacks fire with the replica lock held, on the worker
 		// executing this endpoint's current event; they only note what
 		// happened, and commit folds it into run-global state in order.
@@ -409,6 +438,7 @@ func (r *runner) exec(ev *event, rec *eventRec) {
 		})
 		rec.moved = er.AtoB.Sent + er.BtoA.Sent
 		rec.bytes = er.AtoB.SentBytes + er.BtoA.SentBytes
+		recordSyncOverhead(rec, er)
 	case evCrash:
 		c := r.crashes[ev.index]
 		es := r.eps[c.bus]
@@ -436,11 +466,23 @@ func (r *runner) execEncounterLink(ev *event, rec *eventRec, cutoff int) {
 	}, replica.Link{Cutoff: cutoff})
 	rec.moved = er.AtoB.Sent + er.BtoA.Sent
 	rec.bytes = er.AtoB.SentBytes + er.BtoA.SentBytes
+	recordSyncOverhead(rec, er)
 	for _, sr := range [2]replica.SyncResult{er.AtoB, er.BtoA} {
 		if sr.Aborted {
 			rec.aborted++
 			rec.wastedItems += sr.Sent
 			rec.wastedBytes += sr.SentBytes
+		}
+	}
+}
+
+// recordSyncOverhead folds both legs' knowledge-frame accounting into the
+// event recorder.
+func recordSyncOverhead(rec *eventRec, er replica.EncounterResult) {
+	rec.kbytes = er.AtoB.KnowledgeBytes + er.BtoA.KnowledgeBytes
+	for _, sr := range [2]replica.SyncResult{er.AtoB, er.BtoA} {
+		if sr.Fallback {
+			rec.fallbacks++
 		}
 	}
 }
@@ -517,6 +559,8 @@ func (r *runner) commit(ev *event, rec *eventRec) error {
 		r.res.Syncs += 2
 		r.res.ItemsTransferred += rec.moved
 		r.res.BytesTransferred += rec.bytes
+		r.res.KnowledgeBytes += rec.kbytes
+		r.res.SummaryFallbacks += rec.fallbacks
 		if rec.aborted > 0 {
 			r.res.SyncsAborted += rec.aborted
 			r.res.ItemsWasted += rec.wastedItems

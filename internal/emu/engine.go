@@ -386,6 +386,8 @@ func (r *runner) commitShard(ev *event, rec *eventRec) {
 		r.res.Syncs += 2
 		r.res.ItemsTransferred += rec.moved
 		r.res.BytesTransferred += rec.bytes
+		r.res.KnowledgeBytes += rec.kbytes
+		r.res.SummaryFallbacks += rec.fallbacks
 		if rec.aborted > 0 {
 			r.res.SyncsAborted += rec.aborted
 			r.res.ItemsWasted += rec.wastedItems

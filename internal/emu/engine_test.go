@@ -143,11 +143,12 @@ func assertIdenticalResults(t *testing.T, workers int, seq, par *Result) {
 	}
 }
 
-func counters(r *Result) [11]int64 {
-	return [11]int64{int64(r.Encounters), int64(r.Syncs), int64(r.ItemsTransferred),
+func counters(r *Result) [13]int64 {
+	return [13]int64{int64(r.Encounters), int64(r.Syncs), int64(r.ItemsTransferred),
 		r.BytesTransferred, int64(r.Duplicates), int64(r.MeanKnowledgeEntries * 1000),
 		int64(r.EncountersDropped), int64(r.SyncsAborted),
-		int64(r.ItemsWasted), r.BytesWasted, int64(r.Crashes)}
+		int64(r.ItemsWasted), r.BytesWasted, int64(r.Crashes),
+		r.KnowledgeBytes, int64(r.SummaryFallbacks)}
 }
 
 // firstLogDiff renders the first differing line of two event logs.

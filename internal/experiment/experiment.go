@@ -143,6 +143,26 @@ func (fs *FilterSweep) Fig6() []metrics.Series {
 	}
 }
 
+// KnowledgePerEncounter returns the mean knowledge-frame bytes shipped per
+// encounter for each strategy and filter size — the sync-metadata overhead
+// the compact summary protocol (WithSyncSummaries) shrinks. Comparing this
+// series between a plain and a summaries-enabled sweep is the filter-sweep
+// bytes-per-encounter ablation.
+func (fs *FilterSweep) KnowledgePerEncounter() []metrics.Series {
+	xs := make([]float64, len(fs.Ks))
+	random := make([]float64, len(fs.Ks))
+	selected := make([]float64, len(fs.Ks))
+	for i, k := range fs.Ks {
+		xs[i] = float64(k)
+		random[i] = knowledgePerEncounter(fs.Random[k])
+		selected[i] = knowledgePerEncounter(fs.Selected[k])
+	}
+	return []metrics.Series{
+		{Label: "random", X: xs, Y: random},
+		{Label: "selected", X: xs, Y: selected},
+	}
+}
+
 // PolicySweep holds one emulation result per routing configuration under a
 // common constraint setting.
 type PolicySweep struct {

@@ -45,6 +45,10 @@ type FaultRow struct {
 	EncountersDropped int
 	SyncsAborted      int
 	ItemsWasted       int
+	// KnowledgeBytesPerEnc is the mean knowledge-frame volume shipped per
+	// encounter — the sync-metadata cost the summary protocol
+	// (WithSyncSummaries) shrinks.
+	KnowledgeBytesPerEnc float64
 }
 
 // RunFaultSweep reruns every routing policy under swept encounter-drop
@@ -102,14 +106,15 @@ func RunFaultSweep(tr *trace.Trace, seed int64, drops []float64, cutoffs []int, 
 				return
 			}
 			rows[i] = FaultRow{
-				Policy:            j.policy,
-				Setting:           j.setting,
-				Delivered:         float64(res.Summary.DeliveredCount()) / float64(res.Summary.Total()),
-				Delivered12h:      res.Summary.DeliveredWithin(Deadline12h),
-				MeanDelayHours:    res.Summary.MeanDelayHours(),
-				EncountersDropped: res.EncountersDropped,
-				SyncsAborted:      res.SyncsAborted,
-				ItemsWasted:       res.ItemsWasted,
+				Policy:               j.policy,
+				Setting:              j.setting,
+				Delivered:            float64(res.Summary.DeliveredCount()) / float64(res.Summary.Total()),
+				Delivered12h:         res.Summary.DeliveredWithin(Deadline12h),
+				MeanDelayHours:       res.Summary.MeanDelayHours(),
+				EncountersDropped:    res.EncountersDropped,
+				SyncsAborted:         res.SyncsAborted,
+				ItemsWasted:          res.ItemsWasted,
+				KnowledgeBytesPerEnc: knowledgePerEncounter(res),
 			}
 		}()
 	}
@@ -120,15 +125,24 @@ func RunFaultSweep(tr *trace.Trace, seed int64, drops []float64, cutoffs []int, 
 	return rows, nil
 }
 
+// knowledgePerEncounter reports the mean knowledge-frame bytes shipped per
+// encounter of one run (0 when the trace had no encounters).
+func knowledgePerEncounter(res *emu.Result) float64 {
+	if res.Encounters == 0 {
+		return 0
+	}
+	return float64(res.KnowledgeBytes) / float64(res.Encounters)
+}
+
 // FormatFaultSweep renders fault-sweep rows as an aligned table.
 func FormatFaultSweep(rows []FaultRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s%-12s%11s%11s%12s%9s%9s%9s\n",
-		"policy", "fault", "delivered", "12h deliv", "mean delay", "dropped", "aborted", "wasted")
+	fmt.Fprintf(&b, "%-10s%-12s%11s%11s%12s%9s%9s%9s%11s\n",
+		"policy", "fault", "delivered", "12h deliv", "mean delay", "dropped", "aborted", "wasted", "know B/enc")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s%-12s%10.1f%%%10.1f%%%11.1fh%9d%9d%9d\n",
+		fmt.Fprintf(&b, "%-10s%-12s%10.1f%%%10.1f%%%11.1fh%9d%9d%9d%11.1f\n",
 			r.Policy, r.Setting, r.Delivered*100, r.Delivered12h*100, r.MeanDelayHours,
-			r.EncountersDropped, r.SyncsAborted, r.ItemsWasted)
+			r.EncountersDropped, r.SyncsAborted, r.ItemsWasted, r.KnowledgeBytesPerEnc)
 	}
 	return b.String()
 }

@@ -108,4 +108,63 @@ func TestRunFaultSweep(t *testing.T) {
 	if !strings.Contains(out, "drop=0.30") || !strings.Contains(out, "cutoff<=2") {
 		t.Errorf("formatted sweep missing settings:\n%s", out)
 	}
+	if !strings.Contains(out, "know B/enc") {
+		t.Errorf("formatted sweep missing knowledge bytes-per-encounter column:\n%s", out)
+	}
+}
+
+// TestSweepSummariesAblation is the bytes-per-encounter ablation: rerunning
+// the fault sweep and the filter sweep with the compact summary protocol
+// enabled must leave every delivery number untouched while shrinking the
+// knowledge bytes shipped per encounter.
+func TestSweepSummariesAblation(t *testing.T) {
+	tr, err := SmallTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := []float64{0, 0.3}
+	cutoffs := []int{2}
+	plain, err := RunFaultSweep(tr, 1, drops, cutoffs, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunFaultSweep(tr, 1, drops, cutoffs, WithWorkers(2), WithSyncSummaries(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		p, s := plain[i], sum[i]
+		p.KnowledgeBytesPerEnc, s.KnowledgeBytesPerEnc = 0, 0
+		if p != s {
+			t.Errorf("row %d: summaries changed delivery results:\nplain     %+v\nsummaries %+v", i, p, s)
+		}
+		if sum[i].KnowledgeBytesPerEnc >= plain[i].KnowledgeBytesPerEnc {
+			t.Errorf("%s %s: summaries did not shrink knowledge traffic: %.1f >= %.1f B/enc",
+				plain[i].Policy, plain[i].Setting, sum[i].KnowledgeBytesPerEnc, plain[i].KnowledgeBytesPerEnc)
+		}
+	}
+
+	ks := []int{0, 2}
+	fsPlain, err := RunFilterSweep(tr, ks, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsSum, err := RunFilterSweep(tr, ks, WithWorkers(2), WithSyncSummaries(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, ksum := fsPlain.KnowledgePerEncounter(), fsSum.KnowledgePerEncounter()
+	for si := range kp {
+		for i := range kp[si].Y {
+			if ksum[si].Y[i] >= kp[si].Y[i] {
+				t.Errorf("filter sweep %s k=%v: summaries did not shrink knowledge traffic: %.1f >= %.1f B/enc",
+					kp[si].Label, kp[si].X[i], ksum[si].Y[i], kp[si].Y[i])
+			}
+		}
+	}
+	for _, k := range ks {
+		if fsPlain.Random[k].Summary.DeliveredCount() != fsSum.Random[k].Summary.DeliveredCount() {
+			t.Errorf("filter sweep k=%d: summaries changed delivered count", k)
+		}
+	}
 }

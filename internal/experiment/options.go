@@ -13,9 +13,10 @@ import (
 type Option func(*options)
 
 type options struct {
-	workers int
-	faults  fault.Config
-	obs     *obs.NodeMetrics
+	workers   int
+	faults    fault.Config
+	obs       *obs.NodeMetrics
+	summaries bool
 }
 
 // WithWorkers routes every emulation run in the driver through the parallel
@@ -50,6 +51,17 @@ func WithObs(n *obs.NodeMetrics) Option {
 	}
 }
 
+// WithSyncSummaries(true) enables the compact knowledge summary protocol
+// (Bloom digests and delta knowledge) on every node of every emulation run in
+// the driver. Delivery results are bit-identical with or without it —
+// summaries only shrink the knowledge-frame traffic that the sweeps'
+// bytes/enc columns report.
+func WithSyncSummaries(on bool) Option {
+	return func(o *options) {
+		o.summaries = on
+	}
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -64,6 +76,9 @@ func (o options) instrument(cfg emu.Config) emu.Config {
 	if o.obs != nil {
 		cfg.Metrics = &o.obs.Replica
 		cfg.StoreMetrics = &o.obs.Store
+	}
+	if o.summaries {
+		cfg.SyncSummaries = true
 	}
 	return cfg
 }

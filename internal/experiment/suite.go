@@ -45,6 +45,10 @@ type Suite struct {
 	// across every emulation run in the suite (see WithObs). Nil keeps
 	// instrumentation off; results are identical either way.
 	Obs *obs.NodeMetrics
+	// Summaries enables the compact knowledge summary sync protocol on every
+	// run (see WithSyncSummaries). Delivery results are identical either way;
+	// the sync-overhead table shrinks.
+	Summaries bool
 }
 
 // NewSuite builds a suite over the paper-calibrated default trace and
@@ -63,7 +67,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Table I: DTN routing policies ==\n%s\n", FormatTable1(Table1()))
 	fmt.Fprintf(w, "== Table II: protocol parameters ==\n%s\n", FormatTable2(s.Params))
 
-	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
+	fs, err := RunFilterSweep(s.Trace, nil, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs), WithSyncSummaries(s.Summaries))
 	if err != nil {
 		return err
 	}
@@ -71,8 +75,10 @@ func (s *Suite) RunAll(w io.Writer) error {
 		metrics.FormatTable("k", fs.Fig5()))
 	fmt.Fprintf(w, "== Fig. 6: %% delivered within 12 hours vs addresses in filter ==\n%s\n",
 		metrics.FormatTable("k", fs.Fig6()))
+	fmt.Fprintf(w, "== Sync overhead: knowledge bytes per encounter vs addresses in filter ==\n%s\n",
+		metrics.FormatTable("k", fs.KnowledgePerEncounter()))
 
-	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
+	unconstrained, err := RunPolicySweep(s.Trace, s.Params, 0, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs), WithSyncSummaries(s.Summaries))
 	if err != nil {
 		return err
 	}
@@ -83,14 +89,14 @@ func (s *Suite) RunAll(w io.Writer) error {
 	fmt.Fprintf(w, "== Fig. 8: average stored copies per message ==\n%s\n",
 		FormatFig8(unconstrained.Fig8()))
 
-	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
+	bandwidth, err := RunPolicySweep(s.Trace, s.Params, 1, 0, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs), WithSyncSummaries(s.Summaries))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "== Fig. 9: delay CDF under bandwidth constraint (1 msg/encounter) ==\n%s\n",
 		metrics.FormatTable("hours", bandwidth.CDFHours(12)))
 
-	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs))
+	storage, err := RunPolicySweep(s.Trace, s.Params, 0, 2, WithWorkers(s.Workers), WithFaults(s.Faults), WithObs(s.Obs), WithSyncSummaries(s.Summaries))
 	if err != nil {
 		return err
 	}

@@ -96,6 +96,18 @@ type ReplicaMetrics struct {
 	KnowledgeSize Gauge
 	// BatchItems aggregates applied batch sizes.
 	BatchItems Histogram
+	// Knowledge-frame accounting for syncs this replica initiates: how its
+	// knowledge traveled (full/exact, Bloom digest, or delta against the
+	// frontier last sent to the peer — protocol v2 summary mode) and the
+	// encoded bytes each representation cost. SummaryFallbacks counts
+	// summary syncs that needed an extra exact-knowledge round.
+	KnowledgeFullFrames   Counter
+	KnowledgeDigestFrames Counter
+	KnowledgeDeltaFrames  Counter
+	SummaryFallbacks      Counter
+	KnowledgeFullBytes    Counter
+	KnowledgeDigestBytes  Counter
+	KnowledgeDeltaBytes   Counter
 }
 
 // ReplicaSnapshot is ReplicaMetrics at one instant.
@@ -116,6 +128,14 @@ type ReplicaSnapshot struct {
 	Evictions      int64             `json:"evictions"`
 	KnowledgeSize  int64             `json:"knowledge_size"`
 	BatchItems     HistogramSnapshot `json:"batch_items"`
+
+	KnowledgeFullFrames   int64 `json:"knowledge_full_frames"`
+	KnowledgeDigestFrames int64 `json:"knowledge_digest_frames"`
+	KnowledgeDeltaFrames  int64 `json:"knowledge_delta_frames"`
+	SummaryFallbacks      int64 `json:"summary_fallbacks"`
+	KnowledgeFullBytes    int64 `json:"knowledge_full_bytes"`
+	KnowledgeDigestBytes  int64 `json:"knowledge_digest_bytes"`
+	KnowledgeDeltaBytes   int64 `json:"knowledge_delta_bytes"`
 }
 
 // Snapshot captures the counters. Nil-safe.
@@ -140,6 +160,14 @@ func (m *ReplicaMetrics) Snapshot() ReplicaSnapshot {
 		Evictions:      m.Evictions.Value(),
 		KnowledgeSize:  m.KnowledgeSize.Value(),
 		BatchItems:     m.BatchItems.Snapshot(),
+
+		KnowledgeFullFrames:   m.KnowledgeFullFrames.Value(),
+		KnowledgeDigestFrames: m.KnowledgeDigestFrames.Value(),
+		KnowledgeDeltaFrames:  m.KnowledgeDeltaFrames.Value(),
+		SummaryFallbacks:      m.SummaryFallbacks.Value(),
+		KnowledgeFullBytes:    m.KnowledgeFullBytes.Value(),
+		KnowledgeDigestBytes:  m.KnowledgeDigestBytes.Value(),
+		KnowledgeDeltaBytes:   m.KnowledgeDeltaBytes.Value(),
 	}
 }
 

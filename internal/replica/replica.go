@@ -73,7 +73,27 @@ type Config struct {
 	// merge can claim versions the replica never stored, which a later,
 	// wider filter would then silently miss.
 	MergeKnowledge bool
+	// SyncSummaries enables the compact knowledge summary mode (protocol
+	// v2) for syncs this replica initiates: delta knowledge against the
+	// frontier last sent to a recurring peer, Bloom-digest frames for first
+	// contact with an already-large exception set, and an exact-knowledge
+	// fallback round whenever the source cannot serve a summary exactly.
+	// Delivery results are identical to full-knowledge syncs by
+	// construction; only the knowledge-frame bytes change.
+	SyncSummaries bool
+	// SummaryFPRate is the Bloom digest's target false-positive rate; 0
+	// selects vclock.DefaultDigestFPRate (1%).
+	SummaryFPRate float64
+	// SummaryDigestMin is the exception count below which first-contact
+	// frames stay exact (a tiny exception set encodes smaller than any
+	// filter, and exact frames establish delta frontiers); 0 selects 64.
+	SummaryDigestMin int
 }
+
+// defaultSummaryDigestMin is the SummaryDigestMin applied when the config
+// leaves it zero: below this many exceptions a digest saves little over the
+// exact encoding and would keep the pair off the delta upgrade path.
+const defaultSummaryDigestMin = 64
 
 // Stats counts a replica's synchronization activity.
 type Stats struct {
@@ -95,6 +115,15 @@ type Stats struct {
 	Evicted int
 	// Delivered counts application deliveries.
 	Delivered int
+	// KnowledgeFulls / KnowledgeDigests / KnowledgeDeltas count the
+	// knowledge frames this replica sent as sync target, by representation
+	// (v1 requests always count as full frames).
+	KnowledgeFulls   int
+	KnowledgeDigests int
+	KnowledgeDeltas  int
+	// SummaryFallbacks counts summary syncs that needed an extra
+	// exact-knowledge round (digest ambiguity or delta tag mismatch).
+	SummaryFallbacks int
 }
 
 // Replica is one node's replica of the collection. All methods are safe for
@@ -114,6 +143,16 @@ type Replica struct {
 	store   *store.Store
 	stats   Stats
 	metrics *obs.ReplicaMetrics
+
+	// Summary-mode (protocol v2) state; see summary.go. epoch is this
+	// replica's incarnation (starts at 1, bumped by RestoreSnapshot);
+	// frontiers is target-side per-peer state, peerKnow source-side.
+	summaries bool
+	fpRate    float64
+	digestMin int
+	epoch     uint64
+	frontiers map[vclock.ReplicaID]*peerFrontier
+	peerKnow  map[vclock.ReplicaID]*peerBaseline
 }
 
 // New creates a replica from cfg.
@@ -121,6 +160,10 @@ func New(cfg Config) *Replica {
 	f := cfg.Filter
 	if f == nil {
 		f = filter.NewAddresses(cfg.OwnAddresses...)
+	}
+	digestMin := cfg.SummaryDigestMin
+	if digestMin <= 0 {
+		digestMin = defaultSummaryDigestMin
 	}
 	r := &Replica{
 		id:             cfg.ID,
@@ -133,6 +176,12 @@ func New(cfg Config) *Replica {
 		know:           vclock.NewKnowledge(),
 		store:          store.NewWithEviction(cfg.RelayCapacity, cfg.Eviction),
 		metrics:        cfg.Metrics,
+		summaries:      cfg.SyncSummaries,
+		fpRate:         cfg.SummaryFPRate,
+		digestMin:      digestMin,
+		epoch:          1,
+		frontiers:      make(map[vclock.ReplicaID]*peerFrontier),
+		peerKnow:       make(map[vclock.ReplicaID]*peerBaseline),
 	}
 	for _, a := range cfg.OwnAddresses {
 		r.own[a] = struct{}{}

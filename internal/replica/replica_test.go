@@ -398,14 +398,14 @@ func TestByteBudgetTruncation(t *testing.T) {
 			Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
 		}, make([]byte, 100))
 	}
-	// Each item costs 100 payload + 64 overhead = 164 bytes; 400 bytes admit
+	// Each item costs 100 payload + 96 overhead = 196 bytes; 400 bytes admit
 	// two items.
 	res := SyncBudget(a, b, Budget{Bytes: 400})
 	if res.Sent != 2 || !res.Truncated {
 		t.Fatalf("sent %d items (truncated=%v), want 2 truncated", res.Sent, res.Truncated)
 	}
-	if res.SentBytes != 328 {
-		t.Errorf("SentBytes = %d, want 328", res.SentBytes)
+	if res.SentBytes != 392 {
+		t.Errorf("SentBytes = %d, want 392", res.SentBytes)
 	}
 	// Remaining items arrive on later syncs; nothing is lost.
 	SyncBudget(a, b, Budget{Bytes: 400})

@@ -19,7 +19,38 @@ type SyncResult struct {
 	// was discarded transactionally: the target applied nothing, its knowledge
 	// is untouched, and Sent/SentBytes count only the wasted partial transfer.
 	Aborted bool
-	Apply   ApplyStats
+	// KnowledgeBytes is the encoded size of the knowledge frame(s) the
+	// target shipped for this sync — the exact frame under v1, the summary
+	// frame (plus the exact retry, when a fallback round ran) under v2.
+	// This is the cost the summary protocol exists to shrink.
+	KnowledgeBytes int64
+	// Fallback reports that a summary-mode sync needed the extra
+	// exact-knowledge round.
+	Fallback bool
+	Apply    ApplyStats
+}
+
+// makeRequest builds the sync request for one directed in-process sync,
+// choosing summary mode when the target has it enabled.
+func makeRequest(source, target *Replica, budget Budget, strictBytes bool) *SyncRequest {
+	var req *SyncRequest
+	if target.SummariesEnabled() {
+		req = target.MakeSummaryRequest(source.ID(), budget.Items)
+	} else {
+		req = target.MakeSyncRequest(budget.Items)
+	}
+	req.MaxBytes = budget.Bytes
+	req.StrictBytes = strictBytes
+	return req
+}
+
+// fallbackRequest builds the exact-knowledge retry after a NeedKnowledge
+// response, reusing the first round's routing state and budgets.
+func fallbackRequest(source, target *Replica, first *SyncRequest) *SyncRequest {
+	req := target.MakeFallbackRequest(source.ID(), first.MaxItems, first.Routing)
+	req.MaxBytes = first.MaxBytes
+	req.StrictBytes = first.StrictBytes
+	return req
 }
 
 // Sync performs one in-process synchronization in which target pulls from
@@ -35,16 +66,26 @@ func SyncBudget(source, target *Replica, budget Budget) SyncResult {
 }
 
 func syncBudget(source, target *Replica, budget Budget, strictBytes bool) SyncResult {
-	req := target.MakeSyncRequest(budget.Items)
-	req.MaxBytes = budget.Bytes
-	req.StrictBytes = strictBytes
+	req := makeRequest(source, target, budget, strictBytes)
+	kbytes := req.KnowledgeWireBytes()
 	resp := source.HandleSyncRequest(req)
+	fallback := false
+	if resp.NeedKnowledge {
+		// The source could not serve the summary exactly; retry once with
+		// exact knowledge. The retry cannot be refused.
+		fallback = true
+		req = fallbackRequest(source, target, req)
+		kbytes += req.KnowledgeWireBytes()
+		resp = source.HandleSyncRequest(req)
+	}
 	apply := target.ApplyBatch(resp)
 	return SyncResult{
-		Sent:      len(resp.Items),
-		SentBytes: BatchBytes(resp),
-		Truncated: resp.Truncated,
-		Apply:     apply,
+		Sent:           len(resp.Items),
+		SentBytes:      BatchBytes(resp),
+		Truncated:      resp.Truncated,
+		KnowledgeBytes: kbytes,
+		Fallback:       fallback,
+		Apply:          apply,
 	}
 }
 
@@ -149,10 +190,18 @@ func EncounterLink(a, b *Replica, budget Budget, link Link) EncounterResult {
 // consuming the link's remaining item allowance. ok is false when the link
 // died mid-batch: the sync was aborted and nothing was applied.
 func syncLink(source, target *Replica, budget Budget, strictBytes bool, link *Link) (SyncResult, bool) {
-	req := target.MakeSyncRequest(budget.Items)
-	req.MaxBytes = budget.Bytes
-	req.StrictBytes = strictBytes
+	req := makeRequest(source, target, budget, strictBytes)
+	kbytes := req.KnowledgeWireBytes()
 	resp := source.HandleSyncRequest(req)
+	fallback := false
+	if resp.NeedKnowledge {
+		// The fallback round exchanges knowledge frames only — no batch
+		// items cross — so it does not consume the link's item allowance.
+		fallback = true
+		req = fallbackRequest(source, target, req)
+		kbytes += req.KnowledgeWireBytes()
+		resp = source.HandleSyncRequest(req)
+	}
 	if len(resp.Items) > link.Cutoff {
 		// The link died after link.Cutoff items had crossed. The target never
 		// received a complete batch, so it applies nothing: a partial apply
@@ -164,18 +213,22 @@ func syncLink(source, target *Replica, budget Budget, strictBytes bool, link *Li
 			wasted += itemWireBytes(crossed[i].Item)
 		}
 		return SyncResult{
-			Sent:      len(crossed),
-			SentBytes: wasted,
-			Truncated: true,
-			Aborted:   true,
+			Sent:           len(crossed),
+			SentBytes:      wasted,
+			Truncated:      true,
+			Aborted:        true,
+			KnowledgeBytes: kbytes,
+			Fallback:       fallback,
 		}, false
 	}
 	link.Cutoff -= len(resp.Items)
 	apply := target.ApplyBatch(resp)
 	return SyncResult{
-		Sent:      len(resp.Items),
-		SentBytes: BatchBytes(resp),
-		Truncated: resp.Truncated,
-		Apply:     apply,
+		Sent:           len(resp.Items),
+		SentBytes:      BatchBytes(resp),
+		Truncated:      resp.Truncated,
+		KnowledgeBytes: kbytes,
+		Fallback:       fallback,
+		Apply:          apply,
 	}, true
 }

@@ -33,6 +33,15 @@ type Snapshot struct {
 	// PolicyState is the routing policy's serialized durable state (nil when
 	// the policy is stateless or absent).
 	PolicyState []byte
+	// Epoch is the replica incarnation at snapshot time. Restoring sets the
+	// successor's epoch to Epoch+1, which invalidates every delta-knowledge
+	// baseline peers may hold for this replica (summary mode tags delta
+	// frames with the epoch; see summary.go). Snapshots from before this
+	// field decode as 0 and restore to epoch 1 — still distinct from any
+	// epoch a peer cached from the snapshotting incarnation, because that
+	// incarnation ran at Epoch >= 1 and its restore lands at >= 2; a fresh
+	// pre-epoch snapshot's peers cached nothing.
+	Epoch uint64
 }
 
 // Snapshot captures the replica's durable state. Policies implementing
@@ -51,6 +60,7 @@ func (r *Replica) Snapshot() (*Snapshot, error) {
 		Knowledge:   know,
 		Entries:     entries,
 		NextArrival: next,
+		Epoch:       r.epoch,
 	}
 	for a := range r.own {
 		snap.OwnAddresses = append(snap.OwnAddresses, a)
@@ -91,6 +101,15 @@ func (r *Replica) RestoreSnapshot(snap *Snapshot) error {
 	}
 	r.know = know
 	r.seq = snap.Seq
+	// A restore is a new incarnation: knowledge may have moved backward to
+	// the snapshot point, so every summary-mode baseline involving this
+	// replica is stale. Bumping the epoch makes peers' cached baselines
+	// unmatchable (they demand a full resync), and clearing our own maps
+	// forgets frontiers we can no longer diff against and baselines our
+	// peers will re-establish.
+	r.epoch = snap.Epoch + 1
+	r.frontiers = make(map[vclock.ReplicaID]*peerFrontier)
+	r.peerKnow = make(map[vclock.ReplicaID]*peerBaseline)
 	r.own = make(map[string]struct{}, len(snap.OwnAddresses))
 	for _, a := range snap.OwnAddresses {
 		r.own[a] = struct{}{}

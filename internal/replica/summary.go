@@ -1,0 +1,207 @@
+package replica
+
+import (
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// This file implements the compact knowledge summary mode of the sync
+// protocol (protocol v2). The paper's Fig. 4 exchange opens every sync with
+// the target's full knowledge frame; at large replica counts that frame —
+// not the item batch — dominates per-encounter bytes. Summary mode replaces
+// it with one of two compact representations, both of which degrade to an
+// exact-knowledge fallback round rather than ever changing what the batch
+// delivers:
+//
+//   - Delta knowledge, for recurring peer pairs: the target remembers the
+//     knowledge frontier it last sent this source and ships only what it
+//     learned since, tagged with its (epoch, generation) so a restarted
+//     source — or any lost frame — is detected by strict tag matching and
+//     answered with a full resync demand instead of a stale baseline.
+//
+//   - Bloom digest, for first contact with an already-large knowledge: the
+//     base vector travels exactly, the exception set as a Bloom filter
+//     (sized per Marandi et al., see vclock.Digest). The source aborts to
+//     the fallback round on the first candidate the filter cannot decide,
+//     so a false positive can never suppress a transmission.
+//
+// Either way the served batch is provably identical to the one an exact
+// knowledge frame would have produced, which is what lets the differential
+// suite require bit-identical delivery results with summaries on and off.
+
+// peerFrontier is target-side state: the knowledge this replica last shipped
+// to a given source, and the generation number of that frame within the
+// current epoch. The next frame to the same source is the diff against know.
+type peerFrontier struct {
+	gen  uint64
+	know *vclock.Knowledge
+}
+
+// peerBaseline is source-side state: the exact knowledge a given target last
+// established here (via a tagged full frame), advanced by each delta frame
+// whose (epoch, gen) tags match strictly.
+type peerBaseline struct {
+	epoch uint64
+	gen   uint64
+	know  *vclock.Knowledge
+}
+
+// SummariesEnabled reports whether this replica initiates syncs in summary
+// mode. Fixed at construction; the in-process session drivers and the
+// transport's v2 encounters consult it to pick the request form.
+func (r *Replica) SummariesEnabled() bool { return r.summaries }
+
+// Epoch returns the replica's incarnation number (1 for a fresh replica,
+// bumped by every snapshot restore). Exposed for tests and diagnostics.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// MakeSummaryRequest builds the request this replica sends when initiating a
+// synchronization in summary mode (acting as target). The knowledge frame is
+// chosen per peer: a delta once a frontier exists for the peer, a Bloom
+// digest on first contact when the exception set is already large, and an
+// exact (epoch/gen-tagged) full frame otherwise — the tagged frame is what
+// establishes the frontier that upgrades the pair to deltas.
+func (r *Replica) MakeSummaryRequest(peer vclock.ReplicaID, maxItems int) *SyncRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SyncsInitiated++
+	if r.metrics != nil {
+		r.metrics.SyncsInitiated.Inc()
+		r.metrics.KnowledgeSize.Set(int64(r.know.Size()))
+	}
+	req := &SyncRequest{TargetID: r.id, Filter: r.filter, MaxItems: maxItems}
+	if r.policy != nil {
+		req.Routing = r.policy.GenerateReq()
+	}
+	switch {
+	case r.frontiers[peer] != nil:
+		f := r.frontiers[peer]
+		changes := r.know.DiffSince(f.know)
+		f.gen++
+		f.know = r.know.Clone()
+		req.Delta = vclock.NewDelta(r.epoch, f.gen, changes)
+		r.stats.KnowledgeDeltas++
+		if r.metrics != nil {
+			r.metrics.KnowledgeDeltaFrames.Inc()
+			r.metrics.KnowledgeDeltaBytes.Add(int64(req.Delta.WireSize()))
+		}
+	case r.know.ExceptionCount() >= r.digestMin:
+		req.Digest = r.know.Digest(r.fpRate)
+		r.stats.KnowledgeDigests++
+		if r.metrics != nil {
+			r.metrics.KnowledgeDigestFrames.Inc()
+			r.metrics.KnowledgeDigestBytes.Add(int64(req.Digest.WireSize()))
+		}
+	default:
+		r.attachFullLocked(req, peer)
+	}
+	return req
+}
+
+// MakeFallbackRequest builds the exact-knowledge retry of a summary sync the
+// source answered with NeedKnowledge. It reuses the first round's routing
+// state verbatim — the source only processes routing when it serves a batch,
+// so the policy sees the exchange exactly once, like a v1 sync — and does
+// not count as a new initiated sync. The tagged full frame it carries also
+// (re-)establishes the peer's frontier, so a pair that fell back resumes
+// delta mode on the next encounter.
+func (r *Replica) MakeFallbackRequest(peer vclock.ReplicaID, maxItems int, rt routing.Request) *SyncRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SummaryFallbacks++
+	if r.metrics != nil {
+		r.metrics.SummaryFallbacks.Inc()
+	}
+	req := &SyncRequest{TargetID: r.id, Filter: r.filter, MaxItems: maxItems}
+	if rt != nil {
+		req.Routing = rt
+	}
+	r.attachFullLocked(req, peer)
+	return req
+}
+
+// attachFullLocked puts an epoch/gen-tagged exact knowledge frame on req and
+// records it as the new frontier for peer. The tag tells the source this
+// frame may be cached as the delta baseline for this pair.
+func (r *Replica) attachFullLocked(req *SyncRequest, peer vclock.ReplicaID) {
+	f := r.frontiers[peer]
+	if f == nil {
+		f = &peerFrontier{}
+		r.frontiers[peer] = f
+	}
+	f.gen++
+	f.know = r.know.Clone()
+	req.Knowledge = f.know.Clone()
+	req.Epoch = r.epoch
+	req.Gen = f.gen
+	r.stats.KnowledgeFulls++
+	if r.metrics != nil {
+		r.metrics.KnowledgeFullFrames.Inc()
+		r.metrics.KnowledgeFullBytes.Add(int64(req.Knowledge.WireSize()))
+	}
+}
+
+// resolveKnowledgeLocked recovers the target's knowledge from whichever
+// representation the request carries, acting as source.
+//
+// It returns exactly one of know (exact knowledge — given directly or
+// reconstructed from a delta against the cached baseline) or digest, or
+// ok=false when the source must answer NeedKnowledge: a delta whose
+// (epoch, gen) tags do not extend the cached baseline strictly — cache
+// missing (we restarted, or never saw the baseline), wrong epoch (the
+// target restarted), or a generation gap (a frame was lost) — is refused
+// rather than merged onto a possibly-stale baseline.
+func (r *Replica) resolveKnowledgeLocked(req *SyncRequest) (know *vclock.Knowledge, digest *vclock.Digest, ok bool) {
+	switch {
+	case req.Knowledge != nil:
+		if req.Epoch != 0 {
+			r.peerKnow[req.TargetID] = &peerBaseline{
+				epoch: req.Epoch,
+				gen:   req.Gen,
+				know:  req.Knowledge.Clone(),
+			}
+		}
+		return req.Knowledge, nil, true
+	case req.Delta != nil:
+		c := r.peerKnow[req.TargetID]
+		if c == nil || c.epoch != req.Delta.Epoch() || c.gen+1 != req.Delta.Gen() {
+			return nil, nil, false
+		}
+		c.know.Merge(req.Delta.Changes())
+		c.gen = req.Delta.Gen()
+		return c.know, nil, true
+	case req.Digest != nil:
+		return nil, req.Digest, true
+	default:
+		// A v1 frame with no knowledge at all; the transport rejects this
+		// before it reaches us, and in-process callers always attach one.
+		// Serve against empty knowledge rather than crash on hostile input.
+		return vclock.NewKnowledge(), nil, true
+	}
+}
+
+// digestAmbiguousLocked pre-scans the store for a candidate the digest
+// cannot decide: a version above the exact base that the Bloom filter
+// reports as maybe-known. The filter has no false negatives, so with no
+// such candidate, base inclusion alone answers "known?" exactly like full
+// knowledge would for every stored version; with one, only an exact frame
+// can keep the batch identical, so the source demands a fallback round.
+// The scan does only knowledge checks — no routing-policy calls — so a
+// fallback leaves policy state untouched for the retry.
+func (r *Replica) digestAmbiguousLocked(d *vclock.Digest) bool {
+	ambiguous := false
+	r.store.Range(func(e *store.Entry) bool {
+		v := e.Item.Version
+		if !d.BaseIncludes(v) && d.MayHaveException(v) {
+			ambiguous = true
+			return false
+		}
+		return true
+	})
+	return ambiguous
+}

@@ -1,0 +1,306 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"replidtn/internal/item"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/vclock"
+)
+
+// wireBatchItem builds a batch item with trace-realistic metadata (address
+// lengths, timestamps, transient routing state) and a payload of the given
+// size, for measuring real encoded frame costs.
+func wireBatchItem(n uint64, payload int) BatchItem {
+	return BatchItem{
+		Item: &item.Item{
+			ID:      item.ID{Creator: "bus07", Num: n},
+			Version: vclock.Version{Replica: "bus07", Seq: n},
+			Meta: item.Metadata{
+				Source:       "user:17",
+				Destinations: []string{"user:42"},
+				Kind:         "message",
+				Created:      86400 + int64(n),
+				Expires:      86400 + int64(n) + 43200,
+			},
+			Payload: make([]byte, payload),
+		},
+		Transient: item.Transient{item.FieldTTL: 7},
+	}
+}
+
+// TestMetadataOverheadCoversEncodedFrame pins the byte-budget model to the
+// wire: itemWireBytes charges payload + metadataOverhead per batch item, and
+// budgets overrun if that underestimates what the transport actually encodes.
+// The test gob-encodes responses differing by exactly one item and checks the
+// marginal cost — steady-state, after gob's one-time type descriptors are
+// paid — never exceeds the constant, with and without payload.
+func TestMetadataOverheadCoversEncodedFrame(t *testing.T) {
+	encoded := func(n, payload int) int {
+		resp := &SyncResponse{SourceID: "bus07"}
+		for i := 0; i < n; i++ {
+			resp.Items = append(resp.Items, wireBatchItem(uint64(i+1), payload))
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	for _, payload := range []int{0, 100, 1000} {
+		marginal := encoded(9, payload) - encoded(8, payload)
+		overhead := marginal - payload
+		if overhead > metadataOverhead {
+			t.Errorf("payload %d: encoded marginal item overhead %dB exceeds metadataOverhead=%d — byte budgets underestimate",
+				payload, overhead, metadataOverhead)
+		}
+		if overhead <= 0 {
+			t.Errorf("payload %d: marginal overhead %dB not positive — measurement broken", payload, overhead)
+		}
+	}
+}
+
+// summaryScenario drives one randomized twin build: identical item creation
+// and encounter order, with summary mode on or off at every replica. The
+// returned IDs are every item addressed to the target.
+func summaryScenario(seed int64, summaries bool) (a, b *Replica, toB []item.ID) {
+	rng := rand.New(rand.NewSource(seed))
+	a = New(Config{
+		ID: "a", OwnAddresses: []string{"addr:a"},
+		Policy:        epidemic.New(10),
+		SyncSummaries: summaries, SummaryDigestMin: 1,
+	})
+	b = New(Config{
+		ID: "b", OwnAddresses: []string{"addr:b"},
+		SyncSummaries: summaries, SummaryDigestMin: 1,
+	})
+	create := func(r *Replica, from string, dests []string) {
+		it := r.CreateItem(item.Metadata{
+			Source: from, Destinations: dests, Kind: "message",
+		}, []byte("payload"))
+		for _, d := range dests {
+			if d == "addr:b" {
+				toB = append(toB, it.ID)
+				break
+			}
+		}
+	}
+	// Feeders shape b's knowledge: items addressed only to a leave gaps in
+	// b's view of the feeder, so b's exception set ranges from empty (no
+	// feeders, or to-b prefixes) to all-exception (to-a items first).
+	// Dual-addressed items reach both replicas through plain filter
+	// matching, which plants versions from b's exception set in a's store —
+	// candidates the Bloom digest can never decide (no false negatives), so
+	// the corpus deterministically exercises the fallback round too.
+	feeders := rng.Intn(4)
+	for i := 0; i < feeders; i++ {
+		fid := fmt.Sprintf("f%d", i)
+		f := New(Config{ID: vclock.ReplicaID(fid), OwnAddresses: []string{"addr:" + fid}})
+		for j, n := 0, rng.Intn(7); j < n; j++ {
+			var dests []string
+			switch rng.Intn(3) {
+			case 0:
+				dests = []string{"addr:a"}
+			case 1:
+				dests = []string{"addr:b"}
+			default:
+				dests = []string{"addr:a", "addr:b"}
+			}
+			create(f, "addr:"+fid, dests)
+		}
+		Encounter(f, b, 0)
+		Encounter(f, a, 0)
+	}
+	for j, n := 0, rng.Intn(4); j < n; j++ {
+		create(a, "addr:a", []string{"addr:b"})
+	}
+	return a, b, toB
+}
+
+// TestQuickDigestSyncDeliversExactly is the property-test satellite: across
+// random knowledge/exception shapes — including empty knowledge and
+// all-exception knowledge — a digest-mode sync must deliver exactly what a
+// full-knowledge sync delivers: never a duplicate, never a lost item, and
+// apply-stat-identical to the v1 twin.
+func TestQuickDigestSyncDeliversExactly(t *testing.T) {
+	var digests, fallbacks int
+	prop := func(seed int64) bool {
+		run := func(summaries bool) (SyncResult, SyncResult, *Replica, []item.ID) {
+			a, b, toB := summaryScenario(seed, summaries)
+			r1 := Sync(a, b, 0)
+			// Fresh traffic, then a second sync: recurring pairs ride the
+			// delta path in summary mode.
+			extra := a.CreateItem(item.Metadata{
+				Source: "addr:a", Destinations: []string{"addr:b"}, Kind: "message",
+			}, []byte("late"))
+			toB = append(toB, extra.ID)
+			r2 := Sync(a, b, 0)
+			return r1, r2, b, toB
+		}
+		p1, p2, pb, ids := run(false)
+		s1, s2, sb, _ := run(true)
+		digests += sb.Stats().KnowledgeDigests
+		fallbacks += sb.Stats().SummaryFallbacks
+		if p1.Apply != s1.Apply || p2.Apply != s2.Apply {
+			t.Logf("seed %d: apply stats diverged:\nv1 %+v / %+v\nv2 %+v / %+v", seed, p1.Apply, p2.Apply, s1.Apply, s2.Apply)
+			return false
+		}
+		if sb.Stats().Duplicates != 0 {
+			t.Logf("seed %d: digest sync produced %d duplicates", seed, sb.Stats().Duplicates)
+			return false
+		}
+		for _, id := range ids {
+			if !sb.HasItem(id) {
+				t.Logf("seed %d: digest sync lost item %s", seed, id)
+				return false
+			}
+			if !pb.HasItem(id) {
+				t.Logf("seed %d: v1 twin lost item %s — scenario broken", seed, id)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+	// The corpus must actually exercise the summary machinery, including the
+	// ambiguous-digest fallback, or the property is vacuous.
+	if digests == 0 {
+		t.Error("no run sent a Bloom digest")
+	}
+	if fallbacks == 0 {
+		t.Error("no run hit the exact-knowledge fallback round")
+	}
+}
+
+// TestDeltaRecurringPair walks a recurring pair through the delta upgrade
+// path: tagged full on first contact, deltas after, with every sync's
+// knowledge-byte accounting visible in the result.
+func TestDeltaRecurringPair(t *testing.T) {
+	a := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}, SyncSummaries: true})
+	b := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}, SyncSummaries: true})
+	send(a, "addr:a", "addr:b")
+	r1 := Sync(a, b, 0)
+	if r1.Apply.Delivered != 1 || r1.Fallback {
+		t.Fatalf("first sync: %+v", r1)
+	}
+	if got := b.Stats().KnowledgeFulls; got != 1 {
+		t.Errorf("first contact sent %d full frames, want 1 (tagged, frontier-establishing)", got)
+	}
+	for i := 0; i < 3; i++ {
+		send(a, "addr:a", "addr:b")
+		r := Sync(a, b, 0)
+		if r.Apply.Delivered != 1 || r.Fallback {
+			t.Fatalf("delta sync %d: %+v", i, r)
+		}
+		if r.KnowledgeBytes <= 0 {
+			t.Errorf("delta sync %d: no knowledge bytes accounted", i)
+		}
+		if got, want := b.Stats().KnowledgeDeltas, i+1; got != want {
+			t.Errorf("after delta sync %d: %d delta frames, want %d", i, got, want)
+		}
+	}
+	if got := b.Stats().SummaryFallbacks; got != 0 {
+		t.Errorf("healthy recurring pair hit %d fallbacks", got)
+	}
+}
+
+// TestSourceRestartForcesDeltaResync crash-restarts the source via
+// snapshot/restore: its cached delta baseline is gone, so the target's next
+// delta frame must be refused and resolved by one exact-knowledge fallback
+// round — after which the pair resumes delta mode.
+func TestSourceRestartForcesDeltaResync(t *testing.T) {
+	a := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}, SyncSummaries: true})
+	b := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}, SyncSummaries: true})
+	send(a, "addr:a", "addr:b")
+	Sync(a, b, 0)
+	send(a, "addr:a", "addr:b")
+	if r := Sync(a, b, 0); r.Fallback || r.Apply.Delivered != 1 {
+		t.Fatalf("pre-crash delta sync: %+v", r)
+	}
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}, SyncSummaries: true})
+	if err := a2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	send(a2, "addr:a", "addr:b")
+	r := Sync(a2, b, 0)
+	if !r.Fallback {
+		t.Error("restarted source accepted a delta against a baseline it no longer holds")
+	}
+	if r.Apply.Delivered != 1 || r.Apply.Duplicates != 0 {
+		t.Errorf("post-crash sync delivered wrong batch: %+v", r.Apply)
+	}
+	if got := b.Stats().SummaryFallbacks; got != 1 {
+		t.Errorf("%d fallbacks, want exactly 1", got)
+	}
+	// The fallback's tagged full frame re-established the frontier: the pair
+	// is back on deltas.
+	send(a2, "addr:a", "addr:b")
+	deltas := b.Stats().KnowledgeDeltas
+	if r := Sync(a2, b, 0); r.Fallback || r.Apply.Delivered != 1 {
+		t.Fatalf("post-recovery delta sync: %+v", r)
+	}
+	if got := b.Stats().KnowledgeDeltas; got != deltas+1 {
+		t.Errorf("pair did not resume delta mode after fallback: %d deltas, want %d", got, deltas+1)
+	}
+}
+
+// TestTargetRestartBumpsEpoch crash-restarts the target: the restore bumps
+// its epoch and clears its frontiers, so it re-establishes the pair with a
+// freshly tagged full frame — no stale delta is ever sent, and no fallback
+// round is needed.
+func TestTargetRestartBumpsEpoch(t *testing.T) {
+	a := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}, SyncSummaries: true})
+	b := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}, SyncSummaries: true})
+	send(a, "addr:a", "addr:b")
+	Sync(a, b, 0)
+	send(a, "addr:a", "addr:b")
+	Sync(a, b, 0)
+	if got := b.Epoch(); got != 1 {
+		t.Fatalf("fresh replica epoch %d, want 1", got)
+	}
+
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := New(Config{ID: "b", OwnAddresses: []string{"addr:b"}, SyncSummaries: true})
+	if err := b2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.Epoch(); got != 2 {
+		t.Errorf("restored epoch %d, want 2", got)
+	}
+	fulls := b2.Stats().KnowledgeFulls
+	send(a, "addr:a", "addr:b")
+	r := Sync(a, b2, 0)
+	if r.Fallback {
+		t.Error("restarted target needed a fallback — it should have sent a tagged full frame directly")
+	}
+	if r.Apply.Delivered != 1 || r.Apply.Duplicates != 0 {
+		t.Errorf("post-restart sync: %+v", r.Apply)
+	}
+	if got := b2.Stats().KnowledgeFulls; got != fulls+1 {
+		t.Errorf("restarted target sent %d full frames, want %d", got, fulls+1)
+	}
+	// And the new-epoch baseline supports deltas again.
+	send(a, "addr:a", "addr:b")
+	if r := Sync(a, b2, 0); r.Fallback || r.Apply.Delivered != 1 {
+		t.Fatalf("new-epoch delta sync: %+v", r)
+	}
+	if got := b2.Stats().KnowledgeDeltas; got != 1 {
+		t.Errorf("new incarnation sent %d deltas, want 1", got)
+	}
+}

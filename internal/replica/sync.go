@@ -14,8 +14,24 @@ type SyncRequest struct {
 	// TargetID identifies the requesting replica.
 	TargetID vclock.ReplicaID
 	// Knowledge is the target's learned-version set; the source sends only
-	// versions outside it, which yields at-most-once delivery.
+	// versions outside it, which yields at-most-once delivery. In summary
+	// mode (protocol v2) exactly one of Knowledge, Digest, or Delta is set.
 	Knowledge *vclock.Knowledge
+	// Digest is a compact knowledge summary: exact base vector plus a Bloom
+	// filter over the exceptions (see vclock.Digest). The source serves from
+	// it only when the filter decides every stored candidate; otherwise it
+	// answers NeedKnowledge and the target retries with exact knowledge.
+	Digest *vclock.Digest
+	// Delta ships only the knowledge learned since the frontier this target
+	// last sent the source, tagged with the target's (epoch, generation);
+	// the source reconstructs exact knowledge from its cached baseline, or
+	// answers NeedKnowledge when the tags do not match strictly.
+	Delta *vclock.Delta
+	// Epoch and Gen tag a full Knowledge frame sent in summary mode (Epoch
+	// is never 0 on such frames): they let the source cache the frame as
+	// the delta baseline for this pair. Untagged (v1) frames are not cached.
+	Epoch uint64
+	Gen   uint64
 	// Filter is the target's content-based filter; matching items are always
 	// included and transmitted first.
 	Filter filter.Filter
@@ -52,6 +68,13 @@ type SyncResponse struct {
 	SourceID  vclock.ReplicaID
 	Items     []BatchItem
 	Truncated bool
+	// NeedKnowledge demands an exact-knowledge retry of a summary-mode
+	// request: the source could not decide the batch from the digest (an
+	// ambiguous Bloom answer) or could not apply the delta (tag mismatch
+	// after a restart or lost frame). The response carries no items and the
+	// source has not processed the request's routing state, so the retry
+	// replays the same routing frame and the exchange counts once.
+	NeedKnowledge bool
 	// LearnedKnowledge, when non-nil, is the source's knowledge offered for
 	// wholesale merging. It is only set when the source's filter covers the
 	// target's and the batch was not truncated, so every version it covers
@@ -106,6 +129,11 @@ func (r *Replica) MakeSyncRequest(maxItems int) *SyncRequest {
 	if r.policy != nil {
 		req.Routing = r.policy.GenerateReq()
 	}
+	r.stats.KnowledgeFulls++
+	if r.metrics != nil {
+		r.metrics.KnowledgeFullFrames.Inc()
+		r.metrics.KnowledgeFullBytes.Add(int64(req.Knowledge.WireSize()))
+	}
 	return req
 }
 
@@ -140,6 +168,24 @@ func selectorLimit(req *SyncRequest) int {
 func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Summary mode: recover the target's knowledge before touching any other
+	// state. When the request cannot be served exactly — an undecidable
+	// digest or an unmatchable delta — answer NeedKnowledge without counting
+	// the sync or processing routing state, so the exact-knowledge retry
+	// runs as if it were the first and only round.
+	know, digest, ok := r.resolveKnowledgeLocked(req)
+	if !ok {
+		return &SyncResponse{SourceID: r.id, NeedKnowledge: true}
+	}
+	if digest != nil {
+		if r.digestAmbiguousLocked(digest) {
+			return &SyncResponse{SourceID: r.id, NeedKnowledge: true}
+		}
+		// No stored candidate above the exact base is Bloom-ambiguous, and
+		// the filter has no false negatives, so base inclusion now answers
+		// "does the target know this version?" exactly as full knowledge
+		// would for every stored version.
+	}
 	r.stats.SyncsServed++
 	if r.policy != nil && req.Routing != nil {
 		r.policy.ProcessReq(req.TargetID, req.Routing)
@@ -149,7 +195,11 @@ func (r *Replica) HandleSyncRequest(req *SyncRequest) *SyncResponse {
 
 	sel := batchSelector{limit: selectorLimit(req)}
 	r.store.Range(func(e *store.Entry) bool {
-		if req.Knowledge.Contains(e.Item.Version) {
+		if digest != nil {
+			if digest.BaseIncludes(e.Item.Version) {
+				return true
+			}
+		} else if know.Contains(e.Item.Version) {
 			return true
 		}
 		if !e.Item.Deleted && r.expiredLocked(&e.Item.Meta) {
@@ -374,13 +424,32 @@ func (r *Replica) recordApplyLocked(batchLen int, st ApplyStats) {
 // size. Because every batch item costs at least this much, a MaxBytes budget
 // implies an item budget of MaxBytes/metadataOverhead (+1 for the
 // at-least-one exception) — the bound selectorLimit uses to keep streaming
-// batch assembly O(candidates · log K).
-const metadataOverhead = 64
+// batch assembly O(candidates · log K). The value must not underestimate the
+// transport's real per-item framing or byte budgets overrun: the steady-state
+// marginal cost of one gob-encoded batch item with trace-realistic metadata
+// measures 76–80 bytes beyond its payload (see
+// TestMetadataOverheadCoversEncodedFrame), so 96 leaves headroom for an
+// extra destination or transient field.
+const metadataOverhead = 96
 
 // itemWireBytes estimates an item's transfer cost: its payload plus a fixed
 // per-item metadata overhead.
 func itemWireBytes(it *item.Item) int64 {
 	return int64(len(it.Payload)) + metadataOverhead
+}
+
+// KnowledgeWireBytes returns the encoded size of whichever knowledge frame
+// the request carries (exact, digest, or delta), for byte accounting.
+func (req *SyncRequest) KnowledgeWireBytes() int64 {
+	switch {
+	case req.Knowledge != nil:
+		return int64(req.Knowledge.WireSize())
+	case req.Digest != nil:
+		return int64(req.Digest.WireSize())
+	case req.Delta != nil:
+		return int64(req.Delta.WireSize())
+	}
+	return 0
 }
 
 // BatchBytes sums the estimated wire size of a response's items.

@@ -91,7 +91,7 @@ func validClientTranscript(f testing.TB) []byte {
 
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(hello{Version: protocolVersion, ID: "peer"}); err != nil {
+	if err := enc.Encode(hello{Version: protocolBaseVersion, ID: "peer"}); err != nil {
 		f.Fatal(err)
 	}
 	req := peer.MakeSyncRequest(4)
@@ -158,7 +158,7 @@ func TestServeConnRejectsMalformedFrames(t *testing.T) {
 			defer conn.Close()
 			enc := gob.NewEncoder(conn)
 			dec := gob.NewDecoder(conn)
-			if err := enc.Encode(hello{Version: protocolVersion, ID: "evil"}); err != nil {
+			if err := enc.Encode(hello{Version: protocolBaseVersion, ID: "evil"}); err != nil {
 				t.Fatal(err)
 			}
 			var peerHello hello

@@ -191,7 +191,7 @@ func TestMetricsClassifyValidationRejections(t *testing.T) {
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(hello{Version: protocolVersion, ID: "evil"}); err != nil {
+	if err := enc.Encode(hello{Version: protocolBaseVersion, ID: "evil"}); err != nil {
 		t.Fatal(err)
 	}
 	var reply hello

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing/epidemic"
+	"replidtn/internal/vclock"
+)
+
+// summaryNode builds a summaries-enabled replica for the interop matrix.
+// Whether summary frames actually travel is then decided purely by version
+// negotiation, which is exactly what the matrix varies.
+func summaryNode(t *testing.T, id, addr string) *replica.Replica {
+	t.Helper()
+	return replica.New(replica.Config{
+		ID:            vclock.ReplicaID(id),
+		OwnAddresses:  []string{addr},
+		SyncSummaries: true,
+	})
+}
+
+// applyPair is the observable outcome of one encounter as the dialer sees
+// it: what the pulled batch did locally, and how many items moved each way.
+// (The server-side apply stats travel back only as the done frame's count.)
+type applyPair struct {
+	BtoA   replica.ApplyStats
+	SentAB int
+	SentBA int
+}
+
+func pair(res replica.EncounterResult) applyPair {
+	return applyPair{
+		BtoA:   res.BtoA.Apply,
+		SentAB: res.AtoB.Sent,
+		SentBA: res.BtoA.Sent,
+	}
+}
+
+// TestDowngradeInteropMatrix runs the same two-encounter exchange over real
+// TCP under every combination of pinned protocol versions. The delivered
+// results must be bit-identical whether the pair negotiates v2 (summary
+// frames), v1 (exact frames), or a mixed pin that forces the downgrade path;
+// only the frame representation may differ, and pinned-v1 runs must not emit
+// a single summary frame.
+func TestDowngradeInteropMatrix(t *testing.T) {
+	type outcome struct {
+		first, second applyPair
+		delivered     int
+		deltasA       int
+		deltasB       int
+		digests       int
+	}
+	exchange := func(serverMax, dialerMax int) outcome {
+		a := summaryNode(t, "a", "addr:a")
+		b := summaryNode(t, "b", "addr:b")
+		sendMsg(a, "addr:a", "addr:b")
+		sendMsg(a, "addr:a", "addr:b")
+		sendMsg(b, "addr:b", "addr:a")
+
+		srv := NewServer(a, 0)
+		srv.MaxProtocol = serverMax
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		opts := DialOptions{MaxProtocol: dialerMax}
+
+		res1, err := EncounterOpts(b, addr.String(), 0, testTimeout, opts)
+		if err != nil {
+			t.Fatalf("server=v%d dialer=v%d first encounter: %v", serverMax, dialerMax, err)
+		}
+		// New traffic between encounters so the second sync ships items too —
+		// the recurring-pair path must move data, not just empty frames.
+		sendMsg(a, "addr:a", "addr:b")
+		sendMsg(b, "addr:b", "addr:a")
+		res2, err := EncounterOpts(b, addr.String(), 0, testTimeout, opts)
+		if err != nil {
+			t.Fatalf("server=v%d dialer=v%d second encounter: %v", serverMax, dialerMax, err)
+		}
+		return outcome{
+			first:     pair(res1),
+			second:    pair(res2),
+			delivered: a.Stats().Delivered + b.Stats().Delivered,
+			deltasA:   a.Stats().KnowledgeDeltas,
+			deltasB:   b.Stats().KnowledgeDeltas,
+			digests:   a.Stats().KnowledgeDigests + b.Stats().KnowledgeDigests,
+		}
+	}
+
+	pins := []struct{ server, dialer int }{{2, 2}, {1, 2}, {2, 1}, {1, 1}}
+	results := make([]outcome, len(pins))
+	for i, p := range pins {
+		results[i] = exchange(p.server, p.dialer)
+	}
+	for i, p := range pins[1:] {
+		got, want := results[i+1], results[0]
+		if got.first != want.first || got.second != want.second || got.delivered != want.delivered {
+			t.Errorf("server=v%d dialer=v%d delivered differently than v2/v2:\ngot  %+v / %+v (delivered %d)\nwant %+v / %+v (delivered %d)",
+				p.server, p.dialer, got.first, got.second, got.delivered,
+				want.first, want.second, want.delivered)
+		}
+	}
+	// Full v2: the second encounter of a recurring pair runs on delta
+	// knowledge, on both roles (each side is target for one leg).
+	if results[0].deltasA == 0 || results[0].deltasB == 0 {
+		t.Errorf("v2/v2 recurring pair did not upgrade to delta knowledge: a=%d b=%d deltas",
+			results[0].deltasA, results[0].deltasB)
+	}
+	// Any pin at v1 must force exact frames end to end: negotiation, not
+	// configuration, decides — both replicas had summaries enabled.
+	for i, p := range pins[1:] {
+		r := results[i+1]
+		if p.server == 1 || p.dialer == 1 {
+			if r.deltasA+r.deltasB+r.digests != 0 {
+				t.Errorf("server=v%d dialer=v%d emitted summary frames despite v1 pin: %d deltas (a) %d deltas (b) %d digests",
+					p.server, p.dialer, r.deltasA, r.deltasB, r.digests)
+			}
+		}
+	}
+	// Sanity: everything addressed got delivered in every configuration.
+	for i, r := range results {
+		if r.delivered != 5 {
+			t.Errorf("pin combo %d delivered %d of 5 messages", i, r.delivered)
+		}
+	}
+}
+
+// TestInteropDigestFallbackOverTCP drives a v2 encounter whose request
+// carries a Bloom digest that is necessarily ambiguous — the server stores
+// items whose versions are in the target's exception set, and the filter has
+// no false negatives — so the exact-knowledge fallback round runs end to end
+// over TCP. The delivered batch must still match a v1 run exactly.
+func TestInteropDigestFallbackOverTCP(t *testing.T) {
+	build := func(summaries bool) (*replica.Replica, *replica.Replica) {
+		a := replica.New(replica.Config{
+			ID: "a", OwnAddresses: []string{"addr:a"},
+			Policy:        epidemic.New(10),
+			SyncSummaries: summaries, SummaryDigestMin: 1,
+		})
+		b := replica.New(replica.Config{
+			ID: "b", OwnAddresses: []string{"addr:b"},
+			SyncSummaries: summaries, SummaryDigestMin: 1,
+		})
+		// Each feeder creates three items addressed only to a before three
+		// addressed to both a and b, so b's knowledge of the feeder is pure
+		// exceptions above an empty base — and a, receiving the dual-addressed
+		// items through its own filter, holds versions inside b's exception
+		// set: candidates the Bloom digest can never decide (no false
+		// negatives), guaranteeing the fallback round.
+		for i := 0; i < 4; i++ {
+			fid := fmt.Sprintf("f%d", i)
+			f := replica.New(replica.Config{
+				ID: vclock.ReplicaID(fid), OwnAddresses: []string{"addr:" + fid},
+			})
+			for j := 0; j < 3; j++ {
+				sendMsg(f, "addr:"+fid, "addr:a")
+			}
+			for j := 0; j < 3; j++ {
+				f.CreateItem(item.Metadata{
+					Source:       "addr:" + fid,
+					Destinations: []string{"addr:a", "addr:b"},
+					Kind:         "message",
+				}, []byte("dual"))
+			}
+			replica.Encounter(f, b, 0)
+			replica.Encounter(f, a, 0)
+		}
+		for i := 0; i < 4; i++ {
+			sendMsg(a, "addr:a", "addr:b")
+		}
+		return a, b
+	}
+
+	run := func(summaries bool) (applyPair, int, int, int) {
+		a, b := build(summaries)
+		srv := NewServer(a, 0)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		res, err := EncounterOpts(b, addr.String(), 0, testTimeout, DialOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pair(res), b.Stats().Delivered, b.Stats().KnowledgeDigests, b.Stats().SummaryFallbacks
+	}
+
+	plain, plainDelivered, _, _ := run(false)
+	sum, sumDelivered, digests, fallbacks := run(true)
+	if plain != sum || plainDelivered != sumDelivered {
+		t.Errorf("digest-mode TCP encounter delivered differently than v1:\nv1 %+v (delivered %d)\nv2 %+v (delivered %d)",
+			plain, plainDelivered, sum, sumDelivered)
+	}
+	if digests == 0 {
+		t.Error("scenario never sent a Bloom digest — not exercising the summary path")
+	}
+	if fallbacks == 0 {
+		t.Error("guaranteed-ambiguous digest did not trigger the fallback round")
+	}
+	if sum.BtoA.Duplicates != 0 {
+		t.Errorf("fallback round re-sent known items: %d duplicates", sum.BtoA.Duplicates)
+	}
+}

@@ -50,7 +50,7 @@ func TestServerSurvivesGarbageConnections(t *testing.T) {
 				conn.Write(buf)
 			case 1: // immediate disconnect
 			case 2: // valid hello then garbage
-				encodeHello(conn, hello{Version: protocolVersion, ID: "x"})
+				encodeHello(conn, hello{Version: protocolBaseVersion, ID: "x"})
 				conn.Write([]byte{0xde, 0xad, 0xbe, 0xef})
 			}
 		}()
@@ -174,7 +174,7 @@ func TestTruncatedBatchAppliesNothing(t *testing.T) {
 			served <- err
 			return
 		}
-		if err := enc.Encode(hello{Version: protocolVersion, ID: "peer"}); err != nil {
+		if err := enc.Encode(hello{Version: protocolBaseVersion, ID: "peer"}); err != nil {
 			served <- err
 			return
 		}

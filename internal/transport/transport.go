@@ -27,8 +27,16 @@ import (
 	"replidtn/internal/vclock"
 )
 
-// protocolVersion guards against wire incompatibilities.
-const protocolVersion = 1
+// protocolVersion is the highest protocol this build speaks. Version 2 adds
+// the compact knowledge summary mode (Bloom digests, delta knowledge, and
+// the NeedKnowledge fallback round; see internal/replica/summary.go).
+const protocolVersion = 2
+
+// protocolBaseVersion is the version every build has ever required in the
+// hello's Version field. It never changes: version 1 peers validate
+// Version == 1 and know nothing of the Max field, so capability negotiation
+// rides in Max while Version stays pinned at the base.
+const protocolBaseVersion = 1
 
 // defaultIOTimeout bounds one connection's total I/O when the server does not
 // configure its own limit: a peer that stalls (slow-loris, dead link) is cut
@@ -64,10 +72,49 @@ func RegisterRequestType(req routing.Request) {
 	gob.Register(req)
 }
 
-// hello opens each connection in both directions.
+// hello opens each connection in both directions. Version is always
+// protocolBaseVersion — the compatibility floor old peers hard-check — and
+// Max, when nonzero, advertises the highest version the sender speaks; the
+// encounter runs at the minimum of both sides' ceilings. Old builds omit
+// Max when encoding (the field does not exist) and ignore it when decoding
+// (gob drops unknown fields), and a v1-pinned new build omits it too (gob
+// elides zero fields), making its hello byte-identical to an old build's —
+// so every pairing of old and new interoperates.
 type hello struct {
 	Version int
 	ID      vclock.ReplicaID
+	Max     int
+}
+
+// effectiveMax clamps a configured protocol ceiling into [1, protocolVersion];
+// 0 (unset) selects the build's maximum.
+func effectiveMax(configured int) int {
+	if configured <= 0 || configured > protocolVersion {
+		return protocolVersion
+	}
+	return configured
+}
+
+// localHello builds our hello frame for the given ceiling.
+func localHello(id vclock.ReplicaID, max int) hello {
+	h := hello{Version: protocolBaseVersion, ID: id}
+	if max > protocolBaseVersion {
+		h.Max = max
+	}
+	return h
+}
+
+// negotiate returns the version an encounter runs at: the minimum of our
+// ceiling and the peer's advertised one (absent Max means a v1-only peer).
+func negotiate(ourMax int, peer hello) int {
+	peerMax := peer.Max
+	if peerMax < protocolBaseVersion {
+		peerMax = protocolBaseVersion
+	}
+	if peerMax < ourMax {
+		return peerMax
+	}
+	return ourMax
 }
 
 // done closes an encounter: the listener acknowledges that it applied the
@@ -94,6 +141,10 @@ type Server struct {
 	// Metrics, when set before Listen, receives served-encounter counters,
 	// wire accounting, and sync spans. Nil disables instrumentation.
 	Metrics *obs.TransportMetrics
+	// MaxProtocol pins the highest protocol version this server negotiates
+	// (for staged rollouts and downgrade tests); 0 selects the build's
+	// maximum. Set before Listen.
+	MaxProtocol int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -170,13 +221,31 @@ var errVersionMismatch = errors.New("protocol version mismatch")
 
 // validateRequest rejects structurally malformed sync requests before they
 // reach the replica. gob happily decodes a frame with fields omitted or
-// forged, and the replica's in-process contract (non-nil knowledge,
+// forged, and the replica's in-process contract (a knowledge frame present,
 // non-negative budgets) must not be enforceable by a hostile peer's byte
 // stream: a nil knowledge would panic HandleSyncRequest, and a negative
-// MaxItems would bypass the server's batch clamp.
-func validateRequest(req *replica.SyncRequest) error {
-	if req.Knowledge == nil {
+// MaxItems would bypass the server's batch clamp. The version rule: a v1
+// encounter carries exactly an exact-knowledge frame; a v2 encounter carries
+// exactly one of exact knowledge, digest, or delta.
+func validateRequest(req *replica.SyncRequest, ver int) error {
+	frames := 0
+	if req.Knowledge != nil {
+		frames++
+	}
+	if req.Digest != nil {
+		frames++
+	}
+	if req.Delta != nil {
+		frames++
+	}
+	if ver < 2 && (req.Digest != nil || req.Delta != nil) {
+		return &validationError{errors.New("summary knowledge frame on a v1 encounter")}
+	}
+	if ver < 2 && req.Knowledge == nil {
 		return &validationError{errors.New("sync request missing knowledge")}
+	}
+	if ver >= 2 && frames != 1 {
+		return &validationError{fmt.Errorf("sync request carries %d knowledge frames, want exactly 1", frames)}
 	}
 	if req.MaxItems < 0 || req.MaxBytes < 0 {
 		return &validationError{fmt.Errorf("sync request with negative budget (items %d, bytes %d)", req.MaxItems, req.MaxBytes)}
@@ -186,8 +255,17 @@ func validateRequest(req *replica.SyncRequest) error {
 
 // validateResponse rejects structurally malformed sync responses before
 // ApplyBatch, which documents that it is only ever handed complete, valid
-// batches: a nil item pointer in a decoded batch would panic it.
-func validateResponse(resp *replica.SyncResponse) error {
+// batches: a nil item pointer in a decoded batch would panic it. A
+// NeedKnowledge demand is a v2 frame and carries no items by contract.
+func validateResponse(resp *replica.SyncResponse, ver int) error {
+	if resp.NeedKnowledge {
+		if ver < 2 {
+			return &validationError{errors.New("knowledge demand on a v1 encounter")}
+		}
+		if len(resp.Items) > 0 {
+			return &validationError{fmt.Errorf("knowledge demand carrying %d items", len(resp.Items))}
+		}
+	}
 	for i := range resp.Items {
 		if resp.Items[i].Item == nil {
 			return &validationError{fmt.Errorf("batch item %d missing item", i)}
@@ -305,6 +383,102 @@ func record(m *obs.TransportMetrics, span obs.SyncSpan, w *wireIO, start time.Ti
 	m.Spans.Record(span)
 }
 
+// serveBatch runs one directed synchronization as the source side: decode
+// the peer's request, serve it, and — when the replica demands exact
+// knowledge for an unservable summary frame — run the single fallback round
+// before shipping the batch. Both encounter roles serve one leg with it.
+func serveBatch(w *wireIO, r *replica.Replica, maxItems, ver int) (*replica.SyncResponse, error) {
+	var req replica.SyncRequest
+	if err := w.decode(&req); err != nil {
+		return nil, fmt.Errorf("read sync request: %w", err)
+	}
+	if err := validateRequest(&req, ver); err != nil {
+		return nil, err
+	}
+	clampItems(&req, maxItems)
+	resp := r.HandleSyncRequest(&req)
+	if resp.NeedKnowledge {
+		if err := w.encode(resp); err != nil {
+			return nil, fmt.Errorf("write knowledge demand: %w", err)
+		}
+		var retry replica.SyncRequest
+		if err := w.decode(&retry); err != nil {
+			return nil, fmt.Errorf("read fallback request: %w", err)
+		}
+		if err := validateRequest(&retry, ver); err != nil {
+			return nil, err
+		}
+		if retry.Knowledge == nil {
+			// One fallback round, maximum: the retry must be exact. A peer
+			// looping summary frames would otherwise pin this handler.
+			return nil, &validationError{errors.New("fallback request without exact knowledge")}
+		}
+		clampItems(&retry, maxItems)
+		resp = r.HandleSyncRequest(&retry)
+	}
+	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient (e.g. a halved spray allowance): an explicit field of the wire protocol, not a leak of host-local state
+	if err := w.encode(resp); err != nil {
+		return nil, fmt.Errorf("write sync response: %w", err)
+	}
+	return resp, nil
+}
+
+// pullBatch runs one directed synchronization as the target side: send our
+// request (summary form when negotiated and enabled), retry once with exact
+// knowledge if the source demands it, and apply the batch. The returned
+// SyncResult carries knowledge-frame byte accounting like the in-process
+// session drivers'.
+func pullBatch(w *wireIO, r *replica.Replica, peer vclock.ReplicaID, maxItems, ver int) (res replica.SyncResult, err error) {
+	var req *replica.SyncRequest
+	if ver >= 2 && r.SummariesEnabled() {
+		req = r.MakeSummaryRequest(peer, maxItems)
+	} else {
+		req = r.MakeSyncRequest(maxItems)
+	}
+	res.KnowledgeBytes = req.KnowledgeWireBytes()
+	if err := w.encode(req); err != nil {
+		return res, fmt.Errorf("write sync request: %w", err)
+	}
+	var resp replica.SyncResponse
+	if err := w.decode(&resp); err != nil {
+		return res, fmt.Errorf("read sync response: %w", err)
+	}
+	if err := validateResponse(&resp, ver); err != nil {
+		return res, err
+	}
+	if resp.NeedKnowledge {
+		res.Fallback = true
+		retry := r.MakeFallbackRequest(peer, maxItems, req.Routing)
+		res.KnowledgeBytes += retry.KnowledgeWireBytes()
+		if err := w.encode(retry); err != nil {
+			return res, fmt.Errorf("write fallback request: %w", err)
+		}
+		resp = replica.SyncResponse{}
+		if err := w.decode(&resp); err != nil {
+			return res, fmt.Errorf("read fallback response: %w", err)
+		}
+		if err := validateResponse(&resp, ver); err != nil {
+			return res, err
+		}
+		if resp.NeedKnowledge {
+			// An exact frame is always servable; a second demand is hostile.
+			return res, &validationError{errors.New("peer demanded knowledge twice")}
+		}
+	}
+	res.Sent = len(resp.Items)
+	res.SentBytes = replica.BatchBytes(&resp)
+	res.Truncated = resp.Truncated
+	res.Apply = r.ApplyBatch(&resp)
+	return res, nil
+}
+
+// clampItems applies the local per-batch bound to a decoded request.
+func clampItems(req *replica.SyncRequest, maxItems int) {
+	if maxItems > 0 && (req.MaxItems == 0 || req.MaxItems > maxItems) {
+		req.MaxItems = maxItems
+	}
+}
+
 // serveConn handles one encounter from the accepting side. Batch application
 // is transactional: every frame is fully decoded before any replica call, so
 // a peer dying mid-batch — truncated frame, slow-loris hitting the deadline,
@@ -329,50 +503,33 @@ func (s *Server) serveConn(conn net.Conn) (err error) {
 		defer func() { record(s.Metrics, span, w, start, err) }()
 	}
 
+	max := effectiveMax(s.MaxProtocol)
 	var peer hello
 	if err := w.decode(&peer); err != nil {
 		return fmt.Errorf("transport: read hello: %w", err)
 	}
-	if peer.Version != protocolVersion {
-		return fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolVersion, errVersionMismatch)
+	if peer.Version != protocolBaseVersion {
+		return fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolBaseVersion, errVersionMismatch)
 	}
+	ver := negotiate(max, peer)
 	span.Peer = string(peer.ID)
-	if err := w.encode(hello{Version: protocolVersion, ID: s.replica.ID()}); err != nil {
+	if err := w.encode(localHello(s.replica.ID(), max)); err != nil {
 		return fmt.Errorf("transport: write hello: %w", err)
 	}
 
 	// Leg 1: we are the source; the dialer pulls from us.
-	var req replica.SyncRequest
-	if err := w.decode(&req); err != nil {
-		return fmt.Errorf("transport: read sync request: %w", err)
-	}
-	if err := validateRequest(&req); err != nil {
+	resp, err := serveBatch(w, s.replica, s.maxItems, ver)
+	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
-	if s.maxItems > 0 && (req.MaxItems == 0 || req.MaxItems > s.maxItems) {
-		req.MaxItems = s.maxItems
-	}
-	resp := s.replica.HandleSyncRequest(&req)
 	span.ItemsSent = len(resp.Items)
-	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient (e.g. a halved spray allowance): an explicit field of the wire protocol, not a leak of host-local state
-	if err := w.encode(resp); err != nil {
-		return fmt.Errorf("transport: write sync response: %w", err)
-	}
 
 	// Leg 2: roles alternate; we pull from the dialer.
-	ourReq := s.replica.MakeSyncRequest(s.maxItems)
-	if err := w.encode(ourReq); err != nil {
-		return fmt.Errorf("transport: write reverse request: %w", err)
-	}
-	var theirResp replica.SyncResponse
-	if err := w.decode(&theirResp); err != nil {
-		return fmt.Errorf("transport: read reverse response: %w", err)
-	}
-	if err := validateResponse(&theirResp); err != nil {
+	res, err := pullBatch(w, s.replica, peer.ID, s.maxItems, ver)
+	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
-	apply := s.replica.ApplyBatch(&theirResp)
-	span.ItemsApplied = apply.Stored + apply.Relayed + apply.Tombstones
+	span.ItemsApplied = res.Apply.Stored + res.Apply.Relayed + res.Apply.Tombstones
 	if err := w.encode(done{Applied: span.ItemsApplied}); err != nil {
 		return fmt.Errorf("transport: write done: %w", err)
 	}
@@ -411,6 +568,9 @@ type DialOptions struct {
 	// Metrics, when set, receives dialed-encounter counters, wire
 	// accounting, and sync spans. Nil disables instrumentation.
 	Metrics *obs.TransportMetrics
+	// MaxProtocol pins the highest protocol version this dialer negotiates,
+	// mirroring Server.MaxProtocol; 0 selects the build's maximum.
+	MaxProtocol int
 }
 
 // Encounter dials addr and performs a full encounter (two syncs with
@@ -451,51 +611,35 @@ func EncounterOpts(r *replica.Replica, addr string, maxItems int, timeout time.D
 		defer func() { record(opts.Metrics, span, w, start, err) }()
 	}
 
-	if err := w.encode(hello{Version: protocolVersion, ID: r.ID()}); err != nil {
+	max := effectiveMax(opts.MaxProtocol)
+	if err := w.encode(localHello(r.ID(), max)); err != nil {
 		return out, fmt.Errorf("transport: write hello: %w", err)
 	}
 	var peer hello
 	if err := w.decode(&peer); err != nil {
 		return out, fmt.Errorf("transport: read hello: %w", err)
 	}
-	if peer.Version != protocolVersion {
-		return out, fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolVersion, errVersionMismatch)
+	if peer.Version != protocolBaseVersion {
+		return out, fmt.Errorf("transport: protocol version %d, want %d: %w", peer.Version, protocolBaseVersion, errVersionMismatch)
 	}
+	ver := negotiate(max, peer)
 	span.Peer = string(peer.ID)
 
 	// Leg 1: we are the target and pull from the listener.
-	req := r.MakeSyncRequest(maxItems)
-	if err := w.encode(req); err != nil {
-		return out, fmt.Errorf("transport: write sync request: %w", err)
-	}
-	var resp replica.SyncResponse
-	if err := w.decode(&resp); err != nil {
-		return out, fmt.Errorf("transport: read sync response: %w", err)
-	}
-	if err := validateResponse(&resp); err != nil {
+	out.BtoA, err = pullBatch(w, r, peer.ID, maxItems, ver)
+	if err != nil {
 		return out, fmt.Errorf("transport: %w", err)
 	}
-	out.BtoA.Sent = len(resp.Items)
-	out.BtoA.Truncated = resp.Truncated
-	out.BtoA.Apply = r.ApplyBatch(&resp)
 	span.ItemsApplied = out.BtoA.Apply.Stored + out.BtoA.Apply.Relayed + out.BtoA.Apply.Tombstones
 
 	// Leg 2: serve the listener's pull.
-	var theirReq replica.SyncRequest
-	if err := w.decode(&theirReq); err != nil {
-		return out, fmt.Errorf("transport: read reverse request: %w", err)
-	}
-	if err := validateRequest(&theirReq); err != nil {
+	resp, err := serveBatch(w, r, maxItems, ver)
+	if err != nil {
 		return out, fmt.Errorf("transport: %w", err)
 	}
-	ourResp := r.HandleSyncRequest(&theirReq)
-	span.ItemsSent = len(ourResp.Items)
-	//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient: an explicit field of the wire protocol, not a leak of host-local state
-	if err := w.encode(ourResp); err != nil {
-		return out, fmt.Errorf("transport: write reverse response: %w", err)
-	}
-	out.AtoB.Sent = len(ourResp.Items)
-	out.AtoB.Truncated = ourResp.Truncated
+	span.ItemsSent = len(resp.Items)
+	out.AtoB.Sent = len(resp.Items)
+	out.AtoB.Truncated = resp.Truncated
 	var fin done
 	if err := w.decode(&fin); err != nil {
 		return out, fmt.Errorf("transport: read done: %w", err)

@@ -99,6 +99,80 @@ func decodeDoc(data []byte) (knowledgeDoc, error) {
 	return doc, nil
 }
 
+// appendVector encodes a bare version vector with the same conventions as
+// the knowledge base section: uvarint count, then (id, seq) pairs sorted by
+// replica ID for deterministic bytes.
+func appendVector(buf []byte, v Vector) []byte {
+	ids := sortedIDs(len(v))
+	for r := range v {
+		ids = append(ids, string(r))
+	}
+	sort.Strings(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = appendString(buf, id)
+		buf = binary.AppendUvarint(buf, v[ReplicaID(id)])
+	}
+	return buf
+}
+
+// readVector decodes a vector written by appendVector, dropping zero entries
+// so decoded vectors are canonical regardless of what the peer sent.
+func readVector(data []byte, pos *int) (Vector, error) {
+	n, err := readUvarint(data, pos)
+	if err != nil {
+		return nil, err
+	}
+	v := NewVector()
+	for i := uint64(0); i < n; i++ {
+		id, err := readString(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := readUvarint(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		if seq > 0 {
+			v[ReplicaID(id)] = seq
+		}
+	}
+	return v, nil
+}
+
+// uvarintLen returns the encoded length of v without encoding it.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// vectorWireSize returns the appendVector length of v without allocating.
+func vectorWireSize(v Vector) int {
+	n := uvarintLen(uint64(len(v)))
+	for r, s := range v {
+		n += uvarintLen(uint64(len(r))) + len(r) + uvarintLen(s)
+	}
+	return n
+}
+
+// WireSize returns the exact MarshalBinary length of the knowledge without
+// building the encoding, so sync byte accounting stays allocation-free.
+func (k *Knowledge) WireSize() int {
+	n := vectorWireSize(k.base)
+	n += uvarintLen(uint64(len(k.extra)))
+	for r, ex := range k.extra {
+		n += uvarintLen(uint64(len(r))) + len(r) + uvarintLen(uint64(len(ex)))
+		for s := range ex {
+			n += uvarintLen(s)
+		}
+	}
+	return n
+}
+
 func sortedIDs(capacity int) []string { return make([]string, 0, capacity) }
 
 func appendString(buf []byte, s string) []byte {

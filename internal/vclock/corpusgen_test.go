@@ -35,6 +35,30 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		writeCorpusFile(t, "FuzzKnowledgeMerge", names[i],
 			seed, seeds[(i+1)%len(seeds)])
 	}
+
+	digestNames := []string{
+		"seed-empty", "seed-typical", "seed-truncated-filter",
+		"seed-degenerate-probes", "seed-trailing",
+	}
+	dSeeds := digestSeeds()
+	if len(digestNames) != len(dSeeds) {
+		t.Fatalf("have %d digest seed names for %d seeds", len(digestNames), len(dSeeds))
+	}
+	for i, seed := range dSeeds {
+		writeCorpusFile(t, "FuzzDigestDecode", digestNames[i], seed)
+	}
+
+	deltaNames := []string{
+		"seed-empty", "seed-typical", "seed-missing-body",
+		"seed-noncanonical", "seed-forged-count",
+	}
+	dlSeeds := deltaSeeds()
+	if len(deltaNames) != len(dlSeeds) {
+		t.Fatalf("have %d delta seed names for %d seeds", len(deltaNames), len(dlSeeds))
+	}
+	for i, seed := range dlSeeds {
+		writeCorpusFile(t, "FuzzDeltaDecode", deltaNames[i], seed)
+	}
 }
 
 // writeCorpusFile writes one seed in the `go test fuzz v1` corpus format.

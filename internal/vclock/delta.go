@@ -1,0 +1,124 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A Delta carries the difference between a replica's current knowledge and
+// the frontier it last sent a specific peer, so recurring peer pairs — the
+// common case on community and corridor mobility — stop re-shipping a
+// knowledge frame that is overwhelmingly unchanged between encounters.
+//
+// Correctness rests on knowledge being set-monotone: a replica only ever
+// learns versions, and exception compaction is set-preserving, so an earlier
+// frontier is always a subset of the current knowledge and
+// Merge(frontier, changes) reconstructs the current set exactly.
+//
+// The epoch and generation tags make the scheme crash-safe. Epoch is the
+// sending replica's incarnation number (bumped on every restore from a
+// snapshot); Gen counts knowledge frames sent to this peer within the
+// incarnation. A source applies a delta only when it holds a cached frontier
+// with the same epoch and exactly the preceding generation — anything else
+// (source restarted and lost the cache, target restarted and reset its
+// counters, a frame was lost in between) makes it demand a full-knowledge
+// resync rather than risk acting on a stale baseline.
+type Delta struct {
+	epoch   uint64
+	gen     uint64
+	changes *Knowledge
+}
+
+// NewDelta builds a delta frame. A nil changes is treated as empty
+// knowledge (a recurring encounter where nothing was learned in between).
+func NewDelta(epoch, gen uint64, changes *Knowledge) *Delta {
+	if changes == nil {
+		changes = NewKnowledge()
+	}
+	return &Delta{epoch: epoch, gen: gen, changes: changes}
+}
+
+// Epoch returns the sender's incarnation tag.
+func (d *Delta) Epoch() uint64 { return d.epoch }
+
+// Gen returns the per-peer knowledge-frame generation within the epoch.
+func (d *Delta) Gen() uint64 { return d.gen }
+
+// Changes returns the knowledge learned since the previous generation.
+func (d *Delta) Changes() *Knowledge { return d.changes }
+
+// DiffSince returns the knowledge that, merged into old, yields k — i.e.
+// Merge(old.Clone(), k.DiffSince(old)).Equal(k) holds whenever old is an
+// earlier snapshot of the same monotonically-growing knowledge (old ⊆ k).
+// Base entries appear only where the base advanced; exceptions only where
+// old does not already contain them.
+func (k *Knowledge) DiffSince(old *Knowledge) *Knowledge {
+	out := NewKnowledge()
+	for r, s := range k.base {
+		if s > old.base[r] {
+			out.base[r] = s
+		}
+	}
+	for r, ex := range k.extra {
+		for s := range ex {
+			if old.Contains(Version{Replica: r, Seq: s}) {
+				continue
+			}
+			m := out.extra[r]
+			if m == nil {
+				m = make(map[uint64]struct{})
+				out.extra[r] = m
+			}
+			m[s] = struct{}{}
+		}
+	}
+	// An exception of k whose base entry did not advance lands in out with a
+	// zero base, which may leave it contiguous from zero; fold for canonical
+	// form (set-preserving, exactly like decode).
+	for r := range out.extra {
+		out.compact(r)
+	}
+	return out
+}
+
+// The delta wire format prefixes the knowledge codec with the two tags:
+//
+//	uvarint epoch   uvarint gen   knowledge encoding (see codec.go)
+
+// MarshalBinary implements encoding.BinaryMarshaler so a Delta can travel
+// inside gob-encoded sync requests, like Knowledge does.
+func (d *Delta) MarshalBinary() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, d.epoch)
+	buf = binary.AppendUvarint(buf, d.gen)
+	kb, err := d.changes.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, kb...), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The embedded
+// knowledge decode canonicalizes and rejects forged counts, so a hostile
+// delta is no more dangerous than a hostile knowledge frame.
+func (d *Delta) UnmarshalBinary(data []byte) error {
+	pos := 0
+	epoch, err := readUvarint(data, &pos)
+	if err != nil {
+		return fmt.Errorf("vclock: decode delta: %w", err)
+	}
+	gen, err := readUvarint(data, &pos)
+	if err != nil {
+		return fmt.Errorf("vclock: decode delta: %w", err)
+	}
+	changes := NewKnowledge()
+	if err := changes.UnmarshalBinary(data[pos:]); err != nil {
+		return fmt.Errorf("vclock: decode delta: %w", err)
+	}
+	d.epoch, d.gen, d.changes = epoch, gen, changes
+	return nil
+}
+
+// WireSize returns the exact MarshalBinary length without allocating.
+func (d *Delta) WireSize() int {
+	return uvarintLen(d.epoch) + uvarintLen(d.gen) + d.changes.WireSize()
+}
