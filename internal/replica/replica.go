@@ -88,12 +88,26 @@ type Config struct {
 	// frames stay exact (a tiny exception set encodes smaller than any
 	// filter, and exact frames establish delta frontiers); 0 selects 64.
 	SummaryDigestMin int
+	// SummaryPeerCap bounds the per-peer summary caches: delta frontiers on
+	// the target side and knowledge baselines on the source side. Peer IDs
+	// arrive self-declared over the transport, so unbounded maps would let a
+	// hostile dialer pin a knowledge clone per invented identity; past the
+	// cap the least-recently-used pair is evicted, which only costs that
+	// pair one full-frame or fallback round. 0 selects 1024.
+	SummaryPeerCap int
 }
 
 // defaultSummaryDigestMin is the SummaryDigestMin applied when the config
 // leaves it zero: below this many exceptions a digest saves little over the
 // exact encoding and would keep the pair off the delta upgrade path.
 const defaultSummaryDigestMin = 64
+
+// defaultSummaryPeerCap is the SummaryPeerCap applied when the config leaves
+// it zero: generous next to any real contact graph (PR 6's fleets average
+// far fewer recurring peers per node) while keeping the worst-case pinned
+// state a few thousand knowledge clones, not one per identity a hostile
+// dialer invents.
+const defaultSummaryPeerCap = 1024
 
 // Stats counts a replica's synchronization activity.
 type Stats struct {
@@ -150,7 +164,11 @@ type Replica struct {
 	summaries bool
 	fpRate    float64
 	digestMin int
+	peerCap   int
 	epoch     uint64
+	// useTick is a logical clock stamping every frontier/baseline touch, so
+	// eviction at peerCap drops the least recently used pair.
+	useTick   uint64
 	frontiers map[vclock.ReplicaID]*peerFrontier
 	peerKnow  map[vclock.ReplicaID]*peerBaseline
 }
@@ -164,6 +182,10 @@ func New(cfg Config) *Replica {
 	digestMin := cfg.SummaryDigestMin
 	if digestMin <= 0 {
 		digestMin = defaultSummaryDigestMin
+	}
+	peerCap := cfg.SummaryPeerCap
+	if peerCap <= 0 {
+		peerCap = defaultSummaryPeerCap
 	}
 	r := &Replica{
 		id:             cfg.ID,
@@ -179,6 +201,7 @@ func New(cfg Config) *Replica {
 		summaries:      cfg.SyncSummaries,
 		fpRate:         cfg.SummaryFPRate,
 		digestMin:      digestMin,
+		peerCap:        peerCap,
 		epoch:          1,
 		frontiers:      make(map[vclock.ReplicaID]*peerFrontier),
 		peerKnow:       make(map[vclock.ReplicaID]*peerBaseline),

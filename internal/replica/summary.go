@@ -33,18 +33,54 @@ import (
 // peerFrontier is target-side state: the knowledge this replica last shipped
 // to a given source, and the generation number of that frame within the
 // current epoch. The next frame to the same source is the diff against know.
+// use is the replica's useTick at the last touch, for LRU eviction.
 type peerFrontier struct {
+	use  uint64
 	gen  uint64
 	know *vclock.Knowledge
 }
 
+func (f *peerFrontier) lastUse() uint64 { return f.use }
+
 // peerBaseline is source-side state: the exact knowledge a given target last
 // established here (via a tagged full frame), advanced by each delta frame
-// whose (epoch, gen) tags match strictly.
+// whose (epoch, gen) tags match strictly. use is the replica's useTick at
+// the last touch, for LRU eviction.
 type peerBaseline struct {
+	use   uint64
 	epoch uint64
 	gen   uint64
 	know  *vclock.Knowledge
+}
+
+func (b *peerBaseline) lastUse() uint64 { return b.use }
+
+// evictOldestLocked drops least-recently-used entries from a per-peer
+// summary cache until it has room for one more under limit. Peer IDs are
+// self-declared over the transport, so these maps must stay bounded no
+// matter how many identities a hostile dialer invents; each entry pins a
+// knowledge clone. Eviction never affects correctness — an evicted pair
+// pays one tagged full frame (frontier side) or one NeedKnowledge fallback
+// round (baseline side) at its next encounter. The linear scan only runs
+// when a new peer arrives with the cache full, and limit is small.
+func evictOldestLocked[E interface{ lastUse() uint64 }](m map[vclock.ReplicaID]E, limit int) {
+	for len(m) >= limit {
+		var oldest vclock.ReplicaID
+		first := true
+		var min uint64
+		for id, e := range m {
+			if first || e.lastUse() < min {
+				first, min, oldest = false, e.lastUse(), id
+			}
+		}
+		delete(m, oldest)
+	}
+}
+
+// stampUseLocked advances the recency clock and returns the new stamp.
+func (r *Replica) stampUseLocked() uint64 {
+	r.useTick++
+	return r.useTick
 }
 
 // SummariesEnabled reports whether this replica initiates syncs in summary
@@ -81,6 +117,7 @@ func (r *Replica) MakeSummaryRequest(peer vclock.ReplicaID, maxItems int) *SyncR
 	switch {
 	case r.frontiers[peer] != nil:
 		f := r.frontiers[peer]
+		f.use = r.stampUseLocked()
 		changes := r.know.DiffSince(f.know)
 		f.gen++
 		f.know = r.know.Clone()
@@ -131,9 +168,11 @@ func (r *Replica) MakeFallbackRequest(peer vclock.ReplicaID, maxItems int, rt ro
 func (r *Replica) attachFullLocked(req *SyncRequest, peer vclock.ReplicaID) {
 	f := r.frontiers[peer]
 	if f == nil {
+		evictOldestLocked(r.frontiers, r.peerCap)
 		f = &peerFrontier{}
 		r.frontiers[peer] = f
 	}
+	f.use = r.stampUseLocked()
 	f.gen++
 	f.know = r.know.Clone()
 	req.Knowledge = f.know.Clone()
@@ -160,7 +199,11 @@ func (r *Replica) resolveKnowledgeLocked(req *SyncRequest) (know *vclock.Knowled
 	switch {
 	case req.Knowledge != nil:
 		if req.Epoch != 0 {
+			if r.peerKnow[req.TargetID] == nil {
+				evictOldestLocked(r.peerKnow, r.peerCap)
+			}
 			r.peerKnow[req.TargetID] = &peerBaseline{
+				use:   r.stampUseLocked(),
 				epoch: req.Epoch,
 				gen:   req.Gen,
 				know:  req.Knowledge.Clone(),
@@ -172,6 +215,7 @@ func (r *Replica) resolveKnowledgeLocked(req *SyncRequest) (know *vclock.Knowled
 		if c == nil || c.epoch != req.Delta.Epoch() || c.gen+1 != req.Delta.Gen() {
 			return nil, nil, false
 		}
+		c.use = r.stampUseLocked()
 		c.know.Merge(req.Delta.Changes())
 		c.gen = req.Delta.Gen()
 		return c.know, nil, true

@@ -304,3 +304,59 @@ func TestTargetRestartBumpsEpoch(t *testing.T) {
 		t.Errorf("new incarnation sent %d deltas, want 1", got)
 	}
 }
+
+// TestSummaryPeerCapBoundsState sprays fresh self-declared peer identities
+// at both sides of the summary state. Without the cap every identity pins a
+// knowledge clone (a baseline on the source side, a frontier on the target
+// side), handing a hostile dialer unbounded server memory; with it the maps
+// stay at SummaryPeerCap with least-recently-used pairs evicted, and an
+// evicted pair degrades to a NeedKnowledge fallback round, never to wrong
+// knowledge.
+func TestSummaryPeerCapBoundsState(t *testing.T) {
+	const limit = 4
+
+	// Source side: tagged full frames under ever-fresh TargetIDs.
+	src := New(Config{ID: "src", OwnAddresses: []string{"addr:src"}, SummaryPeerCap: limit})
+	know := vclock.NewKnowledge()
+	know.Add(vclock.Version{Replica: "x", Seq: 1})
+	for i := 0; i < 10*limit; i++ {
+		src.HandleSyncRequest(&SyncRequest{
+			TargetID:  vclock.ReplicaID(fmt.Sprintf("t%d", i)),
+			Knowledge: know.Clone(),
+			Epoch:     1, Gen: 1,
+		})
+	}
+	if n := len(src.peerKnow); n > limit {
+		t.Errorf("peerKnow holds %d baselines after identity spray, cap %d", n, limit)
+	}
+	// The most recent identities survive (LRU), the oldest are gone.
+	if src.peerKnow[vclock.ReplicaID(fmt.Sprintf("t%d", 10*limit-1))] == nil {
+		t.Error("most recent baseline was evicted")
+	}
+	// A delta from an evicted pair is refused, not served from stale state.
+	resp := src.HandleSyncRequest(&SyncRequest{
+		TargetID: "t0",
+		Delta:    vclock.NewDelta(1, 2, nil),
+	})
+	if !resp.NeedKnowledge {
+		t.Error("delta against an evicted baseline must demand a fallback round")
+	}
+
+	// Target side: initiating against ever-fresh peers.
+	tgt := New(Config{ID: "tgt", OwnAddresses: []string{"addr:tgt"},
+		SyncSummaries: true, SummaryPeerCap: limit})
+	for i := 0; i < 10*limit; i++ {
+		tgt.MakeSummaryRequest(vclock.ReplicaID(fmt.Sprintf("p%d", i)), 0)
+	}
+	if n := len(tgt.frontiers); n > limit {
+		t.Errorf("frontiers holds %d entries after peer spray, cap %d", n, limit)
+	}
+	// An evicted frontier just re-establishes with a tagged full frame.
+	fulls := tgt.Stats().KnowledgeFulls
+	if req := tgt.MakeSummaryRequest("p0", 0); req.Knowledge == nil || req.Epoch == 0 {
+		t.Error("evicted pair must restart with a tagged full frame")
+	}
+	if got := tgt.Stats().KnowledgeFulls; got != fulls+1 {
+		t.Errorf("re-establishing frame counted %d fulls, want %d", got, fulls+1)
+	}
+}

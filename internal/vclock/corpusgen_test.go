@@ -38,7 +38,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 
 	digestNames := []string{
 		"seed-empty", "seed-typical", "seed-truncated-filter",
-		"seed-degenerate-probes", "seed-trailing",
+		"seed-degenerate-probes", "seed-overflow-words", "seed-trailing",
 	}
 	dSeeds := digestSeeds()
 	if len(digestNames) != len(dSeeds) {

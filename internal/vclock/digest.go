@@ -190,8 +190,10 @@ func (d *Digest) UnmarshalBinary(data []byte) error {
 	}
 	// Every filter word is exactly 8 bytes, so the word count must match
 	// the remaining input exactly — anything else is forged or truncated.
-	if nWords*8 != uint64(len(data)-pos) {
-		return fmt.Errorf("vclock: digest claims %d filter words, %d bytes remain", nWords, len(data)-pos)
+	// Compare by division: nWords*8 wraps for nWords >= 2^61, which would
+	// let a forged count pass the check and drive the allocation below.
+	if rem := len(data) - pos; rem%8 != 0 || nWords != uint64(rem/8) {
+		return fmt.Errorf("vclock: digest claims %d filter words, %d bytes remain", nWords, rem)
 	}
 	if count > 0 && (probes == 0 || nWords == 0) {
 		return fmt.Errorf("vclock: digest summarizes %d exceptions with an empty filter", count)

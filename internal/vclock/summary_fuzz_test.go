@@ -129,6 +129,9 @@ func digestSeeds() [][]byte {
 		[]byte("\x00\x01\x01\x01"),
 		// Degenerate probe count (k = 127).
 		[]byte("\x00\x01\x7f\x00"),
+		// Overflowing word count: nWords = 2^61 with zero bytes remaining,
+		// so nWords*8 wraps to 0 — the decoder must compare by division.
+		[]byte("\x00\x01\x01\x80\x80\x80\x80\x80\x80\x80\x80\x20"),
 		// Trailing byte after a valid empty digest.
 		append(append([]byte{}, empty...), 0x00),
 	}

@@ -164,6 +164,9 @@ func TestDigestDecodeRejects(t *testing.T) {
 		"truncated filter":   valid[:len(valid)-1],
 		"trailing bytes":     append(append([]byte{}, valid...), 0xff),
 		"forged word count":  {0x00, 0x01, 0x01, 0x7f}, // count=1, k=1, nWords=127, no bytes
+		// nWords = 2^61: nWords*8 wraps to 0, matching the zero remaining
+		// bytes — the length check must not multiply.
+		"overflowing word count": {0x00, 0x01, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20},
 		"degenerate probes":  {0x00, 0x01, 0x7f, 0x00}, // k=127 > maxDigestProbes
 		"filter for nothing": {0x00, 0x00, 0x01, 0x00}, // count=0 but k=1
 		"empty filter":       {0x00, 0x01, 0x00, 0x00}, // count=1 but k=0, nWords=0
