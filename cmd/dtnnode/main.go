@@ -60,7 +60,8 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated peer TCP addresses")
 		policy     = flag.String("policy", "epidemic", "routing policy: none, epidemic, spray, prophet, maxprop")
 		syncEvery  = flag.Duration("sync-every", 0, "background encounter period (0 = manual only)")
-		dataPath   = flag.String("data", "", "snapshot file for durable state (empty = in-memory only)")
+		dataPath   = flag.String("data", "", "durable state path: snapshot file or wal directory (empty = in-memory only)")
+		dataBack   = flag.String("data-backend", "snapshot", "durability backend for -data: "+persist.BackendKinds+" (wal journals every mutation and recovers by log replay)")
 		discListen = flag.String("discover-listen", "", "UDP address for peer discovery beacons (empty = disabled)")
 		discPeers  = flag.String("discover-peers", "", "comma-separated UDP beacon targets")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /peers, /debug/* (empty = disabled)")
@@ -73,7 +74,7 @@ func main() {
 	}
 	opts := options{
 		id: *id, addr: *addr, listen: *listen, peers: splitPeers(*peers),
-		policy: *policy, syncEvery: *syncEvery, dataPath: *dataPath,
+		policy: *policy, syncEvery: *syncEvery, dataPath: *dataPath, dataBackend: *dataBack,
 		discoverListen: *discListen, discoverPeers: splitPeers(*discPeers),
 		debugAddr: *debugAddr, syncOnDiscover: true,
 		summaries: *summaries,
@@ -123,6 +124,9 @@ type options struct {
 	policy           string
 	syncEvery        time.Duration
 	dataPath         string
+	// dataBackend selects the durability strategy for dataPath: "snapshot"
+	// (default; also "") or "wal". See persist.OpenBackend.
+	dataBackend string
 	discoverListen   string
 	discoverPeers    []string
 	debugAddr        string
@@ -146,6 +150,7 @@ type node struct {
 	bound   net.Addr
 	disc    *discovery.Discoverer
 	debug   *debugServer
+	backend persist.Backend
 	save    func()
 	started time.Time
 	out     io.Writer
@@ -169,11 +174,13 @@ func newNode(opts options) (n *node, err error) {
 	if n.out == nil {
 		n.out = os.Stdout
 	}
-	defer func() {
+	// Capture the node now: `return nil, err` zeroes the named return before
+	// this deferred cleanup runs, so closing through n would nil-deref.
+	defer func(built *node) {
 		if err != nil {
-			n.close()
+			built.close()
 		}
-	}()
+	}(n)
 	n.ep = messaging.NewEndpoint(messaging.Config{
 		NodeID:        vclock.ReplicaID(opts.id),
 		Addresses:     []string{opts.addr},
@@ -187,16 +194,30 @@ func newNode(opts options) (n *node, err error) {
 		},
 	})
 	if opts.dataPath != "" {
-		if snap, err := persist.LoadSnapshot(opts.dataPath); err == nil {
+		kind := opts.dataBackend
+		if kind == "" {
+			kind = "snapshot"
+		}
+		b, err := persist.OpenBackend(kind, opts.dataPath, &n.metrics.WAL)
+		if err != nil {
+			return nil, err
+		}
+		n.backend = b
+		if snap, err := b.Load(); err == nil {
 			if err := n.ep.Replica().RestoreSnapshot(snap); err != nil {
 				return nil, fmt.Errorf("restore %s: %w", opts.dataPath, err)
 			}
-			fmt.Fprintf(n.out, "restored state from %s\n", opts.dataPath)
+			fmt.Fprintf(n.out, "restored state from %s (%s backend)\n", opts.dataPath, kind)
 		} else if !errors.Is(err, persist.ErrNotExist) {
 			return nil, err
 		}
+		// The wal backend journals every mutation from here on; the snapshot
+		// backend just remembers the replica for the explicit saves below.
+		if err := b.Attach(n.ep.Replica()); err != nil {
+			return nil, err
+		}
 		n.save = func() {
-			if err := persist.Save(opts.dataPath, n.ep.Replica()); err != nil {
+			if err := b.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "!! persist: %v\n", err)
 			}
 		}
@@ -252,7 +273,11 @@ func (n *node) close() {
 	if n.srv != nil {
 		n.srv.Close()
 	}
-	n.save()
+	if n.backend != nil {
+		if err := n.backend.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "!! persist: %v\n", err)
+		}
+	}
 }
 
 // encounter dials one peer with the node's transport metrics attached.

@@ -29,6 +29,7 @@ package emu
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"replidtn/internal/metrics"
 	"replidtn/internal/obs"
 	"replidtn/internal/persist"
+	"replidtn/internal/persist/wal"
 	"replidtn/internal/replica"
 	"replidtn/internal/routing"
 	"replidtn/internal/store"
@@ -106,6 +108,16 @@ type Config struct {
 	// engine-independent. The zero value disables every fault and leaves the
 	// run byte-identical to a fault-free build.
 	Faults fault.Config
+	// DataBackend selects the persistence model crash-restarts exercise:
+	// "snapshot" (also "", the default) ships the dying node's state through
+	// the gob snapshot codec — durable state as persist.Save would write it.
+	// "wal" runs every node over an in-memory write-ahead log
+	// (internal/persist/wal) that journals each mutation as it happens; a
+	// crash then hard-kills the filesystem (unsynced bytes lost) and reboots
+	// by WAL replay. Because the WAL's recovery contract is exactness, both
+	// backends must produce bit-identical results and event logs — which the
+	// emulator-level differential test pins.
+	DataBackend string
 	// EventLog, when set, receives one CSV line per emulation event
 	// (inject, encounter, deliver) for debugging and external analysis:
 	//
@@ -253,6 +265,12 @@ func (rec *eventRec) reset() {
 // epState is one endpoint plus its engine-side execution state.
 type epState struct {
 	ep *messaging.Endpoint
+	// wal and walFS are the endpoint's write-ahead log and its in-memory
+	// filesystem, set only under Config.DataBackend "wal". They are endpoint-
+	// private, so the sharded engine's conflict-free rounds cover them the
+	// same way they cover the replica itself.
+	wal   *wal.DB
+	walFS *wal.MemFS
 	// clk is the endpoint's simulation clock (see clock).
 	clk clock
 	// rec points at the recorder of the event currently executing on this
@@ -304,6 +322,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	r := newRunner(cfg, tr)
+	if err := r.attachWALBackends(); err != nil {
+		return nil, err
+	}
 	if cfg.EventLog != nil {
 		r.log = bufio.NewWriterSize(cfg.EventLog, 64<<10)
 	}
@@ -487,23 +508,72 @@ func recordSyncOverhead(rec *eventRec, er replica.EncounterResult) {
 	}
 }
 
-// crashRestart models a node dying and rebooting at the current instant. The
-// endpoint's durable state is shipped through the persist codec — exactly the
-// bytes persist.Save would put on disk — a fresh endpoint is built the way a
-// cold boot would build it, and the snapshot is restored into it. Volatile
-// state (a non-persistent policy's internals) is lost; knowledge, store
-// contents, and persistent policy state survive, which is what carries the
-// substrate's at-most-once guarantee across the restart. Restoring fires no
-// delivery or copy callbacks: the node's live copies are unchanged by the
-// reboot, so the run-global copy table stays exact.
-func (r *runner) crashRestart(bus string, es *epState) error {
-	var buf bytes.Buffer
-	if err := persist.Encode(&buf, es.ep.Replica()); err != nil {
-		return err
+// attachWALBackends puts every endpoint behind a write-ahead log when
+// Config.DataBackend selects one, and rejects unknown backend names.
+func (r *runner) attachWALBackends() error {
+	switch r.cfg.DataBackend {
+	case "", "snapshot":
+		return nil
+	case "wal":
+	default:
+		return fmt.Errorf("emu: unknown data backend %q (have: %s)", r.cfg.DataBackend, persist.BackendKinds)
 	}
-	snap, err := persist.Decode(&buf)
-	if err != nil {
-		return err
+	for _, bus := range r.tr.Buses {
+		es := r.eps[bus]
+		es.walFS = wal.NewMemFS()
+		db, err := wal.Open(es.walFS, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("emu: wal backend %s: %w", bus, err)
+		}
+		if _, err := db.Load(); !errors.Is(err, wal.ErrNoState) {
+			return fmt.Errorf("emu: wal backend %s: fresh load: %v", bus, err)
+		}
+		if err := db.Attach(es.ep.Replica()); err != nil {
+			return fmt.Errorf("emu: wal backend %s: %w", bus, err)
+		}
+		es.wal = db
+	}
+	return nil
+}
+
+// crashRestart models a node dying and rebooting at the current instant.
+//
+// Under the default snapshot backend, the endpoint's durable state is shipped
+// through the persist codec — exactly the bytes persist.Save would put on
+// disk — a fresh endpoint is built the way a cold boot would build it, and
+// the snapshot is restored into it. Under the "wal" backend the crash is
+// harder: the endpoint's in-memory filesystem drops everything not fsynced
+// and the reboot recovers by segment + log replay, exactly the dtnnode
+// restart path. Either way, volatile state (a non-persistent policy's
+// internals) is lost; knowledge, store contents, and persistent policy state
+// survive, which is what carries the substrate's at-most-once guarantee
+// across the restart. Restoring fires no delivery or copy callbacks: the
+// node's live copies are unchanged by the reboot, so the run-global copy
+// table stays exact.
+func (r *runner) crashRestart(bus string, es *epState) error {
+	var snap *replica.Snapshot
+	if es.wal != nil {
+		if err := es.wal.Err(); err != nil {
+			return err
+		}
+		es.walFS.Crash()
+		db, err := wal.Open(es.walFS, wal.Options{})
+		if err != nil {
+			return err
+		}
+		if snap, err = db.Load(); err != nil {
+			return err
+		}
+		es.wal = db
+	} else {
+		var buf bytes.Buffer
+		if err := persist.Encode(&buf, es.ep.Replica()); err != nil {
+			return err
+		}
+		var err error
+		if snap, err = persist.Decode(&buf); err != nil {
+			return err
+		}
 	}
 	// The dying node's store contribution leaves the shared gauges before the
 	// rebuilt node's restore re-adds it.
@@ -511,6 +581,11 @@ func (r *runner) crashRestart(bus string, es *epState) error {
 	ep := r.newEndpoint(bus, es)
 	if err := ep.Replica().RestoreSnapshot(snap); err != nil {
 		return err
+	}
+	if es.wal != nil {
+		if err := es.wal.Attach(ep.Replica()); err != nil {
+			return err
+		}
 	}
 	es.ep = ep
 	return nil

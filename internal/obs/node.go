@@ -253,6 +253,7 @@ type NodeMetrics struct {
 	Replica   ReplicaMetrics
 	Store     StoreMetrics
 	Discovery DiscoveryMetrics
+	WAL       WALMetrics
 }
 
 // NodeSnapshot is the /metrics JSON document.
@@ -261,6 +262,7 @@ type NodeSnapshot struct {
 	Replica   ReplicaSnapshot   `json:"replica"`
 	Store     StoreSnapshot     `json:"store"`
 	Discovery DiscoverySnapshot `json:"discovery"`
+	WAL       WALSnapshot       `json:"wal"`
 	Spans     []SyncSpan        `json:"spans,omitempty"`
 }
 
@@ -274,6 +276,7 @@ func (n *NodeMetrics) Snapshot() NodeSnapshot {
 		Replica:   n.Replica.Snapshot(),
 		Store:     n.Store.Snapshot(),
 		Discovery: n.Discovery.Snapshot(),
+		WAL:       n.WAL.Snapshot(),
 		Spans:     n.Transport.Spans.Snapshot(),
 	}
 }

@@ -1,0 +1,49 @@
+package obs
+
+// WALMetrics counts the write-ahead-log persistence backend
+// (internal/persist/wal): the incremental append path plus its background
+// maintenance. Like every bundle here, a nil pointer disables the hooks.
+type WALMetrics struct {
+	// Records / Bytes count framed records appended to the live log and the
+	// wire bytes they cost (frame header included).
+	Records Counter
+	Bytes   Counter
+	// Flushes counts memtable flushes (each produces one segment and rotates
+	// the log); Compactions counts segment merges.
+	Flushes     Counter
+	Compactions Counter
+	// Recoveries counts successful Load replays; TruncatedTails counts
+	// recoveries that discarded a torn record at the log tail — nonzero after
+	// a crash mid-append, which is expected, not an error.
+	Recoveries     Counter
+	TruncatedTails Counter
+	// Segments gauges the current segment count (manifest population).
+	Segments Gauge
+}
+
+// WALSnapshot is WALMetrics at one instant.
+type WALSnapshot struct {
+	Records        int64 `json:"records"`
+	Bytes          int64 `json:"bytes"`
+	Flushes        int64 `json:"flushes"`
+	Compactions    int64 `json:"compactions"`
+	Recoveries     int64 `json:"recoveries"`
+	TruncatedTails int64 `json:"truncated_tails"`
+	Segments       int64 `json:"segments"`
+}
+
+// Snapshot captures the counters. Nil-safe.
+func (m *WALMetrics) Snapshot() WALSnapshot {
+	if m == nil {
+		return WALSnapshot{}
+	}
+	return WALSnapshot{
+		Records:        m.Records.Value(),
+		Bytes:          m.Bytes.Value(),
+		Flushes:        m.Flushes.Value(),
+		Compactions:    m.Compactions.Value(),
+		Recoveries:     m.Recoveries.Value(),
+		TruncatedTails: m.TruncatedTails.Value(),
+		Segments:       m.Segments.Value(),
+	}
+}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+
+	"replidtn/internal/obs"
+	"replidtn/internal/persist/wal"
+	"replidtn/internal/replica"
+)
+
+// Backend is a pluggable durability strategy for one replica. Two ship:
+//
+//   - "snapshot": the original whole-state gob file (this package's
+//     Save/LoadSnapshot) — O(store) bytes per checkpoint, durable only at
+//     checkpoints. path is the snapshot file.
+//   - "wal": the incremental write-ahead log (internal/persist/wal) —
+//     O(mutation) per mutation, durable the moment each mutating call
+//     returns, crash recovery with torn-tail truncation. path is a
+//     directory.
+//
+// Lifecycle for both: Load (ErrNotExist on first boot) → build the replica,
+// RestoreSnapshot unless first boot → Attach → mutate freely → Checkpoint at
+// will → Close.
+type Backend interface {
+	// Load returns the persisted snapshot, or ErrNotExist when the backend
+	// holds no state yet.
+	Load() (*replica.Snapshot, error)
+	// Attach binds the backend to the replica it persists. The snapshot
+	// backend only remembers the replica for later checkpoints; the WAL
+	// backend checkpoints immediately and journals every mutation from
+	// this call on.
+	Attach(r *replica.Replica) error
+	// Checkpoint forces a full durable write now.
+	Checkpoint() error
+	// Close checkpoints once more and releases the backend.
+	Close() error
+}
+
+// BackendKinds lists the accepted OpenBackend kinds, for flag help text.
+const BackendKinds = "snapshot, wal"
+
+// OpenBackend opens the named backend kind rooted at path. walMetrics is
+// mirrored by the wal backend and ignored by snapshot; nil disables.
+func OpenBackend(kind, path string, walMetrics *obs.WALMetrics) (Backend, error) {
+	switch kind {
+	case "snapshot":
+		return &snapshotBackend{path: path}, nil
+	case "wal":
+		fsys, err := wal.NewOSFS(path)
+		if err != nil {
+			return nil, err
+		}
+		db, err := wal.Open(fsys, wal.Options{Metrics: walMetrics})
+		if err != nil {
+			return nil, err
+		}
+		return &walBackend{db: db}, nil
+	}
+	return nil, fmt.Errorf("persist: unknown backend %q (have: %s)", kind, BackendKinds)
+}
+
+// snapshotBackend adapts the classic snapshot file to the Backend interface.
+type snapshotBackend struct {
+	path string
+	r    *replica.Replica
+}
+
+func (b *snapshotBackend) Load() (*replica.Snapshot, error) {
+	return LoadSnapshot(b.path)
+}
+
+func (b *snapshotBackend) Attach(r *replica.Replica) error {
+	if b.r != nil {
+		return errors.New("persist: already attached")
+	}
+	b.r = r
+	return nil
+}
+
+func (b *snapshotBackend) Checkpoint() error {
+	if b.r == nil {
+		return errors.New("persist: Checkpoint before Attach")
+	}
+	return Save(b.path, b.r)
+}
+
+func (b *snapshotBackend) Close() error {
+	if b.r == nil {
+		return nil
+	}
+	err := Save(b.path, b.r)
+	b.r = nil
+	return err
+}
+
+// walBackend adapts a wal.DB to the Backend interface, mapping its
+// first-boot sentinel onto this package's.
+type walBackend struct {
+	db *wal.DB
+}
+
+func (b *walBackend) Load() (*replica.Snapshot, error) {
+	snap, err := b.db.Load()
+	if errors.Is(err, wal.ErrNoState) {
+		return nil, ErrNotExist
+	}
+	return snap, err
+}
+
+func (b *walBackend) Attach(r *replica.Replica) error { return b.db.Attach(r) }
+func (b *walBackend) Checkpoint() error               { return b.db.Checkpoint() }
+func (b *walBackend) Close() error                    { return b.db.Close() }

@@ -1,0 +1,120 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+	"replidtn/internal/replica"
+)
+
+// exerciseBackend runs the common Backend lifecycle against kind rooted at
+// path: first boot (ErrNotExist), attach, mutate, close, reopen, verify the
+// restored replica carries the items and continues its version counter.
+func exerciseBackend(t *testing.T, kind, path string) {
+	t.Helper()
+	cfg := replica.Config{ID: "n", OwnAddresses: []string{"addr:n"}}
+
+	b, err := OpenBackend(kind, path, nil)
+	if err != nil {
+		t.Fatalf("open %s: %v", kind, err)
+	}
+	if _, err := b.Load(); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("first boot Load = %v, want ErrNotExist", err)
+	}
+	r := replica.New(cfg)
+	if err := b.Attach(r); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	var ids []item.ID
+	for i := 0; i < 3; i++ {
+		it := r.CreateItem(item.Metadata{Source: "addr:n", Destinations: []string{"addr:m"}}, []byte(fmt.Sprintf("m-%d", i)))
+		ids = append(ids, it.ID)
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	b2, err := OpenBackend(kind, path, nil)
+	if err != nil {
+		t.Fatalf("reopen %s: %v", kind, err)
+	}
+	defer b2.Close() //lint:allow errdiscard -- read-only reopen in a test; Close failure cannot invalidate the assertions already made
+	snap, err := b2.Load()
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	r2 := replica.New(cfg)
+	if err := r2.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, id := range ids {
+		if !r2.HasItem(id) {
+			t.Errorf("restored replica missing %s", id)
+		}
+	}
+	next := r2.CreateItem(item.Metadata{Source: "addr:n", Destinations: []string{"addr:m"}}, []byte("post"))
+	for _, id := range ids {
+		if next.ID == id {
+			t.Error("version counter restarted after backend reload")
+		}
+	}
+}
+
+func TestBackendLifecycle(t *testing.T) {
+	t.Run("snapshot", func(t *testing.T) {
+		exerciseBackend(t, "snapshot", filepath.Join(t.TempDir(), "n.snap"))
+	})
+	t.Run("wal", func(t *testing.T) {
+		exerciseBackend(t, "wal", filepath.Join(t.TempDir(), "waldir"))
+	})
+}
+
+func TestOpenBackendUnknownKind(t *testing.T) {
+	if _, err := OpenBackend("etcd", t.TempDir(), nil); err == nil {
+		t.Error("unknown backend kind should fail")
+	}
+}
+
+func TestWALBackendReportsMetrics(t *testing.T) {
+	var m obs.WALMetrics
+	b, err := OpenBackend("wal", filepath.Join(t.TempDir(), "w"), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Load(); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("load: %v", err)
+	}
+	r := replica.New(replica.Config{ID: "n", OwnAddresses: []string{"addr:n"}})
+	if err := b.Attach(r); err != nil {
+		t.Fatal(err)
+	}
+	r.CreateItem(item.Metadata{Destinations: []string{"addr:m"}}, []byte("x"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Records == 0 || snap.Bytes == 0 {
+		t.Errorf("wal metrics not wired: %+v", snap)
+	}
+}
+
+// TestSyncDir pins the directory-fsync helper behind the Save commit:
+// success on a real directory, a loud error when the directory cannot be
+// opened. Regression test for Save renaming the snapshot into place without
+// ever syncing the parent directory — on a real filesystem that window lets
+// a crash roll the directory entry back even though Save reported success.
+func TestSyncDir(t *testing.T) {
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Errorf("syncDir on real dir: %v", err)
+	}
+	if err := syncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("syncDir on missing dir should fail")
+	}
+}

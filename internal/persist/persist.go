@@ -108,7 +108,29 @@ func Save(path string, r *replica.Replica) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("persist: commit %s: %w", path, err)
 	}
+	// The rename is only durable once the parent directory's entry table
+	// is: without this fsync a crash shortly after Save can roll the
+	// directory back to the old entry — or, for a first save, to no
+	// snapshot at all — on real filesystems, even though Save returned
+	// success. (The temp file's data blocks were synced above; this pins
+	// the name.)
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("persist: commit %s: %w", path, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making its current entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close() //lint:allow errdiscard -- the sync error already aborts the commit; the close failure on a read-only directory handle adds nothing
+		return err
+	}
+	return d.Close()
 }
 
 // LoadSnapshot reads and validates a snapshot file without building a

@@ -1,0 +1,97 @@
+package wal
+
+// Benchmarks behind `make bench-wal` (results recorded in BENCH_wal.json):
+// the per-mutation append cost a journaled replica pays — the price of
+// continuous durability versus the snapshot backend's free mutations — and
+// recovery time as a function of how much history sits in the live log,
+// which is what the FlushEvery knob trades against write amplification.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+	"replidtn/internal/replica"
+)
+
+// benchReplica builds a journaled replica over a fresh MemFS.
+func benchReplica(b *testing.B, opts Options) (*replica.Replica, *DB, *MemFS) {
+	b.Helper()
+	fsys := NewMemFS()
+	r := replica.New(replica.Config{ID: "bench", OwnAddresses: []string{"addr:bench"}})
+	db, err := Open(fsys, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Load(); !errors.Is(err, ErrNoState) {
+		b.Fatal(err)
+	}
+	if err := db.Attach(r); err != nil {
+		b.Fatal(err)
+	}
+	return r, db, fsys
+}
+
+// BenchmarkWALAppend measures one journaled CreateItem: encode + append +
+// fsync (MemFS, so the fsync is a memory watermark — the numbers isolate the
+// WAL's own framing and bookkeeping cost from disk latency).
+func BenchmarkWALAppend(b *testing.B) {
+	payload := []byte("benchmark-payload-of-plausible-size-for-a-dtn-message")
+	b.Run("noflush", func(b *testing.B) {
+		r, db, _ := benchReplica(b, Options{FlushEvery: -1, Metrics: &obs.WALMetrics{}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.CreateItem(item.Metadata{Destinations: []string{"addr:x"}}, payload)
+		}
+		b.StopTimer()
+		if err := db.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(db.metrics.Bytes.Value())/float64(b.N), "walB/op")
+	})
+	b.Run("flush256", func(b *testing.B) {
+		// The default shape: a memtable flush into a segment every 256
+		// batches, compaction bounding the segment count. Amortized cost of
+		// durability including the background maintenance.
+		r, db, _ := benchReplica(b, Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.CreateItem(item.Metadata{Destinations: []string{"addr:x"}}, payload)
+		}
+		b.StopTimer()
+		if err := db.Err(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkWALRecovery measures Open+Load against a log holding n mutation
+// batches — the restart-latency side of the FlushEvery trade-off.
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("log=%d", n), func(b *testing.B) {
+			r, db, fsys := benchReplica(b, Options{FlushEvery: -1})
+			for i := 0; i < n; i++ {
+				r.CreateItem(item.Metadata{Destinations: []string{"addr:x"}}, []byte("recovery-bench"))
+			}
+			if err := db.Err(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db2, err := Open(fsys, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db2.Load(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

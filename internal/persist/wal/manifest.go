@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+)
+
+// The manifest is the DB's root pointer: the one file naming which segment
+// files and which log generation constitute the current state. Everything
+// else in the directory is garbage the manifest does not reference. It is
+// replaced atomically (temp + fsync + rename + dir fsync), so recovery
+// always sees either the old or the new file set, never a mix — and because
+// new segments and the new log are created and fsynced before the manifest
+// rename, the referenced files are always fully durable by the time any
+// manifest names them.
+
+const (
+	manifestName    = "MANIFEST"
+	manifestTmp     = "MANIFEST.tmp"
+	segPrefix       = "seg-"
+	logPrefix       = "wal-"
+	manifestMagic   = "replidtn-wal"
+	manifestVersion = 1
+)
+
+// manifest is the on-disk root structure.
+type manifest struct {
+	Magic   string
+	Version int
+	// Segments are replayed in order; later segments overwrite earlier ones.
+	Segments []string
+	// Log is the live log generation, replayed after the segments.
+	Log string
+}
+
+// segName / logName format generation numbers into file names.
+func segName(n uint64) string { return fmt.Sprintf("%s%08d.seg", segPrefix, n) }
+func logName(n uint64) string { return fmt.Sprintf("%s%08d.log", logPrefix, n) }
+
+// readManifest loads the current manifest; ok is false when none exists yet
+// (a fresh directory).
+func readManifest(fsys FS) (man manifest, ok bool, err error) {
+	data, err := fsys.ReadFile(manifestName)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return manifest{}, false, nil
+		}
+		return manifest{}, false, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&man); err != nil {
+		return manifest{}, false, fmt.Errorf("wal: decode manifest: %w", err)
+	}
+	if man.Magic != manifestMagic {
+		return manifest{}, false, errors.New("wal: not a replidtn wal manifest")
+	}
+	if man.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("wal: manifest version %d, want %d", man.Version, manifestVersion)
+	}
+	return man, true, nil
+}
+
+// commitManifest atomically replaces the manifest and makes it — and every
+// file created since the last directory sync — durable.
+func commitManifest(fsys FS, man manifest) error {
+	man.Magic = manifestMagic
+	man.Version = manifestVersion
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(man); err != nil {
+		return fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	f, err := fsys.Create(manifestTmp)
+	if err != nil {
+		return fmt.Errorf("wal: create manifest temp: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close() //lint:allow errdiscard -- the write error already aborts the commit; the close failure on the doomed temp file adds nothing
+		return fmt.Errorf("wal: write manifest temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:allow errdiscard -- the sync error already aborts the commit; the close failure on the doomed temp file adds nothing
+		return fmt.Errorf("wal: sync manifest temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close manifest temp: %w", err)
+	}
+	if err := fsys.Rename(manifestTmp, manifestName); err != nil {
+		return fmt.Errorf("wal: commit manifest: %w", err)
+	}
+	if err := fsys.SyncDir(); err != nil {
+		return fmt.Errorf("wal: commit manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// Record framing, shared by the live log and segment files:
+//
+//	length  uint32 LE   bytes that follow the 8-byte header (kind + payload)
+//	crc     uint32 LE   IEEE CRC-32 over kind + payload
+//	kind    uint8       record discriminator
+//	payload             gob-encoded record body
+//
+// The length field lets a reader skip to the next record without decoding;
+// the CRC catches torn and bit-flipped records. A live log may legitimately
+// end mid-record (the crash the WAL exists to survive), so its reader
+// truncates at the first frame that does not check out; segment files were
+// fully written and fsynced before the manifest referenced them, so the same
+// condition there is corruption and fails recovery loudly.
+
+// Record kinds.
+const (
+	// recMeta carries a walMeta: the replica-level durable state outside the
+	// store (identity, counters, knowledge, policy state).
+	recMeta = 1
+	// recBatch carries one journaled []replica.Mutation batch (live log).
+	recBatch = 2
+	// recPut carries one store.EntrySnapshot (segment files).
+	recPut = 3
+	// recRemove carries one removed item.ID (segment files).
+	recRemove = 4
+)
+
+// recordHeaderLen is the fixed frame header size (length + crc).
+const recordHeaderLen = 8
+
+// maxRecordLen bounds a single record frame. Any larger length field is
+// treated as corruption: it is far beyond what one mutation batch or entry
+// can encode, and rejecting it keeps a hostile or scrambled log from driving
+// a multi-gigabyte allocation (the PR 7 digest-overflow lesson).
+const maxRecordLen = 64 << 20
+
+// errCorrupt marks a structurally invalid record where the format promises
+// one (segment files, records before a log's truncation point).
+var errCorrupt = errors.New("wal: corrupt record")
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// walMeta is the replica state that lives outside the store: everything a
+// replica.Snapshot carries except the entries and, during normal appends,
+// the knowledge (which the log carries incrementally via MutLearn/MutMerge).
+// A meta record appears at the head of every log generation and segment,
+// wholesale-replacing the recovered meta state.
+type walMeta struct {
+	ID          vclock.ReplicaID
+	Seq         uint64
+	Own         []string
+	FilterAddrs []string
+	Knowledge   []byte
+	NextArrival uint64
+	PolicyState []byte
+	Epoch       uint64
+}
+
+// appendRecord frames kind+payload onto buf and returns the extended slice.
+func appendRecord(buf []byte, kind uint8, payload []byte) []byte {
+	var hdr [recordHeaderLen + 1]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[8] = kind
+	crc := crc32.Update(crc32.Checksum(hdr[8:9], crcTable), crcTable, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// encodeRecord gobs body and frames it as one record of the given kind.
+func encodeRecord(kind uint8, body any) ([]byte, error) {
+	var payload bytes.Buffer
+	//lint:allow transientleak -- WAL records restore the same host after a crash, so per-copy transient state (spray allowances, hop budgets) legitimately survives; nothing here crosses to another replica
+	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
+		return nil, fmt.Errorf("wal: encode record kind %d: %w", kind, err)
+	}
+	return appendRecord(nil, kind, payload.Bytes()), nil
+}
+
+// record is one decoded frame.
+type record struct {
+	kind    uint8
+	payload []byte
+}
+
+// readRecord parses the frame at data[off:]. ok is false when the bytes at
+// off cannot be a complete, checksum-valid frame — the caller decides
+// whether that is a truncatable tail (live log) or corruption (segment).
+func readRecord(data []byte, off int) (rec record, next int, ok bool) {
+	if off < 0 || len(data)-off < recordHeaderLen {
+		return record{}, 0, false
+	}
+	length := binary.LittleEndian.Uint32(data[off : off+4])
+	if length == 0 || length > maxRecordLen || int(length) > len(data)-off-recordHeaderLen {
+		return record{}, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	body := data[off+recordHeaderLen : off+recordHeaderLen+int(length)]
+	if crc32.Checksum(body, crcTable) != crc {
+		return record{}, 0, false
+	}
+	return record{kind: body[0], payload: body[1:]}, off + recordHeaderLen + int(length), true
+}
+
+// decodeBody gob-decodes a record payload into out.
+func decodeBody(payload []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return nil
+}
+
+// decodeMeta, decodeBatch, decodePut, decodeRemove decode the typed bodies.
+func decodeMeta(payload []byte) (walMeta, error) {
+	var m walMeta
+	err := decodeBody(payload, &m)
+	return m, err
+}
+
+func decodeBatch(payload []byte) ([]replica.Mutation, error) {
+	var b []replica.Mutation
+	err := decodeBody(payload, &b)
+	return b, err
+}
+
+func decodePut(payload []byte) (store.EntrySnapshot, error) {
+	var e store.EntrySnapshot
+	err := decodeBody(payload, &e)
+	if err == nil && e.Item == nil {
+		return e, fmt.Errorf("%w: put record without item", errCorrupt)
+	}
+	return e, err
+}
+
+func decodeRemove(payload []byte) (item.ID, error) {
+	var id item.ID
+	err := decodeBody(payload, &id)
+	return id, err
+}

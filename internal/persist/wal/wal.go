@@ -1,0 +1,823 @@
+// Package wal is the incremental persistence backend: an append-only
+// write-ahead log of replica mutations with periodic memtable flushes into
+// immutable segment files, tied together by an atomically-replaced manifest.
+//
+// Shape (the classic log-structured design, cf. ROADMAP item 2):
+//
+//   - Every journaled mutation batch is framed, appended to the live log,
+//     and fsynced before the append returns — one record per batch, so a
+//     torn tail can never split a batch (operation atomicity survives any
+//     crash point).
+//   - The same batches fold into an in-memory memtable: the delta (changed
+//     entries, removed IDs, current knowledge and counters) since the last
+//     flush. Persisting a mutation costs O(mutation), never O(store).
+//   - Every FlushEvery batches the memtable is flushed: its delta becomes an
+//     immutable segment file, the manifest atomically adopts the segment and
+//     a fresh log generation, and the old log is deleted.
+//   - When the manifest accumulates more than CompactAt segments they are
+//     merged into one (replay, rewrite, swap) — reads stay bounded without
+//     touching the live log.
+//
+// Recovery is replay(manifest segments, in order) + replay(log tail): the
+// segments rebuild the flushed state, the log replays everything since. A
+// torn or corrupt record at the log tail is truncated, not an error — it is
+// precisely the in-flight write the crash interrupted, and everything before
+// it was fsynced. The same damage inside a segment or before the log's last
+// valid record is real corruption and fails recovery loudly.
+//
+// Durability contract: items, tombstones, knowledge, counters, and identity
+// are durable the moment the mutating call returns (per-record fsync).
+// Routing-policy state is durable as of the last flush, and in-place
+// transient tweaks policies make to stored entries while serving a sync are
+// volatile — both are forwarding hints whose loss can cost efficiency but
+// never correctness (at-most-once is carried by the knowledge, which is
+// journaled). See DESIGN.md §13.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+	"replidtn/internal/replica"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// ErrNoState is reported by Load when the directory holds no persisted
+// state yet (first boot).
+var ErrNoState = errors.New("wal: no persisted state")
+
+// Options tunes a DB.
+type Options struct {
+	// Metrics mirrors WAL activity into observability counters; nil disables.
+	Metrics *obs.WALMetrics
+	// FlushEvery is the number of appended batches that triggers a memtable
+	// flush (0 selects 256; negative disables automatic flushing — only
+	// Checkpoint and Close flush).
+	FlushEvery int
+	// CompactAt is the segment count above which a flush triggers
+	// compaction (0 selects 4).
+	CompactAt int
+}
+
+// DB is one replica's WAL-backed durable state, rooted in a flat directory
+// on an FS. Typical lifecycle:
+//
+//	db, _ := wal.Open(fsys, wal.Options{})
+//	snap, err := db.Load()            // ErrNoState on first boot
+//	// build the replica; RestoreSnapshot(snap) unless first boot
+//	db.Attach(r)                      // checkpoint now, journal from here on
+//	...
+//	db.Close()                        // final checkpoint, detach
+//
+// All methods are safe for concurrent use. Append failures (disk full, I/O
+// errors, injected crashes) poison the DB: persistence stops, the replica
+// keeps serving, and Err reports the cause — the node operator decides
+// whether a degraded-durability node should keep running.
+type DB struct {
+	fsys       FS
+	metrics    *obs.WALMetrics
+	flushEvery int
+	compactAt  int
+
+	mu      sync.Mutex
+	man     manifest
+	haveMan bool
+	segSeq  uint64 // next segment generation
+	logSeq  uint64 // next log generation
+	log     File   // live log handle (nil until Attach)
+	curLog  string
+	mem     *memtable
+	r       *replica.Replica
+	loaded  bool
+	err     error // sticky poison
+}
+
+// Open inspects the directory and returns a DB ready for Load/Attach. It
+// writes nothing.
+func Open(fsys FS, opts Options) (*DB, error) {
+	db := &DB{
+		fsys:       fsys,
+		metrics:    opts.Metrics,
+		flushEvery: opts.FlushEvery,
+		compactAt:  opts.CompactAt,
+	}
+	if db.flushEvery == 0 {
+		db.flushEvery = 256
+	}
+	if db.compactAt <= 0 {
+		db.compactAt = 4
+	}
+	man, ok, err := readManifest(fsys)
+	if err != nil {
+		return nil, err
+	}
+	db.man, db.haveMan = man, ok
+	// Continue generation numbering past every file present — including
+	// strays a crashed flush left behind — so no name is ever reused.
+	names, err := fsys.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+	for _, name := range names {
+		var n uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%d.seg", &n); err == nil && n >= db.segSeq {
+			db.segSeq = n + 1
+		}
+		if _, err := fmt.Sscanf(name, logPrefix+"%d.log", &n); err == nil && n >= db.logSeq {
+			db.logSeq = n + 1
+		}
+	}
+	return db, nil
+}
+
+// Err returns the sticky failure that poisoned the DB, or nil.
+func (db *DB) Err() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.err
+}
+
+// Load replays the persisted state into a snapshot: manifest segments in
+// order, then the live log's valid prefix, truncating a torn tail. It
+// returns ErrNoState on a fresh directory and must be called before Attach.
+func (db *DB) Load() (*replica.Snapshot, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.r != nil {
+		return nil, errors.New("wal: Load after Attach")
+	}
+	if !db.haveMan {
+		db.loaded = true
+		return nil, ErrNoState
+	}
+	st := newRecState()
+	for _, seg := range db.man.Segments {
+		data, err := db.fsys.ReadFile(seg)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", seg, err)
+		}
+		if err := st.replaySegment(data); err != nil {
+			return nil, fmt.Errorf("wal: segment %s: %w", seg, err)
+		}
+	}
+	data, err := db.fsys.ReadFile(db.man.Log)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("wal: read log %s: %w", db.man.Log, err)
+	}
+	// A missing log file is an empty tail: the manifest commit that named it
+	// was durable but the log had no durable appends yet.
+	truncated, err := st.replayLog(data)
+	if err != nil {
+		return nil, fmt.Errorf("wal: log %s: %w", db.man.Log, err)
+	}
+	snap, err := st.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	db.loaded = true
+	if db.metrics != nil {
+		if truncated {
+			db.metrics.TruncatedTails.Inc()
+		}
+		db.metrics.Recoveries.Inc()
+	}
+	return snap, nil
+}
+
+// Attach binds the DB to r: it checkpoints r's full current state (segment +
+// fresh log + manifest swap — after which everything older in the directory
+// is garbage and is deleted), then registers a journal hook so every
+// subsequent mutation batch is appended and fsynced before the mutating call
+// returns. r's state must be the Load result (or a fresh replica on
+// ErrNoState); Attach persists whatever r holds, so a mismatch loses
+// nothing but wastes the previous state.
+func (db *DB) Attach(r *replica.Replica) error {
+	snap, err := r.Snapshot()
+	if err != nil {
+		return fmt.Errorf("wal: attach: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.r != nil {
+		return errors.New("wal: already attached")
+	}
+	if db.haveMan && !db.loaded {
+		return errors.New("wal: attach over unloaded state (call Load first)")
+	}
+	if db.err != nil {
+		return db.err
+	}
+	mem, err := newMemtable(snap)
+	if err != nil {
+		return fmt.Errorf("wal: attach: %w", err)
+	}
+	db.mem = mem
+	db.r = r
+	// Seed the memtable delta with the full state so the attach checkpoint
+	// writes everything r holds; checkpointLocked resets the delta after.
+	for i := range snap.Entries {
+		db.mem.puts[snap.Entries[i].Item.ID] = snap.Entries[i]
+	}
+	// A full checkpoint: the new segment alone carries the whole state, so
+	// it must also be the only one the manifest keeps — retaining older
+	// segments would resurrect entries they hold that were since removed
+	// (a full segment has no remove records to mask them).
+	if err := db.checkpointLocked(snap.PolicyState, true); err != nil {
+		db.err = err
+		db.r, db.mem = nil, nil
+		return err
+	}
+	r.Journal(db.append)
+	return nil
+}
+
+// Checkpoint forces a flush now: the memtable delta (plus fresh routing
+// policy state) becomes a segment, the manifest adopts it, and the log
+// rotates. Callers use it for clean shutdown points; steady-state flushing
+// is automatic.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	r := db.r
+	db.mu.Unlock()
+	if r == nil {
+		return errors.New("wal: Checkpoint before Attach")
+	}
+	// Policy state is read outside db.mu: PolicyState takes the replica
+	// lock, and the journal hook (which holds db.mu) may itself be waiting
+	// behind a mutating replica call.
+	ps, err := r.PolicyState()
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.err != nil {
+		return db.err
+	}
+	if err := db.checkpointLocked(ps, false); err != nil {
+		db.err = err
+		return err
+	}
+	return nil
+}
+
+// Close detaches the journal hook, checkpoints once more (unless poisoned),
+// and closes the log. The DB is unusable afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	r := db.r
+	db.mu.Unlock()
+	var ps []byte
+	if r != nil {
+		r.Journal(nil)
+		var err error
+		if ps, err = r.PolicyState(); err != nil {
+			ps = nil
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	err := db.err
+	if r != nil && err == nil {
+		err = db.checkpointLocked(ps, false)
+	}
+	if db.log != nil {
+		if cerr := db.log.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		db.log = nil
+	}
+	db.r = nil
+	if db.err == nil {
+		db.err = errors.New("wal: closed")
+	}
+	return err
+}
+
+// append is the registered journal hook: frame the batch, append, fsync,
+// fold into the memtable, maybe flush. Any failure poisons the DB.
+func (db *DB) append(muts []replica.Mutation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.err != nil {
+		return
+	}
+	frame, err := encodeRecord(recBatch, muts)
+	if err != nil {
+		db.err = err
+		return
+	}
+	if _, err := db.log.Write(frame); err != nil {
+		db.err = fmt.Errorf("wal: append %s: %w", db.curLog, err)
+		return
+	}
+	if err := db.log.Sync(); err != nil {
+		db.err = fmt.Errorf("wal: sync %s: %w", db.curLog, err)
+		return
+	}
+	if db.metrics != nil {
+		db.metrics.Records.Inc()
+		db.metrics.Bytes.Add(int64(len(frame)))
+	}
+	if err := db.mem.apply(muts); err != nil {
+		db.err = err
+		return
+	}
+	db.mem.dirty++
+	if db.flushEvery > 0 && db.mem.dirty >= db.flushEvery {
+		// Flush with the policy state from the last checkpoint boundary:
+		// reading fresh state here would need the replica lock, which a
+		// mutating caller may hold while this hook runs. Policy state is
+		// checkpoint-grained by contract either way.
+		if err := db.checkpointLocked(db.mem.policyState, false); err != nil {
+			db.err = err
+		}
+	}
+}
+
+// checkpointLocked flushes the memtable delta: segment out, log rotated,
+// manifest swapped, old files deleted, compaction when due. When full is
+// set the delta is the whole state (the attach checkpoint), so the new
+// segment replaces every older one. On failure the DB state is poisoned by
+// callers; the manifest swap's atomicity means the directory itself is
+// never in between states.
+func (db *DB) checkpointLocked(policyState []byte, full bool) error {
+	mem := db.mem
+	mem.policyState = policyState
+	meta := mem.meta()
+	metaFrame, err := encodeRecord(recMeta, meta)
+	if err != nil {
+		return err
+	}
+
+	// 1. Segment: meta + delta, in deterministic order, fsynced.
+	seg := segName(db.segSeq)
+	segBuf := append([]byte(nil), metaFrame...)
+	for _, id := range sortedIDs(mem.puts) {
+		e := mem.puts[id]
+		frame, err := encodeRecord(recPut, &e)
+		if err != nil {
+			return err
+		}
+		segBuf = append(segBuf, frame...)
+	}
+	removed := make([]item.ID, 0, len(mem.removes))
+	for id := range mem.removes {
+		removed = append(removed, id)
+	}
+	sort.Slice(removed, func(i, j int) bool { return lessID(removed[i], removed[j]) })
+	for _, id := range removed {
+		frame, err := encodeRecord(recRemove, id)
+		if err != nil {
+			return err
+		}
+		segBuf = append(segBuf, frame...)
+	}
+	if err := writeFile(db.fsys, seg, segBuf); err != nil {
+		return err
+	}
+
+	// 2. Fresh log generation headed by the same meta, fsynced. Its name and
+	// the segment's become durable with the manifest commit's dir sync.
+	newLog := logName(db.logSeq)
+	nl, err := db.fsys.Create(newLog)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", newLog, err)
+	}
+	if _, err := nl.Write(metaFrame); err != nil {
+		nl.Close() //lint:allow errdiscard -- the write error already aborts the flush; the close failure on the abandoned log adds nothing
+		return fmt.Errorf("wal: write %s: %w", newLog, err)
+	}
+	if err := nl.Sync(); err != nil {
+		nl.Close() //lint:allow errdiscard -- the sync error already aborts the flush; the close failure on the abandoned log adds nothing
+		return fmt.Errorf("wal: sync %s: %w", newLog, err)
+	}
+
+	// 3. Manifest swap: the new segment and log become the truth atomically.
+	segments := append(append([]string(nil), db.man.Segments...), seg)
+	if full {
+		segments = []string{seg}
+	}
+	man := manifest{Segments: segments, Log: newLog}
+	if err := commitManifest(db.fsys, man); err != nil {
+		nl.Close() //lint:allow errdiscard -- the commit error already aborts the flush; the close failure on the abandoned log adds nothing
+		return err
+	}
+	oldLog := db.curLog
+	oldSegments := db.man.Segments
+	if db.log != nil {
+		if err := db.log.Close(); err != nil {
+			return fmt.Errorf("wal: close %s: %w", oldLog, err)
+		}
+	}
+	db.log, db.curLog = nl, newLog
+	db.man, db.haveMan = man, true
+	db.segSeq++
+	db.logSeq++
+	mem.resetDelta()
+	if db.metrics != nil {
+		db.metrics.Flushes.Inc()
+		db.metrics.Records.Inc() // the rotated log's head meta record
+		db.metrics.Bytes.Add(int64(len(metaFrame)))
+		db.metrics.Segments.Set(int64(len(man.Segments)))
+	}
+
+	// 4. Cleanup: the old log — and, after a full checkpoint, the replaced
+	// segments — are unreferenced now. Deletion durability rides on the next
+	// commit's dir sync; recovery ignores unreferenced files.
+	if oldLog != "" {
+		if err := db.fsys.Remove(oldLog); err != nil {
+			return fmt.Errorf("wal: remove %s: %w", oldLog, err)
+		}
+	}
+	if full {
+		for _, old := range oldSegments {
+			if err := db.fsys.Remove(old); err != nil {
+				return fmt.Errorf("wal: remove %s: %w", old, err)
+			}
+		}
+	}
+	if len(db.man.Segments) > db.compactAt {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked merges every manifest segment into one and swaps the
+// manifest to reference only the merged segment (same log). Recovery
+// equivalence is by construction: the merged segment replays to exactly the
+// state the originals replayed to.
+func (db *DB) compactLocked() error {
+	st := newRecState()
+	for _, seg := range db.man.Segments {
+		data, err := db.fsys.ReadFile(seg)
+		if err != nil {
+			return fmt.Errorf("wal: compact read %s: %w", seg, err)
+		}
+		if err := st.replaySegment(data); err != nil {
+			return fmt.Errorf("wal: compact %s: %w", seg, err)
+		}
+	}
+	merged := segName(db.segSeq)
+	metaFrame, err := encodeRecord(recMeta, st.meta)
+	if err != nil {
+		return err
+	}
+	buf := append([]byte(nil), metaFrame...)
+	for _, id := range sortedIDs(st.entries) {
+		e := st.entries[id]
+		frame, err := encodeRecord(recPut, &e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	if err := writeFile(db.fsys, merged, buf); err != nil {
+		return err
+	}
+	man := manifest{Segments: []string{merged}, Log: db.man.Log}
+	if err := commitManifest(db.fsys, man); err != nil {
+		return err
+	}
+	old := db.man.Segments
+	db.man = man
+	db.segSeq++
+	for _, seg := range old {
+		if err := db.fsys.Remove(seg); err != nil {
+			return fmt.Errorf("wal: remove %s: %w", seg, err)
+		}
+	}
+	if db.metrics != nil {
+		db.metrics.Compactions.Inc()
+		db.metrics.Segments.Set(1)
+	}
+	return nil
+}
+
+// writeFile creates name, writes data, and fsyncs it. The name's directory
+// entry stays volatile until the caller's next SyncDir (the manifest commit).
+func writeFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lint:allow errdiscard -- the write error already aborts the flush; the close failure on the abandoned file adds nothing
+		return fmt.Errorf("wal: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:allow errdiscard -- the sync error already aborts the flush; the close failure on the abandoned file adds nothing
+		return fmt.Errorf("wal: sync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", name, err)
+	}
+	return nil
+}
+
+// memtable is the in-memory fold of everything journaled since the last
+// flush (the delta) plus the running meta state (which is always current).
+type memtable struct {
+	puts    map[item.ID]store.EntrySnapshot
+	removes map[item.ID]struct{}
+	dirty   int // batches folded since the last flush
+
+	id          vclock.ReplicaID
+	seq         uint64
+	own         []string
+	filterAddrs []string
+	know        *vclock.Knowledge
+	nextArrival uint64
+	policyState []byte
+	epoch       uint64
+}
+
+// newMemtable seeds the running meta state from an attach-time snapshot.
+func newMemtable(snap *replica.Snapshot) (*memtable, error) {
+	know := vclock.NewKnowledge()
+	if err := know.UnmarshalBinary(snap.Knowledge); err != nil {
+		return nil, fmt.Errorf("wal: attach knowledge: %w", err)
+	}
+	return &memtable{
+		puts:        make(map[item.ID]store.EntrySnapshot),
+		removes:     make(map[item.ID]struct{}),
+		id:          snap.ID,
+		seq:         snap.Seq,
+		own:         snap.OwnAddresses,
+		filterAddrs: snap.FilterAddresses,
+		know:        know,
+		nextArrival: snap.NextArrival,
+		policyState: snap.PolicyState,
+		epoch:       snap.Epoch,
+	}, nil
+}
+
+// apply folds one journaled batch into the memtable.
+func (mt *memtable) apply(muts []replica.Mutation) error {
+	for i := range muts {
+		m := &muts[i]
+		switch m.Kind {
+		case replica.MutPut:
+			if m.Entry == nil || m.Entry.Item == nil {
+				return fmt.Errorf("wal: put mutation without entry")
+			}
+			mt.puts[m.Entry.Item.ID] = *m.Entry
+			delete(mt.removes, m.Entry.Item.ID)
+			mt.nextArrival = m.NextArrival
+		case replica.MutRemove:
+			// Record the remove even when the put also happened since the
+			// last flush: an older segment may hold a previous version.
+			delete(mt.puts, m.ID)
+			mt.removes[m.ID] = struct{}{}
+			mt.nextArrival = m.NextArrival
+		case replica.MutLearn:
+			for _, v := range m.Versions {
+				mt.know.Add(v)
+			}
+			mt.seq = m.Seq
+		case replica.MutMerge:
+			if m.Knowledge == nil {
+				return fmt.Errorf("wal: merge mutation lost its knowledge (marshal failure at the source)")
+			}
+			know := vclock.NewKnowledge()
+			if err := know.UnmarshalBinary(m.Knowledge); err != nil {
+				return fmt.Errorf("wal: merge mutation: %w", err)
+			}
+			mt.know = know
+		case replica.MutIdentity:
+			mt.own = m.Own
+			mt.filterAddrs = m.FilterAddrs
+		default:
+			return fmt.Errorf("wal: unknown mutation kind %d", m.Kind)
+		}
+	}
+	return nil
+}
+
+// meta captures the running meta state as a record body.
+func (mt *memtable) meta() walMeta {
+	know, err := mt.know.MarshalBinary()
+	if err != nil {
+		// Knowledge marshaling has no failure modes today; guard regardless.
+		know = nil
+	}
+	return walMeta{
+		ID:          mt.id,
+		Seq:         mt.seq,
+		Own:         mt.own,
+		FilterAddrs: mt.filterAddrs,
+		Knowledge:   know,
+		NextArrival: mt.nextArrival,
+		PolicyState: mt.policyState,
+		Epoch:       mt.epoch,
+	}
+}
+
+// resetDelta clears the flushed delta; the running meta state carries over.
+func (mt *memtable) resetDelta() {
+	mt.puts = make(map[item.ID]store.EntrySnapshot)
+	mt.removes = make(map[item.ID]struct{})
+	mt.dirty = 0
+}
+
+// recState is recovery's accumulator: the full state replayed so far.
+type recState struct {
+	meta     walMeta
+	haveMeta bool
+	entries  map[item.ID]store.EntrySnapshot
+	know     *vclock.Knowledge
+}
+
+func newRecState() *recState {
+	return &recState{entries: make(map[item.ID]store.EntrySnapshot)}
+}
+
+// setMeta wholesale-adopts a meta record, including its knowledge.
+func (st *recState) setMeta(m walMeta) error {
+	know := vclock.NewKnowledge()
+	if err := know.UnmarshalBinary(m.Knowledge); err != nil {
+		return fmt.Errorf("%w: meta knowledge: %v", errCorrupt, err)
+	}
+	if st.haveMeta && st.meta.ID != m.ID {
+		return fmt.Errorf("%w: replica ID changed from %s to %s", errCorrupt, st.meta.ID, m.ID)
+	}
+	st.meta = m
+	st.know = know
+	st.haveMeta = true
+	return nil
+}
+
+// replaySegment applies one segment file. Segments are immutable and were
+// fsynced before any manifest referenced them: every record must check out.
+func (st *recState) replaySegment(data []byte) error {
+	off := 0
+	first := true
+	for off < len(data) {
+		rec, next, ok := readRecord(data, off)
+		if !ok {
+			return fmt.Errorf("%w: segment damaged at offset %d", errCorrupt, off)
+		}
+		if first && rec.kind != recMeta {
+			return fmt.Errorf("%w: segment does not start with a meta record", errCorrupt)
+		}
+		first = false
+		switch rec.kind {
+		case recMeta:
+			m, err := decodeMeta(rec.payload)
+			if err != nil {
+				return err
+			}
+			if err := st.setMeta(m); err != nil {
+				return err
+			}
+		case recPut:
+			e, err := decodePut(rec.payload)
+			if err != nil {
+				return err
+			}
+			st.entries[e.Item.ID] = e
+		case recRemove:
+			id, err := decodeRemove(rec.payload)
+			if err != nil {
+				return err
+			}
+			delete(st.entries, id)
+		default:
+			return fmt.Errorf("%w: unexpected record kind %d in segment", errCorrupt, rec.kind)
+		}
+		off = next
+	}
+	if first {
+		return fmt.Errorf("%w: empty segment", errCorrupt)
+	}
+	return nil
+}
+
+// replayLog applies the live log's valid prefix and reports whether a torn
+// tail was truncated. Damage is only tolerated at the tail — by the fsync
+// discipline, everything before the last valid record was durable, so a bad
+// frame mid-log would mean silent loss and must fail instead; with
+// length-prefixed framing the two are indistinguishable, so the rule is:
+// the first invalid frame ends replay, and it is corruption only if the
+// decodable records themselves are malformed.
+func (st *recState) replayLog(data []byte) (truncated bool, err error) {
+	off := 0
+	for off < len(data) {
+		rec, next, ok := readRecord(data, off)
+		if !ok {
+			return true, nil // torn tail: drop data[off:]
+		}
+		switch rec.kind {
+		case recMeta:
+			m, derr := decodeMeta(rec.payload)
+			if derr != nil {
+				return false, derr
+			}
+			if derr := st.setMeta(m); derr != nil {
+				return false, derr
+			}
+		case recBatch:
+			muts, derr := decodeBatch(rec.payload)
+			if derr != nil {
+				return false, derr
+			}
+			if derr := st.applyBatch(muts); derr != nil {
+				return false, derr
+			}
+		default:
+			return false, fmt.Errorf("%w: unexpected record kind %d in log", errCorrupt, rec.kind)
+		}
+		off = next
+	}
+	return false, nil
+}
+
+// applyBatch replays one journaled batch onto the recovered state.
+func (st *recState) applyBatch(muts []replica.Mutation) error {
+	if !st.haveMeta {
+		return fmt.Errorf("%w: batch before any meta record", errCorrupt)
+	}
+	for i := range muts {
+		m := &muts[i]
+		switch m.Kind {
+		case replica.MutPut:
+			if m.Entry == nil || m.Entry.Item == nil {
+				return fmt.Errorf("%w: put mutation without entry", errCorrupt)
+			}
+			st.entries[m.Entry.Item.ID] = *m.Entry
+			st.meta.NextArrival = m.NextArrival
+		case replica.MutRemove:
+			delete(st.entries, m.ID)
+			st.meta.NextArrival = m.NextArrival
+		case replica.MutLearn:
+			for _, v := range m.Versions {
+				st.know.Add(v)
+			}
+			st.meta.Seq = m.Seq
+		case replica.MutMerge:
+			if m.Knowledge == nil {
+				return fmt.Errorf("%w: merge mutation without knowledge", errCorrupt)
+			}
+			know := vclock.NewKnowledge()
+			if err := know.UnmarshalBinary(m.Knowledge); err != nil {
+				return fmt.Errorf("%w: merge mutation: %v", errCorrupt, err)
+			}
+			st.know = know
+		case replica.MutIdentity:
+			st.meta.Own = m.Own
+			st.meta.FilterAddrs = m.FilterAddrs
+		default:
+			return fmt.Errorf("%w: unknown mutation kind %d", errCorrupt, m.Kind)
+		}
+	}
+	return nil
+}
+
+// snapshot materializes the recovered state.
+func (st *recState) snapshot() (*replica.Snapshot, error) {
+	if !st.haveMeta {
+		return nil, fmt.Errorf("%w: no meta record recovered", errCorrupt)
+	}
+	know, err := st.know.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("wal: marshal recovered knowledge: %w", err)
+	}
+	snap := &replica.Snapshot{
+		ID:              st.meta.ID,
+		Seq:             st.meta.Seq,
+		OwnAddresses:    st.meta.Own,
+		FilterAddresses: st.meta.FilterAddrs,
+		Knowledge:       know,
+		NextArrival:     st.meta.NextArrival,
+		PolicyState:     st.meta.PolicyState,
+		Epoch:           st.meta.Epoch,
+	}
+	for _, id := range sortedIDs(st.entries) {
+		snap.Entries = append(snap.Entries, st.entries[id])
+	}
+	return snap, nil
+}
+
+// sortedIDs returns the map's keys in deterministic order.
+func sortedIDs(m map[item.ID]store.EntrySnapshot) []item.ID {
+	ids := make([]item.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return lessID(ids[i], ids[j]) })
+	return ids
+}
+
+// lessID orders item IDs deterministically.
+func lessID(a, b item.ID) bool {
+	if a.Creator != b.Creator {
+		return a.Creator < b.Creator
+	}
+	return a.Num < b.Num
+}

@@ -1,0 +1,370 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/obs"
+	"replidtn/internal/replica"
+)
+
+// openAttached opens a DB on fsys, loads (tolerating first boot), restores
+// into a fresh replica built by build, and attaches. It returns both.
+func openAttached(t *testing.T, fsys FS, opts Options, build func() *replica.Replica) (*DB, *replica.Replica) {
+	t.Helper()
+	db, err := Open(fsys, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	snap, err := db.Load()
+	r := build()
+	switch {
+	case errors.Is(err, ErrNoState):
+	case err != nil:
+		t.Fatalf("load: %v", err)
+	default:
+		if err := r.RestoreSnapshot(snap); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	if err := db.Attach(r); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	return db, r
+}
+
+func TestFreshLoadReportsNoState(t *testing.T) {
+	db, err := Open(NewMemFS(), Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := db.Load(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Load on fresh dir = %v, want ErrNoState", err)
+	}
+}
+
+func TestAttachRequiresLoad(t *testing.T) {
+	fsys := NewMemFS()
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{}, func() *replica.Replica { return env.r })
+	env.runScript(0, 4)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	db2, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := db2.Attach(env.r); err == nil || !strings.Contains(err.Error(), "Load first") {
+		t.Fatalf("Attach without Load = %v, want load-first error", err)
+	}
+}
+
+// TestRoundTripAfterCrash is the core recovery property: run the scripted
+// workload, crash at the end (dropping everything unsynced), reopen, and the
+// recovered snapshot must equal the live replica's final state — every
+// append was fsynced before its mutating call returned, so nothing was lost.
+func TestRoundTripAfterCrash(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"no-auto-flush", Options{FlushEvery: -1}},
+		{"flush-every-3", Options{FlushEvery: 3}},
+		{"flush-and-compact", Options{FlushEvery: 2, CompactAt: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fsys := NewMemFS()
+			env := newScriptEnv(t)
+			db, _ := openAttached(t, fsys, tc.opts, func() *replica.Replica { return env.r })
+			env.runScript(0, scriptSteps)
+			if err := db.Err(); err != nil {
+				t.Fatalf("db poisoned: %v", err)
+			}
+			want := mustSnapshot(t, env.r)
+
+			fsys.Crash()
+			db2, err := Open(fsys, tc.opts)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			got, err := db2.Load()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if d := DiffSnapshots(want, got); d != "" {
+				t.Fatalf("recovered state differs: %s", d)
+			}
+		})
+	}
+}
+
+// TestRecoveredReplicaKeepsWorking proves the recovered state is live, not
+// just equal: restore it, attach a new DB generation, keep mutating, crash
+// again, and recover the extended state.
+func TestRecoveredReplicaKeepsWorking(t *testing.T) {
+	fsys := NewMemFS()
+	opts := Options{FlushEvery: 3, CompactAt: 2}
+	env := newScriptEnv(t)
+	_, _ = openAttached(t, fsys, opts, func() *replica.Replica { return env.r })
+	env.runScript(0, scriptSteps/2)
+
+	fsys.Crash()
+	env2 := newScriptEnv(t)
+	_, r2 := openAttached(t, fsys, opts, func() *replica.Replica { return env2.r })
+	env2.runScript(scriptSteps/2, scriptSteps)
+	want := mustSnapshot(t, r2)
+
+	fsys.Crash()
+	db3, err := Open(fsys, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	got, err := db3.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+	if got.Epoch != want.Epoch {
+		t.Fatalf("epoch %d, want %d", got.Epoch, want.Epoch)
+	}
+}
+
+// TestCleanCloseRecovers: Close checkpoints, so a clean shutdown recovers
+// exactly even with every unsynced byte dropped afterwards.
+func TestCleanCloseRecovers(t *testing.T) {
+	fsys := NewMemFS()
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: -1}, func() *replica.Replica { return env.r })
+	env.runScript(0, 10)
+	want := mustSnapshot(t, env.r)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fsys.Crash()
+
+	db2, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := db2.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+}
+
+// TestTornTailTruncated: a crash that preserves half of an unsynced record
+// (KeepHalfTail) recovers to the last durable state and counts the
+// truncation, instead of failing or replaying garbage.
+func TestTornTailTruncated(t *testing.T) {
+	fsys := NewMemFS()
+	fsys.SetCrashMode(KeepHalfTail)
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: -1}, func() *replica.Replica { return env.r })
+	env.runScript(0, 6)
+	want := mustSnapshot(t, env.r)
+
+	// Start one more append and fail its fsync: the write lands, the sync
+	// does not, and KeepHalfTail leaves half the record on disk.
+	fsys.SetFailAfter(1) // the write succeeds, the sync fails
+	env.r.CreateItem(item.Metadata{}, []byte("doomed"))
+	if db.Err() == nil {
+		t.Fatal("append survived the injected sync failure")
+	}
+	fsys.Crash()
+
+	m := &obs.WALMetrics{}
+	db2, err := Open(fsys, Options{Metrics: m})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := db2.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+	if m.TruncatedTails.Value() != 1 {
+		t.Fatalf("TruncatedTails = %d, want 1", m.TruncatedTails.Value())
+	}
+}
+
+// TestSegmentCorruptionFailsLoudly: damage inside a manifest-referenced
+// segment is not a truncatable tail — recovery must refuse.
+func TestSegmentCorruptionFailsLoudly(t *testing.T) {
+	fsys := NewMemFS()
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: 2}, func() *replica.Replica { return env.r })
+	env.runScript(0, 8)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	man, ok, err := readManifest(fsys)
+	if err != nil || !ok {
+		t.Fatalf("manifest: %v ok=%v", err, ok)
+	}
+	seg := man.Segments[0]
+	data, err := fsys.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := rewrite(fsys, seg, data); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	db2, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := db2.Load(); !errors.Is(err, errCorrupt) {
+		t.Fatalf("Load over corrupt segment = %v, want errCorrupt", err)
+	}
+}
+
+// TestUnreferencedFilesIgnored: strays from interrupted flushes (files not
+// named by the manifest) do not confuse recovery, and generation numbering
+// skips past them.
+func TestUnreferencedFilesIgnored(t *testing.T) {
+	fsys := NewMemFS()
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: -1}, func() *replica.Replica { return env.r })
+	env.runScript(0, 6)
+	want := mustSnapshot(t, env.r)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := rewrite(fsys, segName(90), []byte("stray")); err != nil {
+		t.Fatalf("stray: %v", err)
+	}
+	if err := rewrite(fsys, logName(91), []byte("stray")); err != nil {
+		t.Fatalf("stray: %v", err)
+	}
+
+	db2, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := db2.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+	if db2.segSeq != 91 || db2.logSeq != 92 {
+		t.Fatalf("generation numbering segSeq=%d logSeq=%d, want 91/92", db2.segSeq, db2.logSeq)
+	}
+}
+
+// TestCompactionBoundsSegments: a long run with aggressive flushing keeps
+// the manifest at or below the compaction bound, and removed entries stay
+// removed through merges.
+func TestCompactionBoundsSegments(t *testing.T) {
+	fsys := NewMemFS()
+	m := &obs.WALMetrics{}
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: 1, CompactAt: 2, Metrics: m}, func() *replica.Replica { return env.r })
+	env.runScript(0, scriptSteps)
+	if err := db.Err(); err != nil {
+		t.Fatalf("db poisoned: %v", err)
+	}
+	if n := len(db.man.Segments); n > 3 {
+		t.Fatalf("manifest holds %d segments, want <= 3 under CompactAt=2", n)
+	}
+	if m.Compactions.Value() == 0 {
+		t.Fatal("no compactions under FlushEvery=1, CompactAt=2")
+	}
+	want := mustSnapshot(t, env.r)
+
+	fsys.Crash()
+	db2, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := db2.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+}
+
+// TestOSFSRoundTrip runs the workload on the real filesystem.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatalf("osfs: %v", err)
+	}
+	env := newScriptEnv(t)
+	db, _ := openAttached(t, fsys, Options{FlushEvery: 4, CompactAt: 2}, func() *replica.Replica { return env.r })
+	env.runScript(0, scriptSteps)
+	want := mustSnapshot(t, env.r)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	fsys2, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatalf("osfs: %v", err)
+	}
+	db2, err := Open(fsys2, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := db2.Load()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if d := DiffSnapshots(want, got); d != "" {
+		t.Fatalf("recovered state differs: %s", d)
+	}
+}
+
+// TestAppendMetrics sanity-checks the counters on the happy path.
+func TestAppendMetrics(t *testing.T) {
+	fsys := NewMemFS()
+	m := &obs.WALMetrics{}
+	env := newScriptEnv(t)
+	_, _ = openAttached(t, fsys, Options{FlushEvery: 4, Metrics: m}, func() *replica.Replica { return env.r })
+	env.runScript(0, scriptSteps)
+	if m.Records.Value() == 0 || m.Bytes.Value() == 0 {
+		t.Fatalf("no records/bytes counted: %+v", m.Snapshot())
+	}
+	if m.Flushes.Value() == 0 {
+		t.Fatal("no flushes counted")
+	}
+	if m.Segments.Value() == 0 {
+		t.Fatal("segments gauge unset")
+	}
+}
+
+// rewrite replaces a MemFS/OSFS file's contents (test helper).
+func rewrite(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir()
+}

@@ -1,0 +1,225 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/routing"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// This file is the replica's mutation journal: an incremental feed of every
+// durable-state change, built for write-ahead-log persistence backends
+// (internal/persist/wal). Where Snapshot captures the whole state at O(store)
+// cost, the journal emits each mutation once, at O(change) cost, so a backend
+// can persist a live replica without ever rescanning it.
+//
+// Scope: the journal covers exactly the state Snapshot captures as a
+// consequence of explicit mutations — store entries (with their arrival
+// order), knowledge, the local version counter, and the identity
+// (addresses/filter). Two Snapshot-visible things are deliberately outside
+// it: routing-policy state, which policies mutate on their own schedule
+// (including from outside any replica method, e.g. PROPHET aging in
+// discovery) and which backends therefore checkpoint wholesale, and in-place
+// transient tweaks a policy makes to *stored* entries while serving a sync
+// (epidemic's lazy TTL initialization). Both are routing hints, not
+// replicated data: losing them to a crash can change forwarding efficiency
+// but never violates at-most-once delivery, which knowledge alone enforces.
+
+// MutKind discriminates journal mutations.
+type MutKind uint8
+
+const (
+	// MutPut records that a store entry became current (insert or replace).
+	MutPut MutKind = iota + 1
+	// MutRemove records that a store entry left the store (explicit removal,
+	// expiry purge, or capacity eviction).
+	MutRemove
+	// MutLearn records versions folded into knowledge, together with the
+	// local version counter after the operation.
+	MutLearn
+	// MutMerge records a wholesale knowledge replacement (the Cimbiosys
+	// knowledge-merge optimization); Knowledge holds the merged result.
+	MutMerge
+	// MutIdentity records a SetIdentity call: new delivery addresses and,
+	// when the new filter is an address filter, its address list.
+	MutIdentity
+)
+
+// String names the kind for diagnostics.
+func (k MutKind) String() string {
+	switch k {
+	case MutPut:
+		return "put"
+	case MutRemove:
+		return "remove"
+	case MutLearn:
+		return "learn"
+	case MutMerge:
+		return "merge"
+	case MutIdentity:
+		return "identity"
+	}
+	return fmt.Sprintf("mutkind(%d)", uint8(k))
+}
+
+// Mutation is one journaled durable-state change. Exactly the fields named
+// by Kind are meaningful; the rest stay zero.
+type Mutation struct {
+	Kind MutKind
+	// Entry is the deep-copied entry that became current (MutPut).
+	Entry *store.EntrySnapshot
+	// ID identifies the removed entry (MutRemove).
+	ID item.ID
+	// Versions are the versions folded into knowledge (MutLearn).
+	Versions []vclock.Version
+	// Knowledge is the binary-marshaled merged knowledge (MutMerge). A nil
+	// Knowledge on a MutMerge marks a marshal failure: the journal stream is
+	// broken and a backend must surface the corruption instead of replaying
+	// past it.
+	Knowledge []byte
+	// Own and FilterAddrs are the new identity (MutIdentity). A nil
+	// FilterAddrs means the filter is not an address filter and survives
+	// restarts via configuration, exactly like Snapshot.FilterAddresses.
+	Own, FilterAddrs []string
+	// Seq is the local version counter after the operation (MutLearn).
+	Seq uint64
+	// NextArrival is the store's arrival counter after the operation
+	// (MutPut, MutRemove).
+	NextArrival uint64
+}
+
+// Journal registers fn to receive every durable mutation this replica
+// performs, batched per public operation: one call per CreateItem,
+// UpdateItem, DeleteItem, ApplyBatch, SetIdentity, or PurgeExpired that
+// changed anything, carrying that operation's mutations in occurrence order.
+// Concurrent operations may coalesce into one batch but a batch boundary
+// never splits an operation, so persisting whole batches atomically
+// preserves operation atomicity (an ApplyBatch is all-or-nothing even
+// through a torn log tail). Replaying all batches in emission order against
+// empty state rebuilds the replica's durable state exactly (see the
+// Snapshot-equivalence property test in internal/persist/wal).
+//
+// fn runs after the replica lock is released, so it may block or read the
+// replica (e.g. PolicyState) freely — but it must not call a mutating
+// replica method, which would re-enter the emission path and deadlock.
+// A batch is emitted exactly once, and emission order equals mutation
+// order even under concurrent mutators. A nil fn unregisters. Register
+// before the replica sees traffic; mutations performed before registration
+// are not replayed. RestoreSnapshot is wholesale replacement, not a
+// mutation, and is never journaled — a backend re-registers after restore.
+func (r *Replica) Journal(fn func([]Mutation)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = fn
+	r.pending = nil
+	if fn == nil {
+		r.store.Journal(nil)
+		r.hasJournal.Store(false)
+		return
+	}
+	r.store.Journal(func(op store.JournalOp) {
+		if op.Put != nil {
+			r.pending = append(r.pending, Mutation{Kind: MutPut, Entry: op.Put, NextArrival: op.NextArrival})
+		} else {
+			r.pending = append(r.pending, Mutation{Kind: MutRemove, ID: op.Remove, NextArrival: op.NextArrival})
+		}
+	})
+	r.hasJournal.Store(true)
+}
+
+// journalLearnLocked appends a MutLearn for versions just folded into
+// knowledge. Callers hold r.mu and have already updated r.know and r.seq.
+func (r *Replica) journalLearnLocked(versions ...vclock.Version) {
+	if !r.hasJournal.Load() {
+		return
+	}
+	r.pending = append(r.pending, Mutation{
+		Kind:     MutLearn,
+		Versions: append([]vclock.Version(nil), versions...),
+		Seq:      r.seq,
+	})
+}
+
+// journalMergeLocked appends a MutMerge carrying the post-merge knowledge.
+func (r *Replica) journalMergeLocked() {
+	if !r.hasJournal.Load() {
+		return
+	}
+	know, err := r.know.MarshalBinary()
+	if err != nil {
+		// A nil Knowledge poisons the journal stream deliberately: the
+		// backend refuses to recover past it rather than silently losing the
+		// merge (see Mutation.Knowledge).
+		know = nil
+	}
+	r.pending = append(r.pending, Mutation{Kind: MutMerge, Knowledge: know})
+}
+
+// journalIdentityLocked appends a MutIdentity for the current identity.
+func (r *Replica) journalIdentityLocked() {
+	if !r.hasJournal.Load() {
+		return
+	}
+	m := Mutation{Kind: MutIdentity, Own: r.ownAddressesLocked()}
+	if af, ok := r.filter.(*filter.Addresses); ok {
+		m.FilterAddrs = af.List()
+	}
+	r.pending = append(r.pending, m)
+}
+
+// ownAddressesLocked returns the delivery addresses in sorted order.
+func (r *Replica) ownAddressesLocked() []string {
+	out := make([]string, 0, len(r.own))
+	for a := range r.own {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitJournal delivers the pending mutation batch to the registered journal
+// callback. Mutating methods arrange for it to run after their deferred
+// unlock (defer it first), so the callback never executes inside the
+// replica's critical section; a dedicated emission lock keeps delivery order
+// equal to mutation order when several goroutines mutate concurrently.
+func (r *Replica) emitJournal() {
+	if !r.hasJournal.Load() {
+		return
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	r.mu.Lock()
+	muts := r.pending
+	r.pending = nil
+	fn := r.journal
+	r.mu.Unlock()
+	if fn != nil && len(muts) > 0 {
+		fn(muts)
+	}
+}
+
+// PolicyState returns the routing policy's serialized durable state, or nil
+// when the policy is stateless or absent — the per-checkpoint complement to
+// the incremental journal (see the scope note at the top of this file).
+func (r *Replica) PolicyState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policyStateLocked()
+}
+
+// policyStateLocked serializes the routing policy's durable state under r.mu.
+func (r *Replica) policyStateLocked() ([]byte, error) {
+	p, ok := r.policy.(routing.Persistent)
+	if !ok {
+		return nil, nil
+	}
+	state, err := p.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("replica %s: snapshot policy: %w", r.id, err)
+	}
+	return state, nil
+}

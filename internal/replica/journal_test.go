@@ -1,0 +1,215 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+)
+
+// journalRecorder collects emitted batches for assertions.
+type journalRecorder struct {
+	batches [][]Mutation
+}
+
+func (j *journalRecorder) record(muts []Mutation) {
+	j.batches = append(j.batches, muts)
+}
+
+func (j *journalRecorder) kinds() []MutKind {
+	var out []MutKind
+	for _, b := range j.batches {
+		for _, m := range b {
+			out = append(out, m.Kind)
+		}
+	}
+	return out
+}
+
+func TestJournalCreateEmitsLearnAndPut(t *testing.T) {
+	r := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	var rec journalRecorder
+	r.Journal(rec.record)
+
+	it := r.CreateItem(item.Metadata{Destinations: []string{"addr:b"}}, []byte("x"))
+	if len(rec.batches) != 1 {
+		t.Fatalf("got %d batches, want 1 (a public op is one batch)", len(rec.batches))
+	}
+	batch := rec.batches[0]
+	var sawLearn, sawPut bool
+	for _, m := range batch {
+		switch m.Kind {
+		case MutLearn:
+			sawLearn = true
+			if len(m.Versions) != 1 || m.Versions[0] != it.Version {
+				t.Errorf("MutLearn versions %v, want [%v]", m.Versions, it.Version)
+			}
+			if m.Seq == 0 {
+				t.Error("MutLearn carries zero Seq")
+			}
+		case MutPut:
+			sawPut = true
+			if m.Entry == nil || m.Entry.Item.ID != it.ID {
+				t.Errorf("MutPut entry %+v, want item %s", m.Entry, it.ID)
+			}
+		}
+	}
+	if !sawLearn || !sawPut {
+		t.Errorf("batch kinds %v, want both learn and put", rec.kinds())
+	}
+}
+
+func TestJournalBatchNeverSplitsAnOperation(t *testing.T) {
+	// An ApplyBatch touching several items must land in ONE journal batch:
+	// that boundary is what lets a WAL persist operations atomically through
+	// torn tails.
+	src := New(Config{ID: "src", OwnAddresses: []string{"addr:src"}})
+	for i := 0; i < 4; i++ {
+		src.CreateItem(item.Metadata{Destinations: []string{"addr:dst"}}, []byte{byte(i)})
+	}
+	dst := New(Config{ID: "dst", OwnAddresses: []string{"addr:dst"}})
+	var rec journalRecorder
+	dst.Journal(rec.record)
+
+	resp := src.HandleSyncRequest(dst.MakeSyncRequest(0))
+	dst.ApplyBatch(resp)
+
+	if len(rec.batches) != 1 {
+		t.Fatalf("ApplyBatch emitted %d batches, want 1", len(rec.batches))
+	}
+	var puts int
+	for _, m := range rec.batches[0] {
+		if m.Kind == MutPut {
+			puts++
+		}
+	}
+	if puts != 4 {
+		t.Errorf("batch has %d puts, want 4", puts)
+	}
+}
+
+func TestJournalCoversEveryKind(t *testing.T) {
+	env := struct{ now int64 }{now: 1000}
+	r := New(Config{
+		ID:             "a",
+		OwnAddresses:   []string{"alice"},
+		RelayCapacity:  2,
+		MergeKnowledge: true,
+		Now:            func() int64 { return env.now },
+	})
+	peer := New(Config{
+		ID:           "b",
+		OwnAddresses: []string{"bob"},
+		Filter:       filter.NewAddresses("alice", "bob", "carol"),
+	})
+	var rec journalRecorder
+	r.Journal(rec.record)
+
+	r.CreateItem(item.Metadata{Destinations: []string{"alice"}}, []byte("mine"))
+	peer.CreateItem(item.Metadata{Destinations: []string{"alice"}, Created: env.now, Expires: env.now + 10}, []byte("theirs"))
+	r.ApplyBatch(peer.HandleSyncRequest(r.MakeSyncRequest(0)))
+	r.SetIdentity([]string{"alice", "carol"}, nil)
+	env.now += 100
+	r.PurgeExpired()
+
+	seen := map[MutKind]bool{}
+	for _, k := range rec.kinds() {
+		seen[k] = true
+	}
+	for _, k := range []MutKind{MutPut, MutRemove, MutLearn, MutMerge, MutIdentity} {
+		if !seen[k] {
+			t.Errorf("kind %v never journaled by the workload", k)
+		}
+	}
+}
+
+func TestJournalIdentityCarriesFilterAddresses(t *testing.T) {
+	r := New(Config{ID: "a", OwnAddresses: []string{"alice"}})
+	var rec journalRecorder
+	r.Journal(rec.record)
+
+	r.SetIdentity([]string{"alice"}, filter.NewAddresses("alice", "zed"))
+	var m *Mutation
+	for _, b := range rec.batches {
+		for i := range b {
+			if b[i].Kind == MutIdentity {
+				m = &b[i]
+			}
+		}
+	}
+	if m == nil {
+		t.Fatal("no MutIdentity emitted")
+	}
+	if len(m.Own) != 1 || m.Own[0] != "alice" {
+		t.Errorf("Own = %v", m.Own)
+	}
+	if len(m.FilterAddrs) != 2 {
+		t.Errorf("FilterAddrs = %v, want the address filter's list", m.FilterAddrs)
+	}
+}
+
+func TestJournalUnregisterStopsDelivery(t *testing.T) {
+	r := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	var rec journalRecorder
+	r.Journal(rec.record)
+	r.CreateItem(item.Metadata{}, []byte("one"))
+	n := len(rec.batches)
+	r.Journal(nil)
+	r.CreateItem(item.Metadata{}, []byte("two"))
+	if len(rec.batches) != n {
+		t.Errorf("mutations delivered after unregister: %d batches, want %d", len(rec.batches), n)
+	}
+}
+
+func TestJournalRunsOutsideReplicaLock(t *testing.T) {
+	// The callback must be able to read the replica — the WAL backend reads
+	// PolicyState and snapshots inside flush handling. If emission happened
+	// under r.mu this would deadlock, which is exactly what dtnlint's
+	// callbackunderlock check and this test guard against.
+	r := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	calls := 0
+	r.Journal(func([]Mutation) {
+		calls++
+		if _, err := r.PolicyState(); err != nil {
+			t.Errorf("PolicyState inside journal callback: %v", err)
+		}
+		if r.Items() == nil && calls > 1 {
+			t.Error("Items inside journal callback returned nil after first create")
+		}
+	})
+	r.CreateItem(item.Metadata{}, []byte("x"))
+	r.CreateItem(item.Metadata{}, []byte("y"))
+	if calls != 2 {
+		t.Errorf("callback ran %d times, want 2", calls)
+	}
+}
+
+func TestJournalRestoreSnapshotNotJournaled(t *testing.T) {
+	src := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	src.CreateItem(item.Metadata{}, []byte("x"))
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{ID: "a", OwnAddresses: []string{"addr:a"}})
+	var rec journalRecorder
+	r.Journal(rec.record)
+	if err := r.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.batches) != 0 {
+		t.Errorf("RestoreSnapshot journaled %d batches; restore is wholesale, not a mutation", len(rec.batches))
+	}
+}
+
+func TestMutKindString(t *testing.T) {
+	for _, k := range []MutKind{MutPut, MutRemove, MutLearn, MutMerge, MutIdentity} {
+		if s := k.String(); strings.HasPrefix(s, "mutkind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := MutKind(99).String(); s != "mutkind(99)" {
+		t.Errorf("unknown kind String() = %q", s)
+	}
+}

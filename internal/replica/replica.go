@@ -16,6 +16,7 @@ package replica
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"replidtn/internal/filter"
 	"replidtn/internal/item"
@@ -157,6 +158,15 @@ type Replica struct {
 	store   *store.Store
 	stats   Stats
 	metrics *obs.ReplicaMetrics
+
+	// Mutation journal (see journal.go): journal receives batches, pending
+	// accumulates under mu, emitMu serializes emission so delivery order
+	// matches mutation order, hasJournal is the lock-free fast path that
+	// keeps the unjournaled case at one atomic load per operation.
+	journal    func([]Mutation)
+	pending    []Mutation
+	emitMu     sync.Mutex
+	hasJournal atomic.Bool
 
 	// Summary-mode (protocol v2) state; see summary.go. epoch is this
 	// replica's incarnation (starts at 1, bumped by RestoreSnapshot);
@@ -312,6 +322,7 @@ func (r *Replica) Items() []*item.Item {
 // version. The creator always keeps its items (they are exempt from relay
 // eviction), matching the paper's sender-copy semantics.
 func (r *Replica) CreateItem(meta item.Metadata, payload []byte) *item.Item {
+	defer r.emitJournal() // deferred before the unlock, so it runs after it
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
@@ -322,6 +333,7 @@ func (r *Replica) CreateItem(meta item.Metadata, payload []byte) *item.Item {
 		Payload: payload,
 	}
 	r.know.Add(it.Version)
+	r.journalLearnLocked(it.Version)
 	r.store.Put(it, nil, !r.filter.Match(it), true)
 	r.maybeDeliverLocked(it)
 	return it
@@ -343,6 +355,7 @@ func (r *Replica) DeleteItem(id item.ID) (*item.Item, error) {
 }
 
 func (r *Replica) mutate(id item.ID, apply func(*item.Item)) (*item.Item, error) {
+	defer r.emitJournal() // deferred before the unlock, so it runs after it
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := r.store.Get(id)
@@ -356,6 +369,7 @@ func (r *Replica) mutate(id item.ID, apply func(*item.Item)) (*item.Item, error)
 	next.Version = vclock.Version{Replica: r.id, Seq: r.seq}
 	apply(next)
 	r.know.Add(next.Version)
+	r.journalLearnLocked(next.Version)
 	r.store.Put(next, e.Transient, e.Relay, e.Local)
 	return next, nil
 }
@@ -367,6 +381,7 @@ func (r *Replica) mutate(id item.ID, apply func(*item.Item)) (*item.Item, error)
 // returns the newly delivered items. This supports dynamic scenarios such as
 // users moving between vehicular nodes from day to day.
 func (r *Replica) SetIdentity(ownAddresses []string, f filter.Filter) []*item.Item {
+	defer r.emitJournal() // deferred before the unlock, so it runs after it
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f == nil {
@@ -378,6 +393,7 @@ func (r *Replica) SetIdentity(ownAddresses []string, f filter.Filter) []*item.It
 	for _, a := range ownAddresses {
 		r.own[a] = struct{}{}
 	}
+	r.journalIdentityLocked()
 	var delivered []*item.Item
 	// Entries (a snapshot) rather than Range: reclassification mutates the
 	// store mid-loop.
@@ -433,6 +449,7 @@ func (r *Replica) expiredLocked(m *item.Metadata) bool {
 // never re-accepted. Locally created items are kept until their senders
 // delete them explicitly (applications may want the record).
 func (r *Replica) PurgeExpired() int {
+	defer r.emitJournal() // deferred before the unlock, so it runs after it
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.now == nil {

@@ -2,7 +2,6 @@ package replica
 
 import (
 	"fmt"
-	"sort"
 
 	"replidtn/internal/filter"
 	"replidtn/internal/routing"
@@ -55,27 +54,22 @@ func (r *Replica) Snapshot() (*Snapshot, error) {
 	}
 	entries, next := r.store.Snapshot()
 	snap := &Snapshot{
-		ID:          r.id,
-		Seq:         r.seq,
-		Knowledge:   know,
-		Entries:     entries,
-		NextArrival: next,
-		Epoch:       r.epoch,
+		ID:           r.id,
+		Seq:          r.seq,
+		OwnAddresses: r.ownAddressesLocked(),
+		Knowledge:    know,
+		Entries:      entries,
+		NextArrival:  next,
+		Epoch:        r.epoch,
 	}
-	for a := range r.own {
-		snap.OwnAddresses = append(snap.OwnAddresses, a)
-	}
-	sort.Strings(snap.OwnAddresses)
 	if af, ok := r.filter.(*filter.Addresses); ok {
 		snap.FilterAddresses = af.List()
 	}
-	if p, ok := r.policy.(routing.Persistent); ok {
-		state, err := p.SnapshotState()
-		if err != nil {
-			return nil, fmt.Errorf("replica %s: snapshot policy: %w", r.id, err)
-		}
-		snap.PolicyState = state
+	state, err := r.policyStateLocked()
+	if err != nil {
+		return nil, err
 	}
+	snap.PolicyState = state
 	return snap, nil
 }
 
@@ -110,6 +104,9 @@ func (r *Replica) RestoreSnapshot(snap *Snapshot) error {
 	r.epoch = snap.Epoch + 1
 	r.frontiers = make(map[vclock.ReplicaID]*peerFrontier)
 	r.peerKnow = make(map[vclock.ReplicaID]*peerBaseline)
+	// A restore is wholesale replacement, never journaled; discard any
+	// mutations queued before it so a re-registering backend starts clean.
+	r.pending = nil
 	r.own = make(map[string]struct{}, len(snap.OwnAddresses))
 	for _, a := range snap.OwnAddresses {
 		r.own[a] = struct{}{}

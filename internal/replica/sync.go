@@ -338,6 +338,7 @@ func transmitTransient(e *store.Entry, policySet item.Transient) item.Transient 
 // so a crash never persists a half-applied batch, and a batch replayed after
 // a restart is rejected item-by-item through the restored knowledge.
 func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
+	defer r.emitJournal() // deferred before the unlock, so it runs after it
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var st ApplyStats
@@ -351,6 +352,7 @@ func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
 		for _, v := range incoming.AllVersions() {
 			r.know.Add(v)
 		}
+		r.journalLearnLocked(incoming.AllVersions()...)
 		r.stats.ItemsReceived++
 
 		existing := r.store.Get(incoming.ID)
@@ -395,6 +397,7 @@ func (r *Replica) ApplyBatch(resp *SyncResponse) ApplyStats {
 	// Merge after items apply so every batch version is stored first.
 	if resp.LearnedKnowledge != nil && r.mergeKnowledge {
 		r.know.Merge(resp.LearnedKnowledge)
+		r.journalMergeLocked()
 		st.KnowledgeMerged = true
 	}
 	if r.metrics != nil {

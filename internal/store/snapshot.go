@@ -16,19 +16,24 @@ type EntrySnapshot struct {
 	Arrival   uint64
 }
 
+// snapshotEntry deep-copies one entry into its serializable form.
+func snapshotEntry(e *Entry) EntrySnapshot {
+	return EntrySnapshot{
+		Item:      e.Item.Clone(),
+		Transient: e.Transient.Clone(),
+		Relay:     e.Relay,
+		Local:     e.Local,
+		Arrival:   e.arrival,
+	}
+}
+
 // Snapshot captures every entry in deterministic order together with the
 // arrival counter, for durable persistence. The ordered index supplies the
 // order; no sorting happens here.
 func (s *Store) Snapshot() ([]EntrySnapshot, uint64) {
 	out := make([]EntrySnapshot, 0, len(s.entries))
 	s.index.ascend(func(e *Entry) bool {
-		out = append(out, EntrySnapshot{
-			Item:      e.Item.Clone(),
-			Transient: e.Transient.Clone(),
-			Relay:     e.Relay,
-			Local:     e.Local,
-			Arrival:   e.arrival,
-		})
+		out = append(out, snapshotEntry(e))
 		return true
 	})
 	return out, s.nextArrival

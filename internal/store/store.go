@@ -138,6 +138,9 @@ type Store struct {
 	// onLive observes live-copy transitions (see LiveNotify).
 	onLive func(item.ID, int)
 
+	// onJournal observes every incremental mutation (see Journal).
+	onJournal func(JournalOp)
+
 	// metrics, when set, mirrors the partition counters into observability
 	// gauges (see SetMetrics). Nil disables the hooks entirely.
 	metrics *obs.StoreMetrics
@@ -164,6 +167,29 @@ func (s *Store) DetachMetrics() {
 	s.metrics.Tombstones.Add(-int64(s.TombstoneLen()))
 	s.metrics = nil
 }
+
+// JournalOp is one incremental store mutation as observed by a Journal hook:
+// exactly one of Put and Remove is set.
+type JournalOp struct {
+	// Put, when non-nil, is a deep snapshot of the entry that just became
+	// current (insert or replacement), safe to retain and serialize.
+	Put *EntrySnapshot
+	// Remove, when Put is nil, identifies the entry that just left the store
+	// (explicit removal or capacity eviction).
+	Remove item.ID
+	// NextArrival is the store's arrival counter after the mutation; a
+	// journal replay must restore it so FIFO eviction order survives.
+	NextArrival uint64
+}
+
+// Journal registers fn to observe every incremental mutation: one Put op per
+// entry that becomes current and one Remove op per entry that leaves the
+// store (including capacity evictions), in occurrence order. Replaying the
+// ops against an empty store rebuilds its exact contents — the hook the
+// write-ahead-log persistence backend rides on. Restore is wholesale
+// replacement, not an incremental mutation, and is not journaled; like
+// LiveNotify, register before the store sees traffic. A nil fn unregisters.
+func (s *Store) Journal(fn func(JournalOp)) { s.onJournal = fn }
 
 // LiveNotify registers fn to observe live-copy transitions: fn(id, +1) runs
 // when a live (non-tombstone) entry for id becomes current, fn(id, -1) when
@@ -238,6 +264,10 @@ func (s *Store) Put(it *item.Item, transient item.Transient, relay, local bool) 
 	s.entries[it.ID] = e
 	s.index.replaceOrInsert(e)
 	s.count(e)
+	if s.onJournal != nil {
+		snap := snapshotEntry(e)
+		s.onJournal(JournalOp{Put: &snap, NextArrival: s.nextArrival})
+	}
 	return s.evictOverflow()
 }
 
@@ -249,6 +279,9 @@ func (s *Store) Remove(id item.ID) *Entry {
 		delete(s.entries, id)
 		s.index.delete(id)
 		s.uncount(e)
+		if s.onJournal != nil {
+			s.onJournal(JournalOp{Remove: id, NextArrival: s.nextArrival})
+		}
 	}
 	return e
 }
@@ -321,6 +354,9 @@ func (s *Store) evictOverflow() []*Entry {
 			delete(s.entries, e.Item.ID)
 			s.index.delete(e.Item.ID)
 			s.uncount(e)
+			if s.onJournal != nil {
+				s.onJournal(JournalOp{Remove: e.Item.ID, NextArrival: s.nextArrival})
+			}
 			evicted = append(evicted, e)
 		}
 		return evicted
@@ -336,6 +372,9 @@ func (s *Store) evictOverflow() []*Entry {
 		delete(s.entries, e.Item.ID)
 		s.index.delete(e.Item.ID)
 		s.uncount(e)
+		if s.onJournal != nil {
+			s.onJournal(JournalOp{Remove: e.Item.ID, NextArrival: s.nextArrival})
+		}
 		evicted = append(evicted, e)
 	}
 	return evicted
