@@ -1,16 +1,23 @@
 // Command dtnlint is the repository's invariant checker: a multichecker
-// running the four dtnlint analyzers (determinism, callbackunderlock,
-// transientleak, errdiscard) over the packages matching the given patterns.
+// running the eight dtnlint analyzers (determinism, callbackunderlock,
+// transientleak, errdiscard, lockorder, goroutineleak, unboundedgrowth,
+// hotpathalloc) over the packages matching the given patterns.
 //
 // Usage:
 //
-//	dtnlint [packages]
+//	dtnlint [-json] [-cache dir] [-workers n] [packages]
 //
 // With no arguments it checks ./... relative to the current directory.
 // Diagnostics print as file:line:col: analyzer: message, one per line, and
 // any diagnostic makes the exit status 1 — `make lint` wires this into the
-// tier-1 `make check` gate. Suppress a deliberate violation with a
-// justified //lint:allow comment (see internal/analysis/lintcore).
+// tier-1 `make check` gate. With -json, output is instead one JSON document
+// ({"diagnostics": [{file,line,col,analyzer,message}], "packages", "cached"})
+// for CI annotation tooling. -cache names a directory for the per-package
+// result cache: packages whose sources, dependency cone, toolchain, and
+// analyzer set are unchanged are served from disk without re-type-checking,
+// making warm runs sub-second. -workers bounds parallel package analysis
+// (default GOMAXPROCS). Suppress a deliberate violation with a justified
+// //lint:allow comment (see internal/analysis/lintcore).
 package main
 
 import (
@@ -23,9 +30,14 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON document")
+	cacheDir := flag.String("cache", "", "directory for the per-package result cache (empty disables caching)")
+	workers := flag.Int("workers", 0, "max concurrent package analyses (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtnlint [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtnlint [-json] [-cache dir] [-workers n] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Flags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
 		}
@@ -35,24 +47,42 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := run(patterns)
+	res, err := check(patterns, *cacheDir, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtnlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := lintcore.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "dtnlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dtnlint: %d diagnostic(s)\n", len(diags))
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "dtnlint: %d diagnostic(s)\n", len(res.Diagnostics))
 		os.Exit(1)
 	}
 }
 
+func check(patterns []string, cacheDir string, workers int) (*lintcore.Result, error) {
+	return lintcore.Check(lintcore.Config{
+		Patterns:  patterns,
+		Analyzers: analysis.All(),
+		CacheDir:  cacheDir,
+		Workers:   workers,
+	})
+}
+
+// run is the uncached sequential path kept for tests that want plain
+// diagnostics for a pattern list.
 func run(patterns []string) ([]lintcore.Diagnostic, error) {
-	pkgs, err := lintcore.Load(".", patterns...)
+	res, err := check(patterns, "", 0)
 	if err != nil {
 		return nil, err
 	}
-	return lintcore.Run(pkgs, analysis.All())
+	return res.Diagnostics, nil
 }

@@ -7,8 +7,12 @@ import (
 	"replidtn/internal/analysis/callbackunderlock"
 	"replidtn/internal/analysis/determinism"
 	"replidtn/internal/analysis/errdiscard"
+	"replidtn/internal/analysis/goroutineleak"
+	"replidtn/internal/analysis/hotpathalloc"
 	"replidtn/internal/analysis/lintcore"
+	"replidtn/internal/analysis/lockorder"
 	"replidtn/internal/analysis/transientleak"
+	"replidtn/internal/analysis/unboundedgrowth"
 )
 
 // All returns every dtnlint analyzer, in reporting order.
@@ -18,5 +22,9 @@ func All() []*lintcore.Analyzer {
 		callbackunderlock.Analyzer,
 		transientleak.Analyzer,
 		errdiscard.Analyzer,
+		lockorder.Analyzer,
+		goroutineleak.Analyzer,
+		unboundedgrowth.Analyzer,
+		hotpathalloc.Analyzer,
 	}
 }

@@ -1,0 +1,307 @@
+// Package goroutineleak implements the dtnlint analyzer that flags `go`
+// statements spawning goroutines with no reachable termination path.
+//
+// The motivating bug class is PR 5's discoverer restart: a background loop
+// whose only exit was an unlabeled break inside a select — which exits the
+// select, not the for — so every Stop/Start cycle leaked a goroutine (and
+// its socket). The repo's lifecycle rule is that every spawned loop must
+// terminate via a done channel, context, or Close-driven error path; this
+// analyzer mechanizes the detectable core of that rule: an infinite `for`
+// loop (no condition) that contains no return, no break that actually
+// targets the loop, and no panic/os.Exit/runtime.Goexit/log.Fatal can never
+// finish, so a goroutine running one can never be collected.
+//
+// The property propagates through calls: a function whose body reaches an
+// inescapable loop — directly or by calling another such function — "may
+// run forever", exported as a lintcore fact so `go pkg.Worker()` across a
+// package boundary is caught too. Loops with conditions and range loops are
+// assumed terminating (range over a channel ends when the sender closes
+// it — the lifecycle idiom this analyzer is steering code toward).
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"replidtn/internal/analysis/lintcore"
+)
+
+// Analyzer is the goroutine-termination invariant checker.
+var Analyzer = &lintcore.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flag go statements whose goroutine has no reachable termination path (inescapable infinite loop)",
+	Run:  run,
+}
+
+const factForever = "mayrunforever"
+
+func run(pass *lintcore.Pass) error {
+	// Pass 1: classify every declared function — does its body contain an
+	// inescapable infinite loop, and which functions does it call?
+	type fnNode struct {
+		decl    *ast.FuncDecl
+		forever bool
+		calls   []string // FuncKeys of statically resolved callees
+	}
+	nodes := make(map[string]*fnNode)
+	order := []string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := lintcore.FuncKey(fn)
+			node := &fnNode{decl: fd, forever: hasInescapableLoop(pass, fd.Body)}
+			node.calls = directCalls(pass, fd.Body)
+			nodes[key] = node
+			order = append(order, key)
+		}
+	}
+
+	// Fixpoint: calling a may-run-forever function (locally classified or
+	// known via a dependency fact) makes the caller may-run-forever.
+	foreverByFact := func(key string) bool {
+		return len(pass.DepFactsOfKind(key, factForever)) > 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			node := nodes[key]
+			if node.forever {
+				continue
+			}
+			for _, callee := range node.calls {
+				if local, ok := nodes[callee]; ok && local.forever || !ok && foreverByFact(callee) {
+					node.forever = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: check every `go` statement.
+	mayRunForever := func(key string) bool {
+		if node, ok := nodes[key]; ok {
+			return node.forever
+		}
+		return foreverByFact(key)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if hasInescapableLoop(pass, fun.Body) {
+					pass.Reportf(gs.Pos(), "goroutine runs an infinite loop with no return, loop-targeting break, or terminating call; it can never exit (add a done/ctx/Close-driven exit path)")
+					return true
+				}
+				for _, callee := range directCalls(pass, fun.Body) {
+					if mayRunForever(callee) {
+						pass.Reportf(gs.Pos(), "goroutine calls %s, which may run forever (inescapable infinite loop); it can never exit (add a done/ctx/Close-driven exit path)", callee)
+						return true
+					}
+				}
+			default:
+				if fn := lintcore.CalleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+					key := lintcore.FuncKey(fn)
+					if mayRunForever(key) {
+						pass.Reportf(gs.Pos(), "goroutine calls %s, which may run forever (inescapable infinite loop); it can never exit (add a done/ctx/Close-driven exit path)", key)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Export classifications for importing packages' go statements.
+	for _, key := range order {
+		if nodes[key].forever {
+			pass.ExportFact(key, factForever, "")
+		}
+	}
+	return nil
+}
+
+// directCalls collects the FuncKeys of statically resolved calls anywhere
+// in body, including inside nested function literals (a literal that calls
+// a forever-function and is invoked synchronously keeps its enclosing
+// function alive; treating it as a call is the conservative choice that
+// still lets `go e.run()` wrappers be caught).
+func directCalls(pass *lintcore.Pass, body *ast.BlockStmt) []string {
+	var calls []string
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			// A spawned goroutine does not keep its spawner running; the
+			// nested go statement is checked on its own.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintcore.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		key := lintcore.FuncKey(fn)
+		if !seen[key] {
+			seen[key] = true
+			calls = append(calls, key)
+		}
+		return true
+	})
+	return calls
+}
+
+// hasInescapableLoop reports whether body contains a `for` loop with no
+// condition and no statement that can exit it. Nested function literals are
+// separate execution contexts and are skipped.
+func hasInescapableLoop(pass *lintcore.Pass, body *ast.BlockStmt) bool {
+	// Resolve each loop's label first, so a labeled for is judged once with
+	// its label in scope (not a second time as an unlabeled loop).
+	labels := make(map[*ast.ForStmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			if fs, ok := ls.Stmt.(*ast.ForStmt); ok {
+				labels[fs] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopCanExit(pass, n, labels[n]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopCanExit reports whether the infinite loop has any exit: a return, a
+// break that targets it (unlabeled breaks bind to the innermost for/range/
+// switch/select — the PR 5 bug was an unlabeled break inside a select that
+// only exited the select), a goto to a label outside the loop (assumed
+// exiting), or a call that never returns (panic, os.Exit, runtime.Goexit,
+// log.Fatal*, testing's t.Fatal*).
+func loopCanExit(pass *lintcore.Pass, loop *ast.ForStmt, label string) bool {
+	return stmtsExit(pass, loop.Body.List, label, true)
+}
+
+// stmtsExit walks statements inside the loop. breakBinds tracks whether an
+// unlabeled break at this nesting level still targets the loop under test.
+func stmtsExit(pass *lintcore.Pass, list []ast.Stmt, label string, breakBinds bool) bool {
+	for _, s := range list {
+		if stmtExits(pass, s, label, breakBinds) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExits(pass *lintcore.Pass, stmt ast.Stmt, label string, breakBinds bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				return label != "" && s.Label.Name == label
+			}
+			return breakBinds
+		case "goto":
+			// A goto out of the loop exits it; resolving label scopes is
+			// not worth the complexity, so any goto is assumed to escape.
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		return callNeverReturns(pass, s.X)
+	case *ast.BlockStmt:
+		return stmtsExit(pass, s.List, label, breakBinds)
+	case *ast.IfStmt:
+		if stmtExits(pass, s.Body, label, breakBinds) {
+			return true
+		}
+		return s.Else != nil && stmtExits(pass, s.Else, label, breakBinds)
+	case *ast.ForStmt:
+		// An inner loop swallows unlabeled breaks.
+		return stmtsExit(pass, s.Body.List, label, false)
+	case *ast.RangeStmt:
+		return stmtsExit(pass, s.Body.List, label, false)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && stmtsExit(pass, cc.Body, label, false) {
+				return true
+			}
+		}
+		return false
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && stmtsExit(pass, cc.Body, label, false) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && stmtsExit(pass, cc.Body, label, false) {
+				return true
+			}
+		}
+		return false
+	case *ast.LabeledStmt:
+		return stmtExits(pass, s.Stmt, label, breakBinds)
+	}
+	return false
+}
+
+// callNeverReturns recognizes calls that terminate the goroutine outright.
+func callNeverReturns(pass *lintcore.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := lintcore.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln" ||
+			fn.Name() == "Panic" || fn.Name() == "Panicf" || fn.Name() == "Panicln"
+	case "testing":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "FailNow" ||
+			fn.Name() == "Skip" || fn.Name() == "Skipf" || fn.Name() == "SkipNow"
+	}
+	return false
+}

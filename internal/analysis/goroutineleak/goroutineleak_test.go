@@ -1,0 +1,19 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/goroutineleak"
+	"replidtn/internal/analysis/linttest"
+)
+
+// TestGolden checks the analyzer against the fixture packages: goroutines
+// running inescapable loops are flagged whether spawned as literals, named
+// methods, call-graph wrappers, or imported functions known only through
+// facts — the select-swallowed unlabeled break (the PR 5 discoverer-restart
+// bug) included — while done-channel returns, labeled breaks, channel
+// ranges, panics, and terminating callees stay quiet and the justified
+// //lint:allow suppresses a deliberate daemon.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, goroutineleak.Analyzer)
+}

@@ -1,0 +1,22 @@
+// Package dep is the dependency half of the goroutineleak cross-package
+// fixture: Forever's classification travels to importers as a
+// "mayrunforever" fact. No go statement lives here, so this package itself
+// reports nothing.
+package dep
+
+// Forever spins with no exit path.
+func Forever() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// Bounded returns once its work is done.
+func Bounded(limit int) int {
+	n := 0
+	for i := 0; i < limit; i++ {
+		n += i
+	}
+	return n
+}

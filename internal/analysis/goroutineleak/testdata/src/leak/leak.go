@@ -1,0 +1,128 @@
+// Package leak is the goroutineleak fixture: go statements spawning
+// inescapable loops — including the PR 5 bug class, an unlabeled break
+// inside a select that exits the select rather than the loop — against the
+// done-channel and labeled-break idioms that terminate cleanly.
+package leak
+
+import "fixtures/dep"
+
+// Worker couples a work channel with a done channel.
+type Worker struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// run drains ch forever: no return, no loop-targeting break.
+func (w *Worker) run() {
+	for {
+		<-w.ch
+	}
+}
+
+// spin only calls run; the may-run-forever property propagates through the
+// local call graph.
+func (w *Worker) spin() {
+	w.run()
+}
+
+// Start spawns the obvious leak: an anonymous loop with no exit.
+func (w *Worker) Start() {
+	go func() { // want `infinite loop with no return`
+		for {
+			<-w.ch
+		}
+	}()
+}
+
+// StartSelectBreak is the PR 5 discoverer-restart bug verbatim: the
+// unlabeled break exits the select, not the for, so the goroutine can never
+// finish and every restart leaks one.
+func (w *Worker) StartSelectBreak() {
+	go func() { // want `infinite loop with no return`
+		for {
+			select {
+			case <-w.done:
+				break
+			case v := <-w.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartMethod spawns a named method classified as may-run-forever.
+func (w *Worker) StartMethod() {
+	go w.run() // want `may run forever`
+}
+
+// StartWrapped reaches the inescapable loop through one call hop.
+func (w *Worker) StartWrapped() {
+	go w.spin() // want `may run forever`
+}
+
+// StartImported spawns a dependency function whose classification arrives
+// as a lintcore fact.
+func StartImported() {
+	go dep.Forever() // want `may run forever`
+}
+
+// StartDone is the sanctioned daemon shape: the done channel gives the loop
+// a return path.
+func (w *Worker) StartDone() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case v := <-w.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartLabeled exits via a labeled break that really targets the loop.
+func (w *Worker) StartLabeled() {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-w.done:
+				break drain
+			case v := <-w.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartRange ranges the channel: the loop ends when the sender closes it.
+func (w *Worker) StartRange() {
+	go func() {
+		for v := range w.ch {
+			_ = v
+		}
+	}()
+}
+
+// StartPanics can terminate through panic, so the loop is escapable.
+func (w *Worker) StartPanics() {
+	go func() {
+		for {
+			if v := <-w.ch; v < 0 {
+				panic("negative work item")
+			}
+		}
+	}()
+}
+
+// StartBounded spawns a terminating dependency call.
+func StartBounded() {
+	go dep.Bounded(10)
+}
+
+// StartAllowed is the justified escape hatch: a process-lifetime daemon
+// that is deliberately never collected.
+func (w *Worker) StartAllowed() {
+	go w.run() //lint:allow goroutineleak -- fixture: process-lifetime daemon by design; the process exit collects it
+}

@@ -1,0 +1,425 @@
+// Package hotpathalloc implements the dtnlint analyzer behind the
+// //dtn:hotpath function annotation: a machine-checked "this function does
+// not allocate avoidably" contract.
+//
+// The ROADMAP's zero-alloc goal (wire/WAL codec, sync candidate pipeline)
+// was previously a benchmark we remembered to run; annotating a function
+//
+//	//dtn:hotpath
+//	func (s *Store) Put(...)
+//
+// turns it into a gated invariant. Inside an annotated function the
+// analyzer forbids the allocation patterns that silently creep into Go hot
+// loops:
+//
+//   - function literals that capture enclosing variables (the closure and
+//     its captured variables escape to the heap on every call);
+//   - boxing a concrete non-pointer value into an interface (call
+//     arguments, assignments, returns, sends, composite literals) — the
+//     value is heap-allocated to fit the interface's data word;
+//   - any call into package fmt (fmt formats through reflection and
+//     allocates on every call — the determinism analyzer's ban on %p/%v of
+//     pointers composes with this);
+//   - appending to a function-local slice that was never pre-allocated
+//     with make (growth reallocates geometrically inside the loop; fields
+//     and parameters are exempt because their capacity is amortized by the
+//     caller);
+//   - iterating a map to feed an ordered output (append or channel send) —
+//     both an ordering hazard and a symptom of building ad-hoc collections
+//     on the hot path.
+//
+// The annotation is inherited by nothing: helpers called from a hot path
+// must be annotated (and thus checked) themselves to get the guarantee.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"replidtn/internal/analysis/lintcore"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &lintcore.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "enforce the //dtn:hotpath contract: no closures, interface boxing, fmt, unpreallocated append, or map-order-fed output",
+	Run:  run,
+}
+
+// marker is the annotation line, written pragma-style (no space) so gofmt
+// leaves it alone.
+const marker = "//dtn:hotpath"
+
+func run(pass *lintcore.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *lintcore.Pass, fd *ast.FuncDecl) {
+	// Pre-pass: local slice variables with no pre-allocated backing array
+	// (declared nil or empty-literal); appends to these are flagged.
+	bare := bareLocalSlices(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if captured := capturedVars(pass, fd, n); len(captured) > 0 {
+				pass.Reportf(n.Pos(), "hotpath %s: function literal captures %s; the closure escapes to the heap per call — hoist it or pass state explicitly", fd.Name.Name, strings.Join(captured, ", "))
+			}
+			return false // the literal's own body is not the annotated hot path
+		case *ast.CallExpr:
+			checkCall(pass, fd, n, bare)
+		case *ast.AssignStmt:
+			checkAssign(pass, fd, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, fd, n)
+		case *ast.SendStmt:
+			checkSend(pass, fd, n)
+		case *ast.CompositeLit:
+			checkComposite(pass, fd, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// bareLocalSlices collects slice variables declared in fd with nil or
+// empty-literal initializers: `var buf []T` or `buf := []T{}`. Appending to
+// one inside the hot path grows it through repeated reallocation.
+func bareLocalSlices(pass *lintcore.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	bare := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, init ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if init == nil {
+			bare[obj] = true
+			return
+		}
+		if cl, ok := ast.Unparen(init).(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+			bare[obj] = true
+		}
+		if id, ok := ast.Unparen(init).(*ast.Ident); ok && id.Name == "nil" {
+			bare[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					mark(name, init)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					mark(id, n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+// capturedVars lists variables a function literal uses but does not
+// declare: locals of the enclosing function referenced from the closure.
+func capturedVars(pass *lintcore.Pass, fd *ast.FuncDecl, fl *ast.FuncLit) []string {
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Captured = declared inside the enclosing function but outside the
+		// literal. Package-level vars aren't captures (no per-call alloc).
+		if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+			return true
+		}
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		seen[obj] = true
+		captured = append(captured, obj.Name())
+		return true
+	})
+	return captured
+}
+
+// boxes reports whether assigning expr into a slot of type target boxes a
+// concrete value: the target is an interface, the value is not (interface
+// to interface is a pointer copy), and the value is not pointer-shaped
+// (pointers, chans, maps, funcs fit the interface data word without heap
+// allocation).
+func boxes(pass *lintcore.Pass, expr ast.Expr, target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func reportBox(pass *lintcore.Pass, fd *ast.FuncDecl, expr ast.Expr, what string) {
+	pass.Reportf(expr.Pos(), "hotpath %s: %s boxes a concrete value into an interface (heap-allocates per call); keep hot-path data concrete", fd.Name.Name, what)
+}
+
+func checkCall(pass *lintcore.Pass, fd *ast.FuncDecl, call *ast.CallExpr, bare map[types.Object]bool) {
+	// fmt is banned outright.
+	if fn := lintcore.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hotpath %s: call into package fmt (reflection-based formatting allocates per call); format off the hot path or use strconv", fd.Name.Name)
+		return
+	}
+	// Un-preallocated append to a bare local.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := lintcore.ObjectOf(pass.TypesInfo, target); obj != nil && bare[obj] {
+					pass.Reportf(call.Pos(), "hotpath %s: append to %s, which was declared without preallocated capacity; make it with a capacity bound (growth reallocates inside the loop)", fd.Name.Name, target.Name)
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing at call arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing here
+			}
+			if last, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				param = last.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if boxes(pass, arg, param) {
+			reportBox(pass, fd, arg, "argument")
+		}
+	}
+}
+
+func checkAssign(pass *lintcore.Pass, fd *ast.FuncDecl, n *ast.AssignStmt) {
+	if n.Tok.String() == ":=" {
+		return // new variable takes the concrete type; nothing boxes
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Rhs) == len(n.Lhs) {
+			rhs = n.Rhs[i]
+		}
+		if rhs == nil {
+			continue
+		}
+		lt, ok := pass.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		if boxes(pass, rhs, lt.Type) {
+			reportBox(pass, fd, rhs, "assignment")
+		}
+	}
+}
+
+func checkReturn(pass *lintcore.Pass, fd *ast.FuncDecl, n *ast.ReturnStmt) {
+	fnObj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fnObj.Type().(*types.Signature)
+	if sig.Results().Len() != len(n.Results) {
+		return
+	}
+	for i, res := range n.Results {
+		if boxes(pass, res, sig.Results().At(i).Type()) {
+			reportBox(pass, fd, res, "return value")
+		}
+	}
+}
+
+func checkSend(pass *lintcore.Pass, fd *ast.FuncDecl, n *ast.SendStmt) {
+	tv, ok := pass.TypesInfo.Types[n.Chan]
+	if !ok {
+		return
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	if boxes(pass, n.Value, ch.Elem()) {
+		reportBox(pass, fd, n.Value, "channel send")
+	}
+}
+
+func checkComposite(pass *lintcore.Pass, fd *ast.FuncDecl, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for j := 0; j < t.NumFields(); j++ {
+					if t.Field(j).Name() == key.Name && boxes(pass, kv.Value, t.Field(j).Type()) {
+						reportBox(pass, fd, kv.Value, "composite-literal field")
+					}
+				}
+			} else if i < t.NumFields() && boxes(pass, elt, t.Field(i).Type()) {
+				reportBox(pass, fd, elt, "composite-literal field")
+			}
+		}
+	case *types.Slice:
+		for _, elt := range cl.Elts {
+			if boxes(pass, elt, t.Elem()) {
+				reportBox(pass, fd, elt, "composite-literal element")
+			}
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body feeds an ordered
+// output: appending to a slice declared outside the loop or sending on a
+// channel. Map iteration order is randomized, so the output order is too —
+// and the pattern usually means an ad-hoc collection is being built on the
+// hot path.
+func checkMapRange(pass *lintcore.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "hotpath %s: channel send inside a map range; map order is randomized, so the receive order is too", fd.Name.Name)
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" || len(n.Args) == 0 {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			target, ok := ast.Unparen(n.Args[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := lintcore.ObjectOf(pass.TypesInfo, target)
+			if obj == nil {
+				return true
+			}
+			// Only appends to slices that outlive the iteration matter, and
+			// collect-then-sort is the sanctioned idiom: a slice handed to
+			// package sort later in the function has its order restored.
+			if (obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) && !sortedAfter(pass, fd, rs, obj) {
+				pass.Reportf(n.Pos(), "hotpath %s: appending to %s while ranging a map feeds randomized order into an ordered output; sort the keys first (off the hot path) or keep a sorted structure", fd.Name.Name, target.Name)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a package-sort function
+// after the map range: the collect-then-sort idiom re-establishes a
+// deterministic order, so the range-fed append is not an ordering hazard.
+func sortedAfter(pass *lintcore.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := lintcore.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && lintcore.ObjectOf(pass.TypesInfo, id) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,19 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/hotpathalloc"
+	"replidtn/internal/analysis/linttest"
+)
+
+// TestGolden checks the analyzer against the fixture package: inside
+// //dtn:hotpath functions, capturing closures, interface boxing at call
+// arguments, assignments, returns, sends, and composite literals, fmt
+// calls, un-preallocated appends, and map-range-fed ordered output are all
+// flagged, while the allocation-free counterparts (preallocated slices,
+// strconv, sorted keys, pointer-shaped interface values, field appends),
+// the unannotated twin, and the justified //lint:allow stay quiet.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, hotpathalloc.Analyzer)
+}

@@ -1,0 +1,109 @@
+// Package codec is the hotpathalloc fixture: every allocation pattern the
+// //dtn:hotpath contract forbids, its allocation-free counterpart, the
+// unannotated twin that stays unchecked, and the justified escape hatch.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// sink accepts anything; passing a concrete non-pointer value boxes it.
+func sink(v interface{}) { _ = v }
+
+// Frame is a tiny value record.
+type Frame struct {
+	Kind uint8
+	Len  int
+}
+
+// Box carries an interface-typed field.
+type Box struct {
+	payload interface{}
+}
+
+// Encoder appends frames into a reusable buffer.
+type Encoder struct {
+	buf []byte
+	out chan interface{}
+}
+
+// EncodeHot violates the contract five ways.
+//
+//dtn:hotpath
+func (e *Encoder) EncodeHot(frames []Frame, counts map[string]int) []string {
+	total := 0
+	walk := func() { // want `function literal captures total`
+		total++
+	}
+	walk()
+	sink(frames[0]) // want `argument boxes a concrete value`
+	name := fmt.Sprintf("frame-%d", total) // want `call into package fmt`
+	var lines []string
+	lines = append(lines, name) // want `append to lines, which was declared without preallocated capacity`
+	for k := range counts {
+		lines = append(lines, k) // want `appending to lines while ranging a map` `append to lines, which was declared without preallocated capacity`
+	}
+	return lines
+}
+
+// BoxHot boxes through assignment, return, send, and composite literal.
+//
+//dtn:hotpath
+func (e *Encoder) BoxHot(f Frame) interface{} {
+	var b Box
+	b.payload = f // want `assignment boxes a concrete value`
+	e.out <- f    // want `channel send boxes a concrete value`
+	_ = Box{payload: f} // want `composite-literal field boxes a concrete value`
+	return f // want `return value boxes a concrete value`
+}
+
+// EncodeClean does the same work within the contract: preallocated output,
+// strconv instead of fmt, keys sorted before ordered emission, pointer
+// values through the interface slot.
+//
+//dtn:hotpath
+func (e *Encoder) EncodeClean(frames []Frame, counts map[string]int) []string {
+	lines := make([]string, 0, len(frames)+len(counts))
+	for i := range frames {
+		lines = append(lines, strconv.Itoa(frames[i].Len))
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines = append(lines, keys...)
+	sink(&frames[0]) // pointer fits the interface word: no boxing
+	e.buf = append(e.buf, byte(len(lines))) // field append: caller amortizes
+	return lines
+}
+
+// EncodeCold is EncodeHot without the annotation: identical patterns, no
+// contract, no diagnostics.
+func (e *Encoder) EncodeCold(frames []Frame, counts map[string]int) []string {
+	total := 0
+	walk := func() { total++ }
+	walk()
+	sink(frames[0])
+	name := fmt.Sprintf("frame-%d", total)
+	var lines []string
+	lines = append(lines, name)
+	for k := range counts {
+		lines = append(lines, k)
+	}
+	return lines
+}
+
+// EncodeAllowed keeps one violation under a justified allow: the error
+// path formats diagnostics, and errors are off the hot path by contract.
+//
+//dtn:hotpath
+func (e *Encoder) EncodeAllowed(f Frame) error {
+	if f.Len < 0 {
+		return fmt.Errorf("negative frame length %d", f.Len) //lint:allow hotpathalloc -- fixture: error construction runs only on the failure path, never per frame
+	}
+	e.buf = append(e.buf, f.Kind)
+	return nil
+}

@@ -1,0 +1,154 @@
+package lintcore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheSchemaVersion invalidates every cache entry when the on-disk format
+// or the meaning of a hash changes. Bump it whenever cacheEntry's shape or
+// the hash inputs change.
+const cacheSchemaVersion = "dtnlint-cache-v1"
+
+// cacheEntry is the persisted result of analyzing one package: the content
+// hash it is valid for, the (already allow-filtered) diagnostics, and the
+// facts the package exports to dependents. Facts must be cached alongside
+// diagnostics: a cache-hit package is never re-analyzed, yet its importers
+// still need its facts.
+type cacheEntry struct {
+	Hash        string       `json:"hash"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Facts       []Fact       `json:"facts"`
+}
+
+// fingerprint returns the analysis-configuration component of every package
+// hash: schema version, toolchain, architecture (types.Sizes differ), and
+// the enabled analyzer set. Changing any of these re-analyzes the world.
+func fingerprint(analyzers []*Analyzer) string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s", cacheSchemaVersion, runtime.Version(), runtime.GOARCH)
+	for _, n := range names {
+		fmt.Fprintf(h, "|%s", n)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// packageHashes computes a content hash for every package in the go list
+// closure, visiting in dependency order so each hash can fold in the hashes
+// of its direct imports — an edit anywhere in a package's dependency cone
+// changes its hash. Standard-library packages hash as path-only: their
+// content is pinned by the toolchain version already in the fingerprint,
+// so hashing their sources would only slow the cold path down.
+func packageHashes(metas map[string]*listPkg, order []string, fp string) (map[string]string, error) {
+	hashes := make(map[string]string, len(order))
+	for _, path := range order {
+		meta := metas[path]
+		h := sha256.New()
+		fmt.Fprintf(h, "%s|%s", fp, meta.ImportPath)
+		if !meta.Standard {
+			for _, name := range meta.GoFiles {
+				data, err := os.ReadFile(filepath.Join(meta.Dir, name))
+				if err != nil {
+					return nil, fmt.Errorf("lintcore: hash %s: %w", meta.ImportPath, err)
+				}
+				fmt.Fprintf(h, "|%s:%d:", name, len(data))
+				h.Write(data)
+			}
+			for _, imp := range meta.Imports {
+				if mapped, ok := meta.ImportMap[imp]; ok {
+					imp = mapped
+				}
+				dep, ok := hashes[imp]
+				if !ok && imp != "unsafe" {
+					return nil, fmt.Errorf("lintcore: hash %s: import %s not yet hashed (go list order violated)", meta.ImportPath, imp)
+				}
+				fmt.Fprintf(h, "|%s=%s", imp, dep)
+			}
+		}
+		hashes[path] = hex.EncodeToString(h.Sum(nil))
+	}
+	return hashes, nil
+}
+
+// resultCache is the on-disk per-package store under one directory: one
+// JSON file per package, named by the URL-escaped import path so arbitrary
+// paths map to safe file names.
+type resultCache struct {
+	dir string
+}
+
+func openResultCache(dir string) (*resultCache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lintcore: create cache dir: %w", err)
+	}
+	return &resultCache{dir: dir}, nil
+}
+
+func (c *resultCache) path(importPath string) string {
+	return filepath.Join(c.dir, url.QueryEscape(importPath)+".json")
+}
+
+// load returns the cached entry for importPath iff it exists and matches
+// hash. Corrupt or stale entries read as misses, never as errors: the cache
+// is advisory.
+func (c *resultCache) load(importPath, hash string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(importPath))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil || entry.Hash != hash {
+		return nil, false
+	}
+	return &entry, true
+}
+
+// store writes the entry atomically (temp file + rename) so a crashed or
+// concurrent lint run can never leave a torn JSON file that poisons later
+// loads.
+func (c *resultCache) store(importPath string, entry *cacheEntry) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("lintcore: encode cache entry: %w", err)
+	}
+	final := c.path(importPath)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("lintcore: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lintcore: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lintcore: close cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lintcore: commit cache entry: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one invariant checker: a name (used in diagnostics and in
@@ -38,11 +39,11 @@ type Analyzer struct {
 // Diagnostic is one reported violation.
 type Diagnostic struct {
 	// Pos locates the violation.
-	Pos token.Position
+	Pos token.Position `json:"pos"`
 	// Analyzer is the reporting analyzer's name.
-	Analyzer string
+	Analyzer string `json:"analyzer"`
 	// Message describes the violation.
-	Message string
+	Message string `json:"message"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -50,8 +51,35 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Fact is one exported piece of cross-package knowledge: an analyzer
+// observation about a function (or other object) of one package, made
+// available to the same analyzer when it later runs over packages that
+// import it. Facts are plain strings so they serialize into the on-disk
+// result cache unchanged; each analyzer defines its own Kind/Detail
+// vocabulary (e.g. lockorder exports {Kind: "acquires", Detail: lock key}
+// facts keyed by the qualified function name).
+type Fact struct {
+	// Analyzer names the exporting analyzer; facts are only visible to the
+	// analyzer that exported them, mirroring x/tools fact scoping.
+	Analyzer string `json:"analyzer"`
+	// Key identifies the object the fact describes, conventionally the
+	// types.Func FullName (e.g. "(*replidtn/internal/store.Store).Put").
+	Key string `json:"key"`
+	// Kind is the analyzer-defined fact class.
+	Kind string `json:"kind"`
+	// Detail is the analyzer-defined payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// FuncKey returns the canonical fact key for a function or method: its
+// fully qualified name, stable across packages and cache round-trips.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
 // Pass carries one analyzer's view of one type-checked package, mirroring
-// analysis.Pass.
+// analysis.Pass, plus the lintcore fact surface: facts exported by the same
+// analyzer on the package's (transitive, in-module) dependencies are
+// visible through DepFacts, and ExportFact publishes facts about this
+// package's objects for future dependents.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -59,7 +87,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
+	diags    *[]Diagnostic
+	facts    *[]Fact
+	depFacts map[string][]Fact // key → facts from dependencies, this analyzer only
 }
 
 // Reportf records a diagnostic at pos.
@@ -69,6 +99,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportFact publishes a fact about an object of this package, visible to
+// this analyzer when it runs over packages importing this one (and
+// persisted in the result cache alongside diagnostics).
+func (p *Pass) ExportFact(key, kind, detail string) {
+	if p.facts == nil {
+		return
+	}
+	*p.facts = append(*p.facts, Fact{Analyzer: p.Analyzer.Name, Key: key, Kind: kind, Detail: detail})
+}
+
+// DepFacts returns the facts this analyzer exported about key (a FuncKey)
+// when it analyzed the package's dependencies. Nil when the key's package
+// was outside the analysis set (the standard library, or a package not
+// matched by the lint patterns) — analyzers must degrade gracefully.
+func (p *Pass) DepFacts(key string) []Fact {
+	return p.depFacts[key]
+}
+
+// DepFactsOfKind filters DepFacts by fact kind.
+func (p *Pass) DepFactsOfKind(key, kind string) []Fact {
+	var out []Fact
+	for _, f := range p.depFacts[key] {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AllDepFacts returns every dependency fact of the given kind this analyzer
+// exported, across all keys, sorted by key then detail for deterministic
+// iteration. Used by whole-graph analyzers (lockorder folds dependency
+// lock-order edges into the package's graph regardless of which function
+// they came from).
+func (p *Pass) AllDepFacts(kind string) []Fact {
+	var out []Fact
+	for _, facts := range p.depFacts {
+		for _, f := range facts {
+			if f.Kind == kind {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
 }
 
 // allowName is the pseudo-analyzer under which malformed //lint:allow
@@ -158,34 +240,77 @@ func suppress(diags []Diagnostic, marks []allowMark) []Diagnostic {
 	return kept
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// diagnostics sorted by position. Allow marks are parsed per package and
-// applied to that package's diagnostics only.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// analyzePackage applies every analyzer to one type-checked package.
+// depFacts supplies, per analyzer name, the facts that analyzer exported on
+// the package's dependencies. The returned diagnostics have the package's
+// allow marks applied; the returned facts are this package's exports.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, depFacts func(analyzer string) map[string][]Fact) ([]Diagnostic, []Fact, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				diags:     &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lintcore: %s on %s: %w", a.Name, pkg.ImportPath, err)
-			}
+	var diags []Diagnostic
+	var facts []Fact
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+			facts:     &facts,
 		}
-		marks, bad := parseAllows(pkg.Fset, pkg.Files, known)
-		diags = append(suppress(diags, marks), bad...)
-		all = append(all, diags...)
+		if depFacts != nil {
+			pass.depFacts = depFacts(a.Name)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("lintcore: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
 	}
+	marks, bad := parseAllows(pkg.Fset, pkg.Files, known)
+	diags = append(suppress(diags, marks), bad...)
+	return diags, facts, nil
+}
+
+// factStore accumulates each analyzed package's exported facts, for lookup
+// by later (importing) packages. Safe for concurrent use.
+type factStore struct {
+	mu    sync.RWMutex
+	byPkg map[string][]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{byPkg: make(map[string][]Fact)}
+}
+
+func (s *factStore) add(importPath string, facts []Fact) {
+	s.mu.Lock()
+	s.byPkg[importPath] = facts
+	s.mu.Unlock()
+}
+
+// view builds the per-analyzer dependency-fact lookup for a package whose
+// transitive in-module dependencies are deps.
+func (s *factStore) view(deps []string) func(analyzer string) map[string][]Fact {
+	s.mu.RLock()
+	merged := make(map[string]map[string][]Fact) // analyzer → key → facts
+	for _, dep := range deps {
+		for _, f := range s.byPkg[dep] {
+			byKey := merged[f.Analyzer]
+			if byKey == nil {
+				byKey = make(map[string][]Fact)
+				merged[f.Analyzer] = byKey
+			}
+			byKey[f.Key] = append(byKey[f.Key], f)
+		}
+	}
+	s.mu.RUnlock()
+	return func(analyzer string) map[string][]Fact { return merged[analyzer] }
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer name.
+func sortDiagnostics(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -194,7 +319,93 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// topoOrder returns pkgs sorted so every package follows its in-set
+// dependencies (import-path ties broken alphabetically), which is the order
+// fact export requires.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var order []*Package
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return order
+}
+
+// transitiveImports returns the transitive in-set dependencies of p.
+func transitiveImports(p *Package, byPath map[string]*Package) []string {
+	seen := make(map[string]bool)
+	var walk func(imports []string)
+	walk = func(imports []string) {
+		for _, imp := range imports {
+			dep, ok := byPath[imp]
+			if !ok || seen[imp] {
+				continue
+			}
+			seen[imp] = true
+			walk(dep.Imports)
+		}
+	}
+	walk(p.Imports)
+	deps := make([]string, 0, len(seen))
+	for imp := range seen {
+		deps = append(deps, imp)
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// Run applies every analyzer to every package — in dependency order, so an
+// analyzer's facts about a package are visible when its importers are
+// analyzed — and returns the surviving diagnostics sorted by position.
+// Allow marks are parsed per package and applied to that package's
+// diagnostics only.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	facts := newFactStore()
+	var all []Diagnostic
+	for _, pkg := range topoOrder(pkgs) {
+		diags, exported, err := analyzePackage(pkg, analyzers, facts.view(transitiveImports(pkg, byPath)))
+		if err != nil {
+			return nil, err
+		}
+		facts.add(pkg.ImportPath, exported)
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
 	return all, nil
 }

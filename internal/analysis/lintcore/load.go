@@ -13,16 +13,20 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sync"
 )
 
 // Package is one loaded, type-checked target package ready for analysis.
 type Package struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	TypesInfo  *types.Info
+	// Imports are the package's direct imports (vendor-mapped), used to
+	// order fact-dependent analysis.
+	Imports   []string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -42,26 +46,13 @@ type listError struct {
 	Err string
 }
 
-// loader type-checks packages from source in dependency order. Dependencies
-// (including the standard library) are checked with IgnoreFuncBodies — only
-// their exported shape matters — while target packages get full bodies and a
-// populated types.Info. This is what lets dtnlint run offline with no
-// go/packages or export-data machinery: one `go list -deps -json` call
-// supplies the file sets and import resolution, and go/types does the rest.
-type loader struct {
-	fset   *token.FileSet
-	metas  map[string]*listPkg // by ImportPath
-	byDir  map[string]*listPkg
-	cache  map[string]*types.Package
-	sizes  types.Sizes
-	errors []error
-}
-
-// Load resolves patterns (e.g. "./...") relative to dir, type-checks the
-// matched packages and every dependency, and returns the matched packages.
+// golist resolves patterns relative to dir with one `go list -deps -json`
+// call. It returns every package in the dependency closure keyed by import
+// path, the closure in dependency order (dependencies before dependents,
+// which is the order go list emits), and the matched target import paths.
 // CGO is disabled for file selection so the pure-Go fallbacks of net/os are
 // chosen and every compiled file is parseable Go source.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+func golist(dir string, patterns []string) (metas map[string]*listPkg, order, targets []string, err error) {
 	args := append([]string{
 		"list", "-e", "-deps",
 		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
@@ -73,42 +64,87 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("lintcore: go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, nil, nil, fmt.Errorf("lintcore: go list %v: %v\n%s", patterns, err, stderr.String())
 	}
-
-	ld := &loader{
-		fset:  token.NewFileSet(),
-		metas: make(map[string]*listPkg),
-		byDir: make(map[string]*listPkg),
-		cache: make(map[string]*types.Package),
-		sizes: types.SizesFor("gc", runtime.GOARCH),
-	}
-	var targets []*listPkg
+	metas = make(map[string]*listPkg)
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("lintcore: decode go list output: %w", err)
+			return nil, nil, nil, fmt.Errorf("lintcore: decode go list output: %w", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("lintcore: %s: %s", p.ImportPath, p.Error.Err)
+			return nil, nil, nil, fmt.Errorf("lintcore: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		meta := p
-		ld.metas[meta.ImportPath] = &meta
-		ld.byDir[meta.Dir] = &meta
-		if !meta.DepOnly {
-			targets = append(targets, &meta)
+		metas[meta.ImportPath] = &meta
+		order = append(order, meta.ImportPath)
+		if !meta.DepOnly && len(meta.GoFiles) > 0 {
+			targets = append(targets, meta.ImportPath)
 		}
 	}
+	return metas, order, targets, nil
+}
 
+// pkgSlot deduplicates concurrent type-checks of one dependency: the first
+// goroutine to need the package checks it, everyone else waits on the once.
+type pkgSlot struct {
+	once sync.Once
+	pkg  *types.Package
+	err  error
+}
+
+// loader type-checks packages from source. Dependencies (including the
+// standard library) are checked with IgnoreFuncBodies — only their exported
+// shape matters — while target packages get full bodies and a populated
+// types.Info. This is what lets dtnlint run offline with no go/packages or
+// export-data machinery: one `go list -deps -json` call supplies the file
+// sets and import resolution, and go/types does the rest.
+//
+// The loader is safe for concurrent use: the shared token.FileSet is
+// internally synchronized, the slot map serializes the first check of each
+// dependency, and fully checked target packages are published into their
+// slots so dependents loaded later (the driver schedules targets in
+// dependency order) resolve them without a second check.
+type loader struct {
+	fset  *token.FileSet
+	metas map[string]*listPkg
+	byDir map[string]*listPkg
+	sizes types.Sizes
+
+	mu    sync.Mutex
+	slots map[string]*pkgSlot
+}
+
+func newLoader(metas map[string]*listPkg) *loader {
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		metas: metas,
+		byDir: make(map[string]*listPkg, len(metas)),
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+		slots: make(map[string]*pkgSlot),
+	}
+	for _, m := range metas {
+		ld.byDir[m.Dir] = m
+	}
+	return ld
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, type-checks the
+// matched packages and every dependency, and returns the matched packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, _, targets, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(metas)
 	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
-		}
-		pkg, err := ld.checkTarget(t)
+	// go list emits dependencies before dependents, so each full check can
+	// publish its result for the targets that import it.
+	for _, path := range targets {
+		pkg, err := ld.checkTarget(ld.metas[path])
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +172,20 @@ func (ld *loader) parseFiles(meta *listPkg, withComments bool) ([]*ast.File, err
 	return files, nil
 }
 
-// checkTarget fully type-checks a matched package.
+// slot returns the (created-on-demand) slot for an import path.
+func (ld *loader) slot(path string) *pkgSlot {
+	ld.mu.Lock()
+	s := ld.slots[path]
+	if s == nil {
+		s = &pkgSlot{}
+		ld.slots[path] = s
+	}
+	ld.mu.Unlock()
+	return s
+}
+
+// checkTarget fully type-checks a matched package and publishes the result
+// so importing targets resolve it without a shape-only re-check.
 func (ld *loader) checkTarget(meta *listPkg) (*Package, error) {
 	files, err := ld.parseFiles(meta, true)
 	if err != nil {
@@ -153,7 +202,7 @@ func (ld *loader) checkTarget(meta *listPkg) (*Package, error) {
 	}
 	var checkErrs []error
 	conf := &types.Config{
-		Importer: ld,
+		Importer: importerFrom{ld, meta.Dir},
 		Sizes:    ld.sizes,
 		Error:    func(err error) { checkErrs = append(checkErrs, err) },
 	}
@@ -161,10 +210,12 @@ func (ld *loader) checkTarget(meta *listPkg) (*Package, error) {
 	if len(checkErrs) > 0 {
 		return nil, fmt.Errorf("lintcore: type-check %s: %v", meta.ImportPath, checkErrs[0])
 	}
-	ld.cache[meta.ImportPath] = tpkg
+	slot := ld.slot(meta.ImportPath)
+	slot.once.Do(func() { slot.pkg = tpkg })
 	return &Package{
 		ImportPath: meta.ImportPath,
 		Dir:        meta.Dir,
+		Imports:    ld.resolvedImports(meta),
 		Fset:       ld.fset,
 		Files:      files,
 		Types:      tpkg,
@@ -172,26 +223,27 @@ func (ld *loader) checkTarget(meta *listPkg) (*Package, error) {
 	}, nil
 }
 
-// Import implements types.Importer.
-func (ld *loader) Import(path string) (*types.Package, error) {
-	return ld.ImportFrom(path, "", 0)
+// resolvedImports returns meta's direct imports with vendor mapping applied.
+func (ld *loader) resolvedImports(meta *listPkg) []string {
+	imports := make([]string, 0, len(meta.Imports))
+	for _, imp := range meta.Imports {
+		if mapped, ok := meta.ImportMap[imp]; ok {
+			imp = mapped
+		}
+		imports = append(imports, imp)
+	}
+	return imports
 }
 
-// ImportFrom implements types.ImporterFrom: srcDir identifies the importing
-// package, whose ImportMap rewrites vendored standard-library import paths
-// (e.g. net's "golang.org/x/net/dns/dnsmessage") to their actual location.
-func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
-	if from, ok := ld.byDir[srcDir]; ok {
-		if mapped, ok := from.ImportMap[path]; ok {
-			path = mapped
-		}
-	}
-	if path == "unsafe" {
-		return types.Unsafe, nil
-	}
-	if pkg, ok := ld.cache[path]; ok {
-		return pkg, nil
-	}
+// shape type-checks a dependency's exported shape (IgnoreFuncBodies),
+// deduplicated through the package's slot.
+func (ld *loader) shape(path string) (*types.Package, error) {
+	slot := ld.slot(path)
+	slot.once.Do(func() { slot.pkg, slot.err = ld.shapeCheck(path) })
+	return slot.pkg, slot.err
+}
+
+func (ld *loader) shapeCheck(path string) (*types.Package, error) {
 	meta, ok := ld.metas[path]
 	if !ok {
 		return nil, fmt.Errorf("lintcore: import %q not in go list dependency set", path)
@@ -202,7 +254,7 @@ func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pa
 	}
 	var checkErrs []error
 	conf := &types.Config{
-		Importer:         ld,
+		Importer:         importerFrom{ld, meta.Dir},
 		Sizes:            ld.sizes,
 		IgnoreFuncBodies: true,
 		Error:            func(err error) { checkErrs = append(checkErrs, err) },
@@ -211,6 +263,36 @@ func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pa
 	if len(checkErrs) > 0 {
 		return nil, fmt.Errorf("lintcore: type-check dependency %s: %v", path, checkErrs[0])
 	}
-	ld.cache[path] = tpkg
 	return tpkg, nil
+}
+
+// importerFrom adapts the loader to types.ImporterFrom for one importing
+// package directory: srcDir's ImportMap rewrites vendored standard-library
+// import paths (e.g. net's "golang.org/x/net/dns/dnsmessage") to their
+// actual location. go/types passes the importing file's directory as
+// srcDir, which for generated dependency trees is the package directory;
+// binding the meta at construction keeps the lookup correct even when
+// go/types passes an empty srcDir.
+type importerFrom struct {
+	ld     *loader
+	srcDir string
+}
+
+func (im importerFrom) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, im.srcDir, 0)
+}
+
+func (im importerFrom) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if srcDir == "" {
+		srcDir = im.srcDir
+	}
+	if from, ok := im.ld.byDir[srcDir]; ok {
+		if mapped, ok := from.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.ld.shape(path)
 }

@@ -1,0 +1,571 @@
+// Package lockorder implements the dtnlint analyzer that builds a
+// lock-acquisition graph and reports lock-order cycles and same-lock
+// reacquisition.
+//
+// The replica/store/transport/messaging/wal stack holds sync.Mutex and
+// sync.RWMutex fields whose nesting discipline is pure convention: replica
+// documents "mu before emitMu", the WAL holds db.mu across memtable flushes,
+// and the store is guarded by the replica lock by contract. One call edge
+// added in the wrong direction deadlocks only under encounter-level
+// concurrency — exactly the schedules the emulator's fault sweeps explore.
+// This analyzer mechanizes the discipline: every mutex acquired while
+// another is held becomes a directed edge (type-qualified, so all instances
+// of replica.Replica.mu share a node), edges flow across packages as
+// lintcore facts, and any edge that closes a directed cycle — or any
+// reacquisition of a mutex the path already holds, sync.Mutex being
+// non-reentrant — is reported.
+//
+// Conventions honored: a method named *Locked runs with its receiver's
+// first mutex field held (the repo's caller-holds-the-lock naming contract,
+// shared with callbackunderlock); goroutine bodies start with an empty held
+// set; function literals elsewhere are assumed to run synchronously (the
+// sort.Slice / store.Range idiom), so they inherit the held set at their
+// definition point.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"replidtn/internal/analysis/lintcore"
+)
+
+// Analyzer is the lock-ordering invariant checker.
+var Analyzer = &lintcore.Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-order cycles and same-lock reacquisition across the mutex-acquisition graph",
+	Run:  run,
+}
+
+// scopeSegments limits the analyzer to the packages whose locking the
+// design relies on; fixture packages mimic these names in tests.
+var scopeSegments = []string{"replica", "store", "transport", "messaging", "wal"}
+
+const (
+	factAcquires = "acquires" // detail: one lock key the function may acquire
+	factEdge     = "edge"     // detail: "from|to" lock-order edge
+)
+
+// edge is one "to acquired while from held" observation.
+type edge struct{ from, to string }
+
+// callSite is one statically resolved call with the locks held at it.
+type callSite struct {
+	callee string // lintcore.FuncKey of the callee
+	held   []string
+	pos    token.Pos
+}
+
+// funcInfo accumulates one function's locking behavior. Goroutine bodies
+// get their own anonymous funcInfo (key ""): their edges are real, but
+// their acquires must not leak into the spawning function's summary — the
+// caller does not block on them.
+type funcInfo struct {
+	key      string
+	acquires map[string]bool
+	edges    map[edge]token.Pos
+	calls    []callSite
+}
+
+// heldLock is one mutex the current path holds.
+type heldLock struct {
+	root types.Object // base object the lock was reached through (instance identity)
+	pos  token.Pos    // acquisition site, for reacquire diagnostics
+}
+
+type analysis struct {
+	pass  *lintcore.Pass
+	infos []*funcInfo
+}
+
+func run(pass *lintcore.Pass) error {
+	if !lintcore.PathHasSegment(pass.Pkg.Path(), scopeSegments...) {
+		return nil
+	}
+	a := &analysis{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			info := &funcInfo{
+				acquires: make(map[string]bool),
+				edges:    make(map[edge]token.Pos),
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				info.key = lintcore.FuncKey(fn)
+			}
+			a.infos = append(a.infos, info)
+			held := map[string]heldLock{}
+			if key := lockedEntryKey(pass, fd); key != "" {
+				held[key] = heldLock{pos: fd.Pos()}
+			}
+			a.walkStmts(fd.Body.List, held, info)
+		}
+	}
+	a.finish()
+	return nil
+}
+
+// lockedEntryKey returns the lock key a *Locked method holds at entry (its
+// receiver's first mutex field), or "".
+func lockedEntryKey(pass *lintcore.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || !strings.HasSuffix(fd.Name.Name, "Locked") || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	recvType := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if recvType == nil {
+		if len(fd.Recv.List[0].Names) > 0 {
+			if obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+				recvType = obj.Type()
+			}
+		}
+	}
+	named := lintcore.NamedOrNil(recvType)
+	if named == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return namedKey(named) + "." + st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	named := lintcore.NamedOrNil(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+func namedKey(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// lockKey resolves the mutex expression of a Lock/Unlock call to its
+// type-qualified graph node ("pkg/path.Type.field" for struct fields,
+// "pkg/path.var" for package-level mutexes) plus the instance root object.
+// Function-local mutexes return "": they cannot participate in
+// cross-function ordering.
+func lockKey(pass *lintcore.Pass, mutexExpr ast.Expr) (string, types.Object) {
+	root := lintcore.RootIdent(mutexExpr)
+	var rootObj types.Object
+	if root != nil {
+		rootObj = lintcore.ObjectOf(pass.TypesInfo, root)
+	}
+	t := pass.TypesInfo.Types[mutexExpr].Type
+	if t == nil && rootObj != nil {
+		t = rootObj.Type()
+	}
+	if t == nil {
+		return "", nil
+	}
+	if isMutexType(t) {
+		switch e := ast.Unparen(mutexExpr).(type) {
+		case *ast.SelectorExpr:
+			field, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+			if !ok || !field.IsField() {
+				return "", nil
+			}
+			sel := pass.TypesInfo.Selections[e]
+			if sel == nil {
+				return "", nil
+			}
+			owner := lintcore.NamedOrNil(sel.Recv())
+			if owner == nil {
+				return "", nil
+			}
+			return namedKey(owner) + "." + field.Name(), rootObj
+		case *ast.Ident:
+			obj := lintcore.ObjectOf(pass.TypesInfo, e)
+			if obj == nil || obj.Pkg() == nil {
+				return "", nil
+			}
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name(), obj
+			}
+			return "", nil // function-local mutex
+		}
+		return "", nil
+	}
+	// x.Lock() through an embedded sync.Mutex: the receiver expression is
+	// the embedding struct; key on its anonymous mutex field.
+	named := lintcore.NamedOrNil(t)
+	if named == nil {
+		return "", nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Anonymous() && isMutexType(f.Type()) {
+			return namedKey(named) + "." + f.Name(), rootObj
+		}
+	}
+	return "", nil
+}
+
+// isLockOp classifies a call as mutex acquire/release by resolving the
+// callee into package sync.
+func isLockOp(pass *lintcore.Pass, call *ast.CallExpr) string {
+	fn := lintcore.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}
+
+func (a *analysis) walkStmts(list []ast.Stmt, held map[string]heldLock, info *funcInfo) {
+	for _, stmt := range list {
+		a.walkStmt(stmt, held, info)
+	}
+}
+
+func (a *analysis) walkStmt(stmt ast.Stmt, held map[string]heldLock, info *funcInfo) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && a.applyLockOp(call, held, info) {
+			return
+		}
+		a.scanExpr(s.X, held, info)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the linear
+		// scan, which is the model we want; other deferred calls are
+		// recorded with the current held set (they commonly run before the
+		// deferred unlock).
+		if isLockOp(a.pass, s.Call) == "" {
+			a.scanExpr(s.Call, held, info)
+		}
+	case *ast.GoStmt:
+		// A goroutine neither inherits the spawner's critical section nor
+		// contributes to its acquisition summary; its own locking is
+		// tracked in an anonymous funcInfo so its edges still count.
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ginfo := &funcInfo{acquires: make(map[string]bool), edges: make(map[edge]token.Pos)}
+			a.infos = append(a.infos, ginfo)
+			a.walkStmts(fl.Body.List, map[string]heldLock{}, ginfo)
+		}
+	case *ast.BlockStmt:
+		a.walkStmts(s.List, copyHeld(held), info)
+	case *ast.IfStmt:
+		a.scanChild(s.Init, s.Cond, held, info)
+		a.walkStmt(s.Body, copyHeld(held), info)
+		if s.Else != nil {
+			a.walkStmt(s.Else, copyHeld(held), info)
+		}
+	case *ast.ForStmt:
+		a.scanChild(s.Init, s.Cond, held, info)
+		a.walkStmt(s.Body, copyHeld(held), info)
+	case *ast.RangeStmt:
+		a.scanExpr(s.X, held, info)
+		a.walkStmt(s.Body, copyHeld(held), info)
+	case *ast.SwitchStmt:
+		a.scanChild(s.Init, s.Tag, held, info)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held), info)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held), info)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held), info)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.walkStmt(s.Stmt, held, info)
+	default:
+		a.scanExpr(stmt, held, info)
+	}
+}
+
+func copyHeld(held map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (a *analysis) scanChild(init ast.Stmt, cond ast.Expr, held map[string]heldLock, info *funcInfo) {
+	if init != nil {
+		a.scanExpr(init, held, info)
+	}
+	if cond != nil {
+		a.scanExpr(cond, held, info)
+	}
+}
+
+// applyLockOp handles a direct Lock/RLock/Unlock/RUnlock call: it updates
+// the held set, records the acquisition and the edges it induces, and
+// reports same-instance reacquisition on the spot.
+func (a *analysis) applyLockOp(call *ast.CallExpr, held map[string]heldLock, info *funcInfo) bool {
+	op := isLockOp(a.pass, call)
+	if op == "" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	key, root := lockKey(a.pass, sel.X)
+	if key == "" {
+		return true
+	}
+	if op == "unlock" {
+		delete(held, key)
+		return true
+	}
+	info.acquires[key] = true
+	for h, hl := range held {
+		if h == key {
+			// Same type-level lock again: only a shared instance root is a
+			// certain self-deadlock; two distinct instances of one type
+			// (shard handoff) are legitimate.
+			if root != nil && hl.root != nil && root == hl.root {
+				a.pass.Reportf(call.Pos(), "mutex %s is acquired while already held (sync mutexes are not reentrant; self-deadlock)", key)
+			}
+			continue
+		}
+		if _, exists := info.edges[edge{h, key}]; !exists {
+			info.edges[edge{h, key}] = call.Pos()
+		}
+	}
+	held[key] = heldLock{root: root, pos: call.Pos()}
+	return true
+}
+
+// scanExpr records statically resolved calls (with the held-lock snapshot)
+// anywhere in an expression tree, and walks function literals with the held
+// set at their definition point — the synchronous-callback assumption.
+func (a *analysis) scanExpr(n ast.Node, held map[string]heldLock, info *funcInfo) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			a.walkStmts(node.Body.List, copyHeld(held), info)
+			return false
+		case *ast.CallExpr:
+			fn := lintcore.CalleeFunc(a.pass.TypesInfo, node)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "sync" {
+				return true
+			}
+			snapshot := make([]string, 0, len(held))
+			for h := range held {
+				snapshot = append(snapshot, h)
+			}
+			sort.Strings(snapshot)
+			info.calls = append(info.calls, callSite{
+				callee: lintcore.FuncKey(fn),
+				held:   snapshot,
+				pos:    node.Pos(),
+			})
+		}
+		return true
+	})
+}
+
+// finish runs the interprocedural half: fixpoint the may-acquire summaries
+// over the local call graph (seeded with dependency facts), materialize
+// call-induced edges, fold in dependency edges, detect cycles, and export
+// facts for importers.
+func (a *analysis) finish() {
+	pass := a.pass
+
+	// May-acquire fixpoint. Dependency summaries are fixed inputs; local
+	// summaries grow monotonically until stable.
+	local := make(map[string]*funcInfo)
+	may := make(map[string]map[string]bool)
+	for _, info := range a.infos {
+		if info.key == "" {
+			continue
+		}
+		local[info.key] = info
+		set := make(map[string]bool, len(info.acquires))
+		for k := range info.acquires {
+			set[k] = true
+		}
+		may[info.key] = set
+	}
+	resolve := func(callee string) []string {
+		if set, ok := may[callee]; ok {
+			keys := make([]string, 0, len(set))
+			for k := range set {
+				keys = append(keys, k)
+			}
+			return keys
+		}
+		var keys []string
+		for _, f := range pass.DepFactsOfKind(callee, factAcquires) {
+			keys = append(keys, f.Detail)
+		}
+		return keys
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, info := range local {
+			set := may[key]
+			for _, c := range info.calls {
+				for _, k := range resolve(c.callee) {
+					if !set[k] {
+						set[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize edges: direct (recorded during the walk) plus
+	// call-induced (every lock a callee may acquire, ordered after every
+	// lock held at the call site).
+	type located struct {
+		e   edge
+		pos token.Pos
+	}
+	edgePos := make(map[edge]token.Pos)
+	record := func(e edge, pos token.Pos) {
+		if e.from == e.to {
+			return
+		}
+		if old, ok := edgePos[e]; !ok || pos < old {
+			edgePos[e] = pos
+		}
+	}
+	for _, info := range a.infos {
+		for e, pos := range info.edges {
+			record(e, pos)
+		}
+		for _, c := range info.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, k := range resolve(c.callee) {
+				for _, h := range c.held {
+					record(edge{h, k}, c.pos)
+				}
+			}
+		}
+	}
+
+	// Adjacency over local edges plus dependency edges (reachability only;
+	// a dependency's own cycles were reported when it was analyzed).
+	adj := make(map[string][]string)
+	addAdj := func(e edge) { adj[e.from] = append(adj[e.from], e.to) }
+	for e := range edgePos {
+		addAdj(e)
+	}
+	for _, f := range pass.AllDepFacts(factEdge) {
+		from, to, ok := strings.Cut(f.Detail, "|")
+		if ok && from != to {
+			addAdj(edge{from, to})
+		}
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+
+	var cyclic []located
+	for e, pos := range edgePos {
+		if reaches(e.to, e.from) {
+			cyclic = append(cyclic, located{e, pos})
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		if cyclic[i].pos != cyclic[j].pos {
+			return cyclic[i].pos < cyclic[j].pos
+		}
+		return cyclic[i].e.from+cyclic[i].e.to < cyclic[j].e.from+cyclic[j].e.to
+	})
+	for _, c := range cyclic {
+		pass.Reportf(c.pos, "lock-order cycle: %s is acquired while %s is held, and %s is (transitively) acquired while %s is held elsewhere; pick one order", c.e.to, c.e.from, c.e.from, c.e.to)
+	}
+
+	// Export facts: per-function acquisition summaries for callers in
+	// importing packages, and this package's edges for their cycle checks.
+	for _, key := range sortedKeys(local) {
+		set := may[key]
+		for _, lock := range sortedSet(set) {
+			pass.ExportFact(key, factAcquires, lock)
+		}
+	}
+	pkgKey := pass.Pkg.Path()
+	for _, c := range sortedEdges(edgePos) {
+		pass.ExportFact(pkgKey, factEdge, c.from+"|"+c.to)
+	}
+}
+
+func sortedKeys(m map[string]*funcInfo) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedSet(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedEdges(m map[edge]token.Pos) []edge {
+	edges := make([]edge, 0, len(m))
+	for e := range m {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	return edges
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/linttest"
+	"replidtn/internal/analysis/lockorder"
+)
+
+// TestGolden checks the analyzer against the fixture packages: intra- and
+// cross-package lock-order cycles and same-instance reacquisition are
+// flagged (including edges induced through *Locked methods and dependency
+// facts), consistent nesting, branch-scoped unlocks, distinct-instance
+// handoff, and goroutine bodies stay quiet, out-of-scope packages are
+// skipped, and the justified //lint:allow suppresses its side of a cycle.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer)
+}

@@ -1,0 +1,28 @@
+// Package app sits outside the analyzer's scope segments: even a blatant
+// lock-order cycle stays unreported here.
+package app
+
+import "sync"
+
+// A holds two mutexes nested in both orders — out of scope, so silent.
+type A struct {
+	x sync.Mutex
+	y sync.Mutex
+	n int
+}
+
+func (a *A) XY() {
+	a.x.Lock()
+	a.y.Lock()
+	a.n++
+	a.y.Unlock()
+	a.x.Unlock()
+}
+
+func (a *A) YX() {
+	a.y.Lock()
+	a.x.Lock()
+	a.n++
+	a.x.Unlock()
+	a.y.Unlock()
+}

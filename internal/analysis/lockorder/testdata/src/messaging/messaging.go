@@ -1,0 +1,33 @@
+// Package messaging exercises the lockorder allow escape hatch: a
+// documented, intentionally asymmetric nesting suppressed with a justified
+// //lint:allow.
+package messaging
+
+import "sync"
+
+// E pairs an endpoint lock with a delivery lock whose one crossing is a
+// documented contract.
+type E struct {
+	mu     sync.Mutex
+	dmu    sync.Mutex
+	queued int
+}
+
+// Deliver nests dmu inside mu.
+func (e *E) Deliver() {
+	e.mu.Lock()
+	e.dmu.Lock() // want `lock-order cycle`
+	e.queued++
+	e.dmu.Unlock()
+	e.mu.Unlock()
+}
+
+// Requeue nests mu inside dmu — the reverse edge — under a justified allow;
+// Deliver's side of the cycle is still reported.
+func (e *E) Requeue() {
+	e.dmu.Lock()
+	e.mu.Lock() //lint:allow lockorder -- fixture: documented requeue path; delivery is quiesced before requeue runs so the reverse nesting cannot deadlock
+	e.queued--
+	e.mu.Unlock()
+	e.dmu.Unlock()
+}

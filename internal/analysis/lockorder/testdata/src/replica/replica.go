@@ -1,0 +1,106 @@
+// Package replica is the lockorder fixture: intra-package cycles,
+// same-instance reacquisition, the *Locked naming convention, and
+// cross-package edges through the store dependency's facts.
+package replica
+
+import (
+	"sync"
+
+	"fixtures/store"
+)
+
+// R carries two mutexes with a documented order (mu before emitMu) plus a
+// store guarded by its own lock.
+type R struct {
+	mu     sync.Mutex
+	emitMu sync.Mutex
+	s      *store.S
+	n      int
+}
+
+// ForwardOrder nests emitMu inside mu: the sanctioned direction.
+func (r *R) ForwardOrder() {
+	r.mu.Lock()
+	r.emitMu.Lock() // want `lock-order cycle`
+	r.n++
+	r.emitMu.Unlock()
+	r.mu.Unlock()
+}
+
+// ReverseOrder nests mu inside emitMu: together with ForwardOrder this
+// closes a two-lock cycle, so both acquisition sites are reported.
+func (r *R) ReverseOrder() {
+	r.emitMu.Lock()
+	r.mu.Lock() // want `lock-order cycle`
+	r.n++
+	r.mu.Unlock()
+	r.emitMu.Unlock()
+}
+
+// Reacquire takes the same instance's mutex twice on one path: certain
+// self-deadlock, reported at the inner acquisition.
+func (r *R) Reacquire() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `acquired while already held`
+	r.n++
+}
+
+// Handoff locks two distinct instances of the same type: legitimate (shard
+// handoff), not a reacquisition.
+func Handoff(a, b *R) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// bumpLocked runs under mu by the *Locked naming contract; taking the store
+// lock inside it is an R.mu -> store.S.Mu edge even with no visible Lock.
+// The edge closes a cycle through CrossReverse.
+func (r *R) bumpLocked() {
+	r.s.Mu.Lock() // want `lock-order cycle`
+	r.s.Mu.Unlock()
+}
+
+// CrossForward calls the store's Acquire (whose lock usage arrives only as
+// a dependency fact) while holding emitMu: an R.emitMu -> store.S.Mu edge
+// with no Lock call in sight, cyclic via CrossReverse + ForwardOrder.
+func (r *R) CrossForward() {
+	r.emitMu.Lock()
+	r.s.Acquire("k") // want `lock-order cycle`
+	r.emitMu.Unlock()
+}
+
+// CrossReverse takes mu while holding the store's lock: closes the
+// cross-package cycle with CrossForward's call-induced edge.
+func (r *R) CrossReverse() {
+	r.s.Mu.Lock()
+	r.mu.Lock() // want `lock-order cycle`
+	r.n++
+	r.mu.Unlock()
+	r.s.Mu.Unlock()
+}
+
+// BranchScoped unlocks before the nested acquisition on every path: the
+// held-set branch copies must not leak a stale hold.
+func (r *R) BranchScoped() {
+	r.mu.Lock()
+	if r.n > 0 {
+		r.mu.Unlock()
+		r.s.Peek("k")
+		return
+	}
+	r.mu.Unlock()
+}
+
+// Spawned goroutines start with an empty held set: the inner lock is not
+// ordered after mu.
+func (r *R) Spawned() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.emitMu.Lock()
+		r.emitMu.Unlock()
+	}()
+}

@@ -1,0 +1,25 @@
+// Package store is the dependency half of the lockorder cross-package
+// fixture: Acquire's lock usage is exported as an "acquires" fact that the
+// replica fixture package consumes through its call sites.
+package store
+
+import "sync"
+
+// S guards a shared table with an exported mutex, like the real store.
+type S struct {
+	Mu    sync.Mutex
+	table map[string]int
+}
+
+// Acquire takes and releases the store lock; importers calling it while
+// holding their own locks create cross-package lock-order edges.
+func (s *S) Acquire(k string) {
+	s.Mu.Lock()
+	s.table[k]++
+	s.Mu.Unlock()
+}
+
+// Peek reads without locking; calling it adds no edges.
+func (s *S) Peek(k string) int {
+	return s.table[k]
+}

@@ -1,0 +1,12 @@
+// Package app sits outside the analyzer's scope segments: unbounded growth
+// here is an application concern, not replication state, and stays silent.
+package app
+
+// Journal grows without bound — out of scope, so unreported.
+type Journal struct {
+	lines []string
+}
+
+func (j *Journal) Add(line string) {
+	j.lines = append(j.lines, line)
+}

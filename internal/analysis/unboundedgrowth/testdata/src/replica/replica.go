@@ -1,0 +1,118 @@
+// Package replica is the unboundedgrowth fixture: long-lived map/slice
+// fields grown per peer or per item with no delete, eviction, cap, or
+// drain anywhere in the package — the SummaryPeerCap bug class — against
+// every sanctioned bounding idiom the analyzer credits.
+package replica
+
+// Tracker accumulates per-peer and per-item state.
+type Tracker struct {
+	peers map[string]int
+	log   []string
+	seen  map[string]bool
+
+	cache  map[string]int
+	buf    []byte
+	window []int
+	scores map[string]float64
+	inbox  []string
+}
+
+// AddPeer grows the peer map; nothing in the package ever shrinks it.
+func (t *Tracker) AddPeer(id string) {
+	t.peers[id]++ // want `map field .*Tracker.peers grows in AddPeer`
+}
+
+// Append grows the log slice; nothing in the package ever shrinks it.
+func (t *Tracker) Append(line string) {
+	t.log = append(t.log, line) // want `slice field .*Tracker.log grows in Append`
+}
+
+// Mark is the prophet partner-cache bug verbatim: the nil-guarded lazy
+// make is initialization, not eviction, so the field still grows without
+// bound.
+func (t *Tracker) Mark(id string) {
+	if t.seen == nil {
+		t.seen = make(map[string]bool)
+	}
+	t.seen[id] = true // want `map field .*Tracker.seen grows in Mark`
+}
+
+// Cache grows a map that Invalidate below deletes from: bounded.
+func (t *Tracker) Cache(k string, v int) {
+	t.cache[k] = v
+}
+
+// Invalidate is the delete site crediting cache.
+func (t *Tracker) Invalidate(k string) {
+	delete(t.cache, k)
+}
+
+// Buffer appends to buf, which Flush truncates wholesale: bounded.
+func (t *Tracker) Buffer(b byte) {
+	t.buf = append(t.buf, b)
+}
+
+// Flush is the reassignment shrink site crediting buf.
+func (t *Tracker) Flush() []byte {
+	out := t.buf
+	t.buf = t.buf[:0]
+	return out
+}
+
+// Slide grows window under a len() bound checked in the same function:
+// the cap is visibly enforced where the growth happens.
+func (t *Tracker) Slide(v int) {
+	if len(t.window) >= 128 {
+		t.window = t.window[1:]
+	}
+	t.window = append(t.window, v)
+}
+
+// Score grows scores, which pruneScores hands to an eviction-style helper.
+func (t *Tracker) Score(id string, s float64) {
+	t.scores[id] = s
+}
+
+// pruneScores passes the field to a callee whose name declares eviction.
+func (t *Tracker) pruneScores() {
+	evictLowest(t.scores)
+}
+
+func evictLowest(m map[string]float64) {
+	for k := range m {
+		delete(m, k)
+		return
+	}
+}
+
+// Deliver grows the application-owned inbox deliberately: the consumer
+// drains it, which this package cannot see.
+func (t *Tracker) Deliver(msg string) {
+	t.inbox = append(t.inbox, msg) //lint:allow unboundedgrowth -- fixture: application-owned drain buffer; the consumer empties it via a TakeInbox-style API outside this package
+}
+
+// Ledger's receiver-wide credit: a method matching the eviction-name
+// pattern bounds every map/slice field of its type.
+type Ledger struct {
+	entries map[string]int
+}
+
+// Record grows entries; Compact below credits the whole receiver.
+func (l *Ledger) Record(k string) {
+	l.entries[k]++
+}
+
+// Compact rewrites the ledger in place, keeping it bounded.
+func (l *Ledger) Compact() {
+	for k, v := range l.entries {
+		if v == 0 {
+			delete(l.entries, k)
+		}
+	}
+}
+
+// Touch mutates a Tracker it does not own (package function, not a method
+// of the type): growth is only charged to the owning type's methods.
+func Touch(t *Tracker, id string) {
+	t.peers[id]++
+}

@@ -1,0 +1,19 @@
+package unboundedgrowth_test
+
+import (
+	"testing"
+
+	"replidtn/internal/analysis/linttest"
+	"replidtn/internal/analysis/unboundedgrowth"
+)
+
+// TestGolden checks the analyzer against the fixture packages: map and
+// slice fields grown in their type's methods with no shrink site anywhere
+// in the package are flagged — including growth behind a nil-guarded lazy
+// make, the prophet partner-cache bug — while delete/clear sites, wholesale
+// reassignment, same-function len() bounds, eviction-named callees and
+// receiver methods, non-owning mutators, out-of-scope packages, and the
+// justified //lint:allow all stay quiet.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, unboundedgrowth.Analyzer)
+}

@@ -367,6 +367,8 @@ func (r *runner) copiesAt(id item.ID) int {
 // aggregate counters and the event log: everything per-item or per-message
 // was resolved by the fold workers, so the cost per event here is constant
 // no matter how large the fleet or the workload.
+//
+//dtn:hotpath
 func (r *runner) commitShard(ev *event, rec *eventRec) {
 	switch ev.kind {
 	case evInject:

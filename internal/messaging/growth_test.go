@@ -1,0 +1,75 @@
+package messaging
+
+import (
+	"testing"
+
+	"replidtn/internal/item"
+)
+
+func deliverN(ep *Endpoint, start, n int) {
+	for i := start; i < start+n; i++ {
+		it := &item.Item{
+			ID: item.ID{Creator: "src", Num: uint64(i)},
+			Meta: item.Metadata{
+				Source:       "src",
+				Destinations: []string{"a"},
+				Kind:         KindMessage,
+			},
+		}
+		ep.deliver(it)
+	}
+}
+
+// TestSeenSetBounded is the regression test for the unbounded delivery
+// dedup set the dtnlint unboundedgrowth analyzer flagged: Endpoint.seen
+// grew by one entry per delivered message forever. The fix rotates two
+// generations of at most SeenCap entries each.
+func TestSeenSetBounded(t *testing.T) {
+	const cap = 64
+	ep := NewEndpoint(Config{NodeID: "n1", Addresses: []string{"a"}, SeenCap: cap})
+	deliverN(ep, 0, 10*cap)
+
+	ep.mu.Lock()
+	total := len(ep.seen) + len(ep.seenPrev)
+	ep.mu.Unlock()
+	if total > 2*cap {
+		t.Fatalf("dedup set holds %d entries, want <= %d (2xSeenCap)", total, 2*cap)
+	}
+	if got := len(ep.Inbox()); got != 10*cap {
+		t.Fatalf("inbox has %d messages, want %d (eviction must not drop deliveries)", got, 10*cap)
+	}
+}
+
+// TestSeenSetStillDeduplicates verifies the bounded set still collapses
+// repeat deliveries of recent messages: a redelivery inside the retention
+// horizon must not reach the inbox twice.
+func TestSeenSetStillDeduplicates(t *testing.T) {
+	const cap = 64
+	ep := NewEndpoint(Config{NodeID: "n1", Addresses: []string{"a"}, SeenCap: cap})
+	deliverN(ep, 0, cap/2)
+	deliverN(ep, 0, cap/2) // exact repeats, all within one generation
+	if got := len(ep.Inbox()); got != cap/2 {
+		t.Fatalf("inbox has %d messages after redelivery, want %d", got, cap/2)
+	}
+}
+
+// TestTakeInboxDrains verifies the bounded-memory consumption API: the
+// drain returns pending deliveries in order and releases them.
+func TestTakeInboxDrains(t *testing.T) {
+	ep := NewEndpoint(Config{NodeID: "n1", Addresses: []string{"a"}, SeenCap: 16})
+	deliverN(ep, 0, 5)
+	first := ep.TakeInbox()
+	if len(first) != 5 {
+		t.Fatalf("first drain returned %d messages, want 5", len(first))
+	}
+	if first[0].Message.ID != (item.ID{Creator: "src", Num: 0}) || first[4].Message.ID != (item.ID{Creator: "src", Num: 4}) {
+		t.Fatalf("drain out of delivery order: first=%v last=%v", first[0].Message.ID, first[4].Message.ID)
+	}
+	if again := ep.TakeInbox(); len(again) != 0 {
+		t.Fatalf("second drain returned %d messages, want 0", len(again))
+	}
+	deliverN(ep, 5, 2)
+	if got := ep.TakeInbox(); len(got) != 2 {
+		t.Fatalf("drain after new deliveries returned %d, want 2", len(got))
+	}
+}

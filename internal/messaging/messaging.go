@@ -58,10 +58,24 @@ type Endpoint struct {
 	replica   *replica.Replica
 	addresses []string
 	inbox     []Received
+	// seen/seenPrev form a two-generation dedup set: lookups consult both,
+	// inserts go to seen, and when seen reaches seenCap the generations
+	// rotate (seenPrev is dropped wholesale). Memory is bounded by
+	// 2×seenCap entries while the most recent seenCap deliveries always
+	// dedup exactly — the bounded replacement for the unbounded map the
+	// dtnlint unboundedgrowth analyzer flagged (SummaryPeerCap bug class).
 	seen      map[item.ID]struct{}
+	seenPrev  map[item.ID]struct{}
+	seenCap   int
 	onReceive func(Received)
 	now       func() int64
 }
+
+// DefaultSeenCap is the per-generation size of the delivery dedup set. An
+// endpoint remembers at least this many of its most recent deliveries (and
+// at most twice as many); a message re-delivered across address epochs
+// after that horizon would be surfaced to the application again.
+const DefaultSeenCap = 1 << 16
 
 // Config configures a messaging endpoint.
 type Config struct {
@@ -106,6 +120,10 @@ type Config struct {
 	// SummaryDigestMin is the exception-count threshold below which exact
 	// knowledge is sent instead of a digest; 0 selects the default.
 	SummaryDigestMin int
+	// SeenCap bounds the delivery dedup set per generation; 0 selects
+	// DefaultSeenCap. Deliveries older than two generations may be
+	// surfaced again if the item recurs across an address epoch.
+	SeenCap int
 }
 
 // NewEndpoint creates a messaging endpoint and its backing replica.
@@ -113,8 +131,12 @@ func NewEndpoint(cfg Config) *Endpoint {
 	ep := &Endpoint{
 		addresses: append([]string(nil), cfg.Addresses...),
 		seen:      make(map[item.ID]struct{}),
+		seenCap:   cfg.SeenCap,
 		onReceive: cfg.OnReceive,
 		now:       cfg.Now,
+	}
+	if ep.seenCap <= 0 {
+		ep.seenCap = DefaultSeenCap
 	}
 	if ep.now == nil {
 		ep.now = func() int64 { return 0 }
@@ -197,11 +219,24 @@ func (ep *Endpoint) Rehome(addresses, extraFilterAddresses []string) {
 	}
 }
 
-// Inbox returns the messages delivered so far, in delivery order.
+// Inbox returns the messages delivered so far, in delivery order. The
+// buffer keeps accumulating; long-running applications should prefer
+// TakeInbox (or OnReceive) to keep memory bounded.
 func (ep *Endpoint) Inbox() []Received {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return append([]Received(nil), ep.inbox...)
+}
+
+// TakeInbox drains the inbox: it returns the messages delivered since the
+// last drain, in delivery order, and releases them. This is the
+// bounded-memory consumption API for long-running endpoints.
+func (ep *Endpoint) TakeInbox() []Received {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	out := ep.inbox
+	ep.inbox = nil
+	return out
 }
 
 // Ack deletes a received message from the local replica; the tombstone
@@ -220,7 +255,17 @@ func (ep *Endpoint) deliver(it *item.Item) {
 		ep.mu.Unlock()
 		return
 	}
+	if _, dup := ep.seenPrev[it.ID]; dup {
+		ep.mu.Unlock()
+		return
+	}
 	ep.seen[it.ID] = struct{}{}
+	if len(ep.seen) >= ep.seenCap {
+		// Rotate generations: the previous generation is dropped wholesale,
+		// bounding the dedup set at 2×seenCap entries.
+		ep.seenPrev = ep.seen
+		ep.seen = make(map[item.ID]struct{}, ep.seenCap)
+	}
 	at := ""
 	for _, d := range it.Meta.Destinations {
 		for _, a := range ep.addresses {

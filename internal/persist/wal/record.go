@@ -73,6 +73,8 @@ type walMeta struct {
 }
 
 // appendRecord frames kind+payload onto buf and returns the extended slice.
+//
+//dtn:hotpath
 func appendRecord(buf []byte, kind uint8, payload []byte) []byte {
 	var hdr [recordHeaderLen + 1]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
@@ -102,6 +104,8 @@ type record struct {
 // readRecord parses the frame at data[off:]. ok is false when the bytes at
 // off cannot be a complete, checksum-valid frame — the caller decides
 // whether that is a truncatable tail (live log) or corruption (segment).
+//
+//dtn:hotpath
 func readRecord(data []byte, off int) (rec record, next int, ok bool) {
 	if off < 0 || len(data)-off < recordHeaderLen {
 		return record{}, 0, false

@@ -1,0 +1,47 @@
+// Allocation budgets for the //dtn:hotpath functions exercised by the sync
+// benchmarks. The hotpathalloc analyzer forbids the allocation *patterns*
+// statically; these budgets pin the measured *counts*, so a regression that
+// sneaks past the analyzer (a library call that starts allocating, an
+// escape-analysis change) still fails `make bench`.
+//
+// Excluded under -race: the race runtime instruments allocations and
+// inflates the counts.
+
+//go:build !race
+
+package replica
+
+import (
+	"testing"
+)
+
+// TestSyncAllocBudget pins allocs/op for the two sync entry points built
+// from //dtn:hotpath functions.
+func TestSyncAllocBudget(t *testing.T) {
+	src := newBenchSource(t, 1000)
+
+	// MakeSyncRequest is two allocations by design: the request struct and
+	// the O(1) copy-on-write knowledge clone header.
+	req := benchRequest(1)
+	makeAllocs := testing.AllocsPerRun(100, func() {
+		if r := src.MakeSyncRequest(1); r == nil {
+			t.Fatal("nil request")
+		}
+	})
+	if makeAllocs > 2 {
+		t.Errorf("MakeSyncRequest allocates %.1f/op, budget 2 (request struct + knowledge clone header)", makeAllocs)
+	}
+
+	// HandleSyncRequest at the paper's one-item encounter budget: the
+	// bounded selector keeps batch assembly allocation-free per scanned
+	// entry, so the cost is response assembly plus the single materialized
+	// item, not the 1000-entry scan.
+	handleAllocs := testing.AllocsPerRun(100, func() {
+		if resp := src.HandleSyncRequest(req); len(resp.Items) == 0 {
+			t.Fatal("empty batch")
+		}
+	})
+	if handleAllocs > 20 {
+		t.Errorf("HandleSyncRequest(maxItems=1) allocates %.1f/op over a 1000-entry store, budget 20", handleAllocs)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // newBenchSource builds a source replica holding n items: every fourth item
 // is addressed to the sync target (in-filter for the request), the rest are
 // relay candidates selected by the epidemic policy.
-func newBenchSource(b *testing.B, n int) *Replica {
+func newBenchSource(b testing.TB, n int) *Replica {
 	b.Helper()
 	src := New(Config{
 		ID:           "src",

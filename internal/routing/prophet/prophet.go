@@ -201,10 +201,19 @@ func (p *Policy) ownAddress(addr string) bool {
 	return false
 }
 
+// partnerCap bounds the partner vector cache. A node roaming an open-ended
+// peer population would otherwise accumulate one predictability vector per
+// peer ever met (dtnlint unboundedgrowth; the SummaryPeerCap bug class).
+// Eviction is insertion-order FIFO — deterministic, and a partner met again
+// after eviction is simply re-cached on the next encounter.
+const partnerCap = 1024
+
 // partners caches the most recent predictability vector seen from each
 // encounter partner, consulted by ToSend.
 type partnerCache struct {
 	vectors map[vclock.ReplicaID]map[string]float64
+	// order tracks first-insertion order for FIFO eviction.
+	order []vclock.ReplicaID
 }
 
 func (c *partnerCache) store(id vclock.ReplicaID, vec map[string]float64) {
@@ -215,7 +224,20 @@ func (c *partnerCache) store(id vclock.ReplicaID, vec map[string]float64) {
 	for d, v := range vec {
 		cp[d] = v
 	}
+	if _, known := c.vectors[id]; !known {
+		c.order = append(c.order, id)
+	}
 	c.vectors[id] = cp
+	c.evictOldest()
+}
+
+// evictOldest drops first-inserted partners until the cache is within
+// partnerCap.
+func (c *partnerCache) evictOldest() {
+	for len(c.vectors) > partnerCap && len(c.order) > 0 {
+		delete(c.vectors, c.order[0])
+		c.order = append(c.order[:0], c.order[1:]...)
+	}
 }
 
 func (c *partnerCache) get(id vclock.ReplicaID) map[string]float64 {

@@ -42,6 +42,8 @@ func NewKnowledge() *Knowledge {
 }
 
 // Contains reports whether version v has been learned.
+//
+//dtn:hotpath
 func (k *Knowledge) Contains(v Version) bool {
 	if v.Seq == 0 {
 		return false
@@ -73,6 +75,8 @@ func (k *Knowledge) unshare() {
 
 // Add records version v as learned and compacts exceptions that have become
 // contiguous with the base. It returns true if v was newly learned.
+//
+//dtn:hotpath
 func (k *Knowledge) Add(v Version) bool {
 	if v.Seq == 0 || k.Contains(v) {
 		return false
@@ -113,6 +117,8 @@ func (k *Knowledge) compact(r ReplicaID) {
 }
 
 // Merge folds all versions known to other into k.
+//
+//dtn:hotpath
 func (k *Knowledge) Merge(other *Knowledge) {
 	if other == nil {
 		return
@@ -179,6 +185,8 @@ func (k *Knowledge) Count() uint64 {
 // storage with k until either side next mutates (copy-on-write). Reading the
 // clone is safe even while k keeps mutating, because mutation never writes
 // shared maps in place.
+//
+//dtn:hotpath
 func (k *Knowledge) Clone() *Knowledge {
 	k.shared = true
 	return &Knowledge{base: k.base, extra: k.extra, shared: true}
