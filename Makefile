@@ -62,19 +62,21 @@ cover:
 			printf "coverage %.1f%% is below the %.1f%% floor\n", $$3, floor; exit 1 } }'
 
 ## fuzz-smoke runs each native fuzz target briefly against the
-## parse-hostile surfaces — the transport's gob stream, the vclock
-## knowledge codec, and the WAL's crash-recovery readers — complementing the
-## static dtnlint pass with dynamic checking. Seed corpora live under each
-## package's testdata/fuzz (regenerate with `go test -tags corpusgen -run
-## WriteFuzzCorpus`; for the WAL, `WAL_GEN_CORPUS=1 go test -run
-## TestGenerateFuzzCorpus ./internal/persist/wal/`). Any crasher fails the
-## target; run the printed reproducer file under `go test` to debug.
+## parse-hostile surfaces — the transport's frame/gob stream, the v3 binary
+## frame bodies (internal/wire), the vclock knowledge codec, and the WAL's
+## crash-recovery readers — complementing the static dtnlint pass with
+## dynamic checking. Seed corpora live under each package's testdata/fuzz
+## (regenerate with `go test -tags corpusgen -run WriteFuzzCorpus`; for the
+## WAL, `WAL_GEN_CORPUS=1 go test -run TestGenerateFuzzCorpus
+## ./internal/persist/wal/`). Any crasher fails the target; run the printed
+## reproducer file under `go test` to debug.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzKnowledgeMerge$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzDigestDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/vclock/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeConn$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/persist/wal/
 
 ## bench runs the hot-path microbenchmarks (store mutation, sync batch
@@ -99,12 +101,15 @@ bench-scale:
 
 ## bench-sync measures the knowledge-frame bytes each sync request
 ## representation ships at 10k+ known versions — exact v1 frame, protocol-v2
-## Bloom digest, and recurring-pair delta — with allocation stats. Results
+## Bloom digest, and recurring-pair delta — plus the protocol-v3 binary frame
+## codec against the gob stream it replaced, with allocation stats. Results
 ## are recorded in BENCH_sync.json; refresh the file when the knowledge
-## codec, digest sizing, or delta protocol changes. The >=5x reduction the
-## file reports is pinned as a regular test by TestKnowledgeFrameReduction.
+## codec, digest sizing, delta protocol, or frame codec changes. The >=5x
+## reduction the file reports is pinned as a regular test by
+## TestKnowledgeFrameReduction.
 bench-sync:
 	$(GO) test -run xxx -bench 'BenchmarkKnowledgeFrame' -benchmem ./internal/replica/
+	$(GO) test -run xxx -bench 'BenchmarkSyncResponseCodec' -benchmem ./internal/wire/
 
 ## bench-wal measures the write-ahead-log backend: the per-mutation append
 ## cost (encode + frame + fsync bookkeeping) with and without memtable

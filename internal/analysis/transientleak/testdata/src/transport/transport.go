@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 
 	"fixtures/item"
+	"fixtures/wire"
 )
 
 // frame carries transient state in an exported field: the wire contract
@@ -51,4 +52,25 @@ func register() {
 // policy-mediated transmit transient).
 func sendAllowed(enc *gob.Encoder, tr item.Transient) error {
 	return enc.Encode(tr) //lint:allow transientleak -- fixture: policy-mediated transmit transient, an explicit wire field of the sync protocol
+}
+
+// sendBinary ships a transient value through the binary codec: the v3 wire
+// path must be checked exactly like gob.
+func sendBinary(buf []byte, tr item.Transient) []byte {
+	return wire.AppendTransient(buf, tr) // want `transient host-specific metadata reaches wire.AppendTransient`
+}
+
+// sendBinaryEntry ships a transient-bearing struct through the codec.
+func sendBinaryEntry(buf []byte, e *item.Entry) []byte {
+	return wire.AppendEntry(buf, e) // want `transient host-specific metadata reaches wire.AppendEntry`
+}
+
+// sendBinaryClean ships only replicated state through the codec.
+func sendBinaryClean(buf []byte, it *item.Item) []byte {
+	return wire.AppendItem(buf, it)
+}
+
+// sendBinaryAllowed is the sanctioned crossing under the binary codec.
+func sendBinaryAllowed(buf []byte, tr item.Transient) []byte {
+	return wire.AppendTransient(buf, tr) //lint:allow transientleak -- fixture: policy-mediated transmit transient, an explicit wire field of the sync protocol
 }

@@ -10,10 +10,13 @@
 // The analyzer flags item.Transient (or any type containing it) at three
 // serialization boundaries:
 //
-//   - arguments to (*encoding/gob.Encoder).Encode — the wire and snapshot
-//     encoding the transport and persist layers use;
+//   - arguments to (*encoding/gob.Encoder).Encode — the legacy wire and
+//     snapshot encoding the transport and persist layers use;
 //   - gob.Register / gob.RegisterName arguments — registering a
 //     transient-bearing type declares the intent to ship it;
+//   - arguments to the binary codec's Append* entry points (any package
+//     with a "wire" import-path segment) — since protocol v3 these, not
+//     gob, are how values reach wire frames and WAL records;
 //   - struct types declared in a transport package whose fields contain
 //     item.Transient — frame structs are the wire contract.
 //
@@ -28,6 +31,7 @@ package transientleak
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"replidtn/internal/analysis/lintcore"
 )
@@ -57,25 +61,42 @@ func run(pass *lintcore.Pass) error {
 	return nil
 }
 
-// checkEncode flags gob encoding and registration of transient-bearing
-// values.
+// checkEncode flags gob encoding/registration and binary-codec appends of
+// transient-bearing values.
 func checkEncode(pass *lintcore.Pass, call *ast.CallExpr) {
 	fn := lintcore.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" || len(call.Args) == 0 {
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
 		return
 	}
-	switch fn.Name() {
-	case "Encode", "EncodeValue", "Register", "RegisterName":
-	default:
-		return
-	}
-	arg := call.Args[len(call.Args)-1]
-	tv, ok := pass.TypesInfo.Types[arg]
-	if !ok {
-		return
-	}
-	if path := transientPath(tv.Type, nil); path != "" {
-		pass.Reportf(call.Pos(), "transient host-specific metadata reaches gob.%s via %s (through %s); transient fields are never replicated — strip them or annotate the sanctioned crossing", fn.Name(), types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), path)
+	switch {
+	case fn.Pkg().Path() == "encoding/gob":
+		switch fn.Name() {
+		case "Encode", "EncodeValue", "Register", "RegisterName":
+		default:
+			return
+		}
+		arg := call.Args[len(call.Args)-1]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok {
+			return
+		}
+		if path := transientPath(tv.Type, nil); path != "" {
+			pass.Reportf(call.Pos(), "transient host-specific metadata reaches gob.%s via %s (through %s); transient fields are never replicated — strip them or annotate the sanctioned crossing", fn.Name(), types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), path)
+		}
+	case lintcore.PathHasSegment(fn.Pkg().Path(), "wire") && strings.HasPrefix(fn.Name(), "Append"):
+		// Binary-codec entry points serialize exactly like gob.Encode: any
+		// transient-bearing argument (the destination buffer never is) turns
+		// host-local state into wire or WAL bytes.
+		for _, arg := range call.Args {
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok {
+				continue
+			}
+			if path := transientPath(tv.Type, nil); path != "" {
+				pass.Reportf(call.Pos(), "transient host-specific metadata reaches wire.%s via %s (through %s); transient fields are never replicated — strip them or annotate the sanctioned crossing", fn.Name(), types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), path)
+				return
+			}
+		}
 	}
 }
 

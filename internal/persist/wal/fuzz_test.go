@@ -6,10 +6,12 @@ package wal
 // fuzzing is: never panic, never over-allocate on a hostile length field, and
 // keep the two readers' personalities straight (the log reader truncates
 // unverifiable tails, the segment reader fails loudly). Seeds cover the
-// interesting boundaries: a real multi-record log, torn tails at every kind
-// of cut, bit-flipped CRCs, and an oversized length prefix (the PR 7 digest
-// lesson). The checked-in corpus under testdata/fuzz mirrors these so CI
-// fuzz smoke always starts from them; regenerate with WAL_GEN_CORPUS=1.
+// interesting boundaries: a real multi-record log in each encoding era
+// (binary, legacy gob, interleaved), torn tails at every kind of cut,
+// bit-flipped CRCs, an oversized length prefix (the PR 7 digest lesson), and
+// a CRC-valid frame with a malformed binary body. The checked-in corpus
+// under testdata/fuzz mirrors these so CI fuzz smoke always starts from
+// them; regenerate with WAL_GEN_CORPUS=1.
 
 import (
 	"encoding/binary"
@@ -63,13 +65,22 @@ func fuzzSeeds(tb testing.TB) map[string][]byte {
 	oversize := make([]byte, recordHeaderLen+4)
 	binary.LittleEndian.PutUint32(oversize[0:4], maxRecordLen+1)
 	zeroLen := make([]byte, recordHeaderLen+4)
+	// A CRC-valid frame whose binary body is malformed (bad codec version):
+	// the decodable-but-corrupt case the mixed-format readers must reject.
+	badBody, err := appendRecord(nil, recBatchBin, []byte{0xff, 0xff, 0xff})
+	if err != nil {
+		tb.Fatalf("frame bad-body seed: %v", err)
+	}
 	return map[string][]byte{
 		"valid":      valid,
+		"legacy-gob": transcodeLog(tb, valid, 1),
+		"mixed":      transcodeLog(tb, valid, 2),
 		"flip-crc":   flipCRC,
 		"mid-record": midRecord,
 		"mid-header": midHeader,
 		"oversize":   oversize,
 		"zero-len":   zeroLen,
+		"bad-body":   append(append([]byte(nil), valid...), badBody...),
 		"empty":      nil,
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"replidtn/internal/replica"
 	"replidtn/internal/store"
 	"replidtn/internal/vclock"
+	"replidtn/internal/wire"
 )
 
 // Record framing, shared by the live log and segment files:
@@ -19,7 +20,7 @@ import (
 //	length  uint32 LE   bytes that follow the 8-byte header (kind + payload)
 //	crc     uint32 LE   IEEE CRC-32 over kind + payload
 //	kind    uint8       record discriminator
-//	payload             gob-encoded record body
+//	payload             record body: gob (kinds 1–4) or internal/wire (5–8)
 //
 // The length field lets a reader skip to the next record without decoding;
 // the CRC catches torn and bit-flipped records. A live log may legitimately
@@ -27,32 +28,51 @@ import (
 // truncates at the first frame that does not check out; segment files were
 // fully written and fsynced before the manifest referenced them, so the same
 // condition there is corruption and fails recovery loudly.
+//
+// The record kind discriminates the payload encoding as well as the payload
+// type: kinds 1–4 are the original gob bodies, kinds 5–8 the internal/wire
+// binary bodies. Current builds write only the binary kinds; recovery accepts
+// both, so logs and segments written before the migration replay unchanged.
 
 // Record kinds.
 const (
-	// recMeta carries a walMeta: the replica-level durable state outside the
-	// store (identity, counters, knowledge, policy state).
+	// recMeta carries a gob walMeta: the replica-level durable state outside
+	// the store (identity, counters, knowledge, policy state). Legacy.
 	recMeta = 1
-	// recBatch carries one journaled []replica.Mutation batch (live log).
+	// recBatch carries one gob-encoded []replica.Mutation batch. Legacy.
 	recBatch = 2
-	// recPut carries one store.EntrySnapshot (segment files).
+	// recPut carries one gob store.EntrySnapshot (segment files). Legacy.
 	recPut = 3
-	// recRemove carries one removed item.ID (segment files).
+	// recRemove carries one gob item.ID (segment files). Legacy.
 	recRemove = 4
+	// recMetaBin, recBatchBin, recPutBin, recRemoveBin are the same bodies in
+	// the internal/wire binary codec — what current builds write.
+	recMetaBin   = 5
+	recBatchBin  = 6
+	recPutBin    = 7
+	recRemoveBin = 8
 )
 
 // recordHeaderLen is the fixed frame header size (length + crc).
 const recordHeaderLen = 8
 
-// maxRecordLen bounds a single record frame. Any larger length field is
-// treated as corruption: it is far beyond what one mutation batch or entry
-// can encode, and rejecting it keeps a hostile or scrambled log from driving
-// a multi-gigabyte allocation (the PR 7 digest-overflow lesson).
-const maxRecordLen = 64 << 20
+// maxRecordLen bounds a single record frame, enforced on BOTH sides: a
+// writer rejects an oversized payload before anything hits the log (an
+// fsynced-then-unrecoverable record would otherwise poison recovery
+// silently), and a reader treats a larger length field as corruption — far
+// beyond what one mutation batch or entry can encode, and rejecting it keeps
+// a hostile or scrambled log from driving a multi-gigabyte allocation (the
+// PR 7 digest-overflow lesson). A variable so tests can lower the limit
+// without materializing 64 MiB payloads.
+var maxRecordLen = uint32(64 << 20)
 
 // errCorrupt marks a structurally invalid record where the format promises
 // one (segment files, records before a log's truncation point).
 var errCorrupt = errors.New("wal: corrupt record")
+
+// errRecordTooLarge marks a payload whose framed length would exceed
+// maxRecordLen. It is reported by the encode side, before any write.
+var errRecordTooLarge = errors.New("wal: record exceeds maximum frame length")
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
 
@@ -73,26 +93,116 @@ type walMeta struct {
 }
 
 // appendRecord frames kind+payload onto buf and returns the extended slice.
+// An oversized payload is rejected here, before the caller can write it: a
+// frame the reader would refuse must never reach the log.
 //
 //dtn:hotpath
-func appendRecord(buf []byte, kind uint8, payload []byte) []byte {
+func appendRecord(buf []byte, kind uint8, payload []byte) ([]byte, error) {
+	if uint64(len(payload))+1 > uint64(maxRecordLen) {
+		return nil, recordTooLargeError(kind, len(payload))
+	}
 	var hdr [recordHeaderLen + 1]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
 	hdr[8] = kind
 	crc := crc32.Update(crc32.Checksum(hdr[8:9], crcTable), crcTable, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	buf = append(buf, hdr[:]...)
-	return append(buf, payload...)
+	return append(buf, payload...), nil
 }
 
-// encodeRecord gobs body and frames it as one record of the given kind.
+// beginRecord reserves a frame header plus kind byte on buf, so a binary
+// body can be appended in place — no intermediate payload slice. The caller
+// must finish the frame with finishRecord, passing the returned start offset.
+//
+//dtn:hotpath
+func beginRecord(buf []byte, kind uint8) ([]byte, int) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, kind)
+	return buf, start
+}
+
+// finishRecord back-patches the length and CRC of the frame opened at start,
+// enforcing the same encode-side size limit as appendRecord.
+//
+//dtn:hotpath
+func finishRecord(buf []byte, start int) ([]byte, error) {
+	body := buf[start+recordHeaderLen:]
+	if uint64(len(body)) > uint64(maxRecordLen) {
+		return nil, recordTooLargeError(body[0], len(body)-1)
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(body, crcTable))
+	return buf, nil
+}
+
+// appendBatchRecord frames one journaled mutation batch as a binary record,
+// appending straight into buf — the append hot path's zero-allocation writer.
+//
+//dtn:hotpath
+func appendBatchRecord(buf []byte, muts []replica.Mutation) ([]byte, error) {
+	buf, start := beginRecord(buf, recBatchBin)
+	buf, err := wire.AppendMutations(buf, muts) //lint:allow transientleak -- MutPut snapshots persist to this host's own WAL: a restart restores the same host, so its per-copy transient state legitimately survives (DESIGN.md §10)
+	if err != nil {
+		return nil, err
+	}
+	return finishRecord(buf, start)
+}
+
+// recordTooLargeError formats the encode-side limit violation; it lives off
+// the hot path because the happy path never reaches it.
+func recordTooLargeError(kind uint8, payloadLen int) error {
+	return fmt.Errorf("%w: kind %d payload is %d bytes (max %d)",
+		errRecordTooLarge, kind, payloadLen, maxRecordLen-1)
+}
+
+// appendMetaRecord frames a walMeta as a binary record.
+func appendMetaRecord(buf []byte, m walMeta) ([]byte, error) {
+	buf, start := beginRecord(buf, recMetaBin)
+	buf = append(buf, wire.CodecVersion)
+	buf = wire.AppendString(buf, string(m.ID))
+	buf = wire.AppendUvarint(buf, m.Seq)
+	buf = wire.AppendStrings(buf, m.Own)
+	// Nil FilterAddrs means "the filter is not an address filter and survives
+	// restarts via configuration" — distinct from an empty address filter, so
+	// the nil-aware encoding is load-bearing here.
+	buf = wire.AppendStrings(buf, m.FilterAddrs)
+	buf = wire.AppendBytes(buf, m.Knowledge)
+	buf = wire.AppendUvarint(buf, m.NextArrival)
+	buf = wire.AppendBytes(buf, m.PolicyState)
+	buf = wire.AppendUvarint(buf, m.Epoch)
+	return finishRecord(buf, start)
+}
+
+// appendPutRecord frames one stored-entry snapshot as a binary record
+// (segment files).
+func appendPutRecord(buf []byte, e *store.EntrySnapshot) ([]byte, error) {
+	buf, start := beginRecord(buf, recPutBin)
+	buf = append(buf, wire.CodecVersion)
+	//lint:allow transientleak -- WAL records restore the same host after a crash, so per-copy transient state (spray allowances, hop budgets) legitimately survives; nothing here crosses to another replica
+	buf = wire.AppendEntrySnapshot(buf, e)
+	return finishRecord(buf, start)
+}
+
+// appendRemoveRecord frames one removed item ID as a binary record
+// (segment files).
+func appendRemoveRecord(buf []byte, id item.ID) ([]byte, error) {
+	buf, start := beginRecord(buf, recRemoveBin)
+	buf = append(buf, wire.CodecVersion)
+	buf = wire.AppendItemID(buf, id)
+	return finishRecord(buf, start)
+}
+
+// encodeRecord gobs body and frames it as one legacy record of the given
+// kind. Current builds no longer write gob records; this writer remains so
+// the mixed-encoding recovery tests can produce byte-authentic old-format
+// logs and segments.
 func encodeRecord(kind uint8, body any) ([]byte, error) {
 	var payload bytes.Buffer
 	//lint:allow transientleak -- WAL records restore the same host after a crash, so per-copy transient state (spray allowances, hop budgets) legitimately survives; nothing here crosses to another replica
 	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
 		return nil, fmt.Errorf("wal: encode record kind %d: %w", kind, err)
 	}
-	return appendRecord(nil, kind, payload.Bytes()), nil
+	return appendRecord(nil, kind, payload.Bytes())
 }
 
 // record is one decoded frame.
@@ -122,7 +232,7 @@ func readRecord(data []byte, off int) (rec record, next int, ok bool) {
 	return record{kind: body[0], payload: body[1:]}, off + recordHeaderLen + int(length), true
 }
 
-// decodeBody gob-decodes a record payload into out.
+// decodeBody gob-decodes a legacy record payload into out.
 func decodeBody(payload []byte, out any) error {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
 		return fmt.Errorf("%w: %v", errCorrupt, err)
@@ -130,30 +240,97 @@ func decodeBody(payload []byte, out any) error {
 	return nil
 }
 
-// decodeMeta, decodeBatch, decodePut, decodeRemove decode the typed bodies.
-func decodeMeta(payload []byte) (walMeta, error) {
+// checkCodecVersion strips and validates the leading codec-version byte of a
+// binary record payload.
+func checkCodecVersion(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty binary payload", errCorrupt)
+	}
+	if payload[0] != wire.CodecVersion {
+		return nil, fmt.Errorf("%w: codec version %d, want %d", errCorrupt, payload[0], wire.CodecVersion)
+	}
+	return payload[1:], nil
+}
+
+// decodeMeta, decodeBatch, decodePut, decodeRemove decode the typed bodies,
+// dispatching on the record kind between the legacy gob and the binary
+// layouts.
+func decodeMeta(rec record) (walMeta, error) {
 	var m walMeta
-	err := decodeBody(payload, &m)
-	return m, err
+	if rec.kind == recMeta {
+		err := decodeBody(rec.payload, &m)
+		return m, err
+	}
+	body, err := checkCodecVersion(rec.payload)
+	if err != nil {
+		return m, err
+	}
+	d := wire.NewDecoder(body)
+	m.ID = vclock.ReplicaID(d.String())
+	m.Seq = d.Uvarint()
+	m.Own = d.Strings()
+	m.FilterAddrs = d.Strings()
+	m.Knowledge = d.BytesCopy()
+	m.NextArrival = d.Uvarint()
+	m.PolicyState = d.BytesCopy()
+	m.Epoch = d.Uvarint()
+	if err := d.Finish(); err != nil {
+		return m, fmt.Errorf("%w: meta: %v", errCorrupt, err)
+	}
+	return m, nil
 }
 
-func decodeBatch(payload []byte) ([]replica.Mutation, error) {
-	var b []replica.Mutation
-	err := decodeBody(payload, &b)
-	return b, err
+func decodeBatch(rec record) ([]replica.Mutation, error) {
+	if rec.kind == recBatch {
+		var b []replica.Mutation
+		err := decodeBody(rec.payload, &b)
+		return b, err
+	}
+	muts, err := wire.DecodeMutations(rec.payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: batch: %v", errCorrupt, err)
+	}
+	return muts, nil
 }
 
-func decodePut(payload []byte) (store.EntrySnapshot, error) {
+func decodePut(rec record) (store.EntrySnapshot, error) {
 	var e store.EntrySnapshot
-	err := decodeBody(payload, &e)
-	if err == nil && e.Item == nil {
+	if rec.kind == recPut {
+		err := decodeBody(rec.payload, &e)
+		if err == nil && e.Item == nil {
+			return e, fmt.Errorf("%w: put record without item", errCorrupt)
+		}
+		return e, err
+	}
+	body, err := checkCodecVersion(rec.payload)
+	if err != nil {
+		return e, err
+	}
+	d := wire.NewDecoder(body)
+	es := d.EntrySnapshot()
+	if err := d.Finish(); err != nil {
+		return e, fmt.Errorf("%w: put: %v", errCorrupt, err)
+	}
+	if es == nil || es.Item == nil {
 		return e, fmt.Errorf("%w: put record without item", errCorrupt)
 	}
-	return e, err
+	return *es, nil
 }
 
-func decodeRemove(payload []byte) (item.ID, error) {
-	var id item.ID
-	err := decodeBody(payload, &id)
-	return id, err
+func decodeRemove(rec record) (item.ID, error) {
+	if rec.kind == recRemove {
+		var id item.ID
+		err := decodeBody(rec.payload, &id)
+		return id, err
+	}
+	body, err := checkCodecVersion(rec.payload)
+	if err != nil {
+		return item.ID{}, err
+	}
+	d := wire.NewDecoder(body)
+	id := d.ItemID()
+	if err := d.Finish(); err != nil {
+		return item.ID{}, fmt.Errorf("%w: remove: %v", errCorrupt, err)
+	}
+	return id, nil
 }

@@ -96,7 +96,16 @@ type DB struct {
 	r       *replica.Replica
 	loaded  bool
 	err     error // sticky poison
+	// buf is the append path's reusable frame scratch (guarded by mu): the
+	// binary record codec appends into it, so a steady-state append allocates
+	// nothing. Shrunk after unusually large batches (see maxScratchBytes).
+	buf []byte
 }
+
+// maxScratchBytes caps the capacity db.buf retains between appends: one
+// oversized batch (a multi-megabyte payload) must not pin its buffer for the
+// life of the DB.
+const maxScratchBytes = 4 << 20
 
 // Open inspects the directory and returns a DB ready for Load/Attach. It
 // writes nothing.
@@ -308,10 +317,17 @@ func (db *DB) append(muts []replica.Mutation) {
 	if db.err != nil {
 		return
 	}
-	frame, err := encodeRecord(recBatch, muts)
+	// Frame into the reusable scratch; an oversized or unencodable batch
+	// fails here, before any byte reaches the log, so the on-disk state stays
+	// replayable (the DB is poisoned, not the recovery path).
+	frame, err := appendBatchRecord(db.buf[:0], muts)
 	if err != nil {
 		db.err = err
 		return
+	}
+	db.buf = frame
+	if cap(db.buf) > maxScratchBytes {
+		db.buf = nil
 	}
 	if _, err := db.log.Write(frame); err != nil {
 		db.err = fmt.Errorf("wal: append %s: %w", db.curLog, err)
@@ -351,21 +367,20 @@ func (db *DB) checkpointLocked(policyState []byte, full bool) error {
 	mem := db.mem
 	mem.policyState = policyState
 	meta := mem.meta()
-	metaFrame, err := encodeRecord(recMeta, meta)
+	metaFrame, err := appendMetaRecord(nil, meta)
 	if err != nil {
 		return err
 	}
 
-	// 1. Segment: meta + delta, in deterministic order, fsynced.
+	// 1. Segment: meta + delta, in deterministic order, fsynced. Frames are
+	// appended straight into the segment buffer — no per-record slices.
 	seg := segName(db.segSeq)
 	segBuf := append([]byte(nil), metaFrame...)
 	for _, id := range sortedIDs(mem.puts) {
 		e := mem.puts[id]
-		frame, err := encodeRecord(recPut, &e)
-		if err != nil {
+		if segBuf, err = appendPutRecord(segBuf, &e); err != nil {
 			return err
 		}
-		segBuf = append(segBuf, frame...)
 	}
 	removed := make([]item.ID, 0, len(mem.removes))
 	for id := range mem.removes {
@@ -373,11 +388,9 @@ func (db *DB) checkpointLocked(policyState []byte, full bool) error {
 	}
 	sort.Slice(removed, func(i, j int) bool { return lessID(removed[i], removed[j]) })
 	for _, id := range removed {
-		frame, err := encodeRecord(recRemove, id)
-		if err != nil {
+		if segBuf, err = appendRemoveRecord(segBuf, id); err != nil {
 			return err
 		}
-		segBuf = append(segBuf, frame...)
 	}
 	if err := writeFile(db.fsys, seg, segBuf); err != nil {
 		return err
@@ -465,18 +478,15 @@ func (db *DB) compactLocked() error {
 		}
 	}
 	merged := segName(db.segSeq)
-	metaFrame, err := encodeRecord(recMeta, st.meta)
+	buf, err := appendMetaRecord(nil, st.meta)
 	if err != nil {
 		return err
 	}
-	buf := append([]byte(nil), metaFrame...)
 	for _, id := range sortedIDs(st.entries) {
 		e := st.entries[id]
-		frame, err := encodeRecord(recPut, &e)
-		if err != nil {
+		if buf, err = appendPutRecord(buf, &e); err != nil {
 			return err
 		}
-		buf = append(buf, frame...)
 	}
 	if err := writeFile(db.fsys, merged, buf); err != nil {
 		return err
@@ -663,27 +673,27 @@ func (st *recState) replaySegment(data []byte) error {
 		if !ok {
 			return fmt.Errorf("%w: segment damaged at offset %d", errCorrupt, off)
 		}
-		if first && rec.kind != recMeta {
+		if first && rec.kind != recMeta && rec.kind != recMetaBin {
 			return fmt.Errorf("%w: segment does not start with a meta record", errCorrupt)
 		}
 		first = false
 		switch rec.kind {
-		case recMeta:
-			m, err := decodeMeta(rec.payload)
+		case recMeta, recMetaBin:
+			m, err := decodeMeta(rec)
 			if err != nil {
 				return err
 			}
 			if err := st.setMeta(m); err != nil {
 				return err
 			}
-		case recPut:
-			e, err := decodePut(rec.payload)
+		case recPut, recPutBin:
+			e, err := decodePut(rec)
 			if err != nil {
 				return err
 			}
 			st.entries[e.Item.ID] = e
-		case recRemove:
-			id, err := decodeRemove(rec.payload)
+		case recRemove, recRemoveBin:
+			id, err := decodeRemove(rec)
 			if err != nil {
 				return err
 			}
@@ -714,16 +724,16 @@ func (st *recState) replayLog(data []byte) (truncated bool, err error) {
 			return true, nil // torn tail: drop data[off:]
 		}
 		switch rec.kind {
-		case recMeta:
-			m, derr := decodeMeta(rec.payload)
+		case recMeta, recMetaBin:
+			m, derr := decodeMeta(rec)
 			if derr != nil {
 				return false, derr
 			}
 			if derr := st.setMeta(m); derr != nil {
 				return false, derr
 			}
-		case recBatch:
-			muts, derr := decodeBatch(rec.payload)
+		case recBatch, recBatchBin:
+			muts, derr := decodeBatch(rec)
 			if derr != nil {
 				return false, derr
 			}

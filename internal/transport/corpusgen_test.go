@@ -25,6 +25,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		"seed-garbage":         []byte("not a gob stream"),
 		"seed-truncated-hello": transcript[:8],
 		"seed-valid":           transcript,
+		"seed-valid-v3":        validClientTranscriptV3(t),
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzServeConn")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

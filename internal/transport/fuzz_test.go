@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"net"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"replidtn/internal/item"
 	"replidtn/internal/replica"
 	"replidtn/internal/vclock"
+	"replidtn/internal/wire"
 )
 
 // byteConn is a net.Conn that replays a fixed client transcript: reads drain
@@ -52,6 +54,7 @@ func FuzzServeConn(f *testing.F) {
 	f.Add([]byte("not a gob stream"))
 	f.Add(validClientTranscript(f)[:8]) // truncated mid-hello
 	f.Add(validClientTranscript(f))
+	f.Add(validClientTranscriptV3(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := replica.New(replica.Config{ID: "srv", OwnAddresses: []string{"addr:srv"}})
 		r.CreateItem(item.Metadata{
@@ -111,6 +114,53 @@ func validClientTranscript(f testing.TB) []byte {
 	if err := enc.Encode(resp); err != nil {
 		f.Fatal(err)
 	}
+	return buf.Bytes()
+}
+
+// validClientTranscriptV3 is the protocol-v3 counterpart: a Max-advertising
+// gob hello followed by binary frames for the sync request and the reverse
+// response, exactly as a v3 dialer produces them. Seeding it lets mutation
+// explore the binary frame decoder behind the negotiation, not just the
+// legacy gob path.
+func validClientTranscriptV3(f testing.TB) []byte {
+	f.Helper()
+	registerWireTypes()
+	peer := replica.New(replica.Config{ID: "peer", OwnAddresses: []string{"addr:peer"}})
+	it := peer.CreateItem(item.Metadata{
+		Source: "addr:peer", Destinations: []string{"addr:srv"}, Kind: "message",
+	}, []byte("from peer"))
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(hello{Version: protocolBaseVersion, ID: "peer", Max: protocolVersion}); err != nil {
+		f.Fatal(err)
+	}
+	appendFrame := func(msgType byte, body []byte) {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)+1))
+		buf.Write(hdr[:])
+		buf.WriteByte(msgType)
+		buf.Write(body)
+	}
+	reqBody, err := wire.AppendSyncRequest(nil, peer.MakeSyncRequest(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	appendFrame(frameSyncRequest, reqBody)
+	know := vclock.NewKnowledge()
+	know.Add(it.Version)
+	resp := &replica.SyncResponse{
+		SourceID: "peer",
+		Items: []replica.BatchItem{{
+			Item:      it,
+			Transient: item.Transient{}.Set(item.FieldHops, 1),
+		}},
+		LearnedKnowledge: know,
+	}
+	respBody, err := wire.AppendSyncResponse(nil, resp) //lint:allow transientleak -- fuzz seed: the transcript reproduces the sync batch's sanctioned transmit transient
+	if err != nil {
+		f.Fatal(err)
+	}
+	appendFrame(frameSyncResponse, respBody)
 	return buf.Bytes()
 }
 

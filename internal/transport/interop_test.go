@@ -41,10 +41,11 @@ func pair(res replica.EncounterResult) applyPair {
 
 // TestDowngradeInteropMatrix runs the same two-encounter exchange over real
 // TCP under every combination of pinned protocol versions. The delivered
-// results must be bit-identical whether the pair negotiates v2 (summary
-// frames), v1 (exact frames), or a mixed pin that forces the downgrade path;
-// only the frame representation may differ, and pinned-v1 runs must not emit
-// a single summary frame.
+// results must be bit-identical whether the pair negotiates v3 (binary
+// frames), v2 (gob summary frames), v1 (gob exact frames), or a mixed pin
+// that forces a downgrade; only the frame representation may differ. A pin
+// at v2 on either side must downgrade a v3 peer to gob framing with summary
+// knowledge intact, and pinned-v1 runs must not emit a single summary frame.
 func TestDowngradeInteropMatrix(t *testing.T) {
 	type outcome struct {
 		first, second applyPair
@@ -91,7 +92,9 @@ func TestDowngradeInteropMatrix(t *testing.T) {
 		}
 	}
 
-	pins := []struct{ server, dialer int }{{2, 2}, {1, 2}, {2, 1}, {1, 1}}
+	pins := []struct{ server, dialer int }{
+		{3, 3}, {2, 2}, {3, 2}, {2, 3}, {1, 2}, {2, 1}, {3, 1}, {1, 3}, {1, 1},
+	}
 	results := make([]outcome, len(pins))
 	for i, p := range pins {
 		results[i] = exchange(p.server, p.dialer)
@@ -99,16 +102,21 @@ func TestDowngradeInteropMatrix(t *testing.T) {
 	for i, p := range pins[1:] {
 		got, want := results[i+1], results[0]
 		if got.first != want.first || got.second != want.second || got.delivered != want.delivered {
-			t.Errorf("server=v%d dialer=v%d delivered differently than v2/v2:\ngot  %+v / %+v (delivered %d)\nwant %+v / %+v (delivered %d)",
+			t.Errorf("server=v%d dialer=v%d delivered differently than v3/v3:\ngot  %+v / %+v (delivered %d)\nwant %+v / %+v (delivered %d)",
 				p.server, p.dialer, got.first, got.second, got.delivered,
 				want.first, want.second, want.delivered)
 		}
 	}
-	// Full v2: the second encounter of a recurring pair runs on delta
-	// knowledge, on both roles (each side is target for one leg).
-	if results[0].deltasA == 0 || results[0].deltasB == 0 {
-		t.Errorf("v2/v2 recurring pair did not upgrade to delta knowledge: a=%d b=%d deltas",
-			results[0].deltasA, results[0].deltasB)
+	// At v2 or above — including every downgrade to v2 — the second encounter
+	// of a recurring pair runs on delta knowledge, on both roles (each side is
+	// target for one leg).
+	for i, p := range pins {
+		if p.server >= 2 && p.dialer >= 2 {
+			if results[i].deltasA == 0 || results[i].deltasB == 0 {
+				t.Errorf("server=v%d dialer=v%d recurring pair did not upgrade to delta knowledge: a=%d b=%d deltas",
+					p.server, p.dialer, results[i].deltasA, results[i].deltasB)
+			}
+		}
 	}
 	// Any pin at v1 must force exact frames end to end: negotiation, not
 	// configuration, decides — both replicas had summaries enabled.

@@ -4,15 +4,22 @@
 //
 // One connection carries one encounter, mirroring the emulated protocol: a
 // hello exchange, then two synchronizations with alternating source/target
-// roles. Messages are gob-encoded; gob's self-describing framing makes the
-// stream safe without explicit length prefixes.
+// roles. Hellos are always gob-encoded — gob's self-describing framing is
+// what lets every protocol generation parse them — and on encounters
+// negotiated at version 3 or above the sync messages that follow switch to
+// explicit length-prefixed binary frames (internal/wire), with the wire-byte
+// cap enforced per frame on both sides. Older encounters keep speaking pure
+// gob, bit-identical to previous builds.
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"syscall"
@@ -25,12 +32,16 @@ import (
 	"replidtn/internal/routing/maxprop"
 	"replidtn/internal/routing/prophet"
 	"replidtn/internal/vclock"
+	"replidtn/internal/wire"
 )
 
 // protocolVersion is the highest protocol this build speaks. Version 2 adds
 // the compact knowledge summary mode (Bloom digests, delta knowledge, and
 // the NeedKnowledge fallback round; see internal/replica/summary.go).
-const protocolVersion = 2
+// Version 3 replaces gob with length-prefixed binary frames (internal/wire)
+// for every post-hello message and enforces MaxWireBytes per frame instead
+// of cumulatively per connection.
+const protocolVersion = 3
 
 // protocolBaseVersion is the version every build has ever required in the
 // hello's Version field. It never changes: version 1 peers validate
@@ -299,23 +310,69 @@ func (c countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// wireIO bundles one encounter connection's gob codecs with the wire-byte cap
-// and frame/byte accounting the metrics hooks report.
+// Binary frame layout for v3+ encounters: a uint32 little-endian length
+// (covering the type byte and body, so always >= 1), a message-type byte,
+// and the body in the internal/wire encoding. The length is checked against
+// the wire-byte cap before any body allocation on the read side and after
+// assembly on the write side, so an oversized frame is rejected by both the
+// producer and the consumer.
+const (
+	frameSyncRequest  = 1
+	frameSyncResponse = 2
+	frameDone         = 3
+)
+
+// maxFrameScratch caps the encode/decode scratch buffers retained across
+// frames; a single giant batch must not pin its footprint for the rest of
+// the connection.
+const maxFrameScratch = 4 << 20
+
+// wireIO bundles one encounter connection's codecs with the wire-byte cap
+// and frame/byte accounting the metrics hooks report. Hellos always travel
+// as gob; after negotiation, upgrade switches the sync messages to binary
+// frames when the encounter version is 3 or higher. Both codecs share one
+// buffered reader — bufio.Reader implements io.ByteReader, so gob reads
+// through it without stacking a second buffer, and bytes it read ahead
+// remain available to the frame decoder after the upgrade.
 type wireIO struct {
-	enc                 *gob.Encoder
-	dec                 *gob.Decoder
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	br    *bufio.Reader
+	lr    *io.LimitedReader
+	out   countingWriter
+	ver   int   // negotiated encounter version; 0 until upgrade
+	limit int64 // the MaxWireBytes cap: cumulative for gob, per-frame for v3
+
+	rbuf, wbuf          []byte
 	bytesIn, bytesOut   int64
 	framesIn, framesOut int64
 }
 
 func newWireIO(conn net.Conn, limit int64) *wireIO {
-	w := &wireIO{}
-	w.enc = gob.NewEncoder(countingWriter{w: conn, n: &w.bytesOut})
-	w.dec = gob.NewDecoder(&io.LimitedReader{R: countingReader{r: conn, n: &w.bytesIn}, N: limit})
+	w := &wireIO{limit: limit}
+	w.out = countingWriter{w: conn, n: &w.bytesOut}
+	w.lr = &io.LimitedReader{R: countingReader{r: conn, n: &w.bytesIn}, N: limit}
+	w.br = bufio.NewReader(w.lr)
+	w.enc = gob.NewEncoder(w.out)
+	w.dec = gob.NewDecoder(w.br)
 	return w
 }
 
+// upgrade records the negotiated version once the hello exchange settles.
+// From version 3 on, the cumulative read cap gob needed is lifted and the
+// same limit is enforced on each frame instead — a long-lived connection may
+// move any number of frames, none larger than MaxWireBytes.
+func (w *wireIO) upgrade(ver int) {
+	w.ver = ver
+	if ver >= 3 {
+		w.lr.N = math.MaxInt64
+	}
+}
+
 func (w *wireIO) encode(v any) error {
+	if w.ver >= 3 {
+		return w.encodeFrame(v)
+	}
 	if err := w.enc.Encode(v); err != nil {
 		return err
 	}
@@ -323,9 +380,115 @@ func (w *wireIO) encode(v any) error {
 	return nil
 }
 
+// encodeFrame assembles one binary frame in the reusable scratch buffer and
+// writes it in a single Write. The per-frame cap is checked after assembly,
+// before anything reaches the connection: a local batch too large for the
+// negotiated limit fails the encounter cleanly instead of feeding the peer a
+// frame it is bound to reject.
+func (w *wireIO) encodeFrame(v any) error {
+	buf := append(w.wbuf[:0], 0, 0, 0, 0)
+	var err error
+	switch v := v.(type) {
+	case *replica.SyncRequest:
+		buf = append(buf, frameSyncRequest)
+		buf, err = wire.AppendSyncRequest(buf, v)
+	case *replica.SyncResponse:
+		buf = append(buf, frameSyncResponse)
+		buf, err = wire.AppendSyncResponse(buf, v) //lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy built by transmitTransient: an explicit field of the wire protocol, not a leak of host-local state
+	case done:
+		buf = append(buf, frameDone)
+		buf = wire.AppendDone(buf, v.Applied)
+	default:
+		return fmt.Errorf("transport: unframeable message type %T", v)
+	}
+	w.wbuf = buf
+	if cap(w.wbuf) > maxFrameScratch {
+		w.wbuf = nil
+	}
+	if err != nil {
+		return err
+	}
+	length := len(buf) - 4
+	if int64(length) > w.limit {
+		return fmt.Errorf("transport: outgoing frame of %d bytes exceeds the %d-byte wire limit", length, w.limit)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(length))
+	if _, err := w.out.Write(buf); err != nil {
+		return err
+	}
+	w.framesOut++
+	return nil
+}
+
 func (w *wireIO) decode(v any) error {
+	if w.ver >= 3 {
+		return w.decodeFrame(v)
+	}
 	if err := w.dec.Decode(v); err != nil {
 		return err
+	}
+	w.framesIn++
+	return nil
+}
+
+// decodeFrame reads one binary frame. The length prefix is validated against
+// the per-frame cap before the body is buffered, so a hostile peer cannot
+// make this side allocate past MaxWireBytes; a frame that decodes but fails
+// the wire codec is a validation error, counted with the other structural
+// rejections.
+func (w *wireIO) decodeFrame(v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(w.br, hdr[:]); err != nil {
+		return err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length == 0 {
+		return &validationError{errors.New("empty wire frame")}
+	}
+	if int64(length) > w.limit {
+		return &validationError{fmt.Errorf("incoming frame of %d bytes exceeds the %d-byte wire limit", length, w.limit)}
+	}
+	if cap(w.rbuf) < int(length) {
+		w.rbuf = make([]byte, length)
+	}
+	buf := w.rbuf[:length]
+	if cap(w.rbuf) > maxFrameScratch {
+		w.rbuf = nil
+	}
+	if _, err := io.ReadFull(w.br, buf); err != nil {
+		return err
+	}
+	msgType, body := buf[0], buf[1:]
+	switch v := v.(type) {
+	case *replica.SyncRequest:
+		if msgType != frameSyncRequest {
+			return &validationError{fmt.Errorf("frame type %d, want sync request", msgType)}
+		}
+		req, err := wire.DecodeSyncRequest(body)
+		if err != nil {
+			return &validationError{err}
+		}
+		*v = *req
+	case *replica.SyncResponse:
+		if msgType != frameSyncResponse {
+			return &validationError{fmt.Errorf("frame type %d, want sync response", msgType)}
+		}
+		resp, err := wire.DecodeSyncResponse(body)
+		if err != nil {
+			return &validationError{err}
+		}
+		*v = *resp
+	case *done:
+		if msgType != frameDone {
+			return &validationError{fmt.Errorf("frame type %d, want done", msgType)}
+		}
+		applied, err := wire.DecodeDone(body)
+		if err != nil {
+			return &validationError{err}
+		}
+		v.Applied = applied
+	default:
+		return fmt.Errorf("transport: unframeable message type %T", v)
 	}
 	w.framesIn++
 	return nil
@@ -516,6 +679,7 @@ func (s *Server) serveConn(conn net.Conn) (err error) {
 	if err := w.encode(localHello(s.replica.ID(), max)); err != nil {
 		return fmt.Errorf("transport: write hello: %w", err)
 	}
+	w.upgrade(ver)
 
 	// Leg 1: we are the source; the dialer pulls from us.
 	resp, err := serveBatch(w, s.replica, s.maxItems, ver)
@@ -624,6 +788,7 @@ func EncounterOpts(r *replica.Replica, addr string, maxItems int, timeout time.D
 	}
 	ver := negotiate(max, peer)
 	span.Peer = string(peer.ID)
+	w.upgrade(ver)
 
 	// Leg 1: we are the target and pull from the listener.
 	out.BtoA, err = pullBatch(w, r, peer.ID, maxItems, ver)

@@ -17,8 +17,7 @@ import (
 
 var errTruncated = errors.New("vclock: truncated knowledge encoding")
 
-func encodeDoc(doc knowledgeDoc) ([]byte, error) {
-	var buf []byte
+func appendDoc(buf []byte, doc knowledgeDoc) ([]byte, error) {
 	baseIDs := sortedIDs(len(doc.Base))
 	for r := range doc.Base {
 		baseIDs = append(baseIDs, string(r))

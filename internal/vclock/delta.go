@@ -88,13 +88,14 @@ func (k *Knowledge) DiffSince(old *Knowledge) *Knowledge {
 // MarshalBinary implements encoding.BinaryMarshaler so a Delta can travel
 // inside gob-encoded sync requests, like Knowledge does.
 func (d *Delta) MarshalBinary() ([]byte, error) {
-	buf := binary.AppendUvarint(nil, d.epoch)
+	return d.AppendBinary(nil)
+}
+
+// AppendBinary implements encoding.BinaryAppender (see Knowledge.AppendBinary).
+func (d *Delta) AppendBinary(buf []byte) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, d.epoch)
 	buf = binary.AppendUvarint(buf, d.gen)
-	kb, err := d.changes.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return append(buf, kb...), nil
+	return d.changes.AppendBinary(buf)
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. The embedded

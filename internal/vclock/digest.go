@@ -153,7 +153,12 @@ func hashVersion(v Version) (h1, h2 uint64) {
 // MarshalBinary implements encoding.BinaryMarshaler so a Digest can travel
 // inside gob-encoded sync requests, like Knowledge does.
 func (d *Digest) MarshalBinary() ([]byte, error) {
-	buf := appendVector(nil, d.base)
+	return d.AppendBinary(nil)
+}
+
+// AppendBinary implements encoding.BinaryAppender (see Knowledge.AppendBinary).
+func (d *Digest) AppendBinary(buf []byte) ([]byte, error) {
+	buf = appendVector(buf, d.base)
 	buf = binary.AppendUvarint(buf, d.count)
 	buf = binary.AppendUvarint(buf, uint64(d.k))
 	buf = binary.AppendUvarint(buf, uint64(len(d.bits)))

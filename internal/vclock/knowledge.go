@@ -255,6 +255,14 @@ type knowledgeDoc struct {
 // MarshalBinary implements encoding.BinaryMarshaler via a deterministic
 // document form so Knowledge can travel inside gob-encoded sync requests.
 func (k *Knowledge) MarshalBinary() ([]byte, error) {
+	return k.AppendBinary(nil)
+}
+
+// AppendBinary implements encoding.BinaryAppender: it appends the exact
+// MarshalBinary encoding to buf and returns the extended slice, so callers
+// assembling larger frames (the internal/wire codec) reuse one buffer
+// instead of marshaling into a throwaway allocation.
+func (k *Knowledge) AppendBinary(buf []byte) ([]byte, error) {
 	doc := knowledgeDoc{Base: k.base, Extra: make(map[ReplicaID][]uint64, len(k.extra))}
 	for r, ex := range k.extra {
 		seqs := make([]uint64, 0, len(ex))
@@ -264,7 +272,7 @@ func (k *Knowledge) MarshalBinary() ([]byte, error) {
 		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 		doc.Extra[r] = seqs
 	}
-	return encodeDoc(doc)
+	return appendDoc(buf, doc)
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. Decoded knowledge

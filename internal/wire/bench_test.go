@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/vclock"
+)
+
+// benchResponse builds the representative sync payload both codecs encode: a
+// 16-item batch of 1 KiB messages with per-copy transients plus the learned
+// knowledge — the shape one encounter leg ships when budgets allow a full
+// batch.
+func benchResponse(tb testing.TB) *replica.SyncResponse {
+	tb.Helper()
+	know := vclock.NewKnowledge()
+	items := make([]replica.BatchItem, 16)
+	for i := range items {
+		it := &item.Item{
+			ID:      item.ID{Creator: "bus042", Num: uint64(i + 1)},
+			Version: vclock.Version{Replica: "bus042", Seq: uint64(i + 1)},
+			Meta: item.Metadata{
+				Source:       "user:src",
+				Destinations: []string{"user:dst"},
+				Kind:         "message",
+				Created:      100,
+				Expires:      4000,
+			},
+			Payload: bytes.Repeat([]byte{byte(i)}, 1024),
+		}
+		know.Add(it.Version)
+		items[i] = replica.BatchItem{
+			Item:      it,
+			Transient: item.Transient{}.Set(item.FieldHops, 2), //lint:allow transientleak -- benchmark fixture: the policy-mediated transmit transient is an explicit wire field
+		}
+	}
+	return &replica.SyncResponse{
+		SourceID:         "bus042",
+		Items:            items,
+		LearnedKnowledge: know,
+	}
+}
+
+// BenchmarkSyncResponseCodec compares the protocol-v3 binary frame body
+// against the v1/v2 gob stream for the same sync response — the before/after
+// BENCH_sync.json records for the frame envelope. The gob sub-benchmarks
+// rebuild the encoder/decoder per op because that is what each encounter
+// pays: gob streams are per-connection, and its type dictionary must be
+// retransmitted and re-learned every time.
+func BenchmarkSyncResponseCodec(b *testing.B) {
+	resp := benchResponse(b)
+
+	b.Run("binary-encode", func(b *testing.B) {
+		var buf []byte
+		var err error
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err = AppendSyncResponse(buf[:0], resp) //lint:allow transientleak -- benchmark fixture batch, not host state
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(buf)), "wireB/frame")
+	})
+
+	b.Run("binary-decode", func(b *testing.B) {
+		data, err := AppendSyncResponse(nil, resp) //lint:allow transientleak -- benchmark fixture batch, not host state
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeSyncResponse(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("gob-encode", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "wireB/frame")
+	})
+
+	b.Run("gob-decode", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var out replica.SyncResponse
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

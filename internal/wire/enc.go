@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The append functions mirror encoding/binary's AppendX shape: each appends
+// the encoding of its value to buf and returns the extended slice. Callers
+// that reuse one buffer across messages get steady-state zero-allocation
+// encoding; callers that pass nil get a minimal throwaway slice.
+
+// AppendUvarint appends v as an unsigned LEB128 varint.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendVarint appends v as a zigzag varint (small magnitudes of either sign
+// stay short).
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendUint32 appends v as fixed 4-byte little-endian.
+func AppendUint32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+// AppendUint64 appends v as fixed 8-byte little-endian.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// AppendFloat64 appends v's IEEE-754 bit pattern as fixed 8-byte
+// little-endian.
+func AppendFloat64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// AppendString appends a uvarint length followed by the raw bytes. The empty
+// string and a "missing" string are indistinguishable; use AppendBytes when
+// nil must survive the round trip.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBytes appends b with a shifted count that preserves nil-vs-empty:
+// uvarint 0 for nil, len(b)+1 followed by the bytes otherwise. Several
+// message fields carry meaning in that distinction (a nil MutMerge knowledge
+// is a poison marker; a nil FilterAddrs means "not an address filter").
+func AppendBytes(buf []byte, b []byte) []byte {
+	if b == nil {
+		return append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b))+1)
+	return append(buf, b...)
+}
+
+// AppendStrings appends a string slice with the same shifted-count
+// nil-vs-empty convention as AppendBytes.
+func AppendStrings(buf []byte, ss []string) []byte {
+	if ss == nil {
+		return append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ss))+1)
+	for _, s := range ss {
+		buf = AppendString(buf, s)
+	}
+	return buf
+}

@@ -1,0 +1,162 @@
+package wire
+
+// FuzzWireDecode throws hostile bytes at every v3 frame-body decoder. These
+// are the transport's parse-hostile surface since protocol v3 — every byte
+// arrives from a peer — so the contract under fuzzing is: never panic, never
+// trust a forged count as an allocation size, and re-encode anything
+// accepted to a canonical fixed point (encoding a decoded value, then
+// decoding and encoding again, must reproduce the same bytes — the property
+// that makes the codec's output well-defined regardless of how degenerate
+// the accepted input was). `make fuzz-smoke` runs this briefly on every CI
+// run; the seed corpus under testdata/fuzz (regenerated with `go test -tags
+// corpusgen -run WriteFuzzCorpus`) pins one valid encoding per frame family
+// plus the boundary shapes.
+
+import (
+	"bytes"
+	"testing"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// wireFuzzSeeds builds the seed inputs, shared by the fuzz target and the
+// corpus generator so the checked-in files never drift from f.Add.
+func wireFuzzSeeds(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	know := vclock.NewKnowledge()
+	for s := uint64(1); s <= 5; s++ {
+		know.Add(vclock.Version{Replica: "a", Seq: s})
+	}
+	know.Add(vclock.Version{Replica: "b", Seq: 7})
+
+	it := &item.Item{
+		ID:      item.ID{Creator: "a", Num: 7},
+		Version: vclock.Version{Replica: "a", Seq: 9},
+		Prior:   []vclock.Version{{Replica: "a", Seq: 3}},
+		Meta: item.Metadata{
+			Source:       "user:1",
+			Destinations: []string{"user:2"},
+			Kind:         "message",
+			Created:      100,
+			Expires:      900,
+			Attrs:        map[string]string{"a": "2"},
+		},
+		Payload: []byte("payload bytes"),
+	}
+
+	must := func(buf []byte, err error) []byte {
+		if err != nil {
+			tb.Fatalf("build seed: %v", err)
+		}
+		return buf
+	}
+	exactReq := must(AppendSyncRequest(nil, &replica.SyncRequest{
+		TargetID:  "t",
+		Knowledge: know,
+		Epoch:     3,
+		Gen:       9,
+		Filter:    filter.NewAddresses("user:1"),
+		MaxItems:  10,
+		MaxBytes:  1 << 20,
+	}))
+	digestReq := must(AppendSyncRequest(nil, &replica.SyncRequest{
+		TargetID: "t",
+		Digest:   know.Digest(0.01),
+		Filter:   filter.All{},
+	}))
+	deltaReq := must(AppendSyncRequest(nil, &replica.SyncRequest{
+		TargetID:    "t",
+		Delta:       vclock.NewDelta(2, 5, know),
+		StrictBytes: true,
+	}))
+	resp := must(AppendSyncResponse(nil, &replica.SyncResponse{
+		SourceID: "s",
+		Items: []replica.BatchItem{
+			{Item: it, Transient: item.Transient{"ttl": 2}}, //lint:allow transientleak -- fixture batch: the policy-mediated transmit transient is an explicit wire field
+		},
+		Truncated:        true,
+		LearnedKnowledge: know,
+	}))
+	muts := must(AppendMutations(nil, []replica.Mutation{
+		{Kind: replica.MutPut, Entry: &store.EntrySnapshot{Item: it, Arrival: 5}, NextArrival: 6},
+		{Kind: replica.MutRemove, ID: item.ID{Creator: "a", Num: 7}, NextArrival: 7},
+		{Kind: replica.MutLearn, Versions: []vclock.Version{{Replica: "a", Seq: 9}}, Seq: 9},
+		{Kind: replica.MutIdentity, Own: []string{"user:1"}},
+	}))
+	return map[string][]byte{
+		"exact-request":  exactReq,
+		"digest-request": digestReq,
+		"delta-request":  deltaReq,
+		"response":       resp,
+		"done":           AppendDone(nil, 42),
+		"mutations":      muts,
+		"truncated":      exactReq[:len(exactReq)/2],
+		"bad-version":    append([]byte{0xff}, exactReq[1:]...),
+		"empty":          nil,
+	}
+}
+
+// refuzz runs one decode/encode/decode/encode cycle and checks the fixed
+// point: enc(dec(enc(dec(data)))) == enc(dec(data)).
+func refuzz(t *testing.T, what string, data []byte,
+	decode func([]byte) (any, error), encode func(any) ([]byte, error)) {
+	t.Helper()
+	v, err := decode(data)
+	if err != nil {
+		return // invalid encodings must only error, never panic
+	}
+	enc1, err := encode(v)
+	if err != nil {
+		t.Fatalf("%s: decoded value does not re-encode: %v", what, err)
+	}
+	v2, err := decode(enc1)
+	if err != nil {
+		t.Fatalf("%s: re-encoded value does not decode: %v", what, err)
+	}
+	enc2, err := encode(v2)
+	if err != nil {
+		t.Fatalf("%s: second re-encode failed: %v", what, err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("%s: encoding is not a fixed point:\n%x\n%x", what, enc1, enc2)
+	}
+}
+
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range wireFuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refuzz(t, "sync request", data,
+			func(b []byte) (any, error) {
+				req, err := DecodeSyncRequest(b)
+				if err == nil && req.Routing != nil {
+					// The routing blob is nested gob, and gob's map encoding
+					// is not byte-deterministic — decoding hostile blobs is
+					// still exercised; the fixed point pins everything else.
+					req.Routing = nil
+				}
+				return req, err
+			},
+			func(v any) ([]byte, error) { return AppendSyncRequest(nil, v.(*replica.SyncRequest)) })
+		refuzz(t, "sync response", data,
+			func(b []byte) (any, error) { return DecodeSyncResponse(b) },
+			func(v any) ([]byte, error) {
+				//lint:allow transientleak -- fuzz round-trip: re-encoding the batch the decoder just produced, not leaking host state
+				return AppendSyncResponse(nil, v.(*replica.SyncResponse))
+			})
+		refuzz(t, "done", data,
+			func(b []byte) (any, error) { return DecodeDone(b) },
+			func(v any) ([]byte, error) { return AppendDone(nil, v.(int)), nil })
+		refuzz(t, "mutations", data,
+			func(b []byte) (any, error) { return DecodeMutations(b) },
+			func(v any) ([]byte, error) {
+				//lint:allow transientleak -- fuzz round-trip: re-encoding the batch the decoder just produced, not leaking host state
+				return AppendMutations(nil, v.([]replica.Mutation))
+			})
+	})
+}

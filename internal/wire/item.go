@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"fmt"
+
+	"replidtn/internal/item"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+// Codecs for the item-layer values that ride inside WAL record bodies and v3
+// transport frames. Decoded values copy every field out of the input buffer:
+// an *item.Item or EntrySnapshot escapes into the store and must not alias a
+// reusable read buffer.
+
+// sortKeys sorts a small key slice in place. Map fields here (Transient,
+// Metadata.Attrs) hold a handful of entries, so an insertion sort over a
+// caller's stack-backed slice beats sort.Strings, which forces the slice to
+// escape through its interface argument.
+func sortKeys(keys []string) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// AppendVersion appends replica ID + sequence.
+func AppendVersion(buf []byte, v vclock.Version) []byte {
+	buf = AppendString(buf, string(v.Replica))
+	return AppendUvarint(buf, v.Seq)
+}
+
+// Version decodes a version.
+func (d *Decoder) Version() vclock.Version {
+	return vclock.Version{Replica: vclock.ReplicaID(d.String()), Seq: d.Uvarint()}
+}
+
+// AppendVersions appends a nil-aware version slice.
+func AppendVersions(buf []byte, vs []vclock.Version) []byte {
+	if vs == nil {
+		return append(buf, 0)
+	}
+	buf = AppendUvarint(buf, uint64(len(vs))+1)
+	for _, v := range vs {
+		buf = AppendVersion(buf, v)
+	}
+	return buf
+}
+
+// Versions decodes a nil-aware version slice.
+func (d *Decoder) Versions() []vclock.Version {
+	n := d.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	n--
+	// Each version costs at least two bytes (ID length prefix + seq).
+	if n > uint64(d.Remaining()) {
+		d.fail(fmt.Errorf("wire: version count %d exceeds %d remaining bytes", n, d.Remaining()))
+		return nil
+	}
+	vs := make([]vclock.Version, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		vs = append(vs, d.Version())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// AppendItemID appends creator + number.
+func AppendItemID(buf []byte, id item.ID) []byte {
+	buf = AppendString(buf, string(id.Creator))
+	return AppendUvarint(buf, id.Num)
+}
+
+// ItemID decodes an item ID.
+func (d *Decoder) ItemID() item.ID {
+	return item.ID{Creator: vclock.ReplicaID(d.String()), Num: d.Uvarint()}
+}
+
+// AppendTransient appends a nil-aware transient map, keys sorted for
+// deterministic bytes.
+func AppendTransient(buf []byte, t item.Transient) []byte {
+	if t == nil {
+		return append(buf, 0)
+	}
+	buf = AppendUvarint(buf, uint64(len(t))+1)
+	var arr [8]string
+	keys := arr[:0]
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		buf = AppendString(buf, k)
+		buf = AppendFloat64(buf, t[k])
+	}
+	return buf
+}
+
+// Transient decodes a nil-aware transient map.
+func (d *Decoder) Transient() item.Transient {
+	n := d.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	n--
+	// Each entry costs at least nine bytes (key prefix + fixed float64).
+	if n > uint64(d.Remaining())/9 {
+		d.fail(fmt.Errorf("wire: transient count %d exceeds %d remaining bytes", n, d.Remaining()))
+		return nil
+	}
+	t := make(item.Transient, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.String()
+		t[k] = d.Float64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return t
+}
+
+// appendAttrs appends a nil-aware string map, keys sorted.
+func appendAttrs(buf []byte, attrs map[string]string) []byte {
+	if attrs == nil {
+		return append(buf, 0)
+	}
+	buf = AppendUvarint(buf, uint64(len(attrs))+1)
+	var arr [8]string
+	keys := arr[:0]
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		buf = AppendString(buf, k)
+		buf = AppendString(buf, attrs[k])
+	}
+	return buf
+}
+
+// attrs decodes a nil-aware string map.
+func (d *Decoder) attrs() map[string]string {
+	n := d.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	n--
+	// Each entry costs at least two length prefixes.
+	if n > uint64(d.Remaining())/2 {
+		d.fail(fmt.Errorf("wire: attr count %d exceeds %d remaining bytes", n, d.Remaining()))
+		return nil
+	}
+	attrs := make(map[string]string, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.String()
+		attrs[k] = d.String()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return attrs
+}
+
+// AppendItem appends a full item: ID, version, prior versions, tombstone
+// flag, metadata, payload.
+func AppendItem(buf []byte, it *item.Item) []byte {
+	buf = AppendItemID(buf, it.ID)
+	buf = AppendVersion(buf, it.Version)
+	buf = AppendVersions(buf, it.Prior)
+	buf = AppendBool(buf, it.Deleted)
+	buf = AppendString(buf, it.Meta.Source)
+	buf = AppendStrings(buf, it.Meta.Destinations)
+	buf = AppendString(buf, it.Meta.Kind)
+	buf = AppendVarint(buf, it.Meta.Created)
+	buf = AppendVarint(buf, it.Meta.Expires)
+	buf = appendAttrs(buf, it.Meta.Attrs)
+	return AppendBytes(buf, it.Payload)
+}
+
+// Item decodes a full item. Every field, including the payload, is copied
+// out of the decoder's buffer.
+func (d *Decoder) Item() *item.Item {
+	it := &item.Item{
+		ID:      d.ItemID(),
+		Version: d.Version(),
+		Prior:   d.Versions(),
+		Deleted: d.Bool(),
+	}
+	it.Meta.Source = d.String()
+	it.Meta.Destinations = d.Strings()
+	it.Meta.Kind = d.String()
+	it.Meta.Created = d.Varint()
+	it.Meta.Expires = d.Varint()
+	it.Meta.Attrs = d.attrs()
+	it.Payload = d.BytesCopy()
+	if d.err != nil {
+		return nil
+	}
+	return it
+}
+
+// AppendEntrySnapshot appends a stored-entry snapshot: the item plus its
+// per-copy transient state, placement flags, and arrival stamp.
+func AppendEntrySnapshot(buf []byte, e *store.EntrySnapshot) []byte {
+	buf = AppendItem(buf, e.Item)
+	buf = AppendTransient(buf, e.Transient) //lint:allow transientleak -- the snapshot codec's own crossing: EntrySnapshot deliberately carries per-copy state, and each caller (WAL persistence, the sync batch's transmit copy) annotates its sanctioned use
+	buf = AppendBool(buf, e.Relay)
+	buf = AppendBool(buf, e.Local)
+	return AppendUvarint(buf, e.Arrival)
+}
+
+// EntrySnapshot decodes a stored-entry snapshot.
+func (d *Decoder) EntrySnapshot() *store.EntrySnapshot {
+	e := &store.EntrySnapshot{
+		Item:      d.Item(),
+		Transient: d.Transient(),
+		Relay:     d.Bool(),
+		Local:     d.Bool(),
+		Arrival:   d.Uvarint(),
+	}
+	if d.err != nil {
+		return nil
+	}
+	return e
+}

@@ -1,0 +1,374 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing"
+	"replidtn/internal/vclock"
+)
+
+// Codecs for the transport's protocol-v3 frame bodies. Each body starts with
+// the one-byte codec version; the frame length prefix and message-type byte
+// around it belong to the transport (see internal/transport).
+
+// Filter type tags. The filter set is closed (package filter defines exactly
+// these implementations), so an explicit tag per concrete type replaces gob's
+// registered-name machinery.
+const (
+	filterNil       = 0
+	filterAll       = 1
+	filterNone      = 2
+	filterAddresses = 3
+	filterOr        = 4
+	filterKind      = 5
+)
+
+// maxFilterDepth bounds Or nesting on both sides: deeper filters are the
+// work of a hostile frame (or a runaway caller) and would otherwise let
+// recursion depth scale with input bytes.
+const maxFilterDepth = 32
+
+// AppendFilter appends a filter as a type tag plus type-specific fields.
+// A nil filter encodes as a tag of its own so it survives the round trip.
+func AppendFilter(buf []byte, f filter.Filter) ([]byte, error) {
+	return appendFilter(buf, f, 0)
+}
+
+func appendFilter(buf []byte, f filter.Filter, depth int) ([]byte, error) {
+	if depth > maxFilterDepth {
+		return nil, fmt.Errorf("wire: filter nesting exceeds %d", maxFilterDepth)
+	}
+	switch f := f.(type) {
+	case nil:
+		return append(buf, filterNil), nil
+	case filter.All:
+		return append(buf, filterAll), nil
+	case filter.None:
+		return append(buf, filterNone), nil
+	case *filter.Addresses:
+		buf = append(buf, filterAddresses)
+		return AppendStrings(buf, f.List()), nil
+	case *filter.Or:
+		buf = append(buf, filterOr)
+		buf = AppendUvarint(buf, uint64(len(f.Members)))
+		var err error
+		for _, m := range f.Members {
+			if buf, err = appendFilter(buf, m, depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case filter.Kind:
+		buf = append(buf, filterKind)
+		return AppendString(buf, f.Name), nil
+	default:
+		return nil, fmt.Errorf("wire: unencodable filter type %T", f)
+	}
+}
+
+// Filter decodes a filter written by AppendFilter.
+func (d *Decoder) Filter() filter.Filter {
+	return d.filter(0)
+}
+
+func (d *Decoder) filter(depth int) filter.Filter {
+	if depth > maxFilterDepth {
+		d.fail(fmt.Errorf("wire: filter nesting exceeds %d", maxFilterDepth))
+		return nil
+	}
+	switch tag := d.Byte(); tag {
+	case filterNil:
+		return nil
+	case filterAll:
+		return filter.All{}
+	case filterNone:
+		return filter.None{}
+	case filterAddresses:
+		return filter.NewAddresses(d.Strings()...)
+	case filterOr:
+		n := d.Uvarint()
+		// Each member costs at least its one tag byte.
+		if n > uint64(d.Remaining()) {
+			d.fail(fmt.Errorf("wire: filter member count %d exceeds %d remaining bytes", n, d.Remaining()))
+			return nil
+		}
+		members := make([]filter.Filter, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			members = append(members, d.filter(depth+1))
+		}
+		return filter.NewOr(members...)
+	case filterKind:
+		return filter.Kind{Name: d.String()}
+	default:
+		if d.err == nil {
+			d.fail(fmt.Errorf("wire: unknown filter tag %d", tag))
+		}
+		return nil
+	}
+}
+
+// Routing-policy requests are interface-typed and open-ended (custom
+// policies register their own types via transport.RegisterRequestType), so
+// they cross the wire as a nested gob blob: a tag byte for nil, then a
+// length-prefixed gob stream of the interface value. The blob is small and
+// present only when a stateful policy (PROPHET, MaxProp) is attached, so
+// gob's allocations here do not touch the per-item hot path.
+
+// AppendRouting appends a routing request as a nil tag or a gob blob.
+func AppendRouting(buf []byte, req routing.Request) ([]byte, error) {
+	if req == nil {
+		return append(buf, 0), nil
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(&req); err != nil {
+		return nil, fmt.Errorf("wire: encode routing request: %w", err)
+	}
+	buf = append(buf, 1)
+	return AppendBytes(buf, blob.Bytes()), nil
+}
+
+// Routing decodes a routing request written by AppendRouting.
+func (d *Decoder) Routing() routing.Request {
+	switch tag := d.Byte(); tag {
+	case 0:
+		return nil
+	case 1:
+		blob := d.Bytes()
+		if d.err != nil {
+			return nil
+		}
+		var req routing.Request
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&req); err != nil {
+			d.fail(fmt.Errorf("wire: decode routing request: %w", err))
+			return nil
+		}
+		return req
+	default:
+		if d.err == nil {
+			d.fail(fmt.Errorf("wire: unknown routing tag %d", tag))
+		}
+		return nil
+	}
+}
+
+// Knowledge-frame tags: the request's summary-mode alternatives and the
+// response's optional learned knowledge reuse one layout — a tag byte, then
+// a length-prefixed vclock binary marshal.
+const (
+	knowNone   = 0
+	knowExact  = 1
+	knowDigest = 2
+	knowDelta  = 3
+)
+
+// appendKnowledgeFrame appends exactly one of the three summary forms (or
+// the none tag). The vclock marshals append straight into buf — WireSize
+// gives the exact length prefix without building the encoding twice.
+func appendKnowledgeFrame(buf []byte, k *vclock.Knowledge, dg *vclock.Digest, dl *vclock.Delta) ([]byte, error) {
+	set := 0
+	if k != nil {
+		set++
+	}
+	if dg != nil {
+		set++
+	}
+	if dl != nil {
+		set++
+	}
+	if set > 1 {
+		return nil, errors.New("wire: multiple knowledge frames set")
+	}
+	var err error
+	switch {
+	case k != nil:
+		buf = append(buf, knowExact)
+		buf = AppendUvarint(buf, uint64(k.WireSize()))
+		buf, err = k.AppendBinary(buf)
+	case dg != nil:
+		buf = append(buf, knowDigest)
+		buf = AppendUvarint(buf, uint64(dg.WireSize()))
+		buf, err = dg.AppendBinary(buf)
+	case dl != nil:
+		buf = append(buf, knowDelta)
+		buf = AppendUvarint(buf, uint64(dl.WireSize()))
+		buf, err = dl.AppendBinary(buf)
+	default:
+		return append(buf, knowNone), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode knowledge frame: %w", err)
+	}
+	return buf, nil
+}
+
+// knowledgeFrame decodes one frame into whichever of the three forms the tag
+// names. The vclock unmarshals copy and canonicalize, so the returned values
+// never alias the input.
+func (d *Decoder) knowledgeFrame() (*vclock.Knowledge, *vclock.Digest, *vclock.Delta) {
+	tag := d.Byte()
+	if tag == knowNone || d.err != nil {
+		return nil, nil, nil
+	}
+	n := d.Uvarint()
+	body := d.view(n)
+	if d.err != nil {
+		return nil, nil, nil
+	}
+	switch tag {
+	case knowExact:
+		k := vclock.NewKnowledge()
+		if err := k.UnmarshalBinary(body); err != nil {
+			d.fail(err)
+			return nil, nil, nil
+		}
+		return k, nil, nil
+	case knowDigest:
+		dg := new(vclock.Digest)
+		if err := dg.UnmarshalBinary(body); err != nil {
+			d.fail(err)
+			return nil, nil, nil
+		}
+		return nil, dg, nil
+	case knowDelta:
+		dl := new(vclock.Delta)
+		if err := dl.UnmarshalBinary(body); err != nil {
+			d.fail(err)
+			return nil, nil, nil
+		}
+		return nil, nil, dl
+	default:
+		d.fail(fmt.Errorf("wire: unknown knowledge tag %d", tag))
+		return nil, nil, nil
+	}
+}
+
+// AppendSyncRequest appends a complete v3 sync-request body: codec version,
+// target ID, knowledge frame, delta tags, filter, routing blob, budgets.
+// Budgets travel as zigzag varints so an (invalid) negative survives to the
+// transport validator instead of wrapping into a huge positive.
+func AppendSyncRequest(buf []byte, req *replica.SyncRequest) ([]byte, error) {
+	buf = append(buf, CodecVersion)
+	buf = AppendString(buf, string(req.TargetID))
+	buf, err := appendKnowledgeFrame(buf, req.Knowledge, req.Digest, req.Delta)
+	if err != nil {
+		return nil, err
+	}
+	buf = AppendUvarint(buf, req.Epoch)
+	buf = AppendUvarint(buf, req.Gen)
+	if buf, err = AppendFilter(buf, req.Filter); err != nil {
+		return nil, err
+	}
+	if buf, err = AppendRouting(buf, req.Routing); err != nil {
+		return nil, err
+	}
+	buf = AppendVarint(buf, int64(req.MaxItems))
+	buf = AppendVarint(buf, req.MaxBytes)
+	return AppendBool(buf, req.StrictBytes), nil
+}
+
+// DecodeSyncRequest decodes a body written by AppendSyncRequest. Structural
+// protocol rules (exactly one knowledge frame, non-negative budgets) stay
+// with the transport validator; this only enforces the layout.
+func DecodeSyncRequest(data []byte) (*replica.SyncRequest, error) {
+	d := NewDecoder(data)
+	if ver := d.Byte(); d.err == nil && ver != CodecVersion {
+		return nil, fmt.Errorf("wire: sync request codec version %d, want %d", ver, CodecVersion)
+	}
+	req := &replica.SyncRequest{TargetID: vclock.ReplicaID(d.String())}
+	req.Knowledge, req.Digest, req.Delta = d.knowledgeFrame()
+	req.Epoch = d.Uvarint()
+	req.Gen = d.Uvarint()
+	req.Filter = d.Filter()
+	req.Routing = d.Routing()
+	req.MaxItems = int(d.Varint())
+	req.MaxBytes = d.Varint()
+	req.StrictBytes = d.Bool()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// AppendSyncResponse appends a complete v3 sync-response body: codec
+// version, source ID, the prioritized batch, flags, and the optional learned
+// knowledge.
+func AppendSyncResponse(buf []byte, resp *replica.SyncResponse) ([]byte, error) {
+	buf = append(buf, CodecVersion)
+	buf = AppendString(buf, string(resp.SourceID))
+	buf = AppendUvarint(buf, uint64(len(resp.Items)))
+	for i := range resp.Items {
+		bi := &resp.Items[i]
+		if bi.Item == nil {
+			return nil, fmt.Errorf("wire: batch item %d missing item", i)
+		}
+		buf = AppendItem(buf, bi.Item)
+		//lint:allow transientleak -- BatchItem.Transient is the policy-mediated transmit copy (e.g. a halved spray allowance): an explicit field of the wire protocol, not a leak of host-local state
+		buf = AppendTransient(buf, bi.Transient)
+		buf = AppendVarint(buf, int64(bi.Priority.Class))
+		buf = AppendFloat64(buf, bi.Priority.Cost)
+	}
+	buf = AppendBool(buf, resp.Truncated)
+	buf = AppendBool(buf, resp.NeedKnowledge)
+	return appendKnowledgeFrame(buf, resp.LearnedKnowledge, nil, nil)
+}
+
+// DecodeSyncResponse decodes a body written by AppendSyncResponse. Every
+// item is copied out of data, so the caller may reuse its read buffer.
+func DecodeSyncResponse(data []byte) (*replica.SyncResponse, error) {
+	d := NewDecoder(data)
+	if ver := d.Byte(); d.err == nil && ver != CodecVersion {
+		return nil, fmt.Errorf("wire: sync response codec version %d, want %d", ver, CodecVersion)
+	}
+	resp := &replica.SyncResponse{SourceID: vclock.ReplicaID(d.String())}
+	n := d.Uvarint()
+	// Each batch item costs well over one byte; one is enough to unmask a
+	// forged count before it sizes the allocation.
+	if n > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("wire: batch item count %d exceeds %d remaining bytes", n, d.Remaining())
+	}
+	if n > 0 {
+		resp.Items = make([]replica.BatchItem, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		bi := replica.BatchItem{Item: d.Item(), Transient: d.Transient()}
+		bi.Priority.Class = routing.Class(d.Varint())
+		bi.Priority.Cost = d.Float64()
+		resp.Items = append(resp.Items, bi)
+	}
+	resp.Truncated = d.Bool()
+	resp.NeedKnowledge = d.Bool()
+	var dg *vclock.Digest
+	var dl *vclock.Delta
+	resp.LearnedKnowledge, dg, dl = d.knowledgeFrame()
+	if d.err == nil && (dg != nil || dl != nil) {
+		return nil, errors.New("wire: sync response carries a summary knowledge frame")
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// AppendDone appends the encounter-closing acknowledgement body.
+func AppendDone(buf []byte, applied int) []byte {
+	buf = append(buf, CodecVersion)
+	return AppendVarint(buf, int64(applied))
+}
+
+// DecodeDone decodes a body written by AppendDone.
+func DecodeDone(data []byte) (int, error) {
+	d := NewDecoder(data)
+	if ver := d.Byte(); d.err == nil && ver != CodecVersion {
+		return 0, fmt.Errorf("wire: done codec version %d, want %d", ver, CodecVersion)
+	}
+	applied := int(d.Varint())
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	return applied, nil
+}

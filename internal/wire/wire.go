@@ -1,0 +1,37 @@
+// Package wire is the versioned, length-prefixed binary codec shared by the
+// WAL persistence backend (record bodies, internal/persist/wal) and the TCP
+// transport (protocol v3 frames, internal/transport). It replaces gob on both
+// hot paths: encoding appends into a caller-supplied buffer so a steady-state
+// writer allocates nothing, and decoding walks a byte slice with zero-copy
+// views, materializing only the values that outlive the input.
+//
+// Layout conventions, shared by every message:
+//
+//   - integers are unsigned LEB128 varints (encoding/binary uvarint) unless a
+//     fixed width is called out; signed integers use zigzag varints
+//   - strings are uvarint length + raw bytes
+//   - byte slices and string slices that must round-trip nil-vs-empty use a
+//     shifted count: uvarint 0 encodes nil, n encodes a value of length n-1
+//   - maps encode sorted by key so equal values produce equal bytes
+//   - float64 is its IEEE-754 bit pattern as fixed 8-byte little-endian
+//
+// Every top-level message starts with a one-byte codec version so layouts can
+// evolve; see DESIGN.md §14 for the versioning rules. Decoders never trust a
+// decoded count to size an allocation: counts are checked against the bytes
+// actually remaining first (each element costs at least one byte), so a
+// hostile frame cannot turn a forged count into memory pressure.
+package wire
+
+import "errors"
+
+// CodecVersion is the current layout version written as the first byte of
+// every top-level message (WAL record bodies, v3 transport frame bodies).
+// Decoders accept exactly the versions they know; an unknown version is a
+// decode error, never a guess.
+const CodecVersion = 1
+
+// ErrTruncated reports input that ended before the message did.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrTrailing reports input that continued after the message ended.
+var ErrTrailing = errors.New("wire: trailing bytes after message")

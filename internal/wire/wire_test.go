@@ -1,0 +1,652 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"replidtn/internal/filter"
+	"replidtn/internal/item"
+	"replidtn/internal/replica"
+	"replidtn/internal/routing"
+	"replidtn/internal/routing/prophet"
+	"replidtn/internal/store"
+	"replidtn/internal/vclock"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, math.MaxUint64)
+	buf = AppendVarint(buf, -1)
+	buf = AppendVarint(buf, math.MinInt64)
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendUint32(buf, 0xdeadbeef)
+	buf = AppendUint64(buf, 0xfeedfacecafebeef)
+	buf = AppendFloat64(buf, -3.25)
+	buf = AppendString(buf, "héllo")
+	buf = AppendString(buf, "")
+
+	d := NewDecoder(buf)
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint = %d, want max", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("varint = %d, want -1", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("varint = %d, want min", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bools did not round-trip")
+	}
+	if got := d.Uint32(); got != 0xdeadbeef {
+		t.Errorf("uint32 = %#x", got)
+	}
+	if got := d.Uint64(); got != 0xfeedfacecafebeef {
+		t.Errorf("uint64 = %#x", got)
+	}
+	if got := d.Float64(); got != -3.25 {
+		t.Errorf("float64 = %v", got)
+	}
+	if got := d.String(); got != "héllo" {
+		t.Errorf("string = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("string = %q, want empty", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestNilAwareRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendBytes(buf, nil)
+	buf = AppendBytes(buf, []byte{})
+	buf = AppendBytes(buf, []byte("abc"))
+	buf = AppendStrings(buf, nil)
+	buf = AppendStrings(buf, []string{})
+	buf = AppendStrings(buf, []string{"x", ""})
+
+	d := NewDecoder(buf)
+	if got := d.Bytes(); got != nil {
+		t.Errorf("nil bytes decoded as %v", got)
+	}
+	if got := d.Bytes(); got == nil || len(got) != 0 {
+		t.Errorf("empty bytes decoded as %v", got)
+	}
+	if got := d.BytesCopy(); string(got) != "abc" {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := d.Strings(); got != nil {
+		t.Errorf("nil strings decoded as %v", got)
+	}
+	if got := d.Strings(); got == nil || len(got) != 0 {
+		t.Errorf("empty strings decoded as %v", got)
+	}
+	if got := d.Strings(); !reflect.DeepEqual(got, []string{"x", ""}) {
+		t.Errorf("strings = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderHostileInput(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		d := NewDecoder([]byte{0x80}) // unterminated varint
+		d.Uvarint()
+		if !errors.Is(d.Err(), ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", d.Err())
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		d := NewDecoder([]byte{1, 2, 3})
+		d.Byte()
+		if err := d.Finish(); !errors.Is(err, ErrTrailing) {
+			t.Errorf("Finish = %v, want ErrTrailing", err)
+		}
+	})
+	t.Run("bad bool", func(t *testing.T) {
+		d := NewDecoder([]byte{7})
+		d.Bool()
+		if d.Err() == nil {
+			t.Error("bool byte 7 accepted")
+		}
+	})
+	t.Run("forged string count", func(t *testing.T) {
+		// Claims 2^40 strings with 2 bytes of input: must fail before any
+		// allocation sized from the count.
+		buf := AppendUvarint(nil, 1<<40+1)
+		d := NewDecoder(buf)
+		if got := d.Strings(); got != nil || d.Err() == nil {
+			t.Errorf("forged count decoded: %v, err %v", got, d.Err())
+		}
+	})
+	t.Run("forged bytes length", func(t *testing.T) {
+		buf := AppendUvarint(nil, 1<<40)
+		d := NewDecoder(buf)
+		if got := d.Bytes(); got != nil || !errors.Is(d.Err(), ErrTruncated) {
+			t.Errorf("forged length decoded: %v, err %v", got, d.Err())
+		}
+	})
+	t.Run("sticky error", func(t *testing.T) {
+		d := NewDecoder(nil)
+		d.Byte()
+		first := d.Err()
+		d.Uint64()
+		_ = d.String()
+		if d.Err() != first {
+			t.Errorf("error not sticky: %v then %v", first, d.Err())
+		}
+	})
+}
+
+func testItem() *item.Item {
+	return &item.Item{
+		ID:      item.ID{Creator: "a", Num: 7},
+		Version: vclock.Version{Replica: "a", Seq: 9},
+		Prior:   []vclock.Version{{Replica: "a", Seq: 3}, {Replica: "b", Seq: 1}},
+		Deleted: false,
+		Meta: item.Metadata{
+			Source:       "user:1",
+			Destinations: []string{"user:2", "user:3"},
+			Kind:         "message",
+			Created:      100,
+			Expires:      900,
+			Attrs:        map[string]string{"z": "1", "a": "2"},
+		},
+		Payload: []byte("payload bytes"),
+	}
+}
+
+func TestItemRoundTrip(t *testing.T) {
+	for name, it := range map[string]*item.Item{
+		"full": testItem(),
+		"minimal": {
+			ID:      item.ID{Creator: "x", Num: 1},
+			Version: vclock.Version{Replica: "x", Seq: 1},
+		},
+		"tombstone": {
+			ID:      item.ID{Creator: "x", Num: 1},
+			Version: vclock.Version{Replica: "y", Seq: 4},
+			Deleted: true,
+			Payload: []byte{},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := AppendItem(nil, it)
+			d := NewDecoder(buf)
+			got := d.Item()
+			if err := d.Finish(); err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			if !reflect.DeepEqual(got, it) {
+				t.Errorf("round trip:\n got %+v\nwant %+v", got, it)
+			}
+		})
+	}
+}
+
+func TestItemDecodeCopies(t *testing.T) {
+	it := testItem()
+	buf := AppendItem(nil, it)
+	d := NewDecoder(buf)
+	got := d.Item()
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if !reflect.DeepEqual(got, it) {
+		t.Error("decoded item aliases the input buffer")
+	}
+}
+
+func TestTransientRoundTrip(t *testing.T) {
+	for name, tr := range map[string]item.Transient{
+		"nil":   nil,
+		"empty": {},
+		"full":  {item.FieldTTL: 5, item.FieldCopies: 3, item.FieldHops: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := AppendTransient(nil, tr)
+			d := NewDecoder(buf)
+			got := d.Transient()
+			if err := d.Finish(); err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			if !reflect.DeepEqual(got, tr) {
+				t.Errorf("round trip: got %v, want %v", got, tr)
+			}
+		})
+	}
+}
+
+func TestEntrySnapshotRoundTrip(t *testing.T) {
+	e := &store.EntrySnapshot{
+		Item:      testItem(),
+		Transient: item.Transient{item.FieldCopies: 4},
+		Relay:     true,
+		Local:     false,
+		Arrival:   42,
+	}
+	buf := AppendEntrySnapshot(nil, e)
+	d := NewDecoder(buf)
+	got := d.EntrySnapshot()
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestMapEncodingDeterministic(t *testing.T) {
+	// Map iteration order must not leak into the bytes.
+	tr := item.Transient{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+	first := AppendTransient(nil, tr)
+	for i := 0; i < 32; i++ {
+		if got := AppendTransient(nil, tr); !bytes.Equal(got, first) {
+			t.Fatal("transient encoding depends on map order")
+		}
+	}
+	it := testItem()
+	firstItem := AppendItem(nil, it)
+	for i := 0; i < 32; i++ {
+		if got := AppendItem(nil, it); !bytes.Equal(got, firstItem) {
+			t.Fatal("item encoding depends on map order")
+		}
+	}
+}
+
+func TestFilterRoundTrip(t *testing.T) {
+	filters := map[string]filter.Filter{
+		"nil":       nil,
+		"all":       filter.All{},
+		"none":      filter.None{},
+		"addresses": filter.NewAddresses("user:1", "user:2"),
+		"kind":      filter.Kind{Name: "message"},
+		"or": filter.NewOr(
+			filter.NewAddresses("user:1"),
+			filter.Kind{Name: "control"},
+			filter.NewOr(filter.None{}),
+		),
+	}
+	for name, f := range filters {
+		t.Run(name, func(t *testing.T) {
+			buf, err := AppendFilter(nil, f)
+			if err != nil {
+				t.Fatalf("AppendFilter: %v", err)
+			}
+			d := NewDecoder(buf)
+			got := d.Filter()
+			if err := d.Finish(); err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			if f == nil {
+				if got != nil {
+					t.Fatalf("nil filter decoded as %v", got)
+				}
+				return
+			}
+			if got.String() != f.String() {
+				t.Errorf("round trip: got %v, want %v", got, f)
+			}
+		})
+	}
+}
+
+func TestFilterDepthLimit(t *testing.T) {
+	var f filter.Filter = filter.All{}
+	for i := 0; i < maxFilterDepth+2; i++ {
+		f = filter.NewOr(f)
+	}
+	if _, err := AppendFilter(nil, f); err == nil {
+		t.Error("over-deep filter encoded")
+	}
+	// Hostile deep frame: nested Or tags.
+	var buf []byte
+	for i := 0; i < maxFilterDepth+2; i++ {
+		buf = append(buf, filterOr)
+		buf = AppendUvarint(buf, 1)
+	}
+	buf = append(buf, filterAll)
+	d := NewDecoder(buf)
+	d.Filter()
+	if d.Err() == nil {
+		t.Error("over-deep frame decoded")
+	}
+}
+
+func TestFilterUnknownTag(t *testing.T) {
+	d := NewDecoder([]byte{99})
+	if got := d.Filter(); got != nil || d.Err() == nil {
+		t.Errorf("unknown tag decoded: %v, err %v", got, d.Err())
+	}
+}
+
+func TestRoutingRoundTrip(t *testing.T) {
+	gob.Register(&prophet.Request{})
+	t.Run("nil", func(t *testing.T) {
+		buf, err := AppendRouting(nil, nil)
+		if err != nil {
+			t.Fatalf("AppendRouting: %v", err)
+		}
+		d := NewDecoder(buf)
+		if got := d.Routing(); got != nil {
+			t.Errorf("nil routing decoded as %v", got)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	})
+	t.Run("prophet", func(t *testing.T) {
+		req := &prophet.Request{From: "a", OwnAddresses: []string{"user:1"}, Predictability: map[string]float64{"user:2": 0.5}}
+		buf, err := AppendRouting(nil, routing.Request(req))
+		if err != nil {
+			t.Fatalf("AppendRouting: %v", err)
+		}
+		d := NewDecoder(buf)
+		got := d.Routing()
+		if err := d.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		if !reflect.DeepEqual(got, routing.Request(req)) {
+			t.Errorf("round trip: got %#v, want %#v", got, req)
+		}
+	})
+	t.Run("hostile blob", func(t *testing.T) {
+		buf := append([]byte{1}, AppendBytes(nil, []byte("not gob"))...)
+		d := NewDecoder(buf)
+		if got := d.Routing(); got != nil || d.Err() == nil {
+			t.Errorf("hostile blob decoded: %v, err %v", got, d.Err())
+		}
+	})
+}
+
+func sampleKnowledge(t *testing.T) *vclock.Knowledge {
+	t.Helper()
+	k := vclock.NewKnowledge()
+	for s := uint64(1); s <= 5; s++ {
+		k.Add(vclock.Version{Replica: "a", Seq: s})
+	}
+	k.Add(vclock.Version{Replica: "b", Seq: 3})
+	k.Add(vclock.Version{Replica: "b", Seq: 7})
+	return k
+}
+
+func TestSyncRequestRoundTrip(t *testing.T) {
+	know := sampleKnowledge(t)
+	cases := map[string]*replica.SyncRequest{
+		"exact": {
+			TargetID:  "t",
+			Knowledge: know,
+			Epoch:     3,
+			Gen:       9,
+			Filter:    filter.NewAddresses("user:1"),
+			MaxItems:  10,
+			MaxBytes:  1 << 20,
+		},
+		"digest": {
+			TargetID: "t",
+			Digest:   know.Digest(0.01),
+			Filter:   filter.All{},
+		},
+		"delta": {
+			TargetID:    "t",
+			Delta:       vclock.NewDelta(2, 5, know),
+			StrictBytes: true,
+		},
+	}
+	for name, req := range cases {
+		t.Run(name, func(t *testing.T) {
+			buf, err := AppendSyncRequest(nil, req)
+			if err != nil {
+				t.Fatalf("AppendSyncRequest: %v", err)
+			}
+			got, err := DecodeSyncRequest(buf)
+			if err != nil {
+				t.Fatalf("DecodeSyncRequest: %v", err)
+			}
+			if got.TargetID != req.TargetID || got.Epoch != req.Epoch || got.Gen != req.Gen ||
+				got.MaxItems != req.MaxItems || got.MaxBytes != req.MaxBytes || got.StrictBytes != req.StrictBytes {
+				t.Errorf("scalar fields: got %+v, want %+v", got, req)
+			}
+			if (req.Knowledge == nil) != (got.Knowledge == nil) ||
+				(req.Knowledge != nil && !got.Knowledge.Equal(req.Knowledge)) {
+				t.Errorf("knowledge: got %v, want %v", got.Knowledge, req.Knowledge)
+			}
+			if (req.Digest == nil) != (got.Digest == nil) {
+				t.Errorf("digest presence: got %v, want %v", got.Digest, req.Digest)
+			}
+			if req.Digest != nil {
+				w, _ := req.Digest.MarshalBinary()
+				g, _ := got.Digest.MarshalBinary()
+				if !bytes.Equal(w, g) {
+					t.Error("digest did not round-trip")
+				}
+			}
+			if (req.Delta == nil) != (got.Delta == nil) {
+				t.Errorf("delta presence: got %v, want %v", got.Delta, req.Delta)
+			}
+			if req.Delta != nil && (got.Delta.Epoch() != req.Delta.Epoch() ||
+				got.Delta.Gen() != req.Delta.Gen() || !got.Delta.Changes().Equal(req.Delta.Changes())) {
+				t.Error("delta did not round-trip")
+			}
+			if (req.Filter == nil) != (got.Filter == nil) ||
+				(req.Filter != nil && got.Filter.String() != req.Filter.String()) {
+				t.Errorf("filter: got %v, want %v", got.Filter, req.Filter)
+			}
+		})
+	}
+}
+
+func TestSyncRequestMultipleFramesRejected(t *testing.T) {
+	know := sampleKnowledge(t)
+	req := &replica.SyncRequest{Knowledge: know, Digest: know.Digest(0.01)}
+	if _, err := AppendSyncRequest(nil, req); err == nil {
+		t.Error("request with two knowledge frames encoded")
+	}
+}
+
+func TestSyncResponseRoundTrip(t *testing.T) {
+	resp := &replica.SyncResponse{
+		SourceID: "s",
+		Items: []replica.BatchItem{
+			{Item: testItem(), Transient: item.Transient{item.FieldCopies: 2}, Priority: routing.Priority{Class: 3, Cost: 1.5}},
+			{Item: &item.Item{ID: item.ID{Creator: "b", Num: 1}, Version: vclock.Version{Replica: "b", Seq: 1}}},
+		},
+		Truncated:        true,
+		LearnedKnowledge: sampleKnowledge(t),
+	}
+	buf, err := AppendSyncResponse(nil, resp)
+	if err != nil {
+		t.Fatalf("AppendSyncResponse: %v", err)
+	}
+	got, err := DecodeSyncResponse(buf)
+	if err != nil {
+		t.Fatalf("DecodeSyncResponse: %v", err)
+	}
+	if got.SourceID != resp.SourceID || got.Truncated != resp.Truncated || got.NeedKnowledge != resp.NeedKnowledge {
+		t.Errorf("scalar fields: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.Items, resp.Items) {
+		t.Errorf("items:\n got %+v\nwant %+v", got.Items, resp.Items)
+	}
+	if got.LearnedKnowledge == nil || !got.LearnedKnowledge.Equal(resp.LearnedKnowledge) {
+		t.Errorf("learned knowledge: got %v", got.LearnedKnowledge)
+	}
+
+	empty := &replica.SyncResponse{SourceID: "s", NeedKnowledge: true}
+	buf, err = AppendSyncResponse(nil, empty)
+	if err != nil {
+		t.Fatalf("AppendSyncResponse: %v", err)
+	}
+	got, err = DecodeSyncResponse(buf)
+	if err != nil {
+		t.Fatalf("DecodeSyncResponse: %v", err)
+	}
+	if !got.NeedKnowledge || got.Items != nil || got.LearnedKnowledge != nil {
+		t.Errorf("empty response: got %+v", got)
+	}
+}
+
+func TestSyncResponseForgedCount(t *testing.T) {
+	var buf []byte
+	buf = append(buf, CodecVersion)
+	buf = AppendString(buf, "s")
+	buf = AppendUvarint(buf, 1<<50) // forged item count
+	if _, err := DecodeSyncResponse(buf); err == nil {
+		t.Error("forged item count decoded")
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	buf := AppendDone(nil, 17)
+	got, err := DecodeDone(buf)
+	if err != nil || got != 17 {
+		t.Errorf("DecodeDone = %d, %v", got, err)
+	}
+	if _, err := DecodeDone(append(buf, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestMutationsRoundTrip(t *testing.T) {
+	know, err := sampleKnowledge(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []replica.Mutation{
+		{Kind: replica.MutPut, Entry: &store.EntrySnapshot{Item: testItem(), Transient: item.Transient{"ttl": 2}, Local: true, Arrival: 5}, NextArrival: 6},
+		{Kind: replica.MutRemove, ID: item.ID{Creator: "a", Num: 7}, NextArrival: 7},
+		{Kind: replica.MutLearn, Versions: []vclock.Version{{Replica: "a", Seq: 9}}, Seq: 4},
+		{Kind: replica.MutMerge, Knowledge: know},
+		{Kind: replica.MutIdentity, Own: []string{"user:1"}, FilterAddrs: []string{"user:1", "user:2"}},
+		{Kind: replica.MutIdentity, Own: []string{}, FilterAddrs: nil},
+	}
+	buf, err := AppendMutations(nil, muts)
+	if err != nil {
+		t.Fatalf("AppendMutations: %v", err)
+	}
+	got, err := DecodeMutations(buf)
+	if err != nil {
+		t.Fatalf("DecodeMutations: %v", err)
+	}
+	if !reflect.DeepEqual(got, muts) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, muts)
+	}
+	// The nil-vs-empty distinctions that carry meaning must survive.
+	if got[4].FilterAddrs == nil {
+		t.Error("non-nil FilterAddrs decoded as nil")
+	}
+	if got[5].FilterAddrs != nil {
+		t.Error("nil FilterAddrs decoded as non-nil")
+	}
+}
+
+func TestMutationsPoisonMarker(t *testing.T) {
+	muts := []replica.Mutation{{Kind: replica.MutMerge, Knowledge: nil}}
+	buf, err := AppendMutations(nil, muts)
+	if err != nil {
+		t.Fatalf("AppendMutations: %v", err)
+	}
+	got, err := DecodeMutations(buf)
+	if err != nil {
+		t.Fatalf("DecodeMutations: %v", err)
+	}
+	if got[0].Knowledge != nil {
+		t.Error("poison-marker nil Knowledge decoded as non-nil")
+	}
+}
+
+func TestMutationsUnknownKind(t *testing.T) {
+	muts := []replica.Mutation{{Kind: 99}}
+	if _, err := AppendMutations(nil, muts); err == nil {
+		t.Error("unknown kind encoded")
+	}
+	var buf []byte
+	buf = append(buf, CodecVersion)
+	buf = AppendUvarint(buf, 1)
+	buf = append(buf, 99)
+	if _, err := DecodeMutations(buf); err == nil {
+		t.Error("unknown kind decoded")
+	}
+}
+
+func TestCodecVersionRejected(t *testing.T) {
+	muts := []replica.Mutation{{Kind: replica.MutRemove, ID: item.ID{Creator: "a", Num: 1}}}
+	buf, err := AppendMutations(nil, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = CodecVersion + 1
+	if _, err := DecodeMutations(buf); err == nil {
+		t.Error("future codec version decoded")
+	}
+}
+
+// TestDifferentialGob proves the binary codec and the legacy gob encoding
+// describe the same values: gob round-trip and binary round-trip of the same
+// mutation batch yield deeply equal results.
+func TestDifferentialGob(t *testing.T) {
+	know, err := sampleKnowledge(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []replica.Mutation{
+		{Kind: replica.MutPut, Entry: &store.EntrySnapshot{Item: testItem(), Arrival: 1}, NextArrival: 2},
+		{Kind: replica.MutLearn, Versions: []vclock.Version{{Replica: "a", Seq: 9}, {Replica: "b", Seq: 2}}, Seq: 3},
+		{Kind: replica.MutMerge, Knowledge: know},
+	}
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(muts); err != nil {
+		t.Fatal(err)
+	}
+	var viaGob []replica.Mutation
+	if err := gob.NewDecoder(&gobBuf).Decode(&viaGob); err != nil {
+		t.Fatal(err)
+	}
+	binBuf, err := AppendMutations(nil, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBin, err := DecodeMutations(binBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaGob, viaBin) {
+		t.Errorf("gob and binary disagree:\n gob %+v\n bin %+v", viaGob, viaBin)
+	}
+	if len(binBuf) >= gobBuf.Cap() {
+		t.Logf("note: binary (%d B) not smaller than gob for this batch", len(binBuf))
+	}
+}
+
+// TestAppendAllocs proves the append side is zero-alloc once the caller's
+// buffer has capacity — the property the WAL hot path depends on.
+func TestAppendAllocs(t *testing.T) {
+	e := &store.EntrySnapshot{Item: testItem(), Transient: item.Transient{"ttl": 1}, Arrival: 3}
+	muts := []replica.Mutation{
+		{Kind: replica.MutPut, Entry: e, NextArrival: 4},
+		{Kind: replica.MutLearn, Versions: []vclock.Version{{Replica: "a", Seq: 9}}, Seq: 4},
+	}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendMutations(buf[:0], muts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("AppendMutations allocates %.1f times per call with a warm buffer", allocs)
+	}
+}
